@@ -1,0 +1,113 @@
+// Ablation A4: R-tree engineering choices the paper fixes silently -
+// split algorithm (Guttman linear/quadratic vs R*), internal fanout M, and
+// bulk loading vs one-by-one insertion.
+
+#include "bench_common.h"
+
+namespace {
+
+struct RunResult {
+  double build_seconds = 0.0;
+  double query_ms = 0.0;
+  double pages = 0.0;
+  double overlap = 0.0;
+  std::size_t height = 0;
+  std::size_t nodes = 0;
+};
+
+RunResult RunConfig(const std::vector<tsss::seq::TimeSeries>& market,
+                    const std::vector<tsss::geom::Vec>& queries,
+                    tsss::index::SplitAlgorithm split, std::size_t fanout,
+                    bool bulk, double eps) {
+  using namespace tsss;
+  core::EngineConfig config;
+  config.tree.split = split;
+  config.tree.max_entries = fanout;
+  RunResult out;
+  auto engine = core::SearchEngine::Create(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "config M=%zu split=%d failed: %s\n", fanout,
+                 static_cast<int>(split), engine.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const bench::Timer build_timer;
+  if (bulk) {
+    if (!(*engine)->BulkBuild(market).ok()) std::exit(1);
+  } else {
+    for (const auto& series : market) {
+      if (!(*engine)->AddSeries(series.name, series.values).ok()) std::exit(1);
+    }
+  }
+  out.build_seconds = build_timer.Seconds();
+
+  std::uint64_t pages = 0;
+  const bench::Timer query_timer;
+  for (const auto& query : queries) {
+    core::QueryStats stats;
+    auto matches = (*engine)->RangeQuery(query, eps, core::TransformCost{}, &stats);
+    if (!matches.ok()) std::exit(1);
+    pages += stats.total_page_reads();
+  }
+  const double q = static_cast<double>(queries.size());
+  out.query_ms = 1e3 * query_timer.Seconds() / q;
+  out.pages = static_cast<double>(pages) / q;
+
+  auto stats = (*engine)->tree().ComputeStats();
+  if (!stats.ok()) std::exit(1);
+  out.overlap = stats->total_overlap_volume;
+  out.height = stats->height;
+  out.nodes = stats->node_count;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsss;
+  bench::BenchEnv env = bench::GetBenchEnv();
+  // Incremental insertion of >100k windows is the slow path under test;
+  // default to a leaner corpus unless the caller overrides.
+  if (std::getenv("TSSS_COMPANIES") == nullptr && !env.full) env.companies = 60;
+  const auto market = bench::MakeMarket(env);
+  const auto queries = bench::MakeQueries(market, env.queries, 128);
+  const double eps = 0.5;
+
+  std::printf("# Ablation A4: R-tree construction choices (eps = %.2f)\n", eps);
+  std::printf("# dataset: %zu companies x %zu values\n\n", env.companies,
+              env.values);
+  std::printf("%-11s %-4s %-12s %10s %10s %10s %10s %8s %8s\n", "split", "M",
+              "build", "build_s", "query_ms", "pages", "overlap", "height",
+              "nodes");
+
+  for (const auto split :
+       {index::SplitAlgorithm::kLinear, index::SplitAlgorithm::kQuadratic,
+        index::SplitAlgorithm::kRStar}) {
+    for (const bool bulk : {false, true}) {
+      const RunResult r = RunConfig(market, queries, split, 20, bulk, eps);
+      std::printf("%-11s %-4d %-12s %10.2f %10.3f %10.1f %10.3g %8zu %8zu\n",
+                  std::string(index::SplitAlgorithmToString(split)).c_str(), 20,
+                  bulk ? "str-bulk" : "incremental", r.build_seconds, r.query_ms,
+                  r.pages, r.overlap, r.height, r.nodes);
+    }
+  }
+
+  std::printf("\n# fanout sweep (R*, incremental):\n");
+  std::printf("%-11s %-4s %-12s %10s %10s %10s %10s %8s %8s\n", "split", "M",
+              "build", "build_s", "query_ms", "pages", "overlap", "height",
+              "nodes");
+  // 39 is the page-capacity limit for dim-6 internal nodes (M+1 must fit).
+  for (const std::size_t fanout : {8u, 12u, 20u, 32u, 39u}) {
+    const RunResult r = RunConfig(market, queries, index::SplitAlgorithm::kRStar,
+                                  fanout, false, eps);
+    std::printf("%-11s %-4zu %-12s %10.2f %10.3f %10.1f %10.3g %8zu %8zu\n",
+                "rstar", fanout, "incremental", r.build_seconds, r.query_ms,
+                r.pages, r.overlap, r.height, r.nodes);
+  }
+
+  std::printf("\n# expected: R* splits beat Guttman on overlap and pages; STR\n"
+              "# bulk load builds orders of magnitude faster with equal-or-\n"
+              "# better query behaviour; M=20 (the paper's pick) is near the\n"
+              "# flat part of the fanout curve.\n");
+  return 0;
+}

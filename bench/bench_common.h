@@ -1,0 +1,151 @@
+#ifndef TSSS_BENCH_BENCH_COMMON_H_
+#define TSSS_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Scale control (environment variables):
+//   TSSS_FULL=1        paper scale: 1000 companies x 650 values, 100 queries
+//   TSSS_COMPANIES=N   override company count   (default 200)
+//   TSSS_VALUES=N      override values/company  (default 650)
+//   TSSS_QUERIES=N     override query count     (default 40)
+//
+// The defaults keep every benchmark binary under ~a minute on a laptop while
+// preserving the paper's *shape* (who wins, by what factor, where crossovers
+// fall); TSSS_FULL reproduces the paper's exact data volume (~650k values,
+// seq-scan ~1300 pages/query).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/engine.h"
+#include "tsss/core/seq_scan.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace tsss::bench {
+
+struct BenchEnv {
+  std::size_t companies = 200;
+  std::size_t values = 650;
+  std::size_t queries = 40;
+  bool full = false;
+};
+
+inline std::size_t EnvSizeT(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long long parsed = std::atoll(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  const char* full = std::getenv("TSSS_FULL");
+  if (full != nullptr && full[0] == '1') {
+    env.full = true;
+    env.companies = 1000;
+    env.values = 650;
+    env.queries = 100;
+  }
+  env.companies = EnvSizeT("TSSS_COMPANIES", env.companies);
+  env.values = EnvSizeT("TSSS_VALUES", env.values);
+  env.queries = EnvSizeT("TSSS_QUERIES", env.queries);
+  return env;
+}
+
+inline std::vector<seq::TimeSeries> MakeMarket(const BenchEnv& env,
+                                               std::uint64_t seed = 19990601) {
+  seq::StockMarketConfig config;
+  config.num_companies = env.companies;
+  config.values_per_company = env.values;
+  config.seed = seed;
+  return seq::GenerateStockMarket(config);
+}
+
+/// Queries mimic the paper's setup: subsequences of the data itself, hit
+/// with a random scale-shift (which the engine must undo) and 1% noise (so
+/// the eps sweep is meaningful rather than all-or-nothing).
+inline std::vector<geom::Vec> MakeQueries(
+    const std::vector<seq::TimeSeries>& market, std::size_t count,
+    std::size_t window, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<geom::Vec> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    const auto& series =
+        market[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(market.size()) - 1))];
+    if (series.values.size() < window) continue;
+    const std::size_t offset = static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(series.values.size() - window)));
+    geom::Vec q(series.values.begin() + static_cast<std::ptrdiff_t>(offset),
+                series.values.begin() + static_cast<std::ptrdiff_t>(offset + window));
+    const double a = rng.Uniform(0.5, 2.0);
+    const double b = rng.Uniform(-10.0, 10.0);
+    for (double& x : q) {
+      x = a * x + b;
+      x *= 1.0 + rng.Uniform(-0.01, 0.01);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Builds an engine over `market` with BulkBuild and reports the build time.
+inline std::unique_ptr<core::SearchEngine> BuildEngine(
+    const core::EngineConfig& config, const std::vector<seq::TimeSeries>& market,
+    double* build_seconds = nullptr) {
+  auto engine = core::SearchEngine::Create(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  if (auto s = (*engine)->BulkBuild(market); !s.ok()) {
+    std::fprintf(stderr, "bulk build failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (build_seconds != nullptr) {
+    *build_seconds = std::chrono::duration<double>(stop - start).count();
+  }
+  return std::move(engine).value();
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const BenchEnv& env, std::size_t windows) {
+  std::printf("# %s\n# %s\n", figure, description);
+  std::printf("# dataset: %zu companies x %zu values (%zu total values, "
+              "%zu indexed windows)%s\n",
+              env.companies, env.values, env.companies * env.values, windows,
+              env.full ? " [TSSS_FULL]" : "");
+  std::printf("# queries: %zu\n", env.queries);
+}
+
+/// The eps sweep used by the figure benchmarks. Chosen so the largest eps
+/// already returns a few percent of all windows (beyond that no index can
+/// beat a scan - the answer itself is most of the data).
+inline std::vector<double> EpsSweep() {
+  return {0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
+}
+
+}  // namespace tsss::bench
+
+#endif  // TSSS_BENCH_BENCH_COMMON_H_

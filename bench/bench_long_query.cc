@@ -1,0 +1,113 @@
+// Ablation A10: long queries (paper, Section 7, following [2]).
+//
+// Queries longer than the indexed window are cut into p = floor(|Q|/n)
+// disjoint pieces, each searched with eps/sqrt(p); candidates are verified
+// against the full query. This bench sweeps the query length and compares
+// the partitioned index search against a brute-force scan over full-length
+// windows, checking both cost and (by construction guaranteed) completeness.
+
+#include <set>
+
+#include "bench_common.h"
+
+namespace {
+
+/// Brute-force long search: exact distance on every full-length window.
+std::size_t BruteLongSearch(tsss::seq::Dataset& ds,
+                            std::span<const double> query, double eps) {
+  const tsss::core::QueryContext ctx(query);
+  std::size_t matches = 0;
+  for (tsss::storage::SeriesId s = 0; s < ds.size(); ++s) {
+    auto values = ds.Values(s);
+    if (!values.ok()) std::exit(1);
+    if (values->size() < query.size()) continue;
+    for (std::size_t off = 0; off + query.size() <= values->size(); ++off) {
+      if (ctx.Distance(values->subspan(off, query.size())) <= eps) ++matches;
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsss;
+  bench::BenchEnv env = bench::GetBenchEnv();
+  if (std::getenv("TSSS_COMPANIES") == nullptr && !env.full) env.companies = 100;
+  const auto market = bench::MakeMarket(env);
+
+  core::EngineConfig config;  // window 128
+  auto engine = bench::BuildEngine(config, market);
+
+  std::printf("# Ablation A10: long-query partitioning (Section 7)\n");
+  std::printf("# dataset: %zu companies x %zu values; index window %zu\n\n",
+              env.companies, env.values, config.window);
+  std::printf("%-8s %-8s %-10s %12s %12s %12s %12s %10s\n", "len", "pieces",
+              "eps", "tree_ms", "brute_ms", "pages", "candidates", "matches");
+
+  Rng rng(505);
+  for (const std::size_t len : {256u, 384u, 512u}) {
+    // Queries drawn from the data, scale-shifted.
+    std::vector<geom::Vec> queries;
+    for (std::size_t q = 0; q < std::min<std::size_t>(env.queries, 15); ++q) {
+      const auto& series = market[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(market.size()) - 1))];
+      if (series.values.size() < len) continue;
+      const std::size_t off = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(series.values.size() - len)));
+      geom::Vec query(series.values.begin() + static_cast<std::ptrdiff_t>(off),
+                      series.values.begin() + static_cast<std::ptrdiff_t>(off + len));
+      const double a = rng.Uniform(0.5, 2.0);
+      for (double& x : query) x = a * x + 3.0;
+      queries.push_back(std::move(query));
+    }
+    const double eps = 1.0;
+
+    double tree_seconds = 0.0;
+    std::uint64_t pages = 0;
+    std::uint64_t candidates = 0;
+    std::size_t tree_matches = 0;
+    for (const auto& query : queries) {
+      core::QueryStats stats;
+      const bench::Timer timer;
+      auto matches = engine->LongRangeQuery(query, eps, core::TransformCost{}, &stats);
+      tree_seconds += timer.Seconds();
+      if (!matches.ok()) {
+        std::fprintf(stderr, "%s\n", matches.status().ToString().c_str());
+        return 1;
+      }
+      pages += stats.total_page_reads();
+      candidates += stats.candidates;
+      tree_matches += matches->size();
+    }
+
+    double brute_seconds = 0.0;
+    std::size_t brute_matches = 0;
+    {
+      const bench::Timer timer;
+      for (const auto& query : queries) {
+        brute_matches += BruteLongSearch(engine->dataset(), query, eps);
+      }
+      brute_seconds = timer.Seconds();
+    }
+    if (brute_matches != tree_matches) {
+      std::fprintf(stderr, "MISMATCH: tree %zu vs brute %zu matches\n",
+                   tree_matches, brute_matches);
+      return 1;
+    }
+
+    const double q = static_cast<double>(queries.size());
+    std::printf("%-8zu %-8zu %-10.2f %12.3f %12.3f %12.1f %12.1f %10.1f\n", len,
+                len / config.window, eps, 1e3 * tree_seconds / q,
+                1e3 * brute_seconds / q, static_cast<double>(pages) / q,
+                static_cast<double>(candidates) / q,
+                static_cast<double>(tree_matches) / q);
+  }
+  std::printf("\n# matches are verified identical to the brute-force long scan\n"
+              "# (no false dismissals through the eps/sqrt(p) piece bound).\n"
+              "# note the cost trend: each extra piece is one more index probe\n"
+              "# at a tighter bound, while the brute scan gets *cheaper* with\n"
+              "# length (fewer window positions) - partitioning pays off for\n"
+              "# selective pieces, not asymptotically in query length.\n");
+  return 0;
+}

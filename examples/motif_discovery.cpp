@@ -1,0 +1,115 @@
+// Motif discovery: which price patterns recur across the market?
+//
+// For a sample of probe windows, ask the index for their nearest neighbours
+// under the scale-shift distance, excluding trivial self/overlapping hits.
+// The probe whose best cross-match is tightest is the market's strongest
+// shared "motif" - two stocks (or two epochs of one stock) tracing the same
+// shape at possibly very different price levels and amplitudes.
+//
+// Usage: motif_discovery [num_companies] [probes]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/engine.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace {
+
+struct Motif {
+  tsss::storage::SeriesId probe_series;
+  std::uint32_t probe_offset;
+  tsss::core::Match match;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t companies =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 80;
+  const std::size_t probes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+  constexpr std::size_t kWindow = 64;
+
+  tsss::seq::StockMarketConfig market_config;
+  market_config.num_companies = companies;
+  market_config.values_per_company = 400;
+  const auto market = tsss::seq::GenerateStockMarket(market_config);
+
+  tsss::core::EngineConfig config;
+  config.window = kWindow;
+  auto engine = tsss::core::SearchEngine::Create(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = (*engine)->BulkBuild(market); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu windows from %zu companies; probing %zu windows "
+              "for recurring shapes...\n\n",
+              (*engine)->num_indexed_windows(), companies, probes);
+
+  // Exclude degenerate matches: the probe itself, overlapping windows of
+  // the same series, and near-flat windows that "match" anything with a~0.
+  tsss::core::TransformCost cost;
+  cost.min_scale = 0.2;
+  cost.max_scale = 5.0;
+
+  tsss::Rng rng(2026);
+  std::vector<Motif> motifs;
+  for (std::size_t p = 0; p < probes; ++p) {
+    const auto series = static_cast<tsss::storage::SeriesId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(companies) - 1));
+    const auto offset = static_cast<std::uint32_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(400 - kWindow)));
+    const auto& values = market[series].values;
+    const tsss::geom::Vec probe(values.begin() + offset,
+                                values.begin() + offset + kWindow);
+
+    auto neighbours = (*engine)->Knn(probe, 8, cost);
+    if (!neighbours.ok()) {
+      std::fprintf(stderr, "%s\n", neighbours.status().ToString().c_str());
+      return 1;
+    }
+    for (const tsss::core::Match& m : *neighbours) {
+      const bool self_overlap =
+          m.series == series &&
+          (m.offset < offset + kWindow && offset < m.offset + kWindow);
+      if (self_overlap) continue;
+      motifs.push_back(Motif{series, offset, m});
+      break;  // nearest non-trivial neighbour only
+    }
+  }
+
+  std::sort(motifs.begin(), motifs.end(), [](const Motif& a, const Motif& b) {
+    return a.match.distance < b.match.distance;
+  });
+
+  std::printf("top recurring shapes (probe -> best cross-match):\n");
+  std::printf("%-18s %-18s %-10s %-10s %-10s\n", "probe", "match", "scale(a)",
+              "shift(b)", "distance");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, motifs.size()); ++i) {
+    const Motif& motif = motifs[i];
+    auto probe_name = (*engine)->dataset().Name(motif.probe_series);
+    auto match_name = (*engine)->dataset().Name(motif.match.series);
+    char probe_label[32];
+    char match_label[32];
+    std::snprintf(probe_label, sizeof(probe_label), "%s@%u",
+                  probe_name.ok() ? probe_name->c_str() : "?",
+                  motif.probe_offset);
+    std::snprintf(match_label, sizeof(match_label), "%s@%u",
+                  match_name.ok() ? match_name->c_str() : "?",
+                  motif.match.offset);
+    std::printf("%-18s %-18s %-10.3f %-10.2f %-10.4f\n", probe_label,
+                match_label, motif.match.transform.scale,
+                motif.match.transform.offset, motif.match.distance);
+  }
+  std::printf("\n(a < 1: the match moves with smaller amplitude than the "
+              "probe; b: its price level offset)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Persistent index: build once, query forever.
+//
+// First run:  builds a file-backed index over a synthetic market under
+//             ./tsss_index/ and checkpoints it.
+// Later runs: reopen the saved index in milliseconds (no rebuild), run a
+//             query, append one more day of prices, checkpoint again.
+//
+// Usage: persistent_index [storage_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tsss/core/engine.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace {
+
+int Fail(const tsss::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tsss_index";
+  const bool exists = std::filesystem::exists(dir + "/engine.meta");
+
+  std::unique_ptr<tsss::core::SearchEngine> engine;
+  if (exists) {
+    std::printf("reopening saved index from %s/ ...\n", dir.c_str());
+    auto opened = tsss::core::SearchEngine::Open(dir);
+    if (!opened.ok()) return Fail(opened.status());
+    engine = std::move(opened).value();
+    std::printf("restored %zu indexed windows over %zu series "
+                "(window %zu, tree height %zu)\n",
+                engine->num_indexed_windows(), engine->dataset().size(),
+                engine->config().window, engine->tree().height());
+  } else {
+    std::printf("no saved index; building one under %s/ ...\n", dir.c_str());
+    tsss::core::EngineConfig config;
+    config.window = 64;
+    config.storage_dir = dir;
+    auto created = tsss::core::SearchEngine::Create(config);
+    if (!created.ok()) return Fail(created.status());
+    engine = std::move(created).value();
+
+    tsss::seq::StockMarketConfig market_config;
+    market_config.num_companies = 80;
+    market_config.values_per_company = 400;
+    const auto market = tsss::seq::GenerateStockMarket(market_config);
+    if (auto s = engine->BulkBuild(market); !s.ok()) return Fail(s);
+    if (auto s = engine->Checkpoint(); !s.ok()) return Fail(s);
+    std::printf("built and checkpointed %zu windows\n",
+                engine->num_indexed_windows());
+  }
+
+  // Query: the most recent window of the last series.
+  const auto last_id =
+      static_cast<tsss::storage::SeriesId>(engine->dataset().size() - 1);
+  auto values = engine->dataset().Values(last_id);
+  if (!values.ok()) return Fail(values.status());
+  const std::size_t n = engine->config().window;
+  const tsss::geom::Vec query(values->end() - static_cast<std::ptrdiff_t>(n),
+                              values->end());
+
+  auto matches = engine->RangeQuery(query, 0.4);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("query on the latest window: %zu match(es)\n", matches->size());
+
+  // Simulate one more trading day arriving, then persist it.
+  const double last_price = values->back();
+  const double next_price = last_price * 1.01;
+  if (auto s = engine->Append(last_id, std::span<const double>(&next_price, 1));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = engine->Checkpoint(); !s.ok()) return Fail(s);
+  std::printf("appended one price (%.2f) and checkpointed; "
+              "%zu windows now indexed.\n",
+              next_price, engine->num_indexed_windows());
+  std::printf("run me again to reopen this state.\n");
+  return 0;
+}

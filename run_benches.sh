@@ -1,0 +1,9 @@
+#!/bin/sh
+# Runs every benchmark binary and prints a combined report.
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "##### $b"
+    "$b"
+    echo
+  fi
+done

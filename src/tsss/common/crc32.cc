@@ -1,0 +1,44 @@
+#include "tsss/common/crc32.h"
+
+#include <array>
+
+namespace tsss {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Continue(std::uint32_t crc, const void* data,
+                            std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Crc32Continue(0, data, size);
+}
+
+}  // namespace tsss

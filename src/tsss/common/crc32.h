@@ -1,0 +1,19 @@
+#ifndef TSSS_COMMON_CRC32_H_
+#define TSSS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tsss {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum pages in the
+/// file-backed page store so that on-disk corruption surfaces as a
+/// Corruption status instead of silently wrong query answers.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+std::uint32_t Crc32Continue(std::uint32_t crc, const void* data, std::size_t size);
+
+}  // namespace tsss
+
+#endif  // TSSS_COMMON_CRC32_H_

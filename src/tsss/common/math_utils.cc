@@ -1,0 +1,60 @@
+#include "tsss/common/math_utils.h"
+
+#include <algorithm>
+
+namespace tsss {
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return KahanSum(values) / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) { return std::sqrt(Variance(values)); }
+
+double KahanSum(std::span<const double> values) {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double v : values) {
+    const double y = v - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double PercentileOfSorted(std::span<const double> sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double p = Clamp(pct, 0.0, 100.0) / 100.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::size_t NextPowerOfTwo(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace tsss

@@ -1,0 +1,44 @@
+#ifndef TSSS_COMMON_MATH_UTILS_H_
+#define TSSS_COMMON_MATH_UTILS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsss {
+
+/// Absolute + relative tolerance comparison for doubles.
+/// Returns true when |a-b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
+
+/// Arithmetic mean of `values`. Returns 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance of `values`. Returns 0 for spans of length < 2.
+double Variance(std::span<const double> values);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> values);
+
+/// Numerically robust sum (Kahan compensated summation).
+double KahanSum(std::span<const double> values);
+
+/// Percentile in [0,100] by linear interpolation on a *sorted* span.
+/// Returns 0 for an empty span.
+double PercentileOfSorted(std::span<const double> sorted, double pct);
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v must be >= 1).
+std::size_t NextPowerOfTwo(std::size_t v);
+
+/// Clamps x to [lo, hi].
+constexpr double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace tsss
+
+#endif  // TSSS_COMMON_MATH_UTILS_H_

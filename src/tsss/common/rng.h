@@ -1,0 +1,48 @@
+#ifndef TSSS_COMMON_RNG_H_
+#define TSSS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace tsss {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256++ seeded through SplitMix64).
+///
+/// Used everywhere in the library instead of std::mt19937 so that data
+/// generation, tests, and benchmarks are reproducible across standard-library
+/// implementations.
+class Rng {
+ public:
+  /// Seeds the generator. Any 64-bit value is a valid seed.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Box-Muller, cached pair).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace tsss
+
+#endif  // TSSS_COMMON_RNG_H_

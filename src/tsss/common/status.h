@@ -1,0 +1,157 @@
+#ifndef TSSS_COMMON_STATUS_H_
+#define TSSS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tsss {
+
+/// Canonical error categories for the library. Modelled after the usual
+/// database-engine status codes; the library never throws exceptions.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kCorruption = 7,
+  kIoError = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Value-or-error holder, in the spirit of absl::StatusOr.
+///
+/// A Result is either an OK status plus a value, or a non-OK status. Accessing
+/// the value of a failed Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: success.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status: failure.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(data_).ok()) {
+      // An OK status carries no value; treat as internal error.
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+/// Aborts the process with a message describing `status`. Out-of-line so that
+/// Result<T>::value() stays small.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(data_));
+}
+
+}  // namespace tsss
+
+#endif  // TSSS_COMMON_STATUS_H_

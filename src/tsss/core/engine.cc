@@ -1,0 +1,387 @@
+#include "tsss/core/engine.h"
+
+#include <filesystem>
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "tsss/geom/se_transform.h"
+#include "tsss/seq/window.h"
+
+namespace tsss::core {
+
+SearchEngine::SearchEngine(const EngineConfig& config) : config_(config) {}
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Create(
+    const EngineConfig& config) {
+  if (config.window < 2) {
+    return Status::InvalidArgument("window length must be >= 2");
+  }
+  if (config.stride == 0) {
+    return Status::InvalidArgument("stride must be positive");
+  }
+  Result<std::unique_ptr<reduce::Reducer>> reducer =
+      reduce::MakeReducer(config.reducer, config.window, config.reduced_dim);
+  if (!reducer.ok()) return reducer.status();
+
+  auto engine = std::unique_ptr<SearchEngine>(new SearchEngine(config));
+  engine->reducer_ = std::move(reducer).value();
+  if (config.storage_dir.empty()) {
+    engine->page_store_ = std::make_unique<storage::MemPageStore>();
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(config.storage_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create storage dir '" +
+                             config.storage_dir + "': " + ec.message());
+    }
+    Result<std::unique_ptr<storage::FilePageStore>> file_store =
+        storage::FilePageStore::Create(config.storage_dir + "/pages.tsss");
+    if (!file_store.ok()) return file_store.status();
+    engine->file_store_ = file_store->get();
+    engine->page_store_ = std::move(file_store).value();
+  }
+  engine->pool_ = std::make_unique<storage::BufferPool>(
+      engine->page_store_.get(), config.buffer_pool_pages);
+
+  index::RTreeConfig tree_config = config.tree;
+  tree_config.dim = engine->reducer_->output_dim();
+  tree_config.box_leaves = config.subtrail_len > 0;
+  Result<std::unique_ptr<index::RTree>> tree =
+      index::RTree::Create(engine->pool_.get(), tree_config);
+  if (!tree.ok()) return tree.status();
+  engine->tree_ = std::move(tree).value();
+  return engine;
+}
+
+geom::Vec SearchEngine::ReducedPoint(std::span<const double> window) const {
+  assert(window.size() == config_.window);
+  geom::Vec se = geom::SeTransform(window);
+  return reducer_->Apply(se);
+}
+
+geom::Line SearchEngine::ReducedQueryLine(std::span<const double> query) const {
+  assert(query.size() == config_.window);
+  geom::Vec se = geom::SeTransform(query);
+  geom::Vec dir = reducer_->Apply(se);
+  return geom::Line{geom::Vec(dir.size(), 0.0), std::move(dir)};
+}
+
+Status SearchEngine::IndexWindows(storage::SeriesId id, std::size_t first_offset) {
+  if (config_.subtrail_len > 0) return IndexWindowsTrail(id, first_offset);
+  Result<std::span<const double>> values = dataset_.Values(id);
+  if (!values.ok()) return values.status();
+  const std::size_t n = config_.window;
+  if (values->size() < n) return Status::OK();
+  // Align the starting offset to the stride grid.
+  std::size_t off = first_offset;
+  if (off % config_.stride != 0) {
+    off += config_.stride - off % config_.stride;
+  }
+  for (; off + n <= values->size(); off += config_.stride) {
+    const geom::Vec point = ReducedPoint(values->subspan(off, n));
+    Status s = tree_->Insert(
+        point, seq::MakeRecordId(id, static_cast<std::uint32_t>(off)));
+    if (!s.ok()) return s;
+    ++indexed_windows_;
+  }
+  return Status::OK();
+}
+
+geom::Mbr SearchEngine::TrailBox(std::span<const double> values,
+                                 std::size_t first_widx,
+                                 std::size_t last_widx) const {
+  geom::Mbr box(reducer_->output_dim());
+  for (std::size_t w = first_widx; w <= last_widx; ++w) {
+    const std::size_t off = w * config_.stride;
+    box.Extend(ReducedPoint(values.subspan(off, config_.window)));
+  }
+  return box;
+}
+
+Status SearchEngine::IndexWindowsTrail(storage::SeriesId id,
+                                       std::size_t first_offset) {
+  Result<std::span<const double>> values = dataset_.Values(id);
+  if (!values.ok()) return values.status();
+  const std::size_t n = config_.window;
+  const std::size_t stride = config_.stride;
+  const std::size_t trail = config_.subtrail_len;
+  if (values->size() < n) return Status::OK();
+  // Window indices (stride units) to (re)index.
+  const std::size_t first_widx = (first_offset + stride - 1) / stride;
+  const std::size_t last_widx = (values->size() - n) / stride;
+  if (first_widx > last_widx) return Status::OK();
+
+  // Trails are aligned to multiples of `trail` in window-index space so the
+  // grouping is reconstructible at query time. If the first new window
+  // lands inside an already-indexed (partial) trail, replace that trail.
+  std::size_t trail_start = (first_widx / trail) * trail;
+  if (trail_start < first_widx) {
+    // The old box covered windows [trail_start, first_widx); those windows
+    // only touch pre-append values, so recomputing reproduces it exactly.
+    const geom::Mbr old_box = TrailBox(*values, trail_start, first_widx - 1);
+    Status s = tree_->DeleteBox(
+        old_box, seq::MakeRecordId(
+                     id, static_cast<std::uint32_t>(trail_start * stride)));
+    if (!s.ok()) return s;
+  }
+  for (std::size_t t = trail_start; t <= last_widx; t += trail) {
+    const std::size_t end = std::min(t + trail - 1, last_widx);
+    Status s = tree_->InsertBox(
+        TrailBox(*values, t, end),
+        seq::MakeRecordId(id, static_cast<std::uint32_t>(t * stride)));
+    if (!s.ok()) return s;
+  }
+  indexed_windows_ += last_widx - first_widx + 1;
+  return Status::OK();
+}
+
+Status SearchEngine::ExpandCandidate(index::RecordId record,
+                                     std::vector<index::RecordId>* out) const {
+  if (config_.subtrail_len == 0) {
+    out->push_back(record);
+    return Status::OK();
+  }
+  const storage::SeriesId series = seq::SeriesOf(record);
+  const std::size_t start_offset = seq::OffsetOf(record);
+  Result<std::size_t> len = dataset_.store().SeriesLength(series);
+  if (!len.ok()) return len.status();
+  const std::size_t first_widx = start_offset / config_.stride;
+  const std::size_t last_widx = (*len - config_.window) / config_.stride;
+  const std::size_t end_widx =
+      std::min(first_widx + config_.subtrail_len - 1, last_widx);
+  for (std::size_t w = first_widx; w <= end_widx; ++w) {
+    out->push_back(seq::MakeRecordId(
+        series, static_cast<std::uint32_t>(w * config_.stride)));
+  }
+  return Status::OK();
+}
+
+Result<storage::SeriesId> SearchEngine::AddSeries(std::string name,
+                                                  std::span<const double> values) {
+  const storage::SeriesId id = dataset_.Add(std::move(name), values);
+  Status s = IndexWindows(id, 0);
+  if (!s.ok()) return s;
+  return id;
+}
+
+Status SearchEngine::Append(storage::SeriesId id, std::span<const double> values) {
+  Result<std::size_t> old_len = dataset_.store().SeriesLength(id);
+  if (!old_len.ok()) return old_len.status();
+  Status s = dataset_.Append(id, values);
+  if (!s.ok()) return s;
+  const std::size_t n = config_.window;
+  // First window that includes at least one appended value.
+  const std::size_t first =
+      *old_len >= n ? *old_len - n + 1 : 0;
+  return IndexWindows(id, first);
+}
+
+Status SearchEngine::BulkBuild(const std::vector<seq::TimeSeries>& corpus) {
+  if (tree_->size() != 0 || dataset_.size() != 0) {
+    return Status::FailedPrecondition("BulkBuild requires an empty engine");
+  }
+  std::vector<index::Entry> entries;
+  for (const seq::TimeSeries& series : corpus) {
+    const storage::SeriesId id = dataset_.Add(series.name, series.values);
+    Result<std::span<const double>> values = dataset_.Values(id);
+    if (!values.ok()) return values.status();
+    const std::size_t n = config_.window;
+    if (values->size() < n) continue;
+    if (config_.subtrail_len > 0) {
+      const std::size_t last_widx = (values->size() - n) / config_.stride;
+      indexed_windows_ += last_widx + 1;
+      for (std::size_t t = 0; t <= last_widx; t += config_.subtrail_len) {
+        const std::size_t end = std::min(t + config_.subtrail_len - 1, last_widx);
+        index::Entry e;
+        e.mbr = TrailBox(*values, t, end);
+        e.record = seq::MakeRecordId(
+            id, static_cast<std::uint32_t>(t * config_.stride));
+        entries.push_back(std::move(e));
+      }
+      continue;
+    }
+    for (std::size_t off = 0; off + n <= values->size(); off += config_.stride) {
+      const geom::Vec point = ReducedPoint(values->subspan(off, n));
+      entries.push_back(index::Entry::ForRecord(
+          seq::MakeRecordId(id, static_cast<std::uint32_t>(off)), point));
+      ++indexed_windows_;
+    }
+  }
+  return tree_->BulkLoad(std::move(entries));
+}
+
+Status SearchEngine::RemoveWindow(index::RecordId record) {
+  if (config_.subtrail_len > 0) {
+    return Status::FailedPrecondition(
+        "RemoveWindow is not supported in sub-trail mode (a leaf entry "
+        "covers many windows)");
+  }
+  const storage::SeriesId series = seq::SeriesOf(record);
+  const std::uint32_t offset = seq::OffsetOf(record);
+  Result<std::span<const double>> values = dataset_.Values(series);
+  if (!values.ok()) return values.status();
+  if (offset + config_.window > values->size()) {
+    return Status::OutOfRange("record window out of series range");
+  }
+  const geom::Vec point = ReducedPoint(values->subspan(offset, config_.window));
+  Status s = tree_->Delete(point, record);
+  if (s.ok()) --indexed_windows_;
+  return s;
+}
+
+Result<geom::Vec> SearchEngine::ReadWindow(index::RecordId record) {
+  geom::Vec out(config_.window);
+  Status s = dataset_.store().ReadWindow(seq::SeriesOf(record),
+                                         seq::OffsetOf(record), out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+void SearchEngine::BeginQuery() {
+  if (config_.cold_cache_per_query) {
+    (void)pool_->Clear();
+  }
+}
+
+Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> query,
+                                                    double eps,
+                                                    const TransformCost& cost,
+                                                    QueryStats* stats) {
+  if (query.size() != config_.window) {
+    return Status::InvalidArgument(
+        "query length " + std::to_string(query.size()) +
+        " != window " + std::to_string(config_.window) +
+        " (use LongRangeQuery for longer queries)");
+  }
+  if (eps < 0.0) return Status::InvalidArgument("eps must be non-negative");
+
+  BeginQuery();
+  const std::uint64_t index_reads_before = pool_->metrics().logical_reads;
+  const std::uint64_t index_misses_before = pool_->metrics().misses;
+  const std::uint64_t data_reads_before =
+      dataset_.store().metrics().logical_reads;
+
+  const QueryContext ctx(query);
+  const geom::Line line = ReducedQueryLine(query);
+
+  geom::PenetrationStats pen;
+  Result<std::vector<index::LineMatch>> candidates =
+      tree_->LineQuery(line, eps, config_.prune, &pen);
+  if (!candidates.ok()) return candidates.status();
+
+  // Expand leaf candidates to window records (a no-op in point mode; a
+  // trail hit stands for all of its windows), then verify in storage order
+  // so that every needed data page is fetched (and counted) exactly once.
+  std::vector<index::RecordId> expanded;
+  expanded.reserve(candidates->size());
+  for (const index::LineMatch& cand : *candidates) {
+    Status s = ExpandCandidate(cand.record, &expanded);
+    if (!s.ok()) return s;
+  }
+  std::sort(expanded.begin(), expanded.end());
+  std::vector<Match> matches;
+  matches.reserve(expanded.size());
+  geom::Vec window(config_.window);
+  std::size_t last_counted_page = storage::SequenceStore::kNoPageCounted;
+  for (const index::RecordId record : expanded) {
+    Status s = dataset_.store().ReadWindowDeduped(seq::SeriesOf(record),
+                                                  seq::OffsetOf(record),
+                                                  window, &last_counted_page);
+    if (!s.ok()) return s;
+    std::optional<Match> match = VerifyCandidate(ctx, window, record, eps, cost);
+    if (match.has_value()) matches.push_back(*match);
+  }
+
+  if (stats != nullptr) {
+    stats->index_page_reads = pool_->metrics().logical_reads - index_reads_before;
+    stats->index_page_misses = pool_->metrics().misses - index_misses_before;
+    stats->data_page_reads =
+        dataset_.store().metrics().logical_reads - data_reads_before;
+    stats->candidates = expanded.size();
+    stats->matches = matches.size();
+    stats->penetration = pen;
+  }
+  return matches;
+}
+
+Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
+                                             std::size_t k,
+                                             const TransformCost& cost,
+                                             QueryStats* stats) {
+  if (query.size() != config_.window) {
+    return Status::InvalidArgument("knn query length must equal the window");
+  }
+  if (k == 0) return std::vector<Match>{};
+
+  BeginQuery();
+  const std::uint64_t index_reads_before = pool_->metrics().logical_reads;
+  const std::uint64_t index_misses_before = pool_->metrics().misses;
+  const std::uint64_t data_reads_before =
+      dataset_.store().metrics().logical_reads;
+
+  const QueryContext ctx(query);
+  const geom::Line line = ReducedQueryLine(query);
+
+  // GEMINI multi-step k-NN: consume index neighbours in increasing *reduced*
+  // distance (a lower bound of the exact distance); verify each; stop once
+  // the lower bound of the next neighbour exceeds the k-th best exact
+  // distance seen so far.
+  auto cmp = [](const Match& a, const Match& b) { return a.distance < b.distance; };
+  std::priority_queue<Match, std::vector<Match>, decltype(cmp)> best(cmp);
+
+  std::uint64_t candidates_seen = 0;
+  index::RTree::LineNeighborIterator it = tree_->NearestLineNeighbors(line);
+  geom::Vec window(config_.window);
+  std::vector<index::RecordId> expanded;
+  while (true) {
+    Result<std::optional<index::LineMatch>> next = it.Next();
+    if (!next.ok()) return next.status();
+    if (!next->has_value()) break;
+    const index::LineMatch& cand = **next;
+    if (best.size() == k && cand.reduced_distance > best.top().distance) break;
+    expanded.clear();
+    Status es = ExpandCandidate(cand.record, &expanded);
+    if (!es.ok()) return es;
+    for (const index::RecordId record : expanded) {
+      ++candidates_seen;
+      Status s = dataset_.store().ReadWindow(seq::SeriesOf(record),
+                                             seq::OffsetOf(record), window);
+      if (!s.ok()) return s;
+      const geom::Alignment alignment = ctx.Align(window);
+      if (!cost.Allows(alignment.transform)) continue;
+      if (best.size() == k && alignment.distance >= best.top().distance) continue;
+      Match match;
+      match.record = record;
+      match.series = seq::SeriesOf(record);
+      match.offset = seq::OffsetOf(record);
+      match.distance = alignment.distance;
+      match.transform = alignment.transform;
+      best.push(match);
+      if (best.size() > k) best.pop();
+    }
+  }
+
+  std::vector<Match> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+
+  if (stats != nullptr) {
+    stats->index_page_reads = pool_->metrics().logical_reads - index_reads_before;
+    stats->index_page_misses = pool_->metrics().misses - index_misses_before;
+    stats->data_page_reads =
+        dataset_.store().metrics().logical_reads - data_reads_before;
+    stats->candidates = candidates_seen;
+    stats->matches = out.size();
+  }
+  return out;
+}
+
+}  // namespace tsss::core

@@ -1,0 +1,190 @@
+#ifndef TSSS_CORE_ENGINE_H_
+#define TSSS_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/core/similarity.h"
+#include "tsss/geom/penetration.h"
+#include "tsss/index/rtree.h"
+#include "tsss/reduce/reducer.h"
+#include "tsss/seq/dataset.h"
+#include "tsss/seq/time_series.h"
+#include "tsss/storage/buffer_pool.h"
+#include "tsss/storage/file_page_store.h"
+#include "tsss/storage/page_store.h"
+
+namespace tsss::core {
+
+/// End-to-end configuration of the scale-shift search engine. Defaults
+/// reproduce the paper's experimental setting: window subsequences reduced by
+/// DFT to 3 complex coefficients (R*-tree dimension 6), M = 20, m = 8,
+/// forced-reinsert p = 6, 4 KiB pages.
+struct EngineConfig {
+  std::size_t window = 128;  ///< extraction window length n
+  std::size_t stride = 1;    ///< sliding-window step
+  reduce::ReducerKind reducer = reduce::ReducerKind::kDft;
+  std::size_t reduced_dim = 6;  ///< R-tree dimensionality after reduction
+  /// Sub-trail indexing (the ST-index of [2], which the paper builds on):
+  /// instead of one R-tree point per window, group this many *consecutive*
+  /// windows of a series into one leaf entry whose MBR bounds their reduced
+  /// points. 0 = point mode (one entry per window). Trails shrink the index
+  /// by ~this factor and slash page reads; the trade-off is that a trail
+  /// hit makes all of its windows verification candidates.
+  std::size_t subtrail_len = 0;
+  index::RTreeConfig tree;      ///< tree.dim is overwritten with reduced_dim
+  geom::PruneStrategy prune = geom::PruneStrategy::kEepOnly;
+  std::size_t buffer_pool_pages = 8192;
+  /// Drop the buffer-pool cache before every query, the paper's I/O model
+  /// (each query starts cold; Figure 5 counts all node reads).
+  bool cold_cache_per_query = true;
+  /// When non-empty, the index lives in files under this directory
+  /// (created if missing) instead of RAM, and Checkpoint()/Open() provide
+  /// persistence across processes.
+  std::string storage_dir;
+};
+
+/// Per-query observability: what a query cost. All counters are deltas over
+/// the single query.
+struct QueryStats {
+  std::uint64_t index_page_reads = 0;   ///< R-tree node pages fetched (logical)
+  std::uint64_t index_page_misses = 0;  ///< of those, buffer-pool misses
+  std::uint64_t data_page_reads = 0;    ///< raw-data pages read for verification
+  std::uint64_t candidates = 0;        ///< leaf hits needing verification
+  std::uint64_t matches = 0;           ///< verified answers
+  geom::PenetrationStats penetration;  ///< pruning-test breakdown
+
+  std::uint64_t total_page_reads() const {
+    return index_page_reads + data_page_reads;
+  }
+};
+
+/// The paper's system: a dynamic index over all length-n windows of a set of
+/// time series supporting range and k-NN queries under scale-shift
+/// similarity (Definition 1), with no false dismissals.
+///
+/// Pipeline (Sections 5-6): window -> SE-transform -> linear reduction ->
+/// point in the R*-tree. A query becomes a line in the reduced SE space;
+/// subtrees are pruned by eps-MBR penetration (Theorem 3); leaf candidates
+/// are verified exactly against the raw data, and each answer carries its
+/// optimal (a, b).
+class SearchEngine {
+ public:
+  static Result<std::unique_ptr<SearchEngine>> Create(const EngineConfig& config);
+
+  /// Reopens an engine previously persisted with Checkpoint() into
+  /// `storage_dir`. The saved configuration is restored from disk.
+  /// Defined in persistence.cc.
+  static Result<std::unique_ptr<SearchEngine>> Open(const std::string& storage_dir);
+
+  /// Persists everything needed to Open() later: flushes the buffer pool,
+  /// syncs the page file, and writes the dataset and engine metadata.
+  /// Requires a file-backed engine (config().storage_dir non-empty).
+  /// Defined in persistence.cc.
+  Status Checkpoint();
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Adds a series and indexes every complete window (dynamic insertion,
+  /// requirement 2 of Section 3). Returns the series id.
+  Result<storage::SeriesId> AddSeries(std::string name,
+                                      std::span<const double> values);
+
+  /// Appends new observations to the most recently added series and indexes
+  /// the windows completed by them (streaming ingestion).
+  Status Append(storage::SeriesId id, std::span<const double> values);
+
+  /// Adds many series and bulk-loads the index with STR packing - orders of
+  /// magnitude faster than repeated AddSeries for large corpora.
+  /// Must be called on an empty engine.
+  Status BulkBuild(const std::vector<seq::TimeSeries>& corpus);
+
+  /// Removes one window from the index (the raw values stay in the dataset).
+  Status RemoveWindow(index::RecordId record);
+
+  /// All windows S' with Q ~eps S' (Definition 1), each with its optimal
+  /// (a, b), filtered by `cost`. `query` must have length == window.
+  /// Results are sorted by (series, offset). `stats` may be null.
+  Result<std::vector<Match>> RangeQuery(std::span<const double> query, double eps,
+                                        const TransformCost& cost = {},
+                                        QueryStats* stats = nullptr);
+
+  /// The k nearest windows under the exact scale-shift distance
+  /// (Corollary 1), via GEMINI-style multi-step search over the index's
+  /// nearest-line-neighbour iterator. Results sorted by distance.
+  Result<std::vector<Match>> Knn(std::span<const double> query, std::size_t k,
+                                 const TransformCost& cost = {},
+                                 QueryStats* stats = nullptr);
+
+  /// Range query for queries *longer* than the window (Section 7, following
+  /// [2]): the query is cut into floor(|Q|/n) disjoint length-n pieces, each
+  /// searched with eps/sqrt(p); candidates are verified against the full
+  /// query. Requires stride == 1. Defined in long_query.cc.
+  Result<std::vector<Match>> LongRangeQuery(std::span<const double> query,
+                                            double eps,
+                                            const TransformCost& cost = {},
+                                            QueryStats* stats = nullptr);
+
+  /// Reads the raw values of the window identified by `record` (counted as
+  /// data page reads).
+  Result<geom::Vec> ReadWindow(index::RecordId record);
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Switches the node-pruning strategy for subsequent queries (the paper's
+  /// experiment sets 2 and 3 differ only in this; the benchmarks flip it on
+  /// one engine instead of rebuilding the index).
+  void set_prune_strategy(geom::PruneStrategy strategy) {
+    config_.prune = strategy;
+  }
+
+  /// Toggles the cold-cache-per-query I/O model (see EngineConfig). With
+  /// warm caching, index_page_misses in QueryStats reports the physical
+  /// reads that survive the buffer pool.
+  void set_cold_cache_per_query(bool cold) { config_.cold_cache_per_query = cold; }
+  seq::Dataset& dataset() { return dataset_; }
+  index::RTree& tree() { return *tree_; }
+  storage::BufferPool& pool() { return *pool_; }
+  const reduce::Reducer& reducer() const { return *reducer_; }
+  /// Number of windows covered by the index (equals the tree's entry count
+  /// in point mode; in sub-trail mode one tree entry covers many windows).
+  std::size_t num_indexed_windows() const { return indexed_windows_; }
+
+  /// SE-transform + reduction of one window: the point actually indexed.
+  geom::Vec ReducedPoint(std::span<const double> window) const;
+
+  /// The query's line in the reduced SE space (through the origin).
+  geom::Line ReducedQueryLine(std::span<const double> query) const;
+
+ private:
+  explicit SearchEngine(const EngineConfig& config);
+
+  Status IndexWindows(storage::SeriesId id, std::size_t first_offset);
+  Status IndexWindowsTrail(storage::SeriesId id, std::size_t first_offset);
+  /// Builds the MBR over the reduced points of windows with indices
+  /// [first_widx, last_widx] (inclusive, in stride units) of `values`.
+  geom::Mbr TrailBox(std::span<const double> values, std::size_t first_widx,
+                     std::size_t last_widx) const;
+  /// Expands a leaf candidate to the window offsets it stands for (one in
+  /// point mode, up to subtrail_len in trail mode).
+  Status ExpandCandidate(index::RecordId record,
+                         std::vector<index::RecordId>* out) const;
+  void BeginQuery();
+
+  EngineConfig config_;
+  std::unique_ptr<reduce::Reducer> reducer_;
+  seq::Dataset dataset_;
+  std::unique_ptr<storage::PageStore> page_store_;
+  /// Non-null alias of page_store_ when file-backed (for Sync()).
+  storage::FilePageStore* file_store_ = nullptr;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<index::RTree> tree_;
+  std::size_t indexed_windows_ = 0;
+};
+
+}  // namespace tsss::core
+
+#endif  // TSSS_CORE_ENGINE_H_

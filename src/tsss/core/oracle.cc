@@ -1,0 +1,37 @@
+#include "tsss/core/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::core {
+
+double TransformedDistance(std::span<const double> u, std::span<const double> v,
+                           const geom::ScaleShift& transform) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double d = transform.scale * u[i] + transform.offset - v[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double GridMinDistance(std::span<const double> u, std::span<const double> v,
+                       double min_scale, double max_scale, double min_offset,
+                       double max_offset, std::size_t steps) {
+  double best = std::numeric_limits<double>::infinity();
+  const double denom = static_cast<double>(steps - 1);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double a =
+        min_scale + (max_scale - min_scale) * static_cast<double>(i) / denom;
+    for (std::size_t j = 0; j < steps; ++j) {
+      const double b =
+          min_offset + (max_offset - min_offset) * static_cast<double>(j) / denom;
+      best = std::min(best, TransformedDistance(u, v, geom::ScaleShift{a, b}));
+    }
+  }
+  return best;
+}
+
+}  // namespace tsss::core

@@ -1,0 +1,28 @@
+#ifndef TSSS_CORE_ORACLE_H_
+#define TSSS_CORE_ORACLE_H_
+
+#include <span>
+
+#include "tsss/geom/scale_shift.h"
+
+namespace tsss::core {
+
+/// Test oracles: slow, obviously-correct implementations of the paper's
+/// definitions used to validate the fast geometric ones. Not for production
+/// use (this is exactly the "brute-force checking for the scaling factors
+/// and the shifting offsets" Section 1 says a real system must avoid).
+
+/// min ||a*u + b*N - v|| over an (a, b) grid of `steps` x `steps` samples in
+/// [min_scale, max_scale] x [min_offset, max_offset]. Always an upper bound
+/// on the true minimum; converges to it as steps grows.
+double GridMinDistance(std::span<const double> u, std::span<const double> v,
+                       double min_scale, double max_scale, double min_offset,
+                       double max_offset, std::size_t steps);
+
+/// ||F_{a,b}(u) - v|| evaluated literally from Definition 1.
+double TransformedDistance(std::span<const double> u, std::span<const double> v,
+                           const geom::ScaleShift& transform);
+
+}  // namespace tsss::core
+
+#endif  // TSSS_CORE_ORACLE_H_

@@ -1,0 +1,145 @@
+// Engine persistence: Checkpoint() writes everything needed to re-open a
+// file-backed engine; Open() restores it. The page file already holds the
+// R-tree; what is saved here is the dataset (raw series) and a small
+// metadata file with the engine configuration and the tree's root/shape.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "tsss/core/engine.h"
+#include "tsss/seq/dataset_io.h"
+
+namespace tsss::core {
+namespace {
+
+constexpr char kMetaVersion[] = "tsss-engine-meta-v1";
+
+std::string MetaPath(const std::string& dir) { return dir + "/engine.meta"; }
+std::string DatasetPath(const std::string& dir) { return dir + "/dataset.bin"; }
+
+}  // namespace
+
+Status SearchEngine::Checkpoint() {
+  if (config_.storage_dir.empty() || file_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint requires an engine created with a storage_dir");
+  }
+  Status s = pool_->FlushAll();
+  if (!s.ok()) return s;
+  s = file_store_->Sync();
+  if (!s.ok()) return s;
+  s = seq::SaveDataset(DatasetPath(config_.storage_dir), dataset_);
+  if (!s.ok()) return s;
+
+  std::ofstream meta(MetaPath(config_.storage_dir), std::ios::trunc);
+  if (!meta) {
+    return Status::IoError("cannot write '" + MetaPath(config_.storage_dir) + "'");
+  }
+  meta << kMetaVersion << '\n';
+  meta << "window " << config_.window << '\n';
+  meta << "stride " << config_.stride << '\n';
+  meta << "subtrail " << config_.subtrail_len << '\n';
+  meta << "reducer " << static_cast<int>(config_.reducer) << '\n';
+  meta << "reduced_dim " << config_.reduced_dim << '\n';
+  meta << "prune " << static_cast<int>(config_.prune) << '\n';
+  meta << "pool_pages " << config_.buffer_pool_pages << '\n';
+  meta << "cold_cache " << (config_.cold_cache_per_query ? 1 : 0) << '\n';
+  meta << "tree_max " << config_.tree.max_entries << '\n';
+  meta << "tree_leaf_max " << config_.tree.leaf_max_entries << '\n';
+  meta << "tree_min_fill " << config_.tree.min_fill_fraction << '\n';
+  meta << "tree_split " << static_cast<int>(config_.tree.split) << '\n';
+  meta << "tree_reinsert " << config_.tree.reinsert_fraction << '\n';
+  meta << "supernodes " << (config_.tree.enable_supernodes ? 1 : 0) << '\n';
+  meta << "supernode_overlap " << config_.tree.supernode_overlap_fraction << '\n';
+  meta << "supernode_multiple " << config_.tree.max_supernode_multiple << '\n';
+  meta << "windows " << indexed_windows_ << '\n';
+  meta << "root " << tree_->root_page() << '\n';
+  meta << "height " << tree_->height() << '\n';
+  meta << "size " << tree_->size() << '\n';
+  meta.flush();
+  if (!meta) return Status::IoError("metadata write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Open(
+    const std::string& storage_dir) {
+  std::ifstream meta(MetaPath(storage_dir));
+  if (!meta) {
+    return Status::IoError("cannot open '" + MetaPath(storage_dir) + "'");
+  }
+  std::string version;
+  if (!std::getline(meta, version) || version != kMetaVersion) {
+    return Status::Corruption("unsupported engine metadata version '" + version +
+                              "'");
+  }
+  std::map<std::string, double> kv;
+  std::string key;
+  double value;
+  while (meta >> key >> value) kv[key] = value;
+  for (const char* required :
+       {"window", "stride", "subtrail", "reducer", "reduced_dim", "prune", "pool_pages",
+        "cold_cache", "tree_max", "tree_leaf_max", "tree_min_fill",
+        "tree_split", "tree_reinsert", "supernodes", "supernode_overlap",
+        "supernode_multiple", "windows", "root", "height", "size"}) {
+    if (kv.find(required) == kv.end()) {
+      return Status::Corruption(std::string("engine metadata missing key '") +
+                                required + "'");
+    }
+  }
+
+  EngineConfig config;
+  config.window = static_cast<std::size_t>(kv["window"]);
+  config.stride = static_cast<std::size_t>(kv["stride"]);
+  config.subtrail_len = static_cast<std::size_t>(kv["subtrail"]);
+  config.reducer = static_cast<reduce::ReducerKind>(static_cast<int>(kv["reducer"]));
+  config.reduced_dim = static_cast<std::size_t>(kv["reduced_dim"]);
+  config.prune = static_cast<geom::PruneStrategy>(static_cast<int>(kv["prune"]));
+  config.buffer_pool_pages = static_cast<std::size_t>(kv["pool_pages"]);
+  config.cold_cache_per_query = kv["cold_cache"] != 0;
+  config.tree.max_entries = static_cast<std::size_t>(kv["tree_max"]);
+  config.tree.leaf_max_entries = static_cast<std::size_t>(kv["tree_leaf_max"]);
+  config.tree.min_fill_fraction = kv["tree_min_fill"];
+  config.tree.split =
+      static_cast<index::SplitAlgorithm>(static_cast<int>(kv["tree_split"]));
+  config.tree.reinsert_fraction = kv["tree_reinsert"];
+  config.tree.enable_supernodes = kv["supernodes"] != 0;
+  config.tree.supernode_overlap_fraction = kv["supernode_overlap"];
+  config.tree.max_supernode_multiple =
+      static_cast<std::size_t>(kv["supernode_multiple"]);
+  config.storage_dir = storage_dir;
+
+  Result<std::unique_ptr<reduce::Reducer>> reducer =
+      reduce::MakeReducer(config.reducer, config.window, config.reduced_dim);
+  if (!reducer.ok()) return reducer.status();
+
+  auto engine = std::unique_ptr<SearchEngine>(new SearchEngine(config));
+  engine->reducer_ = std::move(reducer).value();
+
+  Result<std::unique_ptr<storage::FilePageStore>> file_store =
+      storage::FilePageStore::Open(storage_dir + "/pages.tsss");
+  if (!file_store.ok()) return file_store.status();
+  engine->file_store_ = file_store->get();
+  engine->page_store_ = std::move(file_store).value();
+  engine->pool_ = std::make_unique<storage::BufferPool>(
+      engine->page_store_.get(), config.buffer_pool_pages);
+
+  index::RTreeConfig tree_config = config.tree;
+  tree_config.dim = engine->reducer_->output_dim();
+  tree_config.box_leaves = config.subtrail_len > 0;  // same derivation as Create
+  Result<std::unique_ptr<index::RTree>> tree = index::RTree::Attach(
+      engine->pool_.get(), tree_config,
+      static_cast<storage::PageId>(kv["root"]),
+      static_cast<std::size_t>(kv["height"]), static_cast<std::size_t>(kv["size"]));
+  if (!tree.ok()) return tree.status();
+  engine->tree_ = std::move(tree).value();
+
+  engine->indexed_windows_ = static_cast<std::size_t>(kv["windows"]);
+
+  Status s = seq::LoadDataset(DatasetPath(storage_dir), &engine->dataset_);
+  if (!s.ok()) return s;
+  return engine;
+}
+
+}  // namespace tsss::core

@@ -1,0 +1,33 @@
+#ifndef TSSS_CORE_POSTPROCESS_H_
+#define TSSS_CORE_POSTPROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tsss/core/similarity.h"
+
+namespace tsss::core {
+
+/// Result post-processing helpers. A sliding-window index with stride 1
+/// reports every alignment of a matching region, so one underlying event
+/// yields a run of near-identical matches at consecutive offsets; these
+/// utilities condense such runs for presentation and ranking.
+
+/// Collapses runs of matches of the same series whose offsets are closer
+/// than `min_separation`, keeping the smallest-distance representative of
+/// each run. Input order does not matter; output is sorted by
+/// (series, offset). With min_separation == 0 the input is returned (sorted).
+std::vector<Match> SuppressOverlaps(std::vector<Match> matches,
+                                    std::uint32_t min_separation);
+
+/// Keeps only the single best (smallest-distance) match per series,
+/// sorted by distance.
+std::vector<Match> BestPerSeries(std::vector<Match> matches);
+
+/// The k smallest-distance matches, sorted by distance. k >= size is a
+/// plain sort.
+std::vector<Match> TopK(std::vector<Match> matches, std::size_t k);
+
+}  // namespace tsss::core
+
+#endif  // TSSS_CORE_POSTPROCESS_H_

@@ -1,0 +1,39 @@
+#ifndef TSSS_CORE_SEQ_SCAN_H_
+#define TSSS_CORE_SEQ_SCAN_H_
+
+#include <vector>
+
+#include "tsss/core/similarity.h"
+#include "tsss/seq/dataset.h"
+
+namespace tsss::core {
+
+/// The paper's experiment-set-1 baseline: "the time series data are read
+/// sequentially and the distance from the query sequence is computed by
+/// Lemma 2" - no index, every window of every series examined per query.
+///
+/// CPU cost is constant in eps (every window is always touched); page cost
+/// is one full scan of the data (~1300 pages at the paper's scale).
+class SequentialScanner {
+ public:
+  /// `dataset` must outlive the scanner. `window` is the subsequence length.
+  SequentialScanner(seq::Dataset* dataset, std::size_t window, std::size_t stride = 1);
+
+  /// All windows with Q ~eps S', with optimal (a, b), filtered by cost.
+  /// Accounts a full scan on the dataset's page counters.
+  Result<std::vector<Match>> RangeQuery(std::span<const double> query, double eps,
+                                        const TransformCost& cost = {}) const;
+
+  /// Exact k nearest windows by full scan (reference for engine Knn).
+  Result<std::vector<Match>> Knn(std::span<const double> query, std::size_t k,
+                                 const TransformCost& cost = {}) const;
+
+ private:
+  seq::Dataset* dataset_;
+  std::size_t window_;
+  std::size_t stride_;
+};
+
+}  // namespace tsss::core
+
+#endif  // TSSS_CORE_SEQ_SCAN_H_

@@ -1,0 +1,65 @@
+#include "tsss/core/similarity.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tsss/common/math_utils.h"
+#include "tsss/geom/se_transform.h"
+#include "tsss/seq/window.h"
+
+namespace tsss::core {
+
+QueryContext::QueryContext(std::span<const double> query)
+    : query_(query.begin(), query.end()) {
+  assert(!query.empty());
+  use_ = query_;
+  q_mean_ = geom::SeTransformInPlace(use_);
+  uu_ = geom::NormSquared(use_);
+}
+
+geom::Alignment QueryContext::Align(std::span<const double> window) const {
+  assert(window.size() == use_.size());
+  const double n = static_cast<double>(window.size());
+  double sum_v = 0.0;
+  double corr = 0.0;  // <use, v>
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    sum_v += window[i];
+    corr += use_[i] * window[i];
+  }
+  const double v_mean = sum_v / n;
+  const double a = uu_ > 0.0 ? corr / uu_ : 0.0;
+
+  // Residual pass: d^2 = || (v - mean(v)) - a*use ||^2. Accumulating the
+  // residuals directly (instead of the algebraically equal
+  // ||vse||^2 - a^2*||use||^2) avoids catastrophic cancellation when the
+  // window is an exact scale-shift image of the query.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const double r = (window[i] - v_mean) - a * use_[i];
+    acc += r * r;
+  }
+
+  geom::Alignment out;
+  out.transform.scale = a;
+  out.transform.offset = uu_ > 0.0 ? v_mean - a * q_mean_ : v_mean;
+  out.distance = std::sqrt(acc);
+  return out;
+}
+
+std::optional<Match> VerifyCandidate(const QueryContext& ctx,
+                                     std::span<const double> window,
+                                     index::RecordId record, double eps,
+                                     const TransformCost& cost) {
+  const geom::Alignment alignment = ctx.Align(window);
+  if (alignment.distance > eps) return std::nullopt;
+  if (!cost.Allows(alignment.transform)) return std::nullopt;
+  Match match;
+  match.record = record;
+  match.series = seq::SeriesOf(record);
+  match.offset = seq::OffsetOf(record);
+  match.distance = alignment.distance;
+  match.transform = alignment.transform;
+  return match;
+}
+
+}  // namespace tsss::core

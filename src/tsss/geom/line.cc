@@ -1,0 +1,69 @@
+#include "tsss/geom/line.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsss::geom {
+
+double ClosestParamOnLine(std::span<const double> q, const Line& line) {
+  const double dd = NormSquared(line.dir);
+  if (dd <= 0.0) return 0.0;
+  const Vec w = Sub(q, line.point);
+  return Dot(w, line.dir) / dd;
+}
+
+double Pld(std::span<const double> q, const Line& line) {
+  assert(q.size() == line.dim());
+  const double t = ClosestParamOnLine(q, line);
+  const Vec closest = line.At(t);
+  return Distance(q, closest);
+}
+
+LinePair ClosestBetweenLines(const Line& a, const Line& b) {
+  assert(a.dim() == b.dim());
+  const Vec w = Sub(a.point, b.point);  // p_a - p_b
+  const double daa = NormSquared(a.dir);
+  const double dbb = NormSquared(b.dir);
+  const double dab = Dot(a.dir, b.dir);
+
+  LinePair out;
+  // Degenerate cases: one or both directions are zero vectors.
+  if (daa <= 0.0 && dbb <= 0.0) {
+    out.distance = Norm(w);
+    return out;
+  }
+  if (daa <= 0.0) {
+    out.tb = ClosestParamOnLine(a.point, b);
+    out.distance = Distance(a.point, b.At(out.tb));
+    return out;
+  }
+  if (dbb <= 0.0) {
+    out.ta = ClosestParamOnLine(b.point, a);
+    out.distance = Distance(b.point, a.At(out.ta));
+    return out;
+  }
+
+  // Normal equations for min_t ||w + ta*da - tb*db||^2:
+  //   daa*ta - dab*tb = -<da, w>
+  //   dab*ta - dbb*tb = -<db, w>
+  const double det = dab * dab - daa * dbb;  // <= 0 by Cauchy-Schwarz
+  const double rel = std::fabs(det) / (daa * dbb);
+  if (rel <= 1e-14) {
+    // Parallel lines: fix ta = 0 and project a.point onto b (Lemma 2's
+    // parallel branch, LLD = PLD(p1, L2)).
+    out.ta = 0.0;
+    out.tb = ClosestParamOnLine(a.point, b);
+    out.distance = Distance(a.point, b.At(out.tb));
+    return out;
+  }
+  const double daw = Dot(a.dir, w);
+  const double dbw = Dot(b.dir, w);
+  out.ta = (dab * dbw - dbb * daw) / (-det);
+  out.tb = (daa * dbw - dab * daw) / (-det);
+  out.distance = Distance(a.At(out.ta), b.At(out.tb));
+  return out;
+}
+
+double Lld(const Line& a, const Line& b) { return ClosestBetweenLines(a, b).distance; }
+
+}  // namespace tsss::geom

@@ -1,0 +1,65 @@
+#ifndef TSSS_GEOM_LINE_H_
+#define TSSS_GEOM_LINE_H_
+
+#include <span>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::geom {
+
+/// A line in R^n: L(t) = point + t * dir, t in R (paper, Section 4, item 5).
+///
+/// `dir` may be the zero vector, in which case the "line" degenerates to the
+/// single point `point`. All distance functions below handle that case; it
+/// arises naturally for the scaling line of a constant query sequence, whose
+/// SE-transform is zero.
+struct Line {
+  Vec point;
+  Vec dir;
+
+  /// The position vector L(t) = point + t*dir.
+  Vec At(double t) const { return Axpy(t, dir, point); }
+
+  std::size_t dim() const { return point.size(); }
+
+  /// The scaling line of u: {a*u : a in R} (paper, Section 5).
+  static Line ScalingLine(std::span<const double> u) {
+    return Line{Vec(u.size(), 0.0), Vec(u.begin(), u.end())};
+  }
+
+  /// The shifting line of v: {v + b*N : b in R} (paper, Section 5).
+  static Line ShiftingLine(std::span<const double> v) {
+    return Line{Vec(v.begin(), v.end()), ShiftingVector(v.size())};
+  }
+};
+
+/// PLD(q, L): shortest Euclidean distance between point q and line L
+/// (paper, Lemma 1). Degenerate lines yield the point-to-point distance.
+double Pld(std::span<const double> q, const Line& line);
+
+/// Parameter t* minimizing ||L(t) - q||; 0 for a degenerate line.
+double ClosestParamOnLine(std::span<const double> q, const Line& line);
+
+/// LLD(L1, L2): shortest Euclidean distance between two lines
+/// (paper, Lemma 2).
+///
+/// Implementation note: the formula printed in the paper normalises the
+/// second projection by ||d2||^2; the correct normaliser is ||d2_perp||^2
+/// (project the offset onto the orthogonal complement of span{d1, d2}).
+/// We implement the correct Gram-Schmidt form; for the parallel case it
+/// reduces to PLD(p1, L2) exactly as the lemma states.
+double Lld(const Line& a, const Line& b);
+
+/// Parameters (ta, tb) attaining the minimum distance between two lines.
+/// For parallel or degenerate configurations a valid (non-unique) minimiser
+/// is returned.
+struct LinePair {
+  double ta = 0.0;
+  double tb = 0.0;
+  double distance = 0.0;
+};
+LinePair ClosestBetweenLines(const Line& a, const Line& b);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_LINE_H_

@@ -1,0 +1,178 @@
+#include "tsss/geom/mbr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tsss::geom {
+
+Mbr::Mbr(std::size_t dim) : lo_(dim, 0.0), hi_(dim, 0.0), empty_(true) {}
+
+Mbr Mbr::FromPoint(std::span<const double> point) {
+  Mbr m(point.size());
+  m.Extend(point);
+  return m;
+}
+
+Mbr Mbr::FromCorners(Vec lo, Vec hi) {
+  assert(lo.size() == hi.size());
+  Mbr m(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) assert(lo[i] <= hi[i]);
+  m.lo_ = std::move(lo);
+  m.hi_ = std::move(hi);
+  m.empty_ = false;
+  return m;
+}
+
+void Mbr::Extend(std::span<const double> point) {
+  assert(point.size() == dim());
+  if (empty_) {
+    std::copy(point.begin(), point.end(), lo_.begin());
+    std::copy(point.begin(), point.end(), hi_.begin());
+    empty_ = false;
+    return;
+  }
+  for (std::size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], point[i]);
+    hi_[i] = std::max(hi_[i], point[i]);
+  }
+}
+
+void Mbr::Extend(const Mbr& other) {
+  assert(other.dim() == dim());
+  if (other.empty_) return;
+  if (empty_) {
+    *this = other;
+    return;
+  }
+  for (std::size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+bool Mbr::Contains(std::span<const double> point) const {
+  assert(point.size() == dim());
+  if (empty_) return false;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(const Mbr& other) const {
+  assert(other.dim() == dim());
+  if (empty_ || other.empty_) return false;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  assert(other.dim() == dim());
+  if (empty_ || other.empty_) return false;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Mbr Mbr::Enlarged(double eps) const {
+  assert(eps >= 0.0);
+  if (empty_) return *this;
+  Mbr out = *this;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    out.lo_[i] -= eps;
+    out.hi_[i] += eps;
+  }
+  return out;
+}
+
+double Mbr::Volume() const {
+  if (empty_) return 0.0;
+  double v = 1.0;
+  for (std::size_t i = 0; i < dim(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+double Mbr::Margin() const {
+  if (empty_) return 0.0;
+  double m = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) m += hi_[i] - lo_[i];
+  return m;
+}
+
+double Mbr::OverlapVolume(const Mbr& other) const {
+  assert(other.dim() == dim());
+  if (empty_ || other.empty_) return 0.0;
+  double v = 1.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double lo = std::max(lo_[i], other.lo_[i]);
+    const double hi = std::min(hi_[i], other.hi_[i]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double Mbr::EnlargedVolume(const Mbr& other) const {
+  Mbr merged = *this;
+  merged.Extend(other);
+  return merged.Volume();
+}
+
+Vec Mbr::Center() const {
+  assert(!empty_);
+  Vec c(dim());
+  for (std::size_t i = 0; i < dim(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+double Mbr::HalfDiagonal() const {
+  assert(!empty_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double half = 0.5 * (hi_[i] - lo_[i]);
+    acc += half * half;
+  }
+  return std::sqrt(acc);
+}
+
+double Mbr::MinHalfExtent() const {
+  assert(!empty_);
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dim(); ++i) m = std::min(m, 0.5 * (hi_[i] - lo_[i]));
+  return m;
+}
+
+double Mbr::DistanceSquaredTo(std::span<const double> point) const {
+  assert(point.size() == dim());
+  assert(!empty_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double d = 0.0;
+    if (point[i] < lo_[i]) {
+      d = lo_[i] - point[i];
+    } else if (point[i] > hi_[i]) {
+      d = point[i] - hi_[i];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::string Mbr::DebugString() const {
+  std::ostringstream os;
+  if (empty_) return "[empty]";
+  os << "[(";
+  for (std::size_t i = 0; i < dim(); ++i) os << (i ? "," : "") << lo_[i];
+  os << ")..(";
+  for (std::size_t i = 0; i < dim(); ++i) os << (i ? "," : "") << hi_[i];
+  os << ")]";
+  return os.str();
+}
+
+}  // namespace tsss::geom

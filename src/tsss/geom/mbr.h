@@ -1,0 +1,96 @@
+#ifndef TSSS_GEOM_MBR_H_
+#define TSSS_GEOM_MBR_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::geom {
+
+/// Minimum bounding hyper-rectangle, defined by the two endpoints L(ow) and
+/// H(igh) of its major diagonal (paper, Section 6.1). Invariant once
+/// non-empty: lo[i] <= hi[i] for all i.
+///
+/// An empty Mbr (no points accumulated yet) is representable and is the
+/// identity of Extend().
+class Mbr {
+ public:
+  /// Creates an empty 0-dimensional MBR (placeholder; assign before use).
+  Mbr() : empty_(true) {}
+
+  /// Creates an empty MBR of the given dimensionality.
+  explicit Mbr(std::size_t dim);
+
+  /// Creates a degenerate MBR containing exactly `point`.
+  static Mbr FromPoint(std::span<const double> point);
+
+  /// Creates an MBR with explicit corners. Requires lo[i] <= hi[i].
+  static Mbr FromCorners(Vec lo, Vec hi);
+
+  std::size_t dim() const { return lo_.size(); }
+  bool empty() const { return empty_; }
+  const Vec& lo() const { return lo_; }
+  const Vec& hi() const { return hi_; }
+
+  /// Grows this MBR to contain `point`.
+  void Extend(std::span<const double> point);
+
+  /// Grows this MBR to contain `other`.
+  void Extend(const Mbr& other);
+
+  /// True iff `point` lies inside (closed) this MBR.
+  bool Contains(std::span<const double> point) const;
+
+  /// True iff `other` lies entirely inside this MBR.
+  bool Contains(const Mbr& other) const;
+
+  /// True iff the two MBRs share at least one point.
+  bool Intersects(const Mbr& other) const;
+
+  /// The epsilon-enlargement: every face pushed out by eps
+  /// (paper, Section 6.1, "eps-MBR").
+  Mbr Enlarged(double eps) const;
+
+  /// Volume (product of side lengths); 0 for empty.
+  double Volume() const;
+
+  /// Margin: sum of side lengths (R*-tree split criterion); 0 for empty.
+  double Margin() const;
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double OverlapVolume(const Mbr& other) const;
+
+  /// Volume of the smallest MBR containing both this and `other`.
+  double EnlargedVolume(const Mbr& other) const;
+
+  /// Center point. Requires non-empty.
+  Vec Center() const;
+
+  /// Half of the major-diagonal length. Requires non-empty.
+  double HalfDiagonal() const;
+
+  /// Smallest half side length (radius of the inscribed sphere).
+  /// Requires non-empty.
+  double MinHalfExtent() const;
+
+  /// Squared Euclidean distance from `point` to this MBR (0 if inside).
+  double DistanceSquaredTo(std::span<const double> point) const;
+
+  /// "[lo..hi]" for debugging.
+  std::string DebugString() const;
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.empty_ == b.empty_ && a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  Vec lo_;
+  Vec hi_;
+  bool empty_;
+};
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_MBR_H_

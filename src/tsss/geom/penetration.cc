@@ -1,0 +1,206 @@
+#include "tsss/geom/penetration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tsss/geom/sphere.h"
+
+namespace tsss::geom {
+
+SlabResult LineMbrSlab(const Line& line, const Mbr& mbr) {
+  assert(line.dim() == mbr.dim());
+  SlabResult out;
+  if (mbr.empty()) return out;
+
+  double t_enter = -std::numeric_limits<double>::infinity();
+  double t_exit = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < mbr.dim(); ++i) {
+    const double p = line.point[i];
+    const double d = line.dir[i];
+    const double lo = mbr.lo()[i];
+    const double hi = mbr.hi()[i];
+    if (d == 0.0) {
+      // The line is parallel to this slab; it must already be inside it.
+      if (p < lo || p > hi) return out;
+      continue;
+    }
+    double t0 = (lo - p) / d;
+    double t1 = (hi - p) / d;
+    if (t0 > t1) std::swap(t0, t1);
+    t_enter = std::max(t_enter, t0);
+    t_exit = std::min(t_exit, t1);
+    if (t_enter > t_exit) return out;
+  }
+  out.penetrates = true;
+  out.t_enter = t_enter;
+  out.t_exit = t_exit;
+  return out;
+}
+
+bool LinePenetratesMbr(const Line& line, const Mbr& mbr) {
+  return LineMbrSlab(line, mbr).penetrates;
+}
+
+namespace {
+
+/// Squared distance from the line point at parameter t to the box.
+double BoxDistSquaredAt(const Line& line, const Mbr& mbr, double t) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mbr.dim(); ++i) {
+    const double x = line.point[i] + t * line.dir[i];
+    double d = 0.0;
+    if (x < mbr.lo()[i]) {
+      d = mbr.lo()[i] - x;
+    } else if (x > mbr.hi()[i]) {
+      d = x - mbr.hi()[i];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Unconstrained minimiser of the quadratic piece of f(t) whose active set is
+/// determined at `t_probe`; returns false when the piece is constant in t.
+bool PieceVertex(const Line& line, const Mbr& mbr, double t_probe, double* t_out) {
+  double a = 0.0;  // sum of d_i^2 over active axes
+  double b = 0.0;  // f'(t)/2 = a*t + b on this piece
+  for (std::size_t i = 0; i < mbr.dim(); ++i) {
+    const double d = line.dir[i];
+    if (d == 0.0) continue;
+    const double x = line.point[i] + t_probe * d;
+    if (x < mbr.lo()[i]) {
+      a += d * d;
+      b += d * (line.point[i] - mbr.lo()[i]);
+    } else if (x > mbr.hi()[i]) {
+      a += d * d;
+      b += d * (line.point[i] - mbr.hi()[i]);
+    }
+  }
+  if (a <= 0.0) return false;
+  *t_out = -b / a;
+  return true;
+}
+
+}  // namespace
+
+double LineMbrDistance(const Line& line, const Mbr& mbr) {
+  assert(line.dim() == mbr.dim());
+  if (mbr.empty()) return std::numeric_limits<double>::infinity();
+
+  // Degenerate line: point-to-box distance.
+  if (IsZero(line.dir, 0.0)) {
+    return std::sqrt(mbr.DistanceSquaredTo(line.point));
+  }
+
+  // If the line passes through the box the distance is exactly zero.
+  if (LinePenetratesMbr(line, mbr)) return 0.0;
+
+  // Collect the breakpoints where some coordinate of L(t) crosses a face
+  // plane; between consecutive breakpoints f(t) = dist^2(L(t), box) is a
+  // single quadratic.
+  std::vector<double> ts;
+  ts.reserve(2 * mbr.dim());
+  for (std::size_t i = 0; i < mbr.dim(); ++i) {
+    const double d = line.dir[i];
+    if (d == 0.0) continue;
+    ts.push_back((mbr.lo()[i] - line.point[i]) / d);
+    ts.push_back((mbr.hi()[i] - line.point[i]) / d);
+  }
+  std::sort(ts.begin(), ts.end());
+
+  double best = std::numeric_limits<double>::infinity();
+  auto consider = [&](double t) { best = std::min(best, BoxDistSquaredAt(line, mbr, t)); };
+
+  // Candidate minimisers: every breakpoint, plus each piece's own vertex
+  // (clamped into the piece).
+  for (double t : ts) consider(t);
+  for (std::size_t k = 0; k + 1 <= ts.size(); ++k) {
+    double t_lo;
+    double t_hi;
+    double t_probe;
+    if (k == 0) {
+      t_lo = -std::numeric_limits<double>::infinity();
+      t_hi = ts.front();
+      t_probe = t_hi - 1.0;
+    } else if (k == ts.size()) {
+      break;
+    } else {
+      t_lo = ts[k - 1];
+      t_hi = ts[k];
+      t_probe = 0.5 * (t_lo + t_hi);
+    }
+    double vertex;
+    if (PieceVertex(line, mbr, t_probe, &vertex)) {
+      consider(std::clamp(vertex, t_lo, t_hi));
+    }
+  }
+  // Last (unbounded above) piece.
+  {
+    const double t_probe = ts.back() + 1.0;
+    double vertex;
+    if (PieceVertex(line, mbr, t_probe, &vertex)) {
+      consider(std::max(vertex, ts.back()));
+    }
+  }
+  return std::sqrt(best);
+}
+
+std::string_view PruneStrategyToString(PruneStrategy s) {
+  switch (s) {
+    case PruneStrategy::kEepOnly:
+      return "eep";
+    case PruneStrategy::kBoundingSpheres:
+      return "spheres";
+    case PruneStrategy::kExactDistance:
+      return "exact";
+  }
+  return "unknown";
+}
+
+bool ShouldVisit(const Line& line, const Mbr& mbr, double eps,
+                 PruneStrategy strategy, PenetrationStats* stats) {
+  assert(eps >= 0.0);
+  if (stats != nullptr) ++stats->tests;
+  if (mbr.empty()) return false;
+
+  bool visit = false;
+  switch (strategy) {
+    case PruneStrategy::kEepOnly: {
+      if (stats != nullptr) ++stats->slab_tests;
+      visit = LinePenetratesMbr(line, mbr.Enlarged(eps));
+      break;
+    }
+    case PruneStrategy::kBoundingSpheres: {
+      const Mbr enlarged = mbr.Enlarged(eps);
+      if (stats != nullptr) ++stats->sphere_tests;
+      const double pld = Pld(enlarged.Center(), line);
+      if (pld > enlarged.HalfDiagonal()) {
+        // Outer sphere missed: the box cannot be penetrated.
+        if (stats != nullptr) ++stats->outer_rejects;
+        visit = false;
+        break;
+      }
+      if (pld <= enlarged.MinHalfExtent()) {
+        // Inner sphere hit: the box is certainly penetrated.
+        if (stats != nullptr) ++stats->inner_accepts;
+        visit = true;
+        break;
+      }
+      if (stats != nullptr) ++stats->slab_tests;
+      visit = LinePenetratesMbr(line, enlarged);
+      break;
+    }
+    case PruneStrategy::kExactDistance: {
+      if (stats != nullptr) ++stats->exact_tests;
+      visit = LineMbrDistance(line, mbr) <= eps;
+      break;
+    }
+  }
+  if (visit && stats != nullptr) ++stats->visits;
+  return visit;
+}
+
+}  // namespace tsss::geom

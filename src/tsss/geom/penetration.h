@@ -1,0 +1,71 @@
+#ifndef TSSS_GEOM_PENETRATION_H_
+#define TSSS_GEOM_PENETRATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tsss/geom/line.h"
+#include "tsss/geom/mbr.h"
+
+namespace tsss::geom {
+
+/// Result of the Entering/Exiting-Points (slab) test of a line against a box.
+/// When `penetrates`, the line is inside the box for t in [t_enter, t_exit].
+struct SlabResult {
+  bool penetrates = false;
+  double t_enter = 0.0;
+  double t_exit = 0.0;
+};
+
+/// Entering/Exiting Points method (paper, Section 7): exact test of whether
+/// line L(t) = p + t*d passes through the closed hyper-rectangle `mbr`.
+/// A degenerate line (zero direction) penetrates iff its point is inside.
+SlabResult LineMbrSlab(const Line& line, const Mbr& mbr);
+
+/// Convenience wrapper returning only the boolean verdict.
+bool LinePenetratesMbr(const Line& line, const Mbr& mbr);
+
+/// Exact shortest Euclidean distance between a line and a hyper-rectangle
+/// (0 when they intersect). The squared distance is convex piecewise
+/// quadratic in t; we scan its breakpoint segments and minimise each piece
+/// analytically, so the result is exact up to rounding.
+double LineMbrDistance(const Line& line, const Mbr& mbr);
+
+/// Node-pruning strategies for the tree search. These correspond to the
+/// paper's experiment sets plus one extension:
+///  * kEepOnly          — experiment set 2: slab test on the eps-MBR.
+///  * kBoundingSpheres  — experiment set 3: outer/inner sphere heuristic
+///                        short-circuiting the slab test.
+///  * kExactDistance    — extension: LineMbrDistance(line, MBR) <= eps, a
+///                        strictly tighter (still no-false-dismissal) test.
+enum class PruneStrategy : std::uint8_t {
+  kEepOnly = 0,
+  kBoundingSpheres = 1,
+  kExactDistance = 2,
+};
+
+std::string_view PruneStrategyToString(PruneStrategy s);
+
+/// Counters describing how penetration decisions were reached; used by the
+/// bounding-spheres ablation (DESIGN.md experiment A1).
+struct PenetrationStats {
+  std::uint64_t tests = 0;           ///< total ShouldVisit calls
+  std::uint64_t visits = 0;          ///< decisions to descend
+  std::uint64_t outer_rejects = 0;   ///< pruned by the outer sphere alone
+  std::uint64_t inner_accepts = 0;   ///< admitted by the inner sphere alone
+  std::uint64_t slab_tests = 0;      ///< slab tests actually executed
+  std::uint64_t sphere_tests = 0;    ///< sphere PLD evaluations
+  std::uint64_t exact_tests = 0;     ///< exact line-box distance evaluations
+
+  void Reset() { *this = PenetrationStats{}; }
+};
+
+/// Decides whether a node with bounding box `mbr` may contain a point within
+/// `eps` of `line`, using `strategy`. All strategies are conservative
+/// (no false dismissals, Theorem 3). `stats` may be null.
+bool ShouldVisit(const Line& line, const Mbr& mbr, double eps,
+                 PruneStrategy strategy, PenetrationStats* stats);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_PENETRATION_H_

@@ -1,0 +1,55 @@
+#include "tsss/geom/scale_shift.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tsss/common/math_utils.h"
+#include "tsss/geom/se_transform.h"
+
+namespace tsss::geom {
+
+Vec ScaleShift::Apply(std::span<const double> x) const {
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = scale * x[i] + offset;
+  return out;
+}
+
+Alignment AlignScaleShift(std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  assert(!u.empty());
+  const Vec use = SeTransform(u);
+  const Vec vse = SeTransform(v);
+  const double uu = NormSquared(use);
+
+  Alignment out;
+  if (uu <= 0.0) {
+    // Constant query: scaling cannot change its (zero) fluctuation, so the
+    // best we can do is match the mean level with b.
+    out.transform.scale = 0.0;
+    out.transform.offset = Mean(v);
+    out.distance = Norm(vse);
+    return out;
+  }
+  const double a = Dot(use, vse) / uu;
+  out.transform.scale = a;
+  out.transform.offset = Mean(v) - a * Mean(u);
+  // distance^2 = ||vse - a*use||^2; compute directly for numerical safety.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double d = vse[i] - a * use[i];
+    acc += d * d;
+  }
+  out.distance = std::sqrt(acc);
+  return out;
+}
+
+double ScaleShiftDistance(std::span<const double> u, std::span<const double> v) {
+  return AlignScaleShift(u, v).distance;
+}
+
+bool SimilarScaleShift(std::span<const double> u, std::span<const double> v,
+                       double eps) {
+  return ScaleShiftDistance(u, v) <= eps;
+}
+
+}  // namespace tsss::geom

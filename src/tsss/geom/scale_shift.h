@@ -1,0 +1,46 @@
+#ifndef TSSS_GEOM_SCALE_SHIFT_H_
+#define TSSS_GEOM_SCALE_SHIFT_H_
+
+#include <span>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::geom {
+
+/// The scale-shift transformation F_{a,b}(x) = a*x + b*N (paper, Def. 1).
+struct ScaleShift {
+  double scale = 1.0;   ///< a
+  double offset = 0.0;  ///< b
+
+  /// Applies F_{a,b} to x.
+  Vec Apply(std::span<const double> x) const;
+};
+
+/// Result of the optimal scale-shift alignment of u onto v.
+struct Alignment {
+  ScaleShift transform;   ///< argmin_{a,b} ||F_{a,b}(u) - v||
+  double distance = 0.0;  ///< min_{a,b}   ||F_{a,b}(u) - v||  (== LLD, Thm 1)
+};
+
+/// Computes the optimal alignment of u onto v in closed form
+/// (paper, Section 5.2):
+///
+///   a = <T_se(u), T_se(v)> / ||T_se(u)||^2,   b = mean(v) - a * mean(u),
+///   distance = || a*T_se(u) - T_se(v) ||.
+///
+/// When u is constant (||T_se(u)|| == 0) every a gives the same residual; we
+/// return a = 0 and b = mean(v), with distance ||T_se(v)||.
+/// Requires u.size() == v.size() and both non-empty.
+Alignment AlignScaleShift(std::span<const double> u, std::span<const double> v);
+
+/// Minimum scale-shift distance: min_{a,b} ||a*u + b*N - v||.
+/// Equal to LLD(Line_sa(u), Line_sh(v)) by Theorem 1.
+double ScaleShiftDistance(std::span<const double> u, std::span<const double> v);
+
+/// True iff u ~eps v under Definition 1.
+bool SimilarScaleShift(std::span<const double> u, std::span<const double> v,
+                       double eps);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_SCALE_SHIFT_H_

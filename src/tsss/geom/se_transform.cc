@@ -1,0 +1,30 @@
+#include "tsss/geom/se_transform.h"
+
+#include <cmath>
+
+#include "tsss/common/math_utils.h"
+
+namespace tsss::geom {
+
+Vec SeTransform(std::span<const double> p) {
+  Vec out(p.begin(), p.end());
+  SeTransformInPlace(out);
+  return out;
+}
+
+double SeTransformInPlace(std::span<double> p) {
+  const double mean = Mean(p);
+  for (double& x : p) x -= mean;
+  return mean;
+}
+
+Line SeLine(std::span<const double> u) {
+  Vec dir = SeTransform(u);
+  return Line{Vec(u.size(), 0.0), std::move(dir)};
+}
+
+bool OnSePlane(std::span<const double> p, double tol) {
+  return std::fabs(Mean(p)) <= tol;
+}
+
+}  // namespace tsss::geom

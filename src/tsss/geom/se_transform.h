@@ -1,0 +1,33 @@
+#ifndef TSSS_GEOM_SE_TRANSFORM_H_
+#define TSSS_GEOM_SE_TRANSFORM_H_
+
+#include <span>
+
+#include "tsss/geom/line.h"
+#include "tsss/geom/vec.h"
+
+namespace tsss::geom {
+
+/// Shift-Eliminated Transformation (paper, Definition 2):
+///
+///   T_se(p) = p - (<p, N> / ||N||^2) * N = p - mean(p) * N.
+///
+/// T_se projects p along N = (1,...,1) onto the SE-Plane, the (n-1)-
+/// dimensional hyperplane of zero-mean vectors through the origin. It is
+/// linear, collapses every shifting line to a single point, and maps every
+/// scaling line to a line through the origin (the SE-line).
+Vec SeTransform(std::span<const double> p);
+
+/// In-place variant of SeTransform. Returns the subtracted mean, which is
+/// exactly the component of p along N / n (needed to recover shifts).
+double SeTransformInPlace(std::span<double> p);
+
+/// The SE-line of u: {t * T_se(u) : t in R} (paper, Section 5.1, property 3).
+Line SeLine(std::span<const double> u);
+
+/// True iff p lies (numerically) on the SE-plane, i.e. has zero mean.
+bool OnSePlane(std::span<const double> p, double tol = 1e-9);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_SE_TRANSFORM_H_

@@ -1,0 +1,21 @@
+#include "tsss/geom/sphere.h"
+
+namespace tsss::geom {
+
+Sphere Sphere::Outer(const Mbr& mbr) {
+  return Sphere{mbr.Center(), mbr.HalfDiagonal()};
+}
+
+Sphere Sphere::Inner(const Mbr& mbr) {
+  return Sphere{mbr.Center(), mbr.MinHalfExtent()};
+}
+
+bool Sphere::Contains(std::span<const double> point) const {
+  return DistanceSquared(point, center) <= radius * radius;
+}
+
+bool LinePenetratesSphere(const Line& line, const Sphere& sphere) {
+  return Pld(sphere.center, line) <= sphere.radius;
+}
+
+}  // namespace tsss::geom

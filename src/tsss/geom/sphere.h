@@ -1,0 +1,36 @@
+#ifndef TSSS_GEOM_SPHERE_H_
+#define TSSS_GEOM_SPHERE_H_
+
+#include "tsss/geom/line.h"
+#include "tsss/geom/mbr.h"
+#include "tsss/geom/vec.h"
+
+namespace tsss::geom {
+
+/// Hypersphere in R^n, used by the paper's Bounding-Spheres penetration
+/// heuristic (Section 7): the inner sphere is inscribed in the eps-MBR, the
+/// outer sphere circumscribes it.
+struct Sphere {
+  Vec center;
+  double radius = 0.0;
+
+  /// Outer bounding sphere: centered at the MBR center with radius equal to
+  /// the half diagonal, so the MBR is inside the sphere. Requires non-empty.
+  static Sphere Outer(const Mbr& mbr);
+
+  /// Inner bounding sphere: centered at the MBR center with radius equal to
+  /// the smallest half extent, so the sphere is inside the MBR.
+  /// Requires non-empty.
+  static Sphere Inner(const Mbr& mbr);
+
+  /// True iff `point` lies inside the (closed) sphere.
+  bool Contains(std::span<const double> point) const;
+};
+
+/// True iff the line passes through (or touches) the sphere:
+/// PLD(center, line) <= radius.
+bool LinePenetratesSphere(const Line& line, const Sphere& sphere);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_SPHERE_H_

@@ -1,0 +1,104 @@
+#include "tsss/geom/vec.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsss::geom {
+
+double Dot(std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
+  return acc;
+}
+
+double NormSquared(std::span<const double> u) { return Dot(u, u); }
+
+double Norm(std::span<const double> u) { return std::sqrt(NormSquared(u)); }
+
+double DistanceSquared(std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double d = u[i] - v[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Distance(std::span<const double> u, std::span<const double> v) {
+  return std::sqrt(DistanceSquared(u, v));
+}
+
+Vec Add(std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  Vec out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) out[i] = u[i] + v[i];
+  return out;
+}
+
+Vec Sub(std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  Vec out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) out[i] = u[i] - v[i];
+  return out;
+}
+
+Vec Scale(std::span<const double> u, double a) {
+  Vec out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) out[i] = a * u[i];
+  return out;
+}
+
+Vec Axpy(double a, std::span<const double> u, std::span<const double> v) {
+  assert(u.size() == v.size());
+  Vec out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) out[i] = a * u[i] + v[i];
+  return out;
+}
+
+Vec ShiftingVector(std::size_t n) { return Vec(n, 1.0); }
+
+double ComponentSum(std::span<const double> u) {
+  double acc = 0.0;
+  for (double x : u) acc += x;
+  return acc;
+}
+
+bool IsZero(std::span<const double> u, double tol) {
+  for (double x : u) {
+    if (std::fabs(x) > tol) return false;
+  }
+  return true;
+}
+
+bool AreParallel(std::span<const double> u, std::span<const double> v, double tol) {
+  const double nu = Norm(u);
+  const double nv = Norm(v);
+  if (nu <= tol || nv <= tol) return true;
+  const double cos_angle = Dot(u, v) / (nu * nv);
+  return std::fabs(std::fabs(cos_angle) - 1.0) <= tol;
+}
+
+Vec ProjectAlong(std::span<const double> u, std::span<const double> v) {
+  const double denom = NormSquared(v);
+  assert(denom > 0.0);
+  return Scale(v, Dot(u, v) / denom);
+}
+
+Vec ProjectPerp(std::span<const double> u, std::span<const double> v) {
+  const Vec along = ProjectAlong(u, v);
+  return Sub(u, along);
+}
+
+double LpDistance(std::span<const double> u, std::span<const double> v, double p) {
+  assert(u.size() == v.size());
+  assert(p >= 1.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    acc += std::pow(std::fabs(u[i] - v[i]), p);
+  }
+  return std::pow(acc, 1.0 / p);
+}
+
+}  // namespace tsss::geom

@@ -1,0 +1,66 @@
+#ifndef TSSS_GEOM_VEC_H_
+#define TSSS_GEOM_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsss::geom {
+
+/// Dense vector in R^n. Time sequences, points and vectors are regarded as
+/// the same (paper, Section 3), so this type is used for all of them.
+using Vec = std::vector<double>;
+
+/// Scalar (dot) product <u, v>. Requires u.size() == v.size().
+double Dot(std::span<const double> u, std::span<const double> v);
+
+/// Squared Euclidean norm ||u||^2.
+double NormSquared(std::span<const double> u);
+
+/// Euclidean norm ||u||.
+double Norm(std::span<const double> u);
+
+/// Euclidean distance ||u - v||. Requires equal sizes.
+double Distance(std::span<const double> u, std::span<const double> v);
+
+/// Squared Euclidean distance ||u - v||^2. Requires equal sizes.
+double DistanceSquared(std::span<const double> u, std::span<const double> v);
+
+/// u + v.
+Vec Add(std::span<const double> u, std::span<const double> v);
+
+/// u - v.
+Vec Sub(std::span<const double> u, std::span<const double> v);
+
+/// a * u.
+Vec Scale(std::span<const double> u, double a);
+
+/// a * u + v ("axpy").
+Vec Axpy(double a, std::span<const double> u, std::span<const double> v);
+
+/// The shifting vector N(n) = (1, 1, ..., 1) of R^n (paper, Section 3).
+Vec ShiftingVector(std::size_t n);
+
+/// Sum of the components of u (== <u, N>).
+double ComponentSum(std::span<const double> u);
+
+/// True iff every component of u is (almost) zero.
+bool IsZero(std::span<const double> u, double tol = 1e-12);
+
+/// True iff u and v are (almost) parallel: |<u,v>| ~= ||u||*||v||.
+/// Zero vectors are parallel to everything.
+bool AreParallel(std::span<const double> u, std::span<const double> v,
+                 double tol = 1e-9);
+
+/// Projection of u along v: (<u,v>/||v||^2) * v. Requires ||v|| > 0.
+Vec ProjectAlong(std::span<const double> u, std::span<const double> v);
+
+/// Projection of u perpendicular to v: u - ProjectAlong(u, v).
+Vec ProjectPerp(std::span<const double> u, std::span<const double> v);
+
+/// L_p distance (paper, Section 1); p >= 1. p==2 is Euclidean.
+double LpDistance(std::span<const double> u, std::span<const double> v, double p);
+
+}  // namespace tsss::geom
+
+#endif  // TSSS_GEOM_VEC_H_

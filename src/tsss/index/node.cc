@@ -1,0 +1,179 @@
+#include "tsss/index/node.h"
+
+#include <cstring>
+#include <string>
+
+namespace tsss::index {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x5254;  // "RT"
+constexpr std::uint16_t kFlagBoxLeaves = 0x1;
+constexpr std::size_t kHeaderBytes =
+    5 * sizeof(std::uint16_t) + sizeof(std::uint32_t);
+
+std::size_t InternalEntryBytes(std::size_t dim) {
+  return sizeof(std::uint32_t) + 2 * dim * sizeof(double);
+}
+
+std::size_t LeafEntryBytes(std::size_t dim, bool box_leaves) {
+  return sizeof(std::uint64_t) + (box_leaves ? 2 : 1) * dim * sizeof(double);
+}
+
+class Writer {
+ public:
+  explicit Writer(storage::Page* page) : page_(page) {}
+
+  template <typename T>
+  void Put(T value) {
+    std::memcpy(page_->bytes.data() + pos_, &value, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  storage::Page* page_;
+  std::size_t pos_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(const storage::Page* page) : page_(page) {}
+
+  template <typename T>
+  T Get() {
+    T value;
+    std::memcpy(&value, page_->bytes.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+ private:
+  const storage::Page* page_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+geom::Mbr Node::ComputeMbr(std::size_t dim) const {
+  geom::Mbr out(dim);
+  for (const Entry& e : entries) out.Extend(e.mbr);
+  return out;
+}
+
+NodeCodec::NodeCodec(std::size_t dim, bool box_leaves)
+    : dim_(dim),
+      box_leaves_(box_leaves),
+      max_internal_((storage::kPageSize - kHeaderBytes) / InternalEntryBytes(dim)),
+      max_leaf_((storage::kPageSize - kHeaderBytes) /
+                LeafEntryBytes(dim, box_leaves)) {}
+
+Status NodeCodec::EncodePart(std::uint16_t level, std::span<const Entry> entries,
+                             storage::PageId next, storage::Page* page) const {
+  const bool is_leaf = level == 0;
+  const std::size_t cap = is_leaf ? max_leaf_ : max_internal_;
+  if (entries.size() > cap) {
+    return Status::ResourceExhausted(
+        "node part with " + std::to_string(entries.size()) +
+        " entries exceeds page capacity " + std::to_string(cap));
+  }
+  page->bytes.fill(0);
+  Writer w(page);
+  w.Put<std::uint16_t>(kMagic);
+  w.Put<std::uint16_t>(level);
+  w.Put<std::uint16_t>(static_cast<std::uint16_t>(entries.size()));
+  w.Put<std::uint16_t>(static_cast<std::uint16_t>(dim_));
+  w.Put<std::uint16_t>(box_leaves_ ? kFlagBoxLeaves : 0);
+  w.Put<std::uint32_t>(next);
+  for (const Entry& e : entries) {
+    if (e.mbr.dim() != dim_) {
+      return Status::InvalidArgument("entry dimensionality mismatch: expected " +
+                                     std::to_string(dim_) + ", got " +
+                                     std::to_string(e.mbr.dim()));
+    }
+    if (e.mbr.empty()) {
+      return Status::InvalidArgument("cannot encode an empty MBR entry");
+    }
+    if (is_leaf) {
+      w.Put<std::uint64_t>(e.record);
+      for (std::size_t i = 0; i < dim_; ++i) w.Put<double>(e.mbr.lo()[i]);
+      if (box_leaves_) {
+        for (std::size_t i = 0; i < dim_; ++i) w.Put<double>(e.mbr.hi()[i]);
+      }
+    } else {
+      w.Put<std::uint32_t>(e.child);
+      for (std::size_t i = 0; i < dim_; ++i) w.Put<double>(e.mbr.lo()[i]);
+      for (std::size_t i = 0; i < dim_; ++i) w.Put<double>(e.mbr.hi()[i]);
+    }
+  }
+  return Status::OK();
+}
+
+Result<NodePart> NodeCodec::DecodePart(const storage::Page& page) const {
+  Reader r(&page);
+  const std::uint16_t magic = r.Get<std::uint16_t>();
+  if (magic != kMagic) {
+    return Status::Corruption("bad node magic " + std::to_string(magic));
+  }
+  NodePart part;
+  part.level = r.Get<std::uint16_t>();
+  const std::uint16_t count = r.Get<std::uint16_t>();
+  const std::uint16_t dim = r.Get<std::uint16_t>();
+  const std::uint16_t flags = r.Get<std::uint16_t>();
+  part.next = r.Get<std::uint32_t>();
+  if ((flags & kFlagBoxLeaves) != (box_leaves_ ? kFlagBoxLeaves : 0)) {
+    return Status::Corruption("node leaf-layout flag does not match codec");
+  }
+  if (dim != dim_) {
+    return Status::Corruption("node dim " + std::to_string(dim) +
+                              " does not match codec dim " + std::to_string(dim_));
+  }
+  const bool is_leaf = part.level == 0;
+  const std::size_t cap = is_leaf ? max_leaf_ : max_internal_;
+  if (count > cap) {
+    return Status::Corruption("node entry count " + std::to_string(count) +
+                              " exceeds capacity " + std::to_string(cap));
+  }
+  part.entries.reserve(count);
+  geom::Vec lo(dim_);
+  geom::Vec hi(dim_);
+  for (std::uint16_t k = 0; k < count; ++k) {
+    Entry e;
+    if (is_leaf) {
+      e.record = r.Get<std::uint64_t>();
+      for (std::size_t i = 0; i < dim_; ++i) lo[i] = r.Get<double>();
+      if (box_leaves_) {
+        for (std::size_t i = 0; i < dim_; ++i) hi[i] = r.Get<double>();
+        e.mbr = geom::Mbr::FromCorners(lo, hi);
+      } else {
+        e.mbr = geom::Mbr::FromCorners(lo, lo);
+      }
+    } else {
+      e.child = r.Get<std::uint32_t>();
+      for (std::size_t i = 0; i < dim_; ++i) lo[i] = r.Get<double>();
+      for (std::size_t i = 0; i < dim_; ++i) hi[i] = r.Get<double>();
+      e.mbr = geom::Mbr::FromCorners(lo, hi);
+    }
+    part.entries.push_back(std::move(e));
+  }
+  return part;
+}
+
+Status NodeCodec::Encode(const Node& node, storage::Page* page) const {
+  return EncodePart(node.level, node.entries, storage::kInvalidPageId, page);
+}
+
+Result<Node> NodeCodec::Decode(const storage::Page& page) const {
+  Result<NodePart> part = DecodePart(page);
+  if (!part.ok()) return part.status();
+  if (part->next != storage::kInvalidPageId) {
+    return Status::FailedPrecondition(
+        "page is part of a supernode chain; use DecodePart");
+  }
+  Node node;
+  node.level = part->level;
+  node.entries = std::move(part->entries);
+  return node;
+}
+
+}  // namespace tsss::index

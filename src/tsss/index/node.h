@@ -1,0 +1,110 @@
+#ifndef TSSS_INDEX_NODE_H_
+#define TSSS_INDEX_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/geom/mbr.h"
+#include "tsss/storage/page.h"
+
+namespace tsss::index {
+
+/// Opaque record identifier stored in leaf entries. The engine packs
+/// (series id, window offset) into it; the index never interprets it.
+using RecordId = std::uint64_t;
+
+/// One slot of an R-tree node.
+///
+/// Internal nodes hold <child page, MBR> pairs; leaf nodes hold
+/// <record id, point> pairs (paper, Section 6). In memory a leaf point is
+/// represented as a degenerate MBR (lo == hi) so that the split algorithms
+/// work on both node kinds unchanged.
+struct Entry {
+  geom::Mbr mbr;
+  storage::PageId child = storage::kInvalidPageId;  ///< internal entries only
+  RecordId record = 0;                              ///< leaf entries only
+
+  static Entry ForChild(storage::PageId child, geom::Mbr mbr) {
+    Entry e{std::move(mbr), child, 0};
+    return e;
+  }
+  static Entry ForRecord(RecordId record, std::span<const double> point) {
+    Entry e{geom::Mbr::FromPoint(point), storage::kInvalidPageId, record};
+    return e;
+  }
+};
+
+/// Decoded R-tree node. level == 0 means leaf; the root has the highest
+/// level. A node always fits in one 4 KiB page (enforced by NodeCodec).
+struct Node {
+  std::uint16_t level = 0;
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+  std::size_t size() const { return entries.size(); }
+
+  /// Tight bounding box over all entries.
+  geom::Mbr ComputeMbr(std::size_t dim) const;
+};
+
+/// One page's worth of a (possibly multi-page) node. Ordinary nodes occupy a
+/// single page with next == kInvalidPageId; X-tree style supernodes chain
+/// continuation pages through `next`.
+struct NodePart {
+  std::uint16_t level = 0;
+  storage::PageId next = storage::kInvalidPageId;
+  std::vector<Entry> entries;
+};
+
+/// Fixed-layout serializer between Node parts and 4 KiB pages.
+///
+/// Layout (little-endian, host representation for doubles):
+///   header:  magic u16 | level u16 | count u16 | dim u16 | flags u16 | next u32
+///   internal entry: child u32 | lo[dim] f64 | hi[dim] f64
+///   leaf entry:     record u64 | point[dim] f64            (point leaves)
+///   leaf entry:     record u64 | lo[dim] f64 | hi[dim] f64 (box leaves)
+class NodeCodec {
+ public:
+  /// `box_leaves` selects the leaf entry layout: false = point entries
+  /// (record + point, the paper's default), true = box entries
+  /// (record + lo + hi, used for sub-trail MBR leaves following the
+  /// ST-index of Faloutsos et al. [2]).
+  explicit NodeCodec(std::size_t dim, bool box_leaves = false);
+
+  std::size_t dim() const { return dim_; }
+  bool box_leaves() const { return box_leaves_; }
+
+  /// Hard per-page capacity limits imposed by the page size.
+  std::size_t max_internal_entries() const { return max_internal_; }
+  std::size_t max_leaf_entries() const { return max_leaf_; }
+
+  /// Serializes a single-page node into `page` (next = invalid). Fails if
+  /// the node exceeds the page capacity - multi-page nodes must go through
+  /// EncodePart.
+  Status Encode(const Node& node, storage::Page* page) const;
+
+  /// Deserializes a single-page node; fails with FailedPrecondition if the
+  /// page is part of a chain (callers that support supernodes use
+  /// DecodePart).
+  Result<Node> Decode(const storage::Page& page) const;
+
+  /// Serializes one chain part: `entries` (at most the per-page capacity for
+  /// the node kind) plus the link to the next part.
+  Status EncodePart(std::uint16_t level, std::span<const Entry> entries,
+                    storage::PageId next, storage::Page* page) const;
+
+  /// Deserializes one chain part.
+  Result<NodePart> DecodePart(const storage::Page& page) const;
+
+ private:
+  std::size_t dim_;
+  bool box_leaves_;
+  std::size_t max_internal_;
+  std::size_t max_leaf_;
+};
+
+}  // namespace tsss::index
+
+#endif  // TSSS_INDEX_NODE_H_

@@ -1,0 +1,284 @@
+#ifndef TSSS_INDEX_RTREE_H_
+#define TSSS_INDEX_RTREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/geom/line.h"
+#include "tsss/geom/mbr.h"
+#include "tsss/geom/penetration.h"
+#include "tsss/index/node.h"
+#include "tsss/index/split.h"
+#include "tsss/storage/buffer_pool.h"
+
+namespace tsss::index {
+
+/// Construction parameters of an RTree. Defaults reproduce the paper's
+/// experimental setting (Section 7): 4 KiB pages, one node per page, M = 20,
+/// m = 40% of M = 8, R* forced-reinsert p = 30% of M = 6.
+struct RTreeConfig {
+  std::size_t dim = 6;            ///< dimensionality of indexed points
+  std::size_t max_entries = 20;   ///< M for internal nodes (capped by page)
+  /// Leaf entries carry full boxes instead of points (sub-trail MBR mode,
+  /// following the ST-index [2]). Line queries then report every record
+  /// whose box passes the eps-penetration test.
+  bool box_leaves = false;
+  /// Max entries per leaf. 0 (default) = as many as fit the page, matching
+  /// the paper's setup where M = 20 governs *internal* nodes while leaf
+  /// pages pack point entries densely.
+  std::size_t leaf_max_entries = 0;
+  double min_fill_fraction = 0.4; ///< m = max(1, floor(fraction * capacity))
+  SplitAlgorithm split = SplitAlgorithm::kRStar;
+  /// Fraction of the node capacity removed on forced reinsertion
+  /// (R* only; 0 disables).
+  double reinsert_fraction = 0.3;
+
+  /// X-tree extension (Berchtold et al., cited by the paper for the
+  /// high-dimensional overlap problem): when splitting an overflowing
+  /// *internal* node would produce groups whose MBRs overlap more than
+  /// `supernode_overlap_fraction` of their union volume, keep the node as a
+  /// multi-page supernode instead. A supernode's pages are chained and every
+  /// chained page counts as one access, so the accounting stays honest.
+  bool enable_supernodes = false;
+  double supernode_overlap_fraction = 0.2;
+  /// Hard ceiling: a supernode may hold at most this multiple of M entries.
+  std::size_t max_supernode_multiple = 16;
+
+  std::size_t min_entries() const { return MinFillOf(max_entries); }
+  std::size_t reinsert_count() const { return ReinsertOf(max_entries); }
+
+  std::size_t MinFillOf(std::size_t capacity) const {
+    const auto m = static_cast<std::size_t>(min_fill_fraction *
+                                            static_cast<double>(capacity));
+    return m < 1 ? 1 : m;
+  }
+  std::size_t ReinsertOf(std::size_t capacity) const {
+    return static_cast<std::size_t>(reinsert_fraction *
+                                    static_cast<double>(capacity));
+  }
+};
+
+/// A match produced by a line query: the record plus its point's distance to
+/// the query line in the *indexed* (reduced) space.
+struct LineMatch {
+  RecordId record = 0;
+  double reduced_distance = 0.0;
+};
+
+/// Statistics describing tree shape; see ComputeStats().
+struct TreeStats {
+  std::size_t height = 0;          ///< number of levels (1 = root is a leaf)
+  std::size_t node_count = 0;      ///< logical nodes
+  std::size_t node_pages = 0;      ///< physical pages (supernode chains count all)
+  std::size_t supernode_count = 0; ///< internal nodes spanning > 1 page
+  std::size_t leaf_count = 0;
+  std::size_t entry_count = 0;     ///< data entries (leaf records)
+  double avg_leaf_fill = 0.0;      ///< mean leaf occupancy / M
+  double avg_internal_fill = 0.0;
+  double total_leaf_mbr_volume = 0.0;
+  double total_overlap_volume = 0.0;  ///< pairwise sibling-MBR overlap
+  double avg_aspect_ratio = 0.0;      ///< mean (longest side / shortest side)
+  double avg_diag_to_min_side = 0.0;  ///< mean (diagonal / shortest side)
+};
+
+/// Disk-resident R-tree over `dim`-dimensional points with the paper's
+/// line-penetration search.
+///
+/// The tree is a height-balanced hierarchy of 4 KiB nodes managed by a
+/// BufferPool; every node access goes through the pool and is counted, which
+/// is how the Figure 5 experiment measures page accesses. Supports Guttman
+/// (linear/quadratic split) and R* (ChooseSubtree, topological split, forced
+/// reinsertion) insertion flavours, deletion with tree condensation, bulk
+/// loading (STR), rectangle queries, the paper's line queries, and
+/// incremental nearest-line-neighbour iteration.
+///
+/// Thread-compatibility: single-threaded, like the rest of the library.
+class RTree {
+ public:
+  /// Creates an empty tree whose nodes live in `pool` (must outlive the
+  /// tree). Validates the configuration against the page capacity.
+  static Result<std::unique_ptr<RTree>> Create(storage::BufferPool* pool,
+                                               const RTreeConfig& config);
+
+  /// Re-attaches to a tree whose pages already live in `pool`'s store
+  /// (persistence re-open). `root`, `height` and `size` come from the saved
+  /// metadata; the root node is loaded to validate them.
+  static Result<std::unique_ptr<RTree>> Attach(storage::BufferPool* pool,
+                                               const RTreeConfig& config,
+                                               storage::PageId root,
+                                               std::size_t height,
+                                               std::size_t size);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Inserts a point with the given record id. Duplicates are allowed.
+  Status Insert(std::span<const double> point, RecordId record);
+
+  /// Inserts a box entry (requires config.box_leaves).
+  Status InsertBox(const geom::Mbr& box, RecordId record);
+
+  /// Removes one entry matching (point, record).
+  /// Returns NotFound if no such entry exists.
+  Status Delete(std::span<const double> point, RecordId record);
+
+  /// Removes one box entry matching (box, record).
+  Status DeleteBox(const geom::Mbr& box, RecordId record);
+
+  /// Bulk loads (replaces) the tree contents with Sort-Tile-Recursive
+  /// packing. Much faster than repeated Insert and produces a well-shaped
+  /// tree; records currently in the tree are discarded.
+  Status BulkLoad(std::vector<Entry> points);
+
+  /// All records whose point intersects `box`.
+  Result<std::vector<RecordId>> RangeQuery(const geom::Mbr& box);
+
+  /// The paper's search (Section 6): all records whose indexed point lies
+  /// within `eps` of `line`, visiting only subtrees admitted by `strategy`
+  /// (Theorem 3 guarantees no false dismissal). `stats` may be null.
+  Result<std::vector<LineMatch>> LineQuery(const geom::Line& line, double eps,
+                                           geom::PruneStrategy strategy,
+                                           geom::PenetrationStats* stats);
+
+  /// The k records whose points are nearest to `line` in reduced distance,
+  /// in increasing order (branch-and-bound best-first search).
+  Result<std::vector<LineMatch>> LineKnn(const geom::Line& line, std::size_t k);
+
+  /// Classic k-nearest-neighbour search around a point (best-first search
+  /// with MinDist pruning). Distances are Euclidean in the indexed space;
+  /// for box leaves the distance is point-to-box.
+  Result<std::vector<LineMatch>> PointKnn(std::span<const double> point,
+                                          std::size_t k);
+
+  /// Incremental nearest-line-neighbour iterator: yields records in
+  /// non-decreasing reduced distance to the query line. Used by the engine's
+  /// exact k-NN (GEMINI-style multi-step search).
+  class LineNeighborIterator {
+   public:
+    /// Returns the next nearest match, or nullopt when exhausted.
+    Result<std::optional<LineMatch>> Next();
+
+   private:
+    friend class RTree;
+    struct QueueItem {
+      double distance;
+      bool is_record;
+      storage::PageId page;
+      LineMatch match;
+      bool operator>(const QueueItem& other) const {
+        return distance > other.distance;
+      }
+    };
+    LineNeighborIterator(RTree* tree, geom::Line line);
+
+    RTree* tree_;
+    geom::Line line_;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap_;
+  };
+  LineNeighborIterator NearestLineNeighbors(const geom::Line& line);
+
+  /// Number of data entries in the tree.
+  std::size_t size() const { return size_; }
+  /// Levels in the tree; 1 when the root is a leaf.
+  std::size_t height() const { return height_; }
+  /// Resolved max entries for leaf nodes (config value or page capacity).
+  std::size_t leaf_capacity() const { return leaf_max_; }
+  /// First page of the root node (persisted by the engine's checkpoint).
+  storage::PageId root_page() const { return root_; }
+  const RTreeConfig& config() const { return config_; }
+  storage::BufferPool* pool() { return pool_; }
+
+  /// Walks the whole tree and validates structural invariants: parent MBRs
+  /// tightly contain children, fill bounds, level consistency, entry count.
+  /// Used heavily by tests.
+  Status CheckInvariants();
+
+  /// Walks the whole tree and gathers shape statistics.
+  Result<TreeStats> ComputeStats();
+
+  /// Calls `fn(node, page_id)` for every node, top-down. Exposed for the
+  /// stats/ablation tooling.
+  Status VisitNodes(const std::function<void(const Node&, storage::PageId)>& fn);
+
+ private:
+  RTree(storage::BufferPool* pool, const RTreeConfig& config);
+
+  struct PathStep {
+    storage::PageId page = storage::kInvalidPageId;
+    /// Index of this node's entry within its parent (undefined for root).
+    std::size_t index_in_parent = 0;
+  };
+
+  /// Loads a node, following supernode chain pages (each counted).
+  Result<Node> LoadNode(storage::PageId id);
+  /// Stores a node, growing or shrinking its chain as needed.
+  Status StoreNode(storage::PageId id, const Node& node);
+  /// Writes `node` into the given chain, allocating/freeing pages to fit.
+  Status WriteChain(const Node& node, std::vector<storage::PageId> chain);
+  /// Allocates pages for a brand-new node (chained if necessary) and writes
+  /// it; returns the first page id.
+  Result<storage::PageId> StoreNewNode(const Node& node);
+  /// Collects the chain page ids starting at `id` (first included).
+  Result<std::vector<storage::PageId>> ChainPages(storage::PageId id);
+  /// Frees a node including any chained continuation pages.
+  Status FreeNodeChain(storage::PageId id);
+
+  /// Capacity / fill bounds for a node of the given kind.
+  std::size_t MaxFor(const Node& node) const {
+    return node.is_leaf() ? leaf_max_ : config_.max_entries;
+  }
+  std::size_t MinFor(const Node& node) const {
+    return config_.MinFillOf(MaxFor(node));
+  }
+
+  /// Descends from the root to the best node at `target_level` for `mbr`
+  /// (R* ChooseSubtree or Guttman ChooseLeaf depending on config).
+  Result<std::vector<PathStep>> ChoosePath(const geom::Mbr& mbr,
+                                           std::uint16_t target_level);
+
+  /// Core insertion of an entry at a level; drives overflow treatment.
+  Status InsertEntry(Entry entry, std::uint16_t target_level,
+                     std::vector<bool>& reinserted_at_level);
+
+  /// Handles MBR updates and overflows along `path` bottom-up.
+  Status PropagateUp(std::vector<PathStep> path,
+                     std::vector<bool>& reinserted_at_level);
+
+  /// Removes the `count` entries farthest from the node's MBR center and
+  /// returns them (R* forced reinsertion).
+  std::vector<Entry> TakeFarthestEntries(Node* node, std::size_t count);
+
+  /// Grows the tree by one level: old root and `sibling` become children of
+  /// a fresh root.
+  Status GrowRoot(Entry old_root_entry, Entry sibling_entry);
+
+  /// Depth-first search for the leaf containing (point, record).
+  Result<std::optional<std::vector<PathStep>>> FindLeaf(
+      storage::PageId page, std::uint16_t level, const geom::Mbr& target,
+      RecordId record, std::vector<PathStep>& path);
+
+  /// Removes under-full nodes along the path after a deletion, collecting
+  /// orphaned entries for reinsertion.
+  Status CondenseTree(std::vector<PathStep> path);
+
+  Status CheckNode(storage::PageId page, std::uint16_t expected_level,
+                   const geom::Mbr* parent_box, bool is_root,
+                   std::size_t* entries_seen);
+
+  storage::BufferPool* pool_;
+  RTreeConfig config_;
+  NodeCodec codec_;
+  storage::PageId root_ = storage::kInvalidPageId;
+  std::size_t leaf_max_ = 0;
+  std::size_t size_ = 0;
+  std::size_t height_ = 1;
+};
+
+}  // namespace tsss::index
+
+#endif  // TSSS_INDEX_RTREE_H_

@@ -1,0 +1,324 @@
+#include "tsss/index/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace tsss::index {
+namespace {
+
+using geom::Mbr;
+
+Mbr MbrOfRange(const std::vector<Entry>& entries,
+               const std::vector<std::size_t>& order, std::size_t begin,
+               std::size_t end, std::size_t dim) {
+  Mbr out(dim);
+  for (std::size_t i = begin; i < end; ++i) out.Extend(entries[order[i]].mbr);
+  return out;
+}
+
+/// Decides which group should absorb `mbr` during Guttman-style entry
+/// assignment. Primary criterion is volume enlargement; ties fall back to
+/// margin enlargement (which stays informative when boxes are degenerate,
+/// e.g. collinear points give every box zero volume), then current volume,
+/// margin and group size.
+bool PreferGroupA(const Mbr& box_a, const Mbr& box_b, const Mbr& mbr,
+                  std::size_t size_a, std::size_t size_b) {
+  Mbr grown_a = box_a;
+  grown_a.Extend(mbr);
+  Mbr grown_b = box_b;
+  grown_b.Extend(mbr);
+  const double vol_grow_a = grown_a.Volume() - box_a.Volume();
+  const double vol_grow_b = grown_b.Volume() - box_b.Volume();
+  if (vol_grow_a != vol_grow_b) return vol_grow_a < vol_grow_b;
+  const double margin_grow_a = grown_a.Margin() - box_a.Margin();
+  const double margin_grow_b = grown_b.Margin() - box_b.Margin();
+  if (margin_grow_a != margin_grow_b) return margin_grow_a < margin_grow_b;
+  if (box_a.Volume() != box_b.Volume()) return box_a.Volume() < box_b.Volume();
+  if (box_a.Margin() != box_b.Margin()) return box_a.Margin() < box_b.Margin();
+  return size_a <= size_b;
+}
+
+/// Guttman linear split: seeds with greatest normalised separation, then
+/// assign remaining entries to the group needing least enlargement.
+SplitResult LinearSplit(std::vector<Entry> entries, std::size_t dim,
+                        std::size_t min_fill) {
+  const std::size_t n = entries.size();
+  // Pick seeds.
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1;
+  double best_sep = -std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < dim; ++d) {
+    double min_lo = std::numeric_limits<double>::infinity();
+    double max_hi = -std::numeric_limits<double>::infinity();
+    std::size_t high_lo_idx = 0;  // entry with greatest lo
+    std::size_t low_hi_idx = 0;   // entry with smallest hi
+    double high_lo = -std::numeric_limits<double>::infinity();
+    double low_hi = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = entries[i].mbr.lo()[d];
+      const double hi = entries[i].mbr.hi()[d];
+      min_lo = std::min(min_lo, lo);
+      max_hi = std::max(max_hi, hi);
+      if (lo > high_lo) {
+        high_lo = lo;
+        high_lo_idx = i;
+      }
+      if (hi < low_hi) {
+        low_hi = hi;
+        low_hi_idx = i;
+      }
+    }
+    const double width = max_hi - min_lo;
+    if (high_lo_idx == low_hi_idx) continue;
+    const double sep = width > 0.0 ? (high_lo - low_hi) / width : 0.0;
+    if (sep > best_sep) {
+      best_sep = sep;
+      seed_a = low_hi_idx;
+      seed_b = high_lo_idx;
+    }
+  }
+  if (seed_a == seed_b) seed_b = (seed_a + 1) % n;
+
+  SplitResult out;
+  Mbr box_a = entries[seed_a].mbr;
+  Mbr box_b = entries[seed_b].mbr;
+  out.left.push_back(std::move(entries[seed_a]));
+  out.right.push_back(std::move(entries[seed_b]));
+
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(i);
+  }
+  std::size_t remaining = rest.size();
+  for (std::size_t idx : rest) {
+    Entry& e = entries[idx];
+    // Min-fill guarantee: if one side must take everything left, do so.
+    if (out.left.size() + remaining == min_fill) {
+      box_a.Extend(e.mbr);
+      out.left.push_back(std::move(e));
+      --remaining;
+      continue;
+    }
+    if (out.right.size() + remaining == min_fill) {
+      box_b.Extend(e.mbr);
+      out.right.push_back(std::move(e));
+      --remaining;
+      continue;
+    }
+    const bool to_a =
+        PreferGroupA(box_a, box_b, e.mbr, out.left.size(), out.right.size());
+    if (to_a) {
+      box_a.Extend(e.mbr);
+      out.left.push_back(std::move(e));
+    } else {
+      box_b.Extend(e.mbr);
+      out.right.push_back(std::move(e));
+    }
+    --remaining;
+  }
+  return out;
+}
+
+/// Guttman quadratic split: seeds maximise dead space; PickNext maximises the
+/// enlargement difference.
+SplitResult QuadraticSplit(std::vector<Entry> entries, std::size_t dim,
+                           std::size_t min_fill) {
+  (void)dim;  // kept for signature symmetry with the other algorithms
+  const std::size_t n = entries.size();
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1;
+  double worst_vol_waste = -std::numeric_limits<double>::infinity();
+  double worst_margin_waste = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      Mbr merged = entries[i].mbr;
+      merged.Extend(entries[j].mbr);
+      const double vol_waste =
+          merged.Volume() - entries[i].mbr.Volume() - entries[j].mbr.Volume();
+      // Margin waste breaks ties when every pair union is degenerate
+      // (zero volume), e.g. collinear point entries.
+      const double margin_waste =
+          merged.Margin() - entries[i].mbr.Margin() - entries[j].mbr.Margin();
+      if (vol_waste > worst_vol_waste ||
+          (vol_waste == worst_vol_waste && margin_waste > worst_margin_waste)) {
+        worst_vol_waste = vol_waste;
+        worst_margin_waste = margin_waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  SplitResult out;
+  Mbr box_a = entries[seed_a].mbr;
+  Mbr box_b = entries[seed_b].mbr;
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  out.left.push_back(entries[seed_a]);
+  out.right.push_back(entries[seed_b]);
+  std::size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Min-fill short-circuit.
+    if (out.left.size() + remaining == min_fill ||
+        out.right.size() + remaining == min_fill) {
+      const bool to_a = out.left.size() + remaining == min_fill;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assigned[i]) continue;
+        assigned[i] = true;
+        if (to_a) {
+          box_a.Extend(entries[i].mbr);
+          out.left.push_back(entries[i]);
+        } else {
+          box_b.Extend(entries[i].mbr);
+          out.right.push_back(entries[i]);
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: unassigned entry with max |grow_a - grow_b|.
+    std::size_t pick = n;
+    double best_diff = -1.0;
+    double pick_grow_a = 0.0;
+    double pick_grow_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double grow_a = box_a.EnlargedVolume(entries[i].mbr) - box_a.Volume();
+      const double grow_b = box_b.EnlargedVolume(entries[i].mbr) - box_b.Volume();
+      const double diff = std::fabs(grow_a - grow_b);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_grow_a = grow_a;
+        pick_grow_b = grow_b;
+      }
+    }
+    assert(pick < n);
+    assigned[pick] = true;
+    (void)pick_grow_a;
+    (void)pick_grow_b;
+    const bool to_a = PreferGroupA(box_a, box_b, entries[pick].mbr,
+                                   out.left.size(), out.right.size());
+    if (to_a) {
+      box_a.Extend(entries[pick].mbr);
+      out.left.push_back(entries[pick]);
+    } else {
+      box_b.Extend(entries[pick].mbr);
+      out.right.push_back(entries[pick]);
+    }
+    --remaining;
+  }
+  return out;
+}
+
+/// R* split: choose axis by minimal margin sum over all candidate
+/// distributions, then the distribution with minimal overlap volume
+/// (ties: minimal total volume).
+SplitResult RStarSplit(std::vector<Entry> entries, std::size_t dim,
+                       std::size_t min_fill) {
+  const std::size_t n = entries.size();
+  const std::size_t num_dists = n - 2 * min_fill + 1;  // k = 0 .. num_dists-1
+  assert(num_dists >= 1);
+
+  std::size_t best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> order(n);
+
+  auto sorted_order = [&](std::size_t axis, bool by_hi) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = by_hi ? entries[a].mbr.hi()[axis] : entries[a].mbr.lo()[axis];
+      const double kb = by_hi ? entries[b].mbr.hi()[axis] : entries[b].mbr.lo()[axis];
+      return ka < kb;
+    });
+  };
+
+  for (std::size_t axis = 0; axis < dim; ++axis) {
+    for (bool by_hi : {false, true}) {
+      sorted_order(axis, by_hi);
+      double margin_sum = 0.0;
+      for (std::size_t k = 0; k < num_dists; ++k) {
+        const std::size_t split_at = min_fill + k;
+        const Mbr left = MbrOfRange(entries, order, 0, split_at, dim);
+        const Mbr right = MbrOfRange(entries, order, split_at, n, dim);
+        margin_sum += left.Margin() + right.Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_hi = by_hi;
+      }
+    }
+  }
+
+  // Along the chosen axis+sort, pick the distribution with minimal overlap.
+  sorted_order(best_axis, best_axis_by_hi);
+  std::size_t best_split = min_fill;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < num_dists; ++k) {
+    const std::size_t split_at = min_fill + k;
+    const Mbr left = MbrOfRange(entries, order, 0, split_at, dim);
+    const Mbr right = MbrOfRange(entries, order, split_at, n, dim);
+    const double overlap = left.OverlapVolume(right);
+    const double volume = left.Volume() + right.Volume();
+    // Margin breaks volume ties for degenerate boxes (see PreferGroupA).
+    const double margin = left.Margin() + right.Margin();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap &&
+         (volume < best_volume ||
+          (volume == best_volume && margin < best_margin)))) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_margin = margin;
+      best_split = split_at;
+    }
+  }
+
+  SplitResult out;
+  out.left.reserve(best_split);
+  out.right.reserve(n - best_split);
+  for (std::size_t i = 0; i < best_split; ++i)
+    out.left.push_back(std::move(entries[order[i]]));
+  for (std::size_t i = best_split; i < n; ++i)
+    out.right.push_back(std::move(entries[order[i]]));
+  return out;
+}
+
+}  // namespace
+
+std::string_view SplitAlgorithmToString(SplitAlgorithm algo) {
+  switch (algo) {
+    case SplitAlgorithm::kLinear:
+      return "linear";
+    case SplitAlgorithm::kQuadratic:
+      return "quadratic";
+    case SplitAlgorithm::kRStar:
+      return "rstar";
+  }
+  return "unknown";
+}
+
+SplitResult SplitEntries(std::vector<Entry> entries, std::size_t dim,
+                         std::size_t min_fill, SplitAlgorithm algo) {
+  assert(min_fill >= 1);
+  assert(entries.size() >= 2 * min_fill);
+  switch (algo) {
+    case SplitAlgorithm::kLinear:
+      return LinearSplit(std::move(entries), dim, min_fill);
+    case SplitAlgorithm::kQuadratic:
+      return QuadraticSplit(std::move(entries), dim, min_fill);
+    case SplitAlgorithm::kRStar:
+      return RStarSplit(std::move(entries), dim, min_fill);
+  }
+  return LinearSplit(std::move(entries), dim, min_fill);
+}
+
+}  // namespace tsss::index

@@ -1,0 +1,40 @@
+#ifndef TSSS_INDEX_SPLIT_H_
+#define TSSS_INDEX_SPLIT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tsss/index/node.h"
+
+namespace tsss::index {
+
+/// Node-split algorithms for overflowing R-tree nodes.
+///  * kLinear    — Guttman's linear-cost split (R-tree, 1984).
+///  * kQuadratic — Guttman's quadratic-cost split.
+///  * kRStar     — Beckmann et al.'s topological split (R*-tree, 1990):
+///                 choose the split axis by minimum margin sum, then the
+///                 distribution by minimum overlap.
+enum class SplitAlgorithm : std::uint8_t {
+  kLinear = 0,
+  kQuadratic = 1,
+  kRStar = 2,
+};
+
+std::string_view SplitAlgorithmToString(SplitAlgorithm algo);
+
+/// Outcome of splitting an entry set into two groups.
+struct SplitResult {
+  std::vector<Entry> left;
+  std::vector<Entry> right;
+};
+
+/// Splits `entries` (typically M+1 of them) into two groups, each with at
+/// least `min_fill` entries. Requires entries.size() >= 2*min_fill and
+/// min_fill >= 1.
+SplitResult SplitEntries(std::vector<Entry> entries, std::size_t dim,
+                         std::size_t min_fill, SplitAlgorithm algo);
+
+}  // namespace tsss::index
+
+#endif  // TSSS_INDEX_SPLIT_H_

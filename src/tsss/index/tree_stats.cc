@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <limits>
+
+#include "tsss/index/rtree.h"
+
+namespace tsss::index {
+
+Result<TreeStats> RTree::ComputeStats() {
+  TreeStats stats;
+  stats.height = height_;
+  stats.entry_count = size_;
+
+  std::size_t leaf_entry_sum = 0;
+  std::size_t internal_entry_sum = 0;
+  std::size_t internal_count = 0;
+  double aspect_sum = 0.0;
+  double diag_sum = 0.0;
+  std::size_t box_count = 0;
+
+  const NodeCodec codec(config_.dim);
+  Status s = VisitNodes([&](const Node& node, storage::PageId) {
+    ++stats.node_count;
+    const std::size_t per_page =
+        node.is_leaf() ? codec.max_leaf_entries() : codec.max_internal_entries();
+    stats.node_pages += std::max<std::size_t>(
+        1, (node.entries.size() + per_page - 1) / per_page);
+    if (!node.is_leaf() && node.entries.size() > config_.max_entries) {
+      ++stats.supernode_count;
+    }
+    if (node.is_leaf()) {
+      ++stats.leaf_count;
+      leaf_entry_sum += node.entries.size();
+      stats.total_leaf_mbr_volume += node.ComputeMbr(config_.dim).Volume();
+    } else {
+      ++internal_count;
+      internal_entry_sum += node.entries.size();
+      // Pairwise overlap among sibling MBRs: the quantity the X-tree paper
+      // ties to search degradation and the paper cites in Section 7.
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        for (std::size_t j = i + 1; j < node.entries.size(); ++j) {
+          stats.total_overlap_volume +=
+              node.entries[i].mbr.OverlapVolume(node.entries[j].mbr);
+        }
+      }
+      // Shape of child boxes: long-thin MBRs are why bounding spheres fail
+      // (Section 7 discussion, SR-tree observation).
+      for (const Entry& e : node.entries) {
+        double shortest = std::numeric_limits<double>::infinity();
+        double longest = 0.0;
+        for (std::size_t d = 0; d < config_.dim; ++d) {
+          const double side = e.mbr.hi()[d] - e.mbr.lo()[d];
+          shortest = std::min(shortest, side);
+          longest = std::max(longest, side);
+        }
+        if (shortest > 0.0) {
+          aspect_sum += longest / shortest;
+          diag_sum += 2.0 * e.mbr.HalfDiagonal() / shortest;
+          ++box_count;
+        }
+      }
+    }
+  });
+  if (!s.ok()) return s;
+
+  if (stats.leaf_count > 0) {
+    stats.avg_leaf_fill =
+        static_cast<double>(leaf_entry_sum) /
+        (static_cast<double>(stats.leaf_count) * static_cast<double>(leaf_max_));
+  }
+  if (internal_count > 0) {
+    stats.avg_internal_fill = static_cast<double>(internal_entry_sum) /
+                              (static_cast<double>(internal_count) *
+                               static_cast<double>(config_.max_entries));
+  }
+  if (box_count > 0) {
+    stats.avg_aspect_ratio = aspect_sum / static_cast<double>(box_count);
+    stats.avg_diag_to_min_side = diag_sum / static_cast<double>(box_count);
+  }
+  return stats;
+}
+
+}  // namespace tsss::index

@@ -1,0 +1,53 @@
+#include "tsss/reduce/dft.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tsss::reduce {
+
+DftReducer::DftReducer(std::size_t n, std::size_t num_coeffs, std::size_t first_coeff)
+    : n_(n), num_coeffs_(num_coeffs), first_coeff_(first_coeff) {
+  assert(n_ >= 1);
+  assert(num_coeffs_ >= 1);
+  assert(first_coeff_ + num_coeffs_ <= n_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
+  cos_.resize(num_coeffs_);
+  sin_.resize(num_coeffs_);
+  for (std::size_t c = 0; c < num_coeffs_; ++c) {
+    const std::size_t k = first_coeff_ + c;
+    cos_[c].resize(n_);
+    sin_[c].resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(j) *
+                           static_cast<double>(k) / static_cast<double>(n_);
+      cos_[c][j] = scale * std::cos(angle);
+      sin_[c][j] = scale * std::sin(angle);
+    }
+  }
+}
+
+void DftReducer::Reduce(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == n_);
+  assert(out.size() == output_dim());
+  for (std::size_t c = 0; c < num_coeffs_; ++c) {
+    double re = 0.0;
+    double im = 0.0;
+    const auto& cos_row = cos_[c];
+    const auto& sin_row = sin_[c];
+    for (std::size_t j = 0; j < n_; ++j) {
+      re += cos_row[j] * in[j];
+      im += sin_row[j] * in[j];
+    }
+    out[2 * c] = re;
+    out[2 * c + 1] = im;
+  }
+}
+
+std::string DftReducer::Name() const {
+  std::ostringstream os;
+  os << "dft(n=" << n_ << ",fc=" << num_coeffs_ << ",first=" << first_coeff_ << ")";
+  return os.str();
+}
+
+}  // namespace tsss::reduce

@@ -1,0 +1,49 @@
+#ifndef TSSS_REDUCE_DFT_H_
+#define TSSS_REDUCE_DFT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::reduce {
+
+/// Orthonormal Discrete Fourier Transform reducer (paper, Section 7;
+/// following [1, 2] it keeps the first few Fourier coefficients).
+///
+/// The k-th orthonormal DFT coefficient of x in R^n is
+///   X_k = (1/sqrt(n)) * sum_j x_j * exp(-2*pi*i*j*k/n),
+/// and this reducer emits (Re X_k, Im X_k) for k = first_coeff ..
+/// first_coeff + num_coeffs - 1. By Parseval the map is an orthogonal
+/// projection composed with an isometry, hence linear and contractive.
+///
+/// Because indexed points are SE-transformed (zero mean), their DC
+/// coefficient X_0 is identically zero, so the default first_coeff is 1:
+/// "three Fourier coefficients -> R*-tree dimension 6" matches the paper
+/// with num_coeffs = 3.
+class DftReducer final : public Reducer {
+ public:
+  /// Requires n >= 1, num_coeffs >= 1, first_coeff + num_coeffs <= n.
+  DftReducer(std::size_t n, std::size_t num_coeffs, std::size_t first_coeff = 1);
+
+  std::size_t input_dim() const override { return n_; }
+  std::size_t output_dim() const override { return 2 * num_coeffs_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override;
+  std::string Name() const override;
+
+  std::size_t first_coeff() const { return first_coeff_; }
+  std::size_t num_coeffs() const { return num_coeffs_; }
+
+ private:
+  std::size_t n_;
+  std::size_t num_coeffs_;
+  std::size_t first_coeff_;
+  // Precomputed cos/sin tables: row per kept coefficient, column per sample,
+  // already scaled by 1/sqrt(n).
+  std::vector<std::vector<double>> cos_;
+  std::vector<std::vector<double>> sin_;
+};
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_DFT_H_

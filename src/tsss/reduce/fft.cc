@@ -1,0 +1,65 @@
+#include "tsss/reduce/fft.h"
+
+#include <cmath>
+
+#include "tsss/common/math_utils.h"
+
+namespace tsss::reduce {
+namespace {
+
+Status FftImpl(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return Status::InvalidArgument("FFT of empty span");
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("FFT length must be a power of two, got " +
+                                   std::to_string(n));
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> a = data[i + k];
+        const std::complex<double> b = data[i + k + len / 2] * w;
+        data[i + k] = a + b;
+        data[i + k + len / 2] = a - b;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Fft(std::span<std::complex<double>> data) { return FftImpl(data, false); }
+
+Status InverseFft(std::span<std::complex<double>> data) {
+  return FftImpl(data, true);
+}
+
+Result<std::vector<std::complex<double>>> RealFftOrthonormal(
+    std::span<const double> signal) {
+  std::vector<std::complex<double>> spectrum(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) spectrum[i] = signal[i];
+  Status s = Fft(spectrum);
+  if (!s.ok()) return s;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(signal.size()));
+  for (auto& x : spectrum) x *= scale;
+  return spectrum;
+}
+
+}  // namespace tsss::reduce

@@ -1,0 +1,29 @@
+#ifndef TSSS_REDUCE_FFT_H_
+#define TSSS_REDUCE_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tsss/common/status.h"
+
+namespace tsss::reduce {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// `data.size()` must be a power of two. Forward transform computes
+/// X_k = sum_j x_j exp(-2*pi*i*j*k/n) (unnormalised); the inverse applies the
+/// conjugate transform and divides by n, so Inverse(Forward(x)) == x.
+Status Fft(std::span<std::complex<double>> data);
+Status InverseFft(std::span<std::complex<double>> data);
+
+/// Forward FFT of a real signal (power-of-two length), returning the full
+/// complex spectrum, *orthonormally* scaled by 1/sqrt(n) so that Parseval
+/// holds with equality: sum |x_j|^2 == sum |X_k|^2.
+Result<std::vector<std::complex<double>>> RealFftOrthonormal(
+    std::span<const double> signal);
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_FFT_H_

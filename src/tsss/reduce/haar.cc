@@ -1,0 +1,45 @@
+#include "tsss/reduce/haar.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "tsss/common/math_utils.h"
+
+namespace tsss::reduce {
+
+HaarReducer::HaarReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  assert(IsPowerOfTwo(n_));
+  assert(k_ >= 1);
+  assert(k_ <= n_);
+}
+
+void HaarReducer::Reduce(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == n_);
+  assert(out.size() == k_);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> buf(in.begin(), in.end());
+  std::vector<double> tmp(n_);
+  // After each pass the first half holds the (coarser) approximation and the
+  // second half the detail coefficients of that level; recursing on the first
+  // half leaves the buffer in coarse-to-fine order:
+  //   [average, detail_coarsest, detail_next (x2), detail_next (x4), ...]
+  for (std::size_t len = n_; len > 1; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = (buf[2 * i] + buf[2 * i + 1]) * inv_sqrt2;
+      tmp[half + i] = (buf[2 * i] - buf[2 * i + 1]) * inv_sqrt2;
+    }
+    for (std::size_t i = 0; i < len; ++i) buf[i] = tmp[i];
+  }
+  for (std::size_t i = 0; i < k_; ++i) out[i] = buf[i];
+}
+
+std::string HaarReducer::Name() const {
+  std::ostringstream os;
+  os << "haar(n=" << n_ << ",k=" << k_ << ")";
+  return os.str();
+}
+
+}  // namespace tsss::reduce

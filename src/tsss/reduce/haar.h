@@ -1,0 +1,35 @@
+#ifndef TSSS_REDUCE_HAAR_H_
+#define TSSS_REDUCE_HAAR_H_
+
+#include <cstddef>
+
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::reduce {
+
+/// Orthonormal Haar wavelet reducer (the paper cites wavelet-based dimension
+/// reduction, Chan & Fu [14]).
+///
+/// Computes the full orthonormal Haar transform of the window (length must be
+/// a power of two) and keeps the first `k` coefficients in coarse-to-fine
+/// order: the overall average first, then detail coefficients of increasing
+/// resolution. Truncating an orthonormal basis expansion is linear and
+/// contractive, satisfying the Reducer contract.
+class HaarReducer final : public Reducer {
+ public:
+  /// Requires n a power of two and 1 <= k <= n.
+  HaarReducer(std::size_t n, std::size_t k);
+
+  std::size_t input_dim() const override { return n_; }
+  std::size_t output_dim() const override { return k_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override;
+  std::string Name() const override;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_HAAR_H_

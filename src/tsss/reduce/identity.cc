@@ -1,0 +1,22 @@
+#include "tsss/reduce/identity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace tsss::reduce {
+
+void IdentityReducer::Reduce(std::span<const double> in,
+                             std::span<double> out) const {
+  assert(in.size() == n_);
+  assert(out.size() == n_);
+  std::copy(in.begin(), in.end(), out.begin());
+}
+
+std::string IdentityReducer::Name() const {
+  std::ostringstream os;
+  os << "identity(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace tsss::reduce

@@ -1,0 +1,27 @@
+#ifndef TSSS_REDUCE_IDENTITY_H_
+#define TSSS_REDUCE_IDENTITY_H_
+
+#include <cstddef>
+
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::reduce {
+
+/// The trivial reducer: out == in. Useful for exact (unreduced) indexing and
+/// as a baseline in the reducer ablation.
+class IdentityReducer final : public Reducer {
+ public:
+  explicit IdentityReducer(std::size_t n) : n_(n) {}
+
+  std::size_t input_dim() const override { return n_; }
+  std::size_t output_dim() const override { return n_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override;
+  std::string Name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_IDENTITY_H_

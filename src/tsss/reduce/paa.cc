@@ -1,0 +1,44 @@
+#include "tsss/reduce/paa.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tsss::reduce {
+
+PaaReducer::PaaReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  assert(k_ >= 1);
+  assert(k_ <= n_);
+  seg_start_.resize(k_ + 1);
+  seg_scale_.resize(k_);
+  // Distribute n elements over k segments as evenly as possible.
+  const std::size_t base = n_ / k_;
+  const std::size_t extra = n_ % k_;
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < k_; ++s) {
+    seg_start_[s] = pos;
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    seg_scale_[s] = 1.0 / std::sqrt(static_cast<double>(len));
+    pos += len;
+  }
+  seg_start_[k_] = pos;
+  assert(pos == n_);
+}
+
+void PaaReducer::Reduce(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == n_);
+  assert(out.size() == k_);
+  for (std::size_t s = 0; s < k_; ++s) {
+    double acc = 0.0;
+    for (std::size_t j = seg_start_[s]; j < seg_start_[s + 1]; ++j) acc += in[j];
+    out[s] = acc * seg_scale_[s];
+  }
+}
+
+std::string PaaReducer::Name() const {
+  std::ostringstream os;
+  os << "paa(n=" << n_ << ",k=" << k_ << ")";
+  return os.str();
+}
+
+}  // namespace tsss::reduce

@@ -1,0 +1,39 @@
+#ifndef TSSS_REDUCE_PAA_H_
+#define TSSS_REDUCE_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::reduce {
+
+/// Piecewise Aggregate Approximation reducer.
+///
+/// Splits the window into `k` contiguous segments (lengths differing by at
+/// most one) and emits, per segment s of length L_s,
+///   out_s = (1 / sqrt(L_s)) * sum_{j in s} x_j = sqrt(L_s) * mean_s(x).
+///
+/// With this scaling the map is the orthogonal projection onto the
+/// orthonormal family of normalised segment indicators, so it is linear and
+/// contractive (see Reducer contract).
+class PaaReducer final : public Reducer {
+ public:
+  /// Requires 1 <= k <= n.
+  PaaReducer(std::size_t n, std::size_t k);
+
+  std::size_t input_dim() const override { return n_; }
+  std::size_t output_dim() const override { return k_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override;
+  std::string Name() const override;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::size_t> seg_start_;  ///< k_+1 boundaries
+  std::vector<double> seg_scale_;       ///< 1/sqrt(L_s) per segment
+};
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_PAA_H_

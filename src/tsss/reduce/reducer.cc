@@ -1,0 +1,82 @@
+#include "tsss/reduce/reducer.h"
+
+#include <string>
+
+#include "tsss/common/math_utils.h"
+#include "tsss/reduce/dft.h"
+#include "tsss/reduce/haar.h"
+#include "tsss/reduce/identity.h"
+#include "tsss/reduce/paa.h"
+
+namespace tsss::reduce {
+
+std::string_view ReducerKindToString(ReducerKind kind) {
+  switch (kind) {
+    case ReducerKind::kIdentity:
+      return "identity";
+    case ReducerKind::kDft:
+      return "dft";
+    case ReducerKind::kPaa:
+      return "paa";
+    case ReducerKind::kHaar:
+      return "haar";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Reducer>> MakeReducer(ReducerKind kind,
+                                             std::size_t input_dim,
+                                             std::size_t output_dim) {
+  if (input_dim == 0) {
+    return Status::InvalidArgument("reducer input_dim must be positive");
+  }
+  switch (kind) {
+    case ReducerKind::kIdentity: {
+      if (output_dim != 0 && output_dim != input_dim) {
+        return Status::InvalidArgument(
+            "identity reducer requires output_dim == input_dim");
+      }
+      return std::unique_ptr<Reducer>(new IdentityReducer(input_dim));
+    }
+    case ReducerKind::kDft: {
+      if (output_dim == 0 || output_dim % 2 != 0) {
+        return Status::InvalidArgument(
+            "dft reducer requires a positive even output_dim (2 reals per "
+            "coefficient), got " +
+            std::to_string(output_dim));
+      }
+      const std::size_t num_coeffs = output_dim / 2;
+      // Coefficients 1 .. num_coeffs (DC skipped; it is zero after the
+      // SE-transform).
+      if (1 + num_coeffs > input_dim) {
+        return Status::InvalidArgument(
+            "dft reducer: not enough non-DC coefficients in a window of "
+            "length " +
+            std::to_string(input_dim));
+      }
+      return std::unique_ptr<Reducer>(new DftReducer(input_dim, num_coeffs, 1));
+    }
+    case ReducerKind::kPaa: {
+      if (output_dim == 0 || output_dim > input_dim) {
+        return Status::InvalidArgument(
+            "paa reducer requires 1 <= output_dim <= input_dim");
+      }
+      return std::unique_ptr<Reducer>(new PaaReducer(input_dim, output_dim));
+    }
+    case ReducerKind::kHaar: {
+      if (!IsPowerOfTwo(input_dim)) {
+        return Status::InvalidArgument(
+            "haar reducer requires a power-of-two input_dim, got " +
+            std::to_string(input_dim));
+      }
+      if (output_dim == 0 || output_dim > input_dim) {
+        return Status::InvalidArgument(
+            "haar reducer requires 1 <= output_dim <= input_dim");
+      }
+      return std::unique_ptr<Reducer>(new HaarReducer(input_dim, output_dim));
+    }
+  }
+  return Status::InvalidArgument("unknown reducer kind");
+}
+
+}  // namespace tsss::reduce

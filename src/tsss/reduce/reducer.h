@@ -1,0 +1,74 @@
+#ifndef TSSS_REDUCE_REDUCER_H_
+#define TSSS_REDUCE_REDUCER_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tsss/common/status.h"
+#include "tsss/geom/vec.h"
+
+namespace tsss::reduce {
+
+/// A linear, contractive dimension reducer R: R^n -> R^k.
+///
+/// The index correctness proof (DESIGN.md, Section 5) requires exactly two
+/// properties of every implementation, both enforced by property tests:
+///
+///  1. Linearity: R(a*x + y) = a*R(x) + R(y). This is what lets the query's
+///     SE-line map to a line in the reduced space.
+///  2. Contraction: ||R(x)|| <= ||x||, hence reduced distances lower-bound
+///     original distances and pruning causes no false dismissals.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// Dimensionality of the input vectors this reducer accepts.
+  virtual std::size_t input_dim() const = 0;
+
+  /// Dimensionality of the reduced vectors it produces.
+  virtual std::size_t output_dim() const = 0;
+
+  /// Reduces `in` (size input_dim) into `out` (size output_dim).
+  virtual void Reduce(std::span<const double> in, std::span<double> out) const = 0;
+
+  /// Human-readable name, e.g. "dft(n=128,fc=3)".
+  virtual std::string Name() const = 0;
+
+  /// Convenience allocation-returning overload.
+  geom::Vec Apply(std::span<const double> in) const {
+    geom::Vec out(output_dim());
+    Reduce(in, out);
+    return out;
+  }
+};
+
+/// Which reducer family to instantiate.
+enum class ReducerKind : int {
+  kIdentity = 0,
+  kDft = 1,
+  kPaa = 2,
+  kHaar = 3,
+};
+
+std::string_view ReducerKindToString(ReducerKind kind);
+
+/// Creates a reducer of the given family.
+///
+/// `input_dim` is the window length n; `output_dim` the reduced
+/// dimensionality k. Constraints:
+///  * kIdentity: output_dim == input_dim (0 means "use input_dim").
+///  * kDft:      output_dim even (two reals per Fourier coefficient) and
+///               output_dim/2 kept coefficients must exist above DC:
+///               output_dim/2 <= (input_dim-1)/2 is not required, but
+///               1 + output_dim/2 <= input_dim must hold.
+///  * kPaa:      output_dim <= input_dim.
+///  * kHaar:     input_dim a power of two, output_dim <= input_dim.
+Result<std::unique_ptr<Reducer>> MakeReducer(ReducerKind kind,
+                                             std::size_t input_dim,
+                                             std::size_t output_dim);
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_REDUCER_H_

@@ -1,0 +1,111 @@
+#include "tsss/seq/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace tsss::seq {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view field, double* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text) {
+  std::vector<TimeSeries> out;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+
+    TimeSeries series;
+    bool first_field = true;
+    std::size_t pos = 0;
+    while (pos <= view.size()) {
+      const std::size_t comma = view.find(',', pos);
+      const std::string_view field =
+          Trim(view.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                                : comma - pos));
+      pos = comma == std::string_view::npos ? view.size() + 1 : comma + 1;
+      if (field.empty()) {
+        if (first_field) {
+          return Status::InvalidArgument("csv line " + std::to_string(line_no) +
+                                         ": empty first field");
+        }
+        continue;  // tolerate trailing commas
+      }
+      double value;
+      if (first_field) {
+        first_field = false;
+        if (ParseDouble(field, &value)) {
+          series.name = "series" + std::to_string(out.size());
+          series.values.push_back(value);
+        } else {
+          series.name = std::string(field);
+        }
+        continue;
+      }
+      if (!ParseDouble(field, &value)) {
+        return Status::InvalidArgument("csv line " + std::to_string(line_no) +
+                                       ": bad number '" + std::string(field) + "'");
+      }
+      series.values.push_back(value);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+Result<std::vector<TimeSeries>> LoadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string ToCsv(const std::vector<TimeSeries>& series) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const TimeSeries& s : series) {
+    os << s.name;
+    for (double v : s.values) os << ',' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status SaveCsvFile(const std::string& path, const std::vector<TimeSeries>& series) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  file << ToCsv(series);
+  if (!file) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace tsss::seq

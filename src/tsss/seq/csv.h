@@ -1,0 +1,29 @@
+#ifndef TSSS_SEQ_CSV_H_
+#define TSSS_SEQ_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/seq/time_series.h"
+
+namespace tsss::seq {
+
+/// Parses time series from CSV text: one series per line,
+/// "name,v1,v2,...,vk". Blank lines and lines starting with '#' are skipped.
+/// Whitespace around fields is tolerated. A line whose first field parses as
+/// a number is treated as an unnamed series ("series<i>").
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text);
+
+/// Loads ParseCsv-format series from a file.
+Result<std::vector<TimeSeries>> LoadCsvFile(const std::string& path);
+
+/// Serialises series to the ParseCsv format.
+std::string ToCsv(const std::vector<TimeSeries>& series);
+
+/// Writes ToCsv output to a file.
+Status SaveCsvFile(const std::string& path, const std::vector<TimeSeries>& series);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_CSV_H_

@@ -1,0 +1,37 @@
+#include "tsss/seq/dataset.h"
+
+namespace tsss::seq {
+
+storage::SeriesId Dataset::Add(const TimeSeries& series) {
+  return Add(series.name, series.values);
+}
+
+storage::SeriesId Dataset::Add(std::string name, std::span<const double> values) {
+  const storage::SeriesId id = store_.AddSeries(values);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+Status Dataset::Append(storage::SeriesId id, std::span<const double> values) {
+  return store_.AppendToSeries(id, values);
+}
+
+Result<std::string> Dataset::Name(storage::SeriesId id) const {
+  if (id >= names_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  return names_[id];
+}
+
+Result<std::span<const double>> Dataset::Values(storage::SeriesId id) const {
+  return store_.SeriesValues(id);
+}
+
+Result<storage::SeriesId> Dataset::FindSeries(std::string_view name) const {
+  for (storage::SeriesId id = 0; id < names_.size(); ++id) {
+    if (names_[id] == name) return id;
+  }
+  return Status::NotFound("no series named '" + std::string(name) + "'");
+}
+
+}  // namespace tsss::seq

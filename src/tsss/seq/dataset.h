@@ -1,0 +1,53 @@
+#ifndef TSSS_SEQ_DATASET_H_
+#define TSSS_SEQ_DATASET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/seq/time_series.h"
+#include "tsss/storage/sequence_store.h"
+
+namespace tsss::seq {
+
+/// A catalogue of named time series backed by a page-counted SequenceStore.
+///
+/// The Dataset owns the raw values; the search engine reads windows through
+/// it so that candidate verification I/O is accounted (Figure 5).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Adds a series; names need not be unique (ids are the identity).
+  storage::SeriesId Add(const TimeSeries& series);
+  storage::SeriesId Add(std::string name, std::span<const double> values);
+
+  /// Appends values to the most recently added series (regular data
+  /// collection; see SequenceStore::AppendToSeries for the constraint).
+  Status Append(storage::SeriesId id, std::span<const double> values);
+
+  std::size_t size() const { return names_.size(); }
+  std::size_t total_values() const { return store_.total_values(); }
+
+  Result<std::string> Name(storage::SeriesId id) const;
+  Result<std::span<const double>> Values(storage::SeriesId id) const;
+
+  /// Finds the first series with the given name (names are not required to
+  /// be unique; ids are the identity). NotFound when absent.
+  Result<storage::SeriesId> FindSeries(std::string_view name) const;
+
+  storage::SequenceStore& store() { return store_; }
+  const storage::SequenceStore& store() const { return store_; }
+
+ private:
+  storage::SequenceStore store_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_DATASET_H_

@@ -1,0 +1,124 @@
+#include "tsss/seq/dataset_io.h"
+
+#include <fstream>
+#include <vector>
+
+#include "tsss/common/crc32.h"
+
+namespace tsss::seq {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5453535344415441ull;  // "TSSSDATA"
+
+class ChecksummedWriter {
+ public:
+  explicit ChecksummedWriter(std::ostream* os) : os_(os) {}
+
+  template <typename T>
+  void Put(T value) {
+    PutBytes(&value, sizeof(T));
+  }
+
+  void PutBytes(const void* data, std::size_t size) {
+    os_->write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    crc_ = Crc32Continue(crc_, data, size);
+  }
+
+  std::uint32_t crc() const { return crc_; }
+
+ private:
+  std::ostream* os_;
+  std::uint32_t crc_ = 0;
+};
+
+class ChecksummedReader {
+ public:
+  explicit ChecksummedReader(std::istream* is) : is_(is) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    return GetBytes(value, sizeof(T));
+  }
+
+  bool GetBytes(void* data, std::size_t size) {
+    is_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!*is_) return false;
+    crc_ = Crc32Continue(crc_, data, size);
+    return true;
+  }
+
+  std::uint32_t crc() const { return crc_; }
+
+ private:
+  std::istream* is_;
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace
+
+Status SaveDataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  ChecksummedWriter w(&file);
+  w.Put<std::uint64_t>(kMagic);
+  w.Put<std::uint64_t>(dataset.size());
+  for (storage::SeriesId id = 0; id < dataset.size(); ++id) {
+    Result<std::string> name = dataset.Name(id);
+    if (!name.ok()) return name.status();
+    Result<std::span<const double>> values = dataset.Values(id);
+    if (!values.ok()) return values.status();
+    w.Put<std::uint32_t>(static_cast<std::uint32_t>(name->size()));
+    w.PutBytes(name->data(), name->size());
+    w.Put<std::uint64_t>(values->size());
+    w.PutBytes(values->data(), values->size() * sizeof(double));
+  }
+  const std::uint32_t crc = w.crc();
+  file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  file.flush();
+  if (!file) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadDataset(const std::string& path, Dataset* dataset) {
+  if (dataset->size() != 0) {
+    return Status::FailedPrecondition("LoadDataset requires an empty dataset");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  ChecksummedReader r(&file);
+  std::uint64_t magic = 0;
+  if (!r.Get(&magic) || magic != kMagic) {
+    return Status::Corruption("bad dataset magic in '" + path + "'");
+  }
+  std::uint64_t num_series = 0;
+  if (!r.Get(&num_series)) return Status::Corruption("truncated dataset header");
+  for (std::uint64_t i = 0; i < num_series; ++i) {
+    std::uint32_t name_len = 0;
+    if (!r.Get(&name_len)) return Status::Corruption("truncated series name");
+    std::string name(name_len, '\0');
+    if (name_len > 0 && !r.GetBytes(name.data(), name_len)) {
+      return Status::Corruption("truncated series name bytes");
+    }
+    std::uint64_t count = 0;
+    if (!r.Get(&count)) return Status::Corruption("truncated value count");
+    std::vector<double> values(count);
+    if (count > 0 && !r.GetBytes(values.data(), count * sizeof(double))) {
+      return Status::Corruption("truncated series values");
+    }
+    dataset->Add(std::move(name), values);
+  }
+  const std::uint32_t computed = r.crc();
+  std::uint32_t stored = 0;
+  file.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!file || stored != computed) {
+    return Status::Corruption("dataset checksum mismatch in '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tsss::seq

@@ -1,0 +1,23 @@
+#ifndef TSSS_SEQ_DATASET_IO_H_
+#define TSSS_SEQ_DATASET_IO_H_
+
+#include <string>
+
+#include "tsss/common/status.h"
+#include "tsss/seq/dataset.h"
+
+namespace tsss::seq {
+
+/// Writes the whole dataset (names + raw values) to a binary file.
+/// Format: magic u64 | num_series u64 | per series:
+///   name_len u32 | name bytes | value_count u64 | values f64[] ,
+/// followed by a CRC-32 of everything before it.
+Status SaveDataset(const std::string& path, const Dataset& dataset);
+
+/// Loads a SaveDataset file into `dataset`, which must be empty.
+/// Verifies the trailing checksum.
+Status LoadDataset(const std::string& path, Dataset* dataset);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_DATASET_IO_H_

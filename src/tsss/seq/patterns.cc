@@ -1,0 +1,94 @@
+#include "tsss/seq/patterns.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsss::seq {
+namespace {
+
+/// Normalised time for sample i of n: t in [0, 1].
+double T(std::size_t i, std::size_t n) {
+  return static_cast<double>(i) / static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+geom::Vec RampPattern(std::size_t n) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = T(i, n);
+  return v;
+}
+
+geom::Vec VPattern(std::size_t n) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::fabs(T(i, n) - 0.5) * 2.0;
+  return v;
+}
+
+geom::Vec PeakPattern(std::size_t n) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 - std::fabs(T(i, n) - 0.5) * 2.0;
+  }
+  return v;
+}
+
+geom::Vec SinePattern(std::size_t n, double cycles) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * M_PI * cycles * T(i, n));
+  }
+  return v;
+}
+
+geom::Vec StepPattern(std::size_t n, double at) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = T(i, n) < at ? 0.0 : 1.0;
+  return v;
+}
+
+geom::Vec HeadAndShouldersPattern(std::size_t n) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = T(i, n);
+    // Three lobes at t = 1/6, 1/2, 5/6; the head (middle) is tallest.
+    const double left = 0.6 * std::exp(-std::pow((t - 1.0 / 6.0) / 0.09, 2.0));
+    const double head = 1.0 * std::exp(-std::pow((t - 0.5) / 0.09, 2.0));
+    const double right = 0.6 * std::exp(-std::pow((t - 5.0 / 6.0) / 0.09, 2.0));
+    v[i] = left + head + right;
+  }
+  return v;
+}
+
+geom::Vec SaturationPattern(std::size_t n, double rate) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 - std::exp(-rate * T(i, n));
+  return v;
+}
+
+geom::Vec CupPattern(std::size_t n) {
+  assert(n >= 2);
+  geom::Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = T(i, n);
+    if (t < 0.3) {
+      const double u = t / 0.3;  // 1 -> 0, smooth (cosine easing)
+      v[i] = 0.5 * (1.0 + std::cos(M_PI * u));
+    } else if (t < 0.7) {
+      v[i] = 0.0;  // flat bottom
+    } else {
+      const double u = (t - 0.7) / 0.3;  // 0 -> 1, smooth
+      v[i] = 0.5 * (1.0 - std::cos(M_PI * u));
+    }
+  }
+  return v;
+}
+
+}  // namespace tsss::seq

@@ -1,0 +1,44 @@
+#ifndef TSSS_SEQ_PATTERNS_H_
+#define TSSS_SEQ_PATTERNS_H_
+
+#include <cstddef>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::seq {
+
+/// Canonical query patterns for scale-shift search. All are emitted in a
+/// normalised range (roughly [0, 1] or [-1, 1]); because the search is
+/// scale-shift invariant, the absolute level and amplitude of the pattern
+/// are irrelevant - only its shape matters. n >= 2 for all generators.
+
+/// Linear ramp 0 -> 1 ("steady uptrend").
+geom::Vec RampPattern(std::size_t n);
+
+/// V-shaped reversal 1 -> 0 -> 1 ("crash and recovery").
+geom::Vec VPattern(std::size_t n);
+
+/// Inverted V 0 -> 1 -> 0 ("spike and fade").
+geom::Vec PeakPattern(std::size_t n);
+
+/// `cycles` full sine periods over the window.
+geom::Vec SinePattern(std::size_t n, double cycles = 1.0);
+
+/// Step from 0 to 1 at fraction `at` in (0, 1) ("breakout").
+geom::Vec StepPattern(std::size_t n, double at = 0.5);
+
+/// Head-and-shoulders: three peaks, the middle one higher - the classic
+/// chartist reversal pattern.
+geom::Vec HeadAndShouldersPattern(std::size_t n);
+
+/// Exponential saturation 1 - exp(-rate * t), t in [0, 1] ("rally that
+/// flattens out").
+geom::Vec SaturationPattern(std::size_t n, double rate = 4.0);
+
+/// Cup with a flat bottom: 1 -> 0 (smooth), flat, 0 -> 1 (smooth) -
+/// a rounded V ("cup and handle" base).
+geom::Vec CupPattern(std::size_t n);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_PATTERNS_H_

@@ -1,0 +1,83 @@
+#include "tsss/seq/stock_generator.h"
+
+#include <cmath>
+#include <string>
+
+#include "tsss/common/rng.h"
+
+namespace tsss::seq {
+
+std::vector<TimeSeries> GenerateStockMarket(const StockMarketConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t sectors = config.num_sectors == 0 ? 1 : config.num_sectors;
+
+  // Per-company static parameters.
+  struct Company {
+    double price;
+    double drift;
+    double sigma;
+    double beta;
+    std::size_t sector;
+    bool high_vol_regime;
+  };
+  std::vector<Company> companies(config.num_companies);
+  for (auto& c : companies) {
+    // Log-uniform start prices: the market has many small caps and few
+    // expensive blue chips, giving the scale diversity the queries need.
+    const double log_lo = std::log(config.min_start_price);
+    const double log_hi = std::log(config.max_start_price);
+    c.price = std::exp(rng.Uniform(log_lo, log_hi));
+    c.drift = rng.Gaussian(config.drift_mean, config.drift_stddev);
+    c.sigma = rng.Uniform(config.min_volatility, config.max_volatility);
+    c.beta = rng.Uniform(config.min_sector_beta, config.max_sector_beta);
+    c.sector = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(sectors) - 1));
+    c.high_vol_regime = false;
+  }
+
+  std::vector<TimeSeries> market(config.num_companies);
+  for (std::size_t i = 0; i < config.num_companies; ++i) {
+    market[i].name = "HK" + std::to_string(i);
+    market[i].values.reserve(config.values_per_company);
+  }
+
+  std::vector<double> sector_factor(sectors, 0.0);
+  for (std::size_t t = 0; t < config.values_per_company; ++t) {
+    // One market-wide draw of sector factors per step correlates companies
+    // within a sector, producing the co-moving price runs that make
+    // similarity queries return non-trivial answers.
+    for (std::size_t s = 0; s < sectors; ++s) {
+      sector_factor[s] = rng.Gaussian(0.0, config.sector_volatility);
+    }
+    for (std::size_t i = 0; i < config.num_companies; ++i) {
+      Company& c = companies[i];
+      if (rng.Bernoulli(config.regime_switch_prob)) {
+        c.high_vol_regime = !c.high_vol_regime;
+      }
+      const double sigma =
+          c.high_vol_regime ? c.sigma * config.regime_volatility_boost : c.sigma;
+      const double log_return = c.drift + c.beta * sector_factor[c.sector] +
+                                rng.Gaussian(0.0, sigma);
+      c.price *= std::exp(log_return);
+      market[i].values.push_back(c.price);
+    }
+  }
+  return market;
+}
+
+TimeSeries GenerateGbmPath(std::string name, std::size_t length,
+                           double start_price, double drift, double volatility,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries out;
+  out.name = std::move(name);
+  out.values.reserve(length);
+  double price = start_price;
+  for (std::size_t t = 0; t < length; ++t) {
+    price *= std::exp(drift + rng.Gaussian(0.0, volatility));
+    out.values.push_back(price);
+  }
+  return out;
+}
+
+}  // namespace tsss::seq

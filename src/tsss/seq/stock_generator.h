@@ -1,0 +1,51 @@
+#ifndef TSSS_SEQ_STOCK_GENERATOR_H_
+#define TSSS_SEQ_STOCK_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/seq/time_series.h"
+
+namespace tsss::seq {
+
+/// Parameters of the synthetic stock-market generator.
+///
+/// The paper evaluates on the closing prices of 1000 Hong Kong companies,
+/// July 1995 - October 1996 (~650k values). That data set is proprietary, so
+/// we substitute a geometric-Brownian-motion market with the same shape
+/// (DESIGN.md, Section 2): heterogeneous start prices spanning two orders of
+/// magnitude (which is what makes *shifting* matter), heterogeneous
+/// volatility proportional to price (which is what makes *scaling* matter),
+/// sector-correlated returns, and occasional volatility regimes.
+struct StockMarketConfig {
+  std::size_t num_companies = 1000;
+  std::size_t values_per_company = 650;
+  std::size_t num_sectors = 12;
+  std::uint64_t seed = 19990601;
+
+  double min_start_price = 0.5;    ///< HKD penny stocks
+  double max_start_price = 150.0;  ///< blue chips
+  double drift_mean = 0.0004;      ///< per-step log-return drift mean
+  double drift_stddev = 0.0015;
+  double min_volatility = 0.006;   ///< per-step log-return sigma
+  double max_volatility = 0.035;
+  double sector_volatility = 0.008;    ///< common sector factor sigma
+  double min_sector_beta = 0.3;
+  double max_sector_beta = 1.4;
+  double regime_switch_prob = 0.01;    ///< chance per step to toggle regimes
+  double regime_volatility_boost = 2.5;
+};
+
+/// Generates the synthetic market. Deterministic for a fixed config.
+/// Company c is named "HK<c>".
+std::vector<TimeSeries> GenerateStockMarket(const StockMarketConfig& config);
+
+/// Convenience: one GBM price path (no sector structure).
+TimeSeries GenerateGbmPath(std::string name, std::size_t length,
+                           double start_price, double drift, double volatility,
+                           std::uint64_t seed);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_STOCK_GENERATOR_H_

@@ -1,0 +1,14 @@
+#include "tsss/seq/time_series.h"
+
+#include <cassert>
+
+namespace tsss::seq {
+
+geom::Vec Subsequence(const TimeSeries& series, std::size_t offset,
+                      std::size_t n) {
+  assert(offset + n <= series.values.size());
+  return geom::Vec(series.values.begin() + static_cast<std::ptrdiff_t>(offset),
+                   series.values.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+}  // namespace tsss::seq

@@ -1,0 +1,26 @@
+#ifndef TSSS_SEQ_TIME_SERIES_H_
+#define TSSS_SEQ_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tsss/geom/vec.h"
+
+namespace tsss::seq {
+
+/// A named time series: a sequence of real numbers collected regularly in
+/// time (paper, Section 1).
+struct TimeSeries {
+  std::string name;
+  geom::Vec values;
+
+  std::size_t length() const { return values.size(); }
+};
+
+/// Extracts the subsequence [offset, offset + n) by value.
+/// Requires offset + n <= series.length().
+geom::Vec Subsequence(const TimeSeries& series, std::size_t offset, std::size_t n);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_TIME_SERIES_H_

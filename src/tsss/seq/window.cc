@@ -1,0 +1,45 @@
+#include "tsss/seq/window.h"
+
+namespace tsss::seq {
+
+Status ForEachWindowOfSeries(
+    const storage::SequenceStore& store, storage::SeriesId series, std::size_t n,
+    std::size_t stride,
+    const std::function<void(storage::SeriesId, std::uint32_t,
+                             std::span<const double>)>& fn) {
+  if (n == 0) return Status::InvalidArgument("window length must be positive");
+  if (stride == 0) return Status::InvalidArgument("stride must be positive");
+  Result<std::span<const double>> values = store.SeriesValues(series);
+  if (!values.ok()) return values.status();
+  if (values->size() < n) return Status::OK();
+  for (std::size_t off = 0; off + n <= values->size(); off += stride) {
+    fn(series, static_cast<std::uint32_t>(off), values->subspan(off, n));
+  }
+  return Status::OK();
+}
+
+Status ForEachWindow(
+    const storage::SequenceStore& store, std::size_t n, std::size_t stride,
+    const std::function<void(storage::SeriesId, std::uint32_t,
+                             std::span<const double>)>& fn) {
+  for (storage::SeriesId s = 0; s < store.num_series(); ++s) {
+    Status status = ForEachWindowOfSeries(store, s, n, stride, fn);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> CountWindows(const storage::SequenceStore& store,
+                                 std::size_t n, std::size_t stride) {
+  if (n == 0) return Status::InvalidArgument("window length must be positive");
+  if (stride == 0) return Status::InvalidArgument("stride must be positive");
+  std::size_t count = 0;
+  for (storage::SeriesId s = 0; s < store.num_series(); ++s) {
+    Result<std::size_t> len = store.SeriesLength(s);
+    if (!len.ok()) return len.status();
+    if (*len >= n) count += (*len - n) / stride + 1;
+  }
+  return count;
+}
+
+}  // namespace tsss::seq

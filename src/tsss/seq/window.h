@@ -1,0 +1,53 @@
+#ifndef TSSS_SEQ_WINDOW_H_
+#define TSSS_SEQ_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "tsss/common/status.h"
+#include "tsss/index/node.h"
+#include "tsss/storage/sequence_store.h"
+
+namespace tsss::seq {
+
+/// A record id names one extracted window: (series id, window offset) packed
+/// into 64 bits. This is the identity stored in R-tree leaves
+/// (paper, Section 6: "<ID_i, S'_i>").
+inline index::RecordId MakeRecordId(storage::SeriesId series,
+                                    std::uint32_t offset) {
+  return (static_cast<std::uint64_t>(series) << 32) | offset;
+}
+
+inline storage::SeriesId SeriesOf(index::RecordId record) {
+  return static_cast<storage::SeriesId>(record >> 32);
+}
+
+inline std::uint32_t OffsetOf(index::RecordId record) {
+  return static_cast<std::uint32_t>(record & 0xFFFFFFFFu);
+}
+
+/// Calls `fn(series, offset, window_values)` for every length-`n` window of
+/// every series in `store`, sliding by `stride` (paper pre-processing step:
+/// "A window of length n is placed and slid over each data sequence").
+/// Series shorter than n yield nothing. The callback's span is only valid
+/// during the call.
+Status ForEachWindow(
+    const storage::SequenceStore& store, std::size_t n, std::size_t stride,
+    const std::function<void(storage::SeriesId, std::uint32_t,
+                             std::span<const double>)>& fn);
+
+/// Same, but for a single series.
+Status ForEachWindowOfSeries(
+    const storage::SequenceStore& store, storage::SeriesId series, std::size_t n,
+    std::size_t stride,
+    const std::function<void(storage::SeriesId, std::uint32_t,
+                             std::span<const double>)>& fn);
+
+/// Number of windows ForEachWindow would produce.
+Result<std::size_t> CountWindows(const storage::SequenceStore& store,
+                                 std::size_t n, std::size_t stride);
+
+}  // namespace tsss::seq
+
+#endif  // TSSS_SEQ_WINDOW_H_

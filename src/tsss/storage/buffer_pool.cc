@@ -1,0 +1,191 @@
+#include "tsss/storage/buffer_pool.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace tsss::storage {
+
+struct PageGuard::Frame {
+  PageId id = kInvalidPageId;
+  Page page;
+  bool dirty = false;
+  int pin_count = 0;
+  std::list<PageId>::iterator lru_pos;
+};
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageId PageGuard::id() const {
+  assert(valid());
+  return frame_->id;
+}
+
+const Page& PageGuard::page() const {
+  assert(valid());
+  return frame_->page;
+}
+
+Page& PageGuard::MutablePage() {
+  assert(valid());
+  frame_->dirty = true;
+  return frame_->page;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, std::size_t capacity_pages)
+    : store_(store), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors here indicate the store died first, which the
+  // single-threaded usage contract forbids.
+  (void)FlushAll();
+}
+
+void BufferPool::TouchLru(Frame* frame) {
+  lru_.erase(frame->lru_pos);
+  lru_.push_front(frame->id);
+  frame->lru_pos = lru_.begin();
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  ++metrics_.logical_reads;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++metrics_.hits;
+    Frame* frame = it->second.get();
+    TouchLru(frame);
+    ++frame->pin_count;
+    return PageGuard(this, frame);
+  }
+  ++metrics_.misses;
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  Status s = store_->Read(id, &frame->page);
+  if (!s.ok()) return s;
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  table_.emplace(id, std::move(frame));
+  s = EvictIfNeeded();
+  if (!s.ok()) return s;
+  return PageGuard(this, raw);
+}
+
+Result<PageGuard> BufferPool::New() {
+  ++metrics_.logical_reads;
+  const PageId id = store_->Allocate();
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->dirty = true;
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  table_.emplace(id, std::move(frame));
+  Status s = EvictIfNeeded();
+  if (!s.ok()) return s;
+  return PageGuard(this, raw);
+}
+
+Status BufferPool::Delete(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame* frame = it->second.get();
+    if (frame->pin_count > 0) {
+      return Status::FailedPrecondition("deleting pinned page " +
+                                        std::to_string(id));
+    }
+    lru_.erase(frame->lru_pos);
+    table_.erase(it);
+  }
+  return store_->Free(id);
+}
+
+Status BufferPool::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  Status s = store_->Write(frame->id, frame->page);
+  if (!s.ok()) return s;
+  frame->dirty = false;
+  ++metrics_.writebacks;
+  return Status::OK();
+}
+
+Status BufferPool::EvictIfNeeded() {
+  while (table_.size() > capacity_) {
+    // Scan from the LRU tail for an unpinned victim.
+    Frame* victim = nullptr;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      Frame* frame = table_.at(*rit).get();
+      if (frame->pin_count == 0) {
+        victim = frame;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      // Everything is pinned: allow the pool to overflow.
+      ++metrics_.overflows;
+      return Status::OK();
+    }
+    Status s = WriteBack(victim);
+    if (!s.ok()) return s;
+    ++metrics_.evictions;
+    lru_.erase(victim->lru_pos);
+    table_.erase(victim->id);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : table_) {
+    Status s = WriteBack(frame.get());
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  Status s = FlushAll();
+  if (!s.ok()) return s;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second->pin_count == 0) {
+      lru_.erase(it->second->lru_pos);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  assert(frame->pin_count > 0);
+  --frame->pin_count;
+}
+
+}  // namespace tsss::storage

@@ -1,0 +1,120 @@
+#ifndef TSSS_STORAGE_BUFFER_POOL_H_
+#define TSSS_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "tsss/common/status.h"
+#include "tsss/storage/page.h"
+#include "tsss/storage/page_store.h"
+
+namespace tsss::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a guard is alive the frame cannot be
+/// evicted and its data pointer stays valid. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const;
+
+  /// Read-only view of the page bytes.
+  const Page& page() const;
+
+  /// Mutable view; automatically marks the frame dirty.
+  Page& MutablePage();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  struct Frame;
+  PageGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+/// Counters specific to the buffer pool (in addition to the PageStore's
+/// physical counters).
+struct BufferPoolMetrics {
+  std::uint64_t logical_reads = 0;  ///< Fetch/New calls (what Figure 5 counts)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t overflows = 0;  ///< times the pool exceeded soft capacity
+
+  void Reset() { *this = BufferPoolMetrics{}; }
+};
+
+/// LRU write-back buffer pool over a PageStore.
+///
+/// Single-threaded by design (the whole library is; see README). The
+/// capacity is soft: if every frame is pinned the pool grows past capacity
+/// rather than failing mid-operation, and counts the overflow.
+class BufferPool {
+ public:
+  /// `store` must outlive the pool. capacity_pages >= 1.
+  BufferPool(PageStore* store, std::size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches an existing page, pinning it.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a brand-new zeroed page and pins it (already dirty).
+  Result<PageGuard> New();
+
+  /// Drops the page from the pool (must be unpinned) and frees it in the
+  /// store. Dirty contents are discarded - the page is gone.
+  Status Delete(PageId id);
+
+  /// Writes all dirty frames back to the store (frames stay cached).
+  Status FlushAll();
+
+  /// Writes back and forgets every unpinned frame. Used by benchmarks to
+  /// simulate a cold cache between queries.
+  Status Clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return table_.size(); }
+
+  const BufferPoolMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_.Reset(); }
+
+  PageStore* store() { return store_; }
+
+ private:
+  friend class PageGuard;
+  using Frame = PageGuard::Frame;
+
+  /// Evicts LRU unpinned frames until size() <= capacity. Best effort.
+  Status EvictIfNeeded();
+  Status WriteBack(Frame* frame);
+  void Unpin(Frame* frame);
+  void TouchLru(Frame* frame);
+
+  PageStore* store_;
+  std::size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> table_;
+  std::list<PageId> lru_;  ///< front = most recently used
+  BufferPoolMetrics metrics_;
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_BUFFER_POOL_H_

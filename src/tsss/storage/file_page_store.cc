@@ -1,0 +1,178 @@
+#include "tsss/storage/file_page_store.h"
+
+#include <cstring>
+
+#include "tsss/common/crc32.h"
+
+namespace tsss::storage {
+namespace {
+
+constexpr std::uint64_t kMetaMagic = 0x5453535350414745ull;  // "TSSSPAGE"
+
+template <typename T>
+void PutScalar(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+FilePageStore::FilePageStore(std::string path) : path_(std::move(path)) {}
+
+FilePageStore::~FilePageStore() { (void)Sync(); }
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path) {
+  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(path));
+  // Truncate/create the data file.
+  store->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                              std::ios::trunc);
+  if (!store->file_) {
+    return Status::IoError("cannot create page file '" + path + "'");
+  }
+  Status s = store->Sync();
+  if (!s.ok()) return s;
+  return store;
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  auto store = std::unique_ptr<FilePageStore>(new FilePageStore(path));
+  store->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!store->file_) {
+    return Status::IoError("cannot open page file '" + path + "'");
+  }
+
+  std::ifstream meta(store->MetaPath(), std::ios::binary);
+  if (!meta) {
+    return Status::IoError("cannot open metadata file '" + store->MetaPath() +
+                           "'");
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t live_count = 0;
+  if (!GetScalar(meta, &magic) || magic != kMetaMagic) {
+    return Status::Corruption("bad metadata magic in '" + store->MetaPath() + "'");
+  }
+  if (!GetScalar(meta, &capacity) || !GetScalar(meta, &live_count)) {
+    return Status::Corruption("truncated metadata header");
+  }
+  store->live_.resize(capacity);
+  store->crc_.resize(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    std::uint8_t alive = 0;
+    std::uint32_t crc = 0;
+    if (!GetScalar(meta, &alive) || !GetScalar(meta, &crc)) {
+      return Status::Corruption("truncated metadata body");
+    }
+    store->live_[i] = alive != 0;
+    store->crc_[i] = crc;
+    if (alive == 0) store->free_list_.push_back(static_cast<PageId>(i));
+  }
+  store->live_count_ = live_count;
+
+  // Sanity: the data file must hold `capacity` pages.
+  store->file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(store->file_.tellg());
+  if (file_size < capacity * kPageSize) {
+    return Status::Corruption("page file shorter than metadata capacity");
+  }
+  return store;
+}
+
+Status FilePageStore::CheckLive(PageId id) const {
+  if (id >= live_.size() || !live_[id]) {
+    return Status::NotFound("page " + std::to_string(id) + " is not live");
+  }
+  return Status::OK();
+}
+
+PageId FilePageStore::Allocate() {
+  PageId id;
+  const Page zero{};
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+  } else {
+    id = static_cast<PageId>(live_.size());
+    live_.push_back(true);
+    crc_.push_back(0);
+  }
+  // Zero-fill on disk so recycled/extended pages read back deterministically.
+  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
+  file_.write(reinterpret_cast<const char*>(zero.bytes.data()), kPageSize);
+  crc_[id] = Crc32(zero.bytes.data(), kPageSize);
+  ++live_count_;
+  return id;
+}
+
+Status FilePageStore::Free(PageId id) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  live_[id] = false;
+  free_list_.push_back(id);
+  --live_count_;
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, Page* out) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  ++metrics_.physical_reads;
+  file_.seekg(static_cast<std::streamoff>(id) * kPageSize);
+  file_.read(reinterpret_cast<char*>(out->bytes.data()), kPageSize);
+  if (!file_) {
+    file_.clear();
+    return Status::IoError("short read on page " + std::to_string(id));
+  }
+  const std::uint32_t crc = Crc32(out->bytes.data(), kPageSize);
+  if (crc != crc_[id]) {
+    return Status::Corruption("checksum mismatch on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const Page& page) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  ++metrics_.physical_writes;
+  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
+  file_.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
+  if (!file_) {
+    file_.clear();
+    return Status::IoError("short write on page " + std::to_string(id));
+  }
+  crc_[id] = Crc32(page.bytes.data(), kPageSize);
+  return Status::OK();
+}
+
+Status FilePageStore::Sync() {
+  if (!file_.is_open()) return Status::OK();
+  file_.flush();
+  if (!file_) {
+    file_.clear();
+    return Status::IoError("flush of '" + path_ + "' failed");
+  }
+  std::ofstream meta(MetaPath(), std::ios::binary | std::ios::trunc);
+  if (!meta) {
+    return Status::IoError("cannot write metadata file '" + MetaPath() + "'");
+  }
+  PutScalar<std::uint64_t>(meta, kMetaMagic);
+  PutScalar<std::uint64_t>(meta, live_.size());
+  PutScalar<std::uint64_t>(meta, live_count_);
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    PutScalar<std::uint8_t>(meta, live_[i] ? 1 : 0);
+    PutScalar<std::uint32_t>(meta, crc_[i]);
+  }
+  meta.flush();
+  if (!meta) return Status::IoError("metadata write failed");
+  return Status::OK();
+}
+
+}  // namespace tsss::storage

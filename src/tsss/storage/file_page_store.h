@@ -1,0 +1,64 @@
+#ifndef TSSS_STORAGE_FILE_PAGE_STORE_H_
+#define TSSS_STORAGE_FILE_PAGE_STORE_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/storage/page_store.h"
+
+namespace tsss::storage {
+
+/// File-backed page store: page i lives at byte offset i * 4096 of `path`,
+/// and a sidecar file `path + ".meta"` records the allocation state plus a
+/// CRC-32 per page, verified on every read.
+///
+/// Durability model: Sync() persists the metadata and flushes the data file;
+/// the destructor calls it best-effort. Crash atomicity (journaling) is out
+/// of scope - this store exists to persist built indexes and to keep the I/O
+/// path honest, not to be a transactional engine.
+class FilePageStore final : public PageStore {
+ public:
+  /// Creates a fresh (truncated) volume.
+  static Result<std::unique_ptr<FilePageStore>> Create(const std::string& path);
+
+  /// Opens an existing volume created by Create()/Sync().
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  PageId Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  std::size_t num_live_pages() const override { return live_count_; }
+  std::size_t capacity_pages() const override { return live_.size(); }
+
+  /// Persists metadata (allocation state + checksums) and flushes the data
+  /// file.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit FilePageStore(std::string path);
+
+  Status CheckLive(PageId id) const;
+  std::string MetaPath() const { return path_ + ".meta"; }
+
+  std::string path_;
+  std::fstream file_;
+  std::vector<bool> live_;
+  std::vector<std::uint32_t> crc_;
+  std::vector<PageId> free_list_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_FILE_PAGE_STORE_H_

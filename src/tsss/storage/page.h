@@ -1,0 +1,40 @@
+#ifndef TSSS_STORAGE_PAGE_H_
+#define TSSS_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsss::storage {
+
+/// Fixed page size used throughout the system. Matches the paper's
+/// experimental setting ("The page size is 4KBytes and each page stores one
+/// internal node only").
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Identifier of a page within a PageStore.
+using PageId = std::uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A raw 4 KiB page.
+struct Page {
+  std::array<std::uint8_t, kPageSize> bytes{};
+};
+
+/// Access counters shared by the storage components. "Logical" counts every
+/// request; "physical" counts requests that had to go to the (simulated)
+/// disk, i.e. buffer-pool misses.
+struct PageAccessMetrics {
+  std::uint64_t logical_reads = 0;
+  std::uint64_t physical_reads = 0;
+  std::uint64_t logical_writes = 0;
+  std::uint64_t physical_writes = 0;
+
+  void Reset() { *this = PageAccessMetrics{}; }
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_PAGE_H_

@@ -1,0 +1,55 @@
+#include "tsss/storage/page_store.h"
+
+#include <string>
+
+namespace tsss::storage {
+
+PageId MemPageStore::Allocate() {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    *pages_[id] = Page{};  // zero-fill recycled pages
+    live_[id] = true;
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    pages_.push_back(std::make_unique<Page>());
+    live_.push_back(true);
+  }
+  ++live_count_;
+  return id;
+}
+
+Status MemPageStore::CheckLive(PageId id) const {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::NotFound("page " + std::to_string(id) + " is not live");
+  }
+  return Status::OK();
+}
+
+Status MemPageStore::Free(PageId id) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  live_[id] = false;
+  free_list_.push_back(id);
+  --live_count_;
+  return Status::OK();
+}
+
+Status MemPageStore::Read(PageId id, Page* out) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  ++metrics_.physical_reads;
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status MemPageStore::Write(PageId id, const Page& page) {
+  Status s = CheckLive(id);
+  if (!s.ok()) return s;
+  ++metrics_.physical_writes;
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+}  // namespace tsss::storage

@@ -1,0 +1,76 @@
+#ifndef TSSS_STORAGE_PAGE_STORE_H_
+#define TSSS_STORAGE_PAGE_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/storage/page.h"
+
+namespace tsss::storage {
+
+/// Abstract page volume: a flat, growable array of 4 KiB pages with
+/// allocate/free/read/write. Every Read/Write counts as one physical page
+/// access - the unit the paper's Figure 5 reports.
+///
+/// Implementations: MemPageStore (simulated disk in RAM, the default) and
+/// FilePageStore (a real file with per-page checksums).
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Allocates a zeroed page and returns its id. Freed pages are recycled.
+  virtual PageId Allocate() = 0;
+
+  /// Returns a page to the free list. Double frees are detected.
+  virtual Status Free(PageId id) = 0;
+
+  /// Copies the page contents into `out`. Counts one physical read.
+  virtual Status Read(PageId id, Page* out) = 0;
+
+  /// Overwrites the page. Counts one physical write.
+  virtual Status Write(PageId id, const Page& page) = 0;
+
+  /// Number of live (allocated, not freed) pages.
+  virtual std::size_t num_live_pages() const = 0;
+
+  /// Total pages ever allocated (high-water mark of the volume).
+  virtual std::size_t capacity_pages() const = 0;
+
+  const PageAccessMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_.Reset(); }
+
+ protected:
+  PageAccessMetrics metrics_;
+};
+
+/// In-memory page store simulating a disk volume. The store is RAM-backed;
+/// the I/O *model* (page granularity, access counting), not the medium, is
+/// what the experiments depend on.
+class MemPageStore final : public PageStore {
+ public:
+  MemPageStore() = default;
+
+  MemPageStore(const MemPageStore&) = delete;
+  MemPageStore& operator=(const MemPageStore&) = delete;
+
+  PageId Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  std::size_t num_live_pages() const override { return live_count_; }
+  std::size_t capacity_pages() const override { return pages_.size(); }
+
+ private:
+  Status CheckLive(PageId id) const;
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,104 @@
+#include "tsss/storage/sequence_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tsss::storage {
+
+SeriesId SequenceStore::AddSeries(std::span<const double> values) {
+  const SeriesId id = static_cast<SeriesId>(offsets_.size());
+  offsets_.push_back(values_.size());
+  lengths_.push_back(values.size());
+  values_.insert(values_.end(), values.begin(), values.end());
+  return id;
+}
+
+Status SequenceStore::AppendToSeries(SeriesId id, std::span<const double> values) {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  if (id + 1 != offsets_.size()) {
+    return Status::FailedPrecondition(
+        "dense packing: only the most recently added series can grow");
+  }
+  lengths_[id] += values.size();
+  values_.insert(values_.end(), values.begin(), values.end());
+  return Status::OK();
+}
+
+Result<std::size_t> SequenceStore::SeriesLength(SeriesId id) const {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  return lengths_[id];
+}
+
+Result<std::span<const double>> SequenceStore::SeriesValues(SeriesId id) const {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  return std::span<const double>(values_.data() + offsets_[id], lengths_[id]);
+}
+
+Status SequenceStore::ReadWindowDeduped(SeriesId id, std::size_t offset,
+                                        std::span<double> out,
+                                        std::size_t* last_counted_page) {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  if (offset + out.size() > lengths_[id]) {
+    return Status::OutOfRange("window exceeds series length");
+  }
+  if (out.empty()) return Status::OK();
+  const std::size_t global = offsets_[id] + offset;
+  const std::size_t first_page = global / kValuesPerPage;
+  const std::size_t last_page = (global + out.size() - 1) / kValuesPerPage;
+  std::size_t first_new = first_page;
+  if (*last_counted_page != kNoPageCounted && *last_counted_page >= first_page) {
+    first_new = *last_counted_page + 1;
+  }
+  if (first_new <= last_page) {
+    const std::size_t fresh = last_page - first_new + 1;
+    metrics_.logical_reads += fresh;
+    metrics_.physical_reads += fresh;
+    *last_counted_page = last_page;
+  }
+  std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(global), out.size(),
+              out.begin());
+  return Status::OK();
+}
+
+Status SequenceStore::ReadWindow(SeriesId id, std::size_t offset,
+                                 std::span<double> out) {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("series " + std::to_string(id) + " does not exist");
+  }
+  if (offset + out.size() > lengths_[id]) {
+    return Status::OutOfRange("window [" + std::to_string(offset) + ", " +
+                              std::to_string(offset + out.size()) +
+                              ") exceeds series length " +
+                              std::to_string(lengths_[id]));
+  }
+  const std::size_t global = offsets_[id] + offset;
+  if (!out.empty()) {
+    const std::size_t first_page = global / kValuesPerPage;
+    const std::size_t last_page = (global + out.size() - 1) / kValuesPerPage;
+    metrics_.logical_reads += last_page - first_page + 1;
+    metrics_.physical_reads += last_page - first_page + 1;
+    std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(global), out.size(),
+                out.begin());
+  }
+  return Status::OK();
+}
+
+std::size_t SequenceStore::TotalPages() const {
+  return (values_.size() + kValuesPerPage - 1) / kValuesPerPage;
+}
+
+void SequenceStore::RecordFullScan() {
+  const std::size_t pages = TotalPages();
+  metrics_.logical_reads += pages;
+  metrics_.physical_reads += pages;
+}
+
+}  // namespace tsss::storage

@@ -1,0 +1,86 @@
+#ifndef TSSS_STORAGE_SEQUENCE_STORE_H_
+#define TSSS_STORAGE_SEQUENCE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/storage/page.h"
+
+namespace tsss::storage {
+
+/// Identifier of a stored time series.
+using SeriesId = std::uint32_t;
+
+/// Page-aware storage for raw time-series values.
+///
+/// Values of all series are packed densely, 512 doubles per 4 KiB page, in
+/// insertion order - the same model the paper uses to size the sequential
+/// scan at (0.65M values x 8 bytes) / 4 KiB ~= 1300 pages. Reads issued
+/// through ReadWindow() count the pages they touch; a sequential scan is
+/// accounted with RecordFullScan() (every occupied page read exactly once).
+class SequenceStore {
+ public:
+  SequenceStore() = default;
+
+  SequenceStore(const SequenceStore&) = delete;
+  SequenceStore& operator=(const SequenceStore&) = delete;
+
+  /// Number of doubles per 4 KiB page.
+  static constexpr std::size_t kValuesPerPage = kPageSize / sizeof(double);
+
+  /// Appends a series; returns its id. Empty series are allowed.
+  SeriesId AddSeries(std::span<const double> values);
+
+  /// Appends `values` to the end of an existing series (time-series data are
+  /// collected regularly; requirement 2 of the paper's Section 3).
+  /// Only the *last* inserted series can grow in the dense-packing model;
+  /// appending to earlier series returns FailedPrecondition.
+  Status AppendToSeries(SeriesId id, std::span<const double> values);
+
+  std::size_t num_series() const { return offsets_.size(); }
+
+  /// Length (in values) of the series.
+  Result<std::size_t> SeriesLength(SeriesId id) const;
+
+  /// Uncounted direct view of a whole series - used when building the index
+  /// (pre-processing is not part of the per-query cost model).
+  Result<std::span<const double>> SeriesValues(SeriesId id) const;
+
+  /// Copies values [offset, offset + out.size()) of the series into `out`,
+  /// counting every touched page as one logical read.
+  Status ReadWindow(SeriesId id, std::size_t offset, std::span<double> out);
+
+  /// Like ReadWindow, but counts each page at most once across a sequence of
+  /// calls with ascending (series, offset): pages <= *last_counted_page are
+  /// not re-counted. Initialise *last_counted_page to kNoPageCounted before
+  /// the first call of a batch. Models a query that verifies its candidates
+  /// in storage order, touching every needed data page exactly once.
+  static constexpr std::size_t kNoPageCounted = static_cast<std::size_t>(-1);
+  Status ReadWindowDeduped(SeriesId id, std::size_t offset, std::span<double> out,
+                           std::size_t* last_counted_page);
+
+  /// Total pages occupied by all values.
+  std::size_t TotalPages() const;
+
+  /// Accounts a full sequential scan: every occupied page read once.
+  void RecordFullScan();
+
+  const PageAccessMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_.Reset(); }
+
+  /// Total number of stored values across all series.
+  std::size_t total_values() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;        ///< densely packed value heap
+  std::vector<std::size_t> offsets_;  ///< start of each series in values_
+  std::vector<std::size_t> lengths_;  ///< length of each series
+  PageAccessMetrics metrics_;
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_SEQUENCE_STORE_H_

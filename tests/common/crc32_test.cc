@@ -1,0 +1,40 @@
+#include "tsss/common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tsss {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+  const std::string hello = "hello world";
+  EXPECT_EQ(Crc32(hello.data(), hello.size()), 0x0D4A1185u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlips) {
+  std::string data(1024, 'a');
+  const std::uint32_t base = Crc32(data.data(), data.size());
+  data[512] = 'b';
+  EXPECT_NE(Crc32(data.data(), data.size()), base);
+  data[512] = 'a';
+  EXPECT_EQ(Crc32(data.data(), data.size()), base);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t one_shot = Crc32(data.data(), data.size());
+  std::uint32_t incremental = 0;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    const std::size_t chunk = std::min<std::size_t>(7, data.size() - i);
+    incremental = Crc32Continue(incremental, data.data() + i, chunk);
+  }
+  EXPECT_EQ(incremental, one_shot);
+}
+
+}  // namespace
+}  // namespace tsss

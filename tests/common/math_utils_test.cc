@@ -1,0 +1,74 @@
+#include "tsss/common/math_utils.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsss {
+namespace {
+
+TEST(MathUtilsTest, AlmostEqualAbsolute) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+}
+
+TEST(MathUtilsTest, AlmostEqualRelative) {
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9, 1e-9));
+  EXPECT_FALSE(AlmostEqual(1e12, 1.001e12, 1e-9, 1e-9));
+}
+
+TEST(MathUtilsTest, MeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(MathUtilsTest, VarianceAndStdDev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(MathUtilsTest, KahanSumResistsCancellation) {
+  // Summing 1 + many tiny values naively loses precision.
+  std::vector<double> v;
+  v.push_back(1.0);
+  for (int i = 0; i < 1000000; ++i) v.push_back(1e-16);
+  EXPECT_NEAR(KahanSum(v), 1.0 + 1e-10, 1e-13);
+}
+
+TEST(MathUtilsTest, PercentileOfSorted) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(std::vector<double>{5.0}, 99.0), 5.0);
+}
+
+TEST(MathUtilsTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+TEST(MathUtilsTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(MathUtilsTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+}  // namespace
+}  // namespace tsss

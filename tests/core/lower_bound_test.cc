@@ -1,0 +1,98 @@
+// Property tests for the end-to-end no-false-dismissal invariant: for every
+// reducer and window length, the distance between the reduced query line and
+// a reduced window point must lower-bound the exact scale-shift distance
+// (Theorem 2 composed with reducer contraction). This is the single fact
+// that makes the whole index correct.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/similarity.h"
+#include "tsss/geom/line.h"
+#include "tsss/geom/se_transform.h"
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::core {
+namespace {
+
+using geom::Vec;
+
+using LowerBoundParam = std::tuple<reduce::ReducerKind, std::size_t /*window*/,
+                                   std::size_t /*reduced dim*/>;
+
+class LowerBoundTest : public ::testing::TestWithParam<LowerBoundParam> {};
+
+TEST_P(LowerBoundTest, ReducedLineDistanceLowerBoundsExactDistance) {
+  const auto [kind, window, reduced_dim] = GetParam();
+  auto made = reduce::MakeReducer(kind, window, reduced_dim);
+  ASSERT_TRUE(made.ok()) << made.status();
+  const reduce::Reducer& reducer = **made;
+
+  Rng rng(0xC0FFEE + window);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec q(window), v(window);
+    // Mix regimes: smooth ramps, noisy walks, near-constant, and exact
+    // affine images - the cases the engine meets in practice.
+    const int regime = trial % 4;
+    double level_q = rng.Uniform(-5, 5);
+    double level_v = rng.Uniform(-5, 5);
+    for (std::size_t i = 0; i < window; ++i) {
+      switch (regime) {
+        case 0:  // independent noise
+          q[i] = rng.Uniform(-10, 10);
+          v[i] = rng.Uniform(-10, 10);
+          break;
+        case 1:  // random walks
+          level_q += rng.Gaussian(0, 0.5);
+          level_v += rng.Gaussian(0, 0.5);
+          q[i] = level_q;
+          v[i] = level_v;
+          break;
+        case 2:  // near-constant window vs noisy query
+          q[i] = rng.Uniform(-10, 10);
+          v[i] = level_v + rng.Gaussian(0, 1e-3);
+          break;
+        default:  // v is a noisy affine image of q
+          q[i] = rng.Uniform(-10, 10);
+          v[i] = 2.5 * q[i] - 4.0 + rng.Gaussian(0, 0.01);
+          break;
+      }
+    }
+
+    const double exact = QueryContext(q).Distance(v);
+
+    // Reduced-space lower bound, exactly as the engine computes it.
+    const Vec q_se = geom::SeTransform(q);
+    const Vec v_se = geom::SeTransform(v);
+    const Vec dir = reducer.Apply(q_se);
+    const Vec point = reducer.Apply(v_se);
+    const geom::Line line{Vec(dir.size(), 0.0), dir};
+    const double reduced = geom::Pld(point, line);
+
+    EXPECT_LE(reduced, exact + 1e-7)
+        << reducer.Name() << " violated the lower bound on trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPipelines, LowerBoundTest,
+    ::testing::Values(
+        std::make_tuple(reduce::ReducerKind::kDft, std::size_t{128}, std::size_t{6}),
+        std::make_tuple(reduce::ReducerKind::kDft, std::size_t{32}, std::size_t{2}),
+        std::make_tuple(reduce::ReducerKind::kDft, std::size_t{17}, std::size_t{8}),
+        std::make_tuple(reduce::ReducerKind::kPaa, std::size_t{128}, std::size_t{6}),
+        std::make_tuple(reduce::ReducerKind::kPaa, std::size_t{10}, std::size_t{3}),
+        std::make_tuple(reduce::ReducerKind::kHaar, std::size_t{64}, std::size_t{6}),
+        std::make_tuple(reduce::ReducerKind::kHaar, std::size_t{16}, std::size_t{16}),
+        std::make_tuple(reduce::ReducerKind::kIdentity, std::size_t{24},
+                        std::size_t{24})),
+    [](const testing::TestParamInfo<LowerBoundParam>& info) {
+      return std::string(reduce::ReducerKindToString(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace tsss::core

@@ -1,0 +1,142 @@
+// End-to-end persistence: build a file-backed engine, checkpoint, reopen in
+// a "new process" (new object), and verify identical query answers plus
+// continued mutability.
+
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/engine.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace tsss::core {
+namespace {
+
+using geom::Vec;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/tsss_engine_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  EngineConfig FileBackedConfig() {
+    EngineConfig config;
+    config.window = 16;
+    config.reduced_dim = 4;
+    config.tree.max_entries = 8;
+    config.buffer_pool_pages = 64;
+    config.storage_dir = dir_;
+    return config;
+  }
+
+  std::vector<seq::TimeSeries> Market() {
+    seq::StockMarketConfig mc;
+    mc.num_companies = 10;
+    mc.values_per_company = 100;
+    mc.seed = 77;
+    return seq::GenerateStockMarket(mc);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(PersistenceTest, CheckpointAndReopenGiveIdenticalAnswers) {
+  const auto market = Market();
+  Vec query(market[3].values.begin() + 10, market[3].values.begin() + 26);
+  std::vector<Match> before;
+  {
+    auto engine = SearchEngine::Create(FileBackedConfig());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    for (const auto& series : market) {
+      ASSERT_TRUE((*engine)->AddSeries(series.name, series.values).ok());
+    }
+    auto matches = (*engine)->RangeQuery(query, 0.5);
+    ASSERT_TRUE(matches.ok());
+    before = *matches;
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+  }
+
+  auto reopened = SearchEngine::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->num_indexed_windows(), 10u * (100 - 16 + 1));
+  EXPECT_EQ((*reopened)->config().window, 16u);
+  ASSERT_TRUE((*reopened)->tree().CheckInvariants().ok());
+
+  auto matches = (*reopened)->RangeQuery(query, 0.5);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ((*matches)[i].record, before[i].record);
+    EXPECT_NEAR((*matches)[i].distance, before[i].distance, 1e-12);
+  }
+  // Dataset names survived too.
+  EXPECT_EQ(*(*reopened)->dataset().Name(3), market[3].name);
+}
+
+TEST_F(PersistenceTest, ReopenedEngineStaysMutable) {
+  {
+    auto engine = SearchEngine::Create(FileBackedConfig());
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->AddSeries("s", std::vector<double>(30, 1.0)).ok());
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+  }
+  auto reopened = SearchEngine::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  const std::size_t before = (*reopened)->num_indexed_windows();
+  Rng rng(1);
+  Vec fresh(40);
+  for (auto& x : fresh) x = rng.Uniform(0, 10);
+  ASSERT_TRUE((*reopened)->AddSeries("fresh", fresh).ok());
+  EXPECT_EQ((*reopened)->num_indexed_windows(), before + 25);
+  ASSERT_TRUE((*reopened)->tree().CheckInvariants().ok());
+
+  // Checkpoint again and reopen once more.
+  ASSERT_TRUE((*reopened)->Checkpoint().ok());
+  auto again = SearchEngine::Open(dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->num_indexed_windows(), before + 25);
+}
+
+TEST_F(PersistenceTest, CheckpointRequiresFileBacking) {
+  EngineConfig config = FileBackedConfig();
+  config.storage_dir.clear();  // in-memory
+  auto engine = SearchEngine::Create(config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->Checkpoint().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, OpenMissingDirFails) {
+  auto engine = SearchEngine::Open(dir_ + "/nope");
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST_F(PersistenceTest, BulkBuiltEngineSurvivesReopen) {
+  const auto market = Market();
+  {
+    auto engine = SearchEngine::Create(FileBackedConfig());
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->BulkBuild(market).ok());
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+  }
+  auto reopened = SearchEngine::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_TRUE((*reopened)->tree().CheckInvariants().ok());
+  // Self-window is found exactly.
+  const Vec query(market[0].values.begin(), market[0].values.begin() + 16);
+  auto matches = (*reopened)->RangeQuery(query, 1e-9);
+  ASSERT_TRUE(matches.ok());
+  bool found = false;
+  for (const Match& m : *matches) {
+    if (m.series == 0 && m.offset == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace tsss::core

@@ -1,0 +1,105 @@
+#include "tsss/core/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "tsss/seq/window.h"
+
+namespace tsss::core {
+namespace {
+
+Match MakeMatch(storage::SeriesId series, std::uint32_t offset, double distance) {
+  Match m;
+  m.record = seq::MakeRecordId(series, offset);
+  m.series = series;
+  m.offset = offset;
+  m.distance = distance;
+  return m;
+}
+
+TEST(SuppressOverlapsTest, CollapsesConsecutiveRun) {
+  std::vector<Match> matches = {
+      MakeMatch(1, 100, 0.5), MakeMatch(1, 101, 0.3), MakeMatch(1, 102, 0.4),
+      MakeMatch(1, 500, 0.9),
+  };
+  const auto out = SuppressOverlaps(std::move(matches), 10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].offset, 101u);  // best of the run
+  EXPECT_EQ(out[1].offset, 500u);
+}
+
+TEST(SuppressOverlapsTest, ChainedRunsMergeTransitively) {
+  // Offsets 0, 5, 10, 15 with separation 6: each is within 6 of the
+  // previous, so all chain into one run.
+  std::vector<Match> matches = {
+      MakeMatch(0, 0, 0.4), MakeMatch(0, 5, 0.2), MakeMatch(0, 10, 0.3),
+      MakeMatch(0, 15, 0.25),
+  };
+  const auto out = SuppressOverlaps(std::move(matches), 6);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 5u);
+}
+
+TEST(SuppressOverlapsTest, DifferentSeriesNeverMerge) {
+  std::vector<Match> matches = {MakeMatch(1, 10, 0.5), MakeMatch(2, 11, 0.4)};
+  const auto out = SuppressOverlaps(std::move(matches), 100);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(SuppressOverlapsTest, ZeroSeparationKeepsEverything) {
+  std::vector<Match> matches = {MakeMatch(1, 10, 0.5), MakeMatch(1, 11, 0.4)};
+  const auto out = SuppressOverlaps(std::move(matches), 0);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(SuppressOverlapsTest, UnsortedInputHandled) {
+  std::vector<Match> matches = {
+      MakeMatch(1, 102, 0.4), MakeMatch(1, 100, 0.5), MakeMatch(0, 7, 0.1),
+      MakeMatch(1, 101, 0.3),
+  };
+  const auto out = SuppressOverlaps(std::move(matches), 10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].series, 0u);
+  EXPECT_EQ(out[1].series, 1u);
+  EXPECT_EQ(out[1].offset, 101u);
+}
+
+TEST(SuppressOverlapsTest, EmptyAndSingleton) {
+  EXPECT_TRUE(SuppressOverlaps({}, 5).empty());
+  const auto out = SuppressOverlaps({MakeMatch(3, 3, 0.3)}, 5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].series, 3u);
+}
+
+TEST(BestPerSeriesTest, KeepsMinimumPerSeriesSortedByDistance) {
+  std::vector<Match> matches = {
+      MakeMatch(1, 10, 0.5), MakeMatch(1, 20, 0.2), MakeMatch(2, 5, 0.3),
+      MakeMatch(3, 1, 0.9),
+  };
+  const auto out = BestPerSeries(std::move(matches));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].series, 1u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 0.2);
+  EXPECT_EQ(out[1].series, 2u);
+  EXPECT_EQ(out[2].series, 3u);
+}
+
+TEST(TopKTest, ReturnsSmallestDistances) {
+  std::vector<Match> matches = {
+      MakeMatch(1, 1, 0.9), MakeMatch(2, 2, 0.1), MakeMatch(3, 3, 0.5),
+      MakeMatch(4, 4, 0.3),
+  };
+  const auto out = TopK(std::move(matches), 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].series, 2u);
+  EXPECT_EQ(out[1].series, 4u);
+}
+
+TEST(TopKTest, KBeyondSizeSortsAll) {
+  std::vector<Match> matches = {MakeMatch(1, 1, 0.9), MakeMatch(2, 2, 0.1)};
+  const auto out = TopK(std::move(matches), 10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].distance, out[1].distance);
+}
+
+}  // namespace
+}  // namespace tsss::core

@@ -1,0 +1,130 @@
+#include "tsss/core/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/oracle.h"
+#include "tsss/seq/window.h"
+
+namespace tsss::core {
+namespace {
+
+using geom::Vec;
+
+TEST(TransformCostTest, DefaultAllowsEverything) {
+  const TransformCost cost;
+  EXPECT_TRUE(cost.Allows(geom::ScaleShift{1e9, -1e9}));
+  EXPECT_TRUE(cost.Allows(geom::ScaleShift{-5.0, 0.0}));
+}
+
+TEST(TransformCostTest, BoundsAreInclusive) {
+  TransformCost cost;
+  cost.min_scale = 0.5;
+  cost.max_scale = 2.0;
+  cost.min_offset = -10.0;
+  cost.max_offset = 10.0;
+  EXPECT_TRUE(cost.Allows(geom::ScaleShift{0.5, 10.0}));
+  EXPECT_TRUE(cost.Allows(geom::ScaleShift{2.0, -10.0}));
+  EXPECT_FALSE(cost.Allows(geom::ScaleShift{0.49, 0.0}));
+  EXPECT_FALSE(cost.Allows(geom::ScaleShift{1.0, 10.1}));
+}
+
+TEST(TransformCostTest, PositiveScaleFactory) {
+  const TransformCost cost = TransformCost::PositiveScale();
+  EXPECT_TRUE(cost.Allows(geom::ScaleShift{0.1, 5.0}));
+  EXPECT_FALSE(cost.Allows(geom::ScaleShift{-0.1, 5.0}));
+}
+
+TEST(QueryContextTest, AlignMatchesReferenceImplementation) {
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.UniformInt(0, 60));
+    Vec q(n), w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      q[i] = rng.Uniform(-100, 100);
+      w[i] = rng.Uniform(-100, 100);
+    }
+    const QueryContext ctx(q);
+    const geom::Alignment fast = ctx.Align(w);
+    const geom::Alignment reference = geom::AlignScaleShift(q, w);
+    EXPECT_NEAR(fast.distance, reference.distance, 1e-6);
+    EXPECT_NEAR(fast.transform.scale, reference.transform.scale, 1e-7);
+    EXPECT_NEAR(fast.transform.offset, reference.transform.offset, 1e-6);
+  }
+}
+
+TEST(QueryContextTest, ConstantQueryHandled) {
+  const Vec constant(8, 3.0);
+  const QueryContext ctx(constant);
+  EXPECT_TRUE(ctx.constant_query());
+  const Vec w = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const geom::Alignment a = ctx.Align(w);
+  EXPECT_DOUBLE_EQ(a.transform.scale, 0.0);
+  EXPECT_DOUBLE_EQ(a.transform.offset, 4.5);
+}
+
+TEST(QueryContextTest, DistanceBeatsGridOracle) {
+  // The closed-form minimum can never exceed any grid-sampled transform.
+  Rng rng(62);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec q(12), w(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      q[i] = rng.Uniform(-10, 10);
+      w[i] = rng.Uniform(-10, 10);
+    }
+    const QueryContext ctx(q);
+    const double closed = ctx.Distance(w);
+    const double grid = GridMinDistance(q, w, -10, 10, -50, 50, 60);
+    EXPECT_LE(closed, grid + 1e-9);
+    // And the grid should get reasonably close to it (the optimum is inside
+    // the sampled box for these magnitudes).
+    EXPECT_NEAR(closed, grid, 2.0);
+  }
+}
+
+TEST(VerifyCandidateTest, AcceptsWithinEps) {
+  const Vec q = {1.0, 2.0, 3.0, 4.0};
+  const Vec w = {2.0, 4.0, 6.0, 8.0};  // exactly 2*q
+  const QueryContext ctx(q);
+  const auto match =
+      VerifyCandidate(ctx, w, seq::MakeRecordId(3, 17), 0.001, TransformCost{});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->series, 3u);
+  EXPECT_EQ(match->offset, 17u);
+  EXPECT_NEAR(match->transform.scale, 2.0, 1e-9);
+  EXPECT_NEAR(match->transform.offset, 0.0, 1e-9);
+  EXPECT_NEAR(match->distance, 0.0, 1e-9);
+}
+
+TEST(VerifyCandidateTest, RejectsBeyondEps) {
+  const Vec q = {0.0, 1.0, 0.0, -1.0};
+  const Vec w = {5.0, -3.0, 8.0, 1.0};
+  const QueryContext ctx(q);
+  const double d = ctx.Distance(w);
+  EXPECT_FALSE(
+      VerifyCandidate(ctx, w, 0, d * 0.99, TransformCost{}).has_value());
+  EXPECT_TRUE(VerifyCandidate(ctx, w, 0, d * 1.01, TransformCost{}).has_value());
+}
+
+TEST(VerifyCandidateTest, RejectsByCost) {
+  const Vec q = {1.0, 2.0, 3.0, 4.0};
+  const Vec w = {-1.0, -2.0, -3.0, -4.0};  // scale -1
+  const QueryContext ctx(q);
+  EXPECT_TRUE(VerifyCandidate(ctx, w, 0, 0.01, TransformCost{}).has_value());
+  EXPECT_FALSE(
+      VerifyCandidate(ctx, w, 0, 0.01, TransformCost::PositiveScale()).has_value());
+}
+
+TEST(OracleTest, TransformedDistanceBasic) {
+  const Vec u = {1.0, 2.0};
+  const Vec v = {3.0, 5.0};
+  // 2*u + 1 = (3, 5): exact.
+  EXPECT_NEAR(TransformedDistance(u, v, geom::ScaleShift{2.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(TransformedDistance(u, v, geom::ScaleShift{1.0, 0.0}),
+              std::sqrt(4.0 + 9.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tsss::core

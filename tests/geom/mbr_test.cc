@@ -1,0 +1,124 @@
+#include "tsss/geom/mbr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsss::geom {
+namespace {
+
+TEST(MbrTest, EmptyByDefault) {
+  const Mbr m(3);
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.Volume(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 0.0);
+  EXPECT_FALSE(m.Contains(Vec{0.0, 0.0, 0.0}));
+}
+
+TEST(MbrTest, FromPointIsDegenerate) {
+  const Mbr m = Mbr::FromPoint(Vec{1.0, 2.0});
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.lo(), m.hi());
+  EXPECT_TRUE(m.Contains(Vec{1.0, 2.0}));
+  EXPECT_FALSE(m.Contains(Vec{1.0, 2.1}));
+  EXPECT_DOUBLE_EQ(m.Volume(), 0.0);
+}
+
+TEST(MbrTest, ExtendGrowsToCoverPoints) {
+  Mbr m(2);
+  m.Extend(Vec{1.0, 5.0});
+  m.Extend(Vec{3.0, 2.0});
+  EXPECT_EQ(m.lo(), (Vec{1.0, 2.0}));
+  EXPECT_EQ(m.hi(), (Vec{3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(m.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 5.0);
+}
+
+TEST(MbrTest, ExtendWithMbrIsUnion) {
+  Mbr a = Mbr::FromCorners({0.0, 0.0}, {1.0, 1.0});
+  const Mbr b = Mbr::FromCorners({2.0, -1.0}, {3.0, 0.5});
+  a.Extend(b);
+  EXPECT_EQ(a.lo(), (Vec{0.0, -1.0}));
+  EXPECT_EQ(a.hi(), (Vec{3.0, 1.0}));
+}
+
+TEST(MbrTest, ExtendWithEmptyIsNoop) {
+  Mbr a = Mbr::FromCorners({0.0, 0.0}, {1.0, 1.0});
+  const Mbr before = a;
+  a.Extend(Mbr(2));
+  EXPECT_TRUE(a == before);
+}
+
+TEST(MbrTest, ContainsMbr) {
+  const Mbr outer = Mbr::FromCorners({0.0, 0.0}, {10.0, 10.0});
+  EXPECT_TRUE(outer.Contains(Mbr::FromCorners({1.0, 1.0}, {9.0, 9.0})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Mbr::FromCorners({1.0, 1.0}, {11.0, 9.0})));
+}
+
+TEST(MbrTest, IntersectsSharedEdgeCounts) {
+  const Mbr a = Mbr::FromCorners({0.0, 0.0}, {1.0, 1.0});
+  const Mbr b = Mbr::FromCorners({1.0, 0.0}, {2.0, 1.0});
+  const Mbr c = Mbr::FromCorners({1.5, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(b));  // touching edges intersect (closed boxes)
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(MbrTest, EnlargedMatchesPaperDefinition) {
+  // eps-MBR: both corners pushed out by eps in every dimension (Sec. 6.1).
+  const Mbr m = Mbr::FromCorners({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0});
+  const Mbr e = m.Enlarged(0.5);
+  EXPECT_EQ(e.lo(), (Vec{0.5, 1.5, 2.5}));
+  EXPECT_EQ(e.hi(), (Vec{4.5, 5.5, 6.5}));
+}
+
+TEST(MbrTest, EnlargedZeroIsIdentity) {
+  const Mbr m = Mbr::FromCorners({1.0, 2.0}, {4.0, 5.0});
+  EXPECT_TRUE(m.Enlarged(0.0) == m);
+}
+
+TEST(MbrTest, OverlapVolume) {
+  const Mbr a = Mbr::FromCorners({0.0, 0.0}, {2.0, 2.0});
+  const Mbr b = Mbr::FromCorners({1.0, 1.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.OverlapVolume(a), 1.0);
+  const Mbr c = Mbr::FromCorners({5.0, 5.0}, {6.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(MbrTest, EnlargedVolume) {
+  const Mbr a = Mbr::FromCorners({0.0, 0.0}, {1.0, 1.0});
+  const Mbr b = Mbr::FromCorners({2.0, 2.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.EnlargedVolume(b), 9.0);
+}
+
+TEST(MbrTest, CenterAndDiagonal) {
+  const Mbr m = Mbr::FromCorners({0.0, 0.0}, {2.0, 4.0});
+  EXPECT_EQ(m.Center(), (Vec{1.0, 2.0}));
+  EXPECT_NEAR(m.HalfDiagonal(), std::sqrt(1.0 + 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.MinHalfExtent(), 1.0);
+}
+
+TEST(MbrTest, DistanceSquaredToPoint) {
+  const Mbr m = Mbr::FromCorners({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.DistanceSquaredTo(Vec{1.0, 1.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(m.DistanceSquaredTo(Vec{3.0, 1.0}), 1.0);   // right face
+  EXPECT_DOUBLE_EQ(m.DistanceSquaredTo(Vec{3.0, 3.0}), 2.0);   // corner
+  EXPECT_DOUBLE_EQ(m.DistanceSquaredTo(Vec{-2.0, -2.0}), 8.0); // other corner
+}
+
+TEST(MbrTest, DebugStringMentionsCorners) {
+  const Mbr m = Mbr::FromCorners({1.0, 2.0}, {3.0, 4.0});
+  const std::string s = m.DebugString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("4"), std::string::npos);
+  EXPECT_EQ(Mbr(2).DebugString(), "[empty]");
+}
+
+TEST(MbrTest, EqualityIncludesEmptiness) {
+  EXPECT_TRUE(Mbr(2) == Mbr(2));
+  EXPECT_FALSE(Mbr(2) == Mbr::FromPoint(Vec{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace tsss::geom

@@ -1,0 +1,154 @@
+// Cross-cutting randomized property tests for the geometry layer: the
+// monotonicity and consistency relations the search algorithms depend on but
+// no single-function unit test states explicitly.
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/geom/line.h"
+#include "tsss/geom/mbr.h"
+#include "tsss/geom/penetration.h"
+#include "tsss/geom/scale_shift.h"
+#include "tsss/geom/se_transform.h"
+
+namespace tsss::geom {
+namespace {
+
+Mbr RandomBox(Rng& rng, std::size_t dim, double span = 3.0) {
+  Vec lo(dim), hi(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    lo[i] = rng.Uniform(-5, 5);
+    hi[i] = lo[i] + rng.Uniform(0.01, span);
+  }
+  return Mbr::FromCorners(std::move(lo), std::move(hi));
+}
+
+Line RandomLine(Rng& rng, std::size_t dim) {
+  Vec p(dim), d(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    p[i] = rng.Uniform(-8, 8);
+    d[i] = rng.Uniform(-1, 1);
+  }
+  return Line{std::move(p), std::move(d)};
+}
+
+TEST(GeomPropertyTest, ShouldVisitMonotoneInEps) {
+  // If a node is admitted at eps, it must be admitted at any larger eps -
+  // otherwise growing the error bound could *lose* answers.
+  Rng rng(901);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(rng.UniformInt(0, 4));
+    const Mbr box = RandomBox(rng, dim);
+    const Line line = RandomLine(rng, dim);
+    const double eps_small = rng.Uniform(0, 1);
+    const double eps_large = eps_small + rng.Uniform(0, 2);
+    for (const PruneStrategy strategy :
+         {PruneStrategy::kEepOnly, PruneStrategy::kBoundingSpheres,
+          PruneStrategy::kExactDistance}) {
+      if (ShouldVisit(line, box, eps_small, strategy, nullptr)) {
+        EXPECT_TRUE(ShouldVisit(line, box, eps_large, strategy, nullptr))
+            << PruneStrategyToString(strategy);
+      }
+    }
+  }
+}
+
+TEST(GeomPropertyTest, ShouldVisitMonotoneInBoxContainment) {
+  // A node admitted for a box must be admitted for any containing box:
+  // ancestors in the tree can never be pruned while a descendant matches.
+  Rng rng(902);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(rng.UniformInt(0, 4));
+    const Mbr inner = RandomBox(rng, dim);
+    Mbr outer = inner;
+    outer.Extend(RandomBox(rng, dim));
+    const Line line = RandomLine(rng, dim);
+    const double eps = rng.Uniform(0, 1);
+    // (EEP and exact only: the sphere path equals EEP in verdict, tested
+    // elsewhere.)
+    for (const PruneStrategy strategy :
+         {PruneStrategy::kEepOnly, PruneStrategy::kExactDistance}) {
+      if (ShouldVisit(line, inner, eps, strategy, nullptr)) {
+        EXPECT_TRUE(ShouldVisit(line, outer, eps, strategy, nullptr))
+            << PruneStrategyToString(strategy);
+      }
+    }
+  }
+}
+
+TEST(GeomPropertyTest, PointInBoxImpliesEnlargedBoxPenetrated) {
+  // The core of Theorem 3: if some point p of the box is within eps of the
+  // line, the eps-MBR must be penetrated. Sampled over random geometry.
+  Rng rng(903);
+  int exercised = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(rng.UniformInt(0, 3));
+    const Mbr box = RandomBox(rng, dim);
+    const Line line = RandomLine(rng, dim);
+    // Random point inside the box.
+    Vec p(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      p[i] = rng.Uniform(box.lo()[i], box.hi()[i]);
+    }
+    const double d = Pld(p, line);
+    const double eps = d * rng.Uniform(1.0, 1.5) + 1e-12;  // p qualifies
+    EXPECT_TRUE(LinePenetratesMbr(line, box.Enlarged(eps)));
+    EXPECT_LE(LineMbrDistance(line, box), eps + 1e-9);
+    ++exercised;
+  }
+  EXPECT_GT(exercised, 0);
+}
+
+TEST(GeomPropertyTest, MbrExtendIsMonotoneForDistances) {
+  // Growing a box can only reduce its distance to any point.
+  Rng rng(904);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(rng.UniformInt(0, 4));
+    Mbr box = RandomBox(rng, dim);
+    Vec q(dim);
+    for (auto& x : q) x = rng.Uniform(-20, 20);
+    const double before = box.DistanceSquaredTo(q);
+    box.Extend(RandomBox(rng, dim));
+    EXPECT_LE(box.DistanceSquaredTo(q), before + 1e-12);
+  }
+}
+
+TEST(GeomPropertyTest, ScaleShiftDistanceInvariantUnderQueryTransforms) {
+  // Applying any scale-shift to the *data* window cannot change whether the
+  // query matches it with distance 0; and transforming the query by an
+  // invertible scale-shift preserves the zero-distance relation.
+  Rng rng(905);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.UniformInt(0, 28));
+    Vec u(n);
+    for (auto& x : u) x = rng.Uniform(-10, 10);
+    if (IsZero(SeTransform(u), 1e-9)) continue;
+    const double a = rng.Uniform(0.2, 3.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+    const double b = rng.Uniform(-50, 50);
+    const Vec v = ScaleShift{a, b}.Apply(u);
+    // u matches v exactly, and v matches u exactly (a is invertible).
+    EXPECT_NEAR(ScaleShiftDistance(u, v), 0.0, 1e-7);
+    EXPECT_NEAR(ScaleShiftDistance(v, u), 0.0, 1e-7);
+  }
+}
+
+TEST(GeomPropertyTest, TriangleLikeBoundOnAlignedResiduals) {
+  // The aligned residual never exceeds the plain Euclidean distance
+  // (taking a = 1, b = 0 is always available to the minimiser).
+  Rng rng(906);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 13));
+    Vec u(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    EXPECT_LE(ScaleShiftDistance(u, v), Distance(u, v) + 1e-9);
+    // And it also never exceeds the residual after mean-alignment only.
+    EXPECT_LE(ScaleShiftDistance(u, v),
+              Distance(SeTransform(u), SeTransform(v)) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tsss::geom

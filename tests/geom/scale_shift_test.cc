@@ -1,0 +1,163 @@
+#include "tsss/geom/scale_shift.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/geom/line.h"
+#include "tsss/geom/se_transform.h"
+
+namespace tsss::geom {
+namespace {
+
+// The three sequences from the paper's Figure 1 example.
+const Vec kA = {5.0, 10.0, 6.0, 12.0, 4.0};
+const Vec kB = {10.0, 20.0, 12.0, 24.0, 8.0};
+const Vec kC = {25.0, 30.0, 26.0, 32.0, 24.0};
+
+TEST(ScaleShiftTest, ApplyMatchesDefinition) {
+  const ScaleShift f{2.0, 3.0};
+  EXPECT_EQ(f.Apply(Vec{1.0, 2.0}), (Vec{5.0, 7.0}));
+}
+
+TEST(ScaleShiftTest, PaperFigureOneExampleAtoB) {
+  // B is A scaled by 2 (no shift).
+  const Alignment align = AlignScaleShift(kA, kB);
+  EXPECT_NEAR(align.transform.scale, 2.0, 1e-12);
+  EXPECT_NEAR(align.transform.offset, 0.0, 1e-12);
+  EXPECT_NEAR(align.distance, 0.0, 1e-12);
+}
+
+TEST(ScaleShiftTest, PaperFigureOneExampleAtoC) {
+  // C is A shifted up by 20.
+  const Alignment align = AlignScaleShift(kA, kC);
+  EXPECT_NEAR(align.transform.scale, 1.0, 1e-12);
+  EXPECT_NEAR(align.transform.offset, 20.0, 1e-12);
+  EXPECT_NEAR(align.distance, 0.0, 1e-12);
+}
+
+TEST(ScaleShiftTest, PaperFigureOneExampleBtoC) {
+  // "if B is scaled down by 0.5 and then shifted up by 20 units, it becomes C".
+  const Alignment align = AlignScaleShift(kB, kC);
+  EXPECT_NEAR(align.transform.scale, 0.5, 1e-12);
+  EXPECT_NEAR(align.transform.offset, 20.0, 1e-12);
+  EXPECT_NEAR(align.distance, 0.0, 1e-12);
+}
+
+TEST(ScaleShiftTest, SimilarityAtNearZeroEps) {
+  // Exact affine images match at eps ~ 0 (a few ulps of rounding remain
+  // because the means are not exactly representable).
+  EXPECT_TRUE(SimilarScaleShift(kA, kB, 1e-12));
+  EXPECT_TRUE(SimilarScaleShift(kA, kC, 1e-12));
+  EXPECT_FALSE(SimilarScaleShift(kA, Vec{5.0, 10.0, 6.0, 12.0, 100.0}, 1.0));
+}
+
+TEST(ScaleShiftTest, RecoversRandomTransformsExactly) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 29));
+    Vec u(n);
+    for (auto& x : u) x = rng.Uniform(-50, 50);
+    if (IsZero(SeTransform(u), 1e-9)) continue;  // constant-ish query
+    const double a = rng.Uniform(-5, 5);
+    if (std::fabs(a) < 1e-3) continue;
+    const double b = rng.Uniform(-100, 100);
+    const Vec v = ScaleShift{a, b}.Apply(u);
+    const Alignment align = AlignScaleShift(u, v);
+    EXPECT_NEAR(align.transform.scale, a, 1e-6);
+    EXPECT_NEAR(align.transform.offset, b, 1e-5);
+    EXPECT_NEAR(align.distance, 0.0, 1e-6);
+  }
+}
+
+TEST(ScaleShiftTest, DistanceEqualsAppliedResidual) {
+  // The reported distance must equal ||F_{a,b}(u) - v|| for the reported
+  // (a, b), and no sampled transform may beat it.
+  Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 13));
+    Vec u(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    const Alignment align = AlignScaleShift(u, v);
+    const Vec transformed = align.transform.Apply(u);
+    EXPECT_NEAR(Distance(transformed, v), align.distance, 1e-8);
+    for (int s = 0; s < 50; ++s) {
+      const ScaleShift probe{rng.Uniform(-6, 6), rng.Uniform(-20, 20)};
+      EXPECT_LE(align.distance, Distance(probe.Apply(u), v) + 1e-9);
+    }
+  }
+}
+
+TEST(ScaleShiftTest, TheoremOneDistanceEqualsLld) {
+  // min_{a,b} ||a*u + b*N - v|| == LLD(scaling line of u, shifting line of v).
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 13));
+    Vec u(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    const double closed_form = ScaleShiftDistance(u, v);
+    const double lld = Lld(Line::ScalingLine(u), Line::ShiftingLine(v));
+    EXPECT_NEAR(closed_form, lld, 1e-8);
+  }
+}
+
+TEST(ScaleShiftTest, TheoremTwoDistanceEqualsPldOnSePlane) {
+  // min distance == PLD(T_se(v), SE-line of u).
+  Rng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 13));
+    Vec u(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    const double closed_form = ScaleShiftDistance(u, v);
+    const double pld = Pld(SeTransform(v), SeLine(u));
+    EXPECT_NEAR(closed_form, pld, 1e-8);
+  }
+}
+
+TEST(ScaleShiftTest, ConstantQueryFallsBackToShiftOnly) {
+  const Vec constant = {3.0, 3.0, 3.0};
+  const Vec v = {1.0, 2.0, 6.0};  // mean 3
+  const Alignment align = AlignScaleShift(constant, v);
+  EXPECT_DOUBLE_EQ(align.transform.scale, 0.0);
+  EXPECT_DOUBLE_EQ(align.transform.offset, 3.0);
+  EXPECT_NEAR(align.distance, Norm(SeTransform(v)), 1e-12);
+}
+
+TEST(ScaleShiftTest, ConstantBothIsExactMatch) {
+  const Vec c1 = {5.0, 5.0};
+  const Vec c2 = {9.0, 9.0};
+  EXPECT_NEAR(ScaleShiftDistance(c1, c2), 0.0, 1e-12);
+}
+
+TEST(ScaleShiftTest, NegativeScalingIsFound) {
+  const Vec u = {1.0, 2.0, 3.0};
+  const Vec v = {-2.0, -4.0, -6.0};
+  const Alignment align = AlignScaleShift(u, v);
+  EXPECT_NEAR(align.transform.scale, -2.0, 1e-12);
+  EXPECT_NEAR(align.distance, 0.0, 1e-12);
+}
+
+TEST(ScaleShiftTest, DistanceIsNotSymmetricInGeneral) {
+  // Scale-shift similarity directs from query to data; u->v and v->u can
+  // differ when the residual is nonzero.
+  const Vec u = {0.0, 1.0, 0.0, -1.0};
+  const Vec v = {0.0, 2.0, 1.0, -2.0};
+  const double uv = ScaleShiftDistance(u, v);
+  const double vu = ScaleShiftDistance(v, u);
+  EXPECT_GT(uv, 0.0);
+  EXPECT_GT(vu, 0.0);
+  EXPECT_NE(uv, vu);
+}
+
+}  // namespace
+}  // namespace tsss::geom

@@ -1,0 +1,110 @@
+#include "tsss/geom/se_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/geom/line.h"
+
+namespace tsss::geom {
+namespace {
+
+TEST(SeTransformTest, RemovesMean) {
+  const Vec p = {1.0, 2.0, 3.0, 6.0};  // mean 3
+  const Vec t = SeTransform(p);
+  EXPECT_EQ(t, (Vec{-2.0, -1.0, 0.0, 3.0}));
+  EXPECT_TRUE(OnSePlane(t));
+}
+
+TEST(SeTransformTest, InPlaceReturnsMean) {
+  Vec p = {10.0, 20.0, 30.0};
+  const double mean = SeTransformInPlace(p);
+  EXPECT_DOUBLE_EQ(mean, 20.0);
+  EXPECT_EQ(p, (Vec{-10.0, 0.0, 10.0}));
+}
+
+TEST(SeTransformTest, MatchesDefinitionTwoFormula) {
+  // T_se(p) = p - (<p,N>/||N||^2) N   (Definition 2).
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.UniformInt(0, 14));
+    Vec p(n);
+    for (auto& x : p) x = rng.Uniform(-100, 100);
+    const Vec shifting = ShiftingVector(n);
+    const Vec expected =
+        Sub(p, Scale(shifting, Dot(p, shifting) / NormSquared(shifting)));
+    const Vec got = SeTransform(p);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], expected[i], 1e-9);
+  }
+}
+
+TEST(SeTransformTest, IsLinear) {
+  // Property 1 of Section 5.1: T(u+v) = T(u)+T(v), T(t*u) = t*T(u).
+  Rng rng(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.UniformInt(0, 14));
+    Vec u(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    const double t = rng.Uniform(-5, 5);
+    const Vec lhs_add = SeTransform(Add(u, v));
+    const Vec rhs_add = Add(SeTransform(u), SeTransform(v));
+    const Vec lhs_scale = SeTransform(Scale(u, t));
+    const Vec rhs_scale = Scale(SeTransform(u), t);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(lhs_add[i], rhs_add[i], 1e-9);
+      EXPECT_NEAR(lhs_scale[i], rhs_scale[i], 1e-9);
+    }
+  }
+}
+
+TEST(SeTransformTest, CollapsesShiftingLines) {
+  // Property 2: T_se(v + t*N) == T_se(v) for all t.
+  const Vec v = {4.0, -1.0, 7.0};
+  const Vec base = SeTransform(v);
+  for (double t : {-100.0, -1.0, 0.5, 42.0}) {
+    const Vec shifted = Axpy(t, ShiftingVector(3), v);
+    const Vec projected = SeTransform(shifted);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(projected[i], base[i], 1e-9);
+  }
+}
+
+TEST(SeTransformTest, MapsScalingLineToSeLine) {
+  // Property 3: T_se(t*u) = t*T_se(u) - the SE-line.
+  const Vec u = {5.0, 10.0, 6.0, 12.0, 4.0};  // paper's example sequence A
+  const Line se_line = SeLine(u);
+  for (double t : {-2.0, 0.0, 0.5, 3.0}) {
+    const Vec projected = SeTransform(Scale(u, t));
+    const Vec on_line = se_line.At(t);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      EXPECT_NEAR(projected[i], on_line[i], 1e-9);
+    }
+  }
+}
+
+TEST(SeTransformTest, IdempotentOnSePlane) {
+  const Vec p = {3.0, -1.0, -2.0};  // zero mean already
+  EXPECT_TRUE(OnSePlane(p));
+  EXPECT_EQ(SeTransform(p), p);
+}
+
+TEST(SeTransformTest, ConstantSequenceMapsToZero) {
+  const Vec c = {7.0, 7.0, 7.0, 7.0};
+  EXPECT_TRUE(IsZero(SeTransform(c)));
+}
+
+TEST(SeTransformTest, ResultOrthogonalToShiftingVector) {
+  // Property 4: the SE-plane is the orthogonal complement of span{N}.
+  Rng rng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.UniformInt(0, 30));
+    Vec p(n);
+    for (auto& x : p) x = rng.Uniform(-1000, 1000);
+    const Vec t = SeTransform(p);
+    EXPECT_NEAR(Dot(t, ShiftingVector(n)), 0.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tsss::geom

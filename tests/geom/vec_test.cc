@@ -1,0 +1,119 @@
+#include "tsss/geom/vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+
+namespace tsss::geom {
+namespace {
+
+TEST(VecTest, DotBasic) {
+  const Vec u = {1.0, 2.0, 3.0};
+  const Vec v = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(u, v), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecTest, DotEmptyIsZero) {
+  const Vec u;
+  EXPECT_DOUBLE_EQ(Dot(u, u), 0.0);
+}
+
+TEST(VecTest, NormOfUnitVectors) {
+  EXPECT_DOUBLE_EQ(Norm(Vec{1.0, 0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Norm(Vec{3.0, 4.0}), 5.0);
+}
+
+TEST(VecTest, NormSquaredMatchesNorm) {
+  const Vec u = {1.5, -2.5, 0.25};
+  EXPECT_NEAR(NormSquared(u), Norm(u) * Norm(u), 1e-12);
+}
+
+TEST(VecTest, DistanceSymmetric) {
+  const Vec u = {1.0, 2.0};
+  const Vec v = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Distance(u, v), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(v, u), 5.0);
+}
+
+TEST(VecTest, AddSubScale) {
+  const Vec u = {1.0, 2.0, 3.0};
+  const Vec v = {10.0, 20.0, 30.0};
+  EXPECT_EQ(Add(u, v), (Vec{11.0, 22.0, 33.0}));
+  EXPECT_EQ(Sub(v, u), (Vec{9.0, 18.0, 27.0}));
+  EXPECT_EQ(Scale(u, -2.0), (Vec{-2.0, -4.0, -6.0}));
+  EXPECT_EQ(Axpy(2.0, u, v), (Vec{12.0, 24.0, 36.0}));
+}
+
+TEST(VecTest, ShiftingVectorIsAllOnes) {
+  const Vec n = ShiftingVector(4);
+  EXPECT_EQ(n, (Vec{1.0, 1.0, 1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(NormSquared(n), 4.0);
+}
+
+TEST(VecTest, ComponentSumEqualsDotWithShiftingVector) {
+  const Vec u = {1.0, -2.0, 3.5, 0.5};
+  EXPECT_DOUBLE_EQ(ComponentSum(u), Dot(u, ShiftingVector(u.size())));
+}
+
+TEST(VecTest, IsZeroTolerance) {
+  EXPECT_TRUE(IsZero(Vec{0.0, 0.0}));
+  EXPECT_TRUE(IsZero(Vec{1e-13, -1e-13}));
+  EXPECT_FALSE(IsZero(Vec{1e-6, 0.0}));
+}
+
+TEST(VecTest, AreParallelDetectsScalings) {
+  const Vec u = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(AreParallel(u, Scale(u, 4.0)));
+  EXPECT_TRUE(AreParallel(u, Scale(u, -0.5)));
+  EXPECT_FALSE(AreParallel(u, Vec{1.0, 2.0, 4.0}));
+}
+
+TEST(VecTest, ZeroVectorParallelToEverything) {
+  EXPECT_TRUE(AreParallel(Vec{0.0, 0.0}, Vec{1.0, 2.0}));
+}
+
+TEST(VecTest, ProjectionDecomposition) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec u(8);
+    Vec v(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      u[i] = rng.Uniform(-10, 10);
+      v[i] = rng.Uniform(-10, 10);
+    }
+    if (Norm(v) < 1e-9) continue;
+    const Vec along = ProjectAlong(u, v);
+    const Vec perp = ProjectPerp(u, v);
+    // along + perp == u
+    const Vec sum = Add(along, perp);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(sum[i], u[i], 1e-9);
+    // perp is orthogonal to v
+    EXPECT_NEAR(Dot(perp, v), 0.0, 1e-8);
+    // along is parallel to v
+    EXPECT_TRUE(AreParallel(along, v, 1e-6));
+  }
+}
+
+TEST(VecTest, LpDistanceSpecialCases) {
+  const Vec u = {0.0, 0.0};
+  const Vec v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(LpDistance(u, v, 2.0), 5.0);        // Euclidean
+  EXPECT_DOUBLE_EQ(LpDistance(u, v, 1.0), 7.0);        // Manhattan
+  EXPECT_NEAR(LpDistance(u, v, 100.0), 4.0, 0.1);      // ~ Chebyshev
+}
+
+TEST(VecTest, LpMatchesEuclideanForP2) {
+  Rng rng(7);
+  Vec u(16);
+  Vec v(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    u[i] = rng.Uniform(-5, 5);
+    v[i] = rng.Uniform(-5, 5);
+  }
+  EXPECT_NEAR(LpDistance(u, v, 2.0), Distance(u, v), 1e-9);
+}
+
+}  // namespace
+}  // namespace tsss::geom

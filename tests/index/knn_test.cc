@@ -1,0 +1,159 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/index/rtree.h"
+
+namespace tsss::index {
+namespace {
+
+using geom::Line;
+using geom::Vec;
+
+struct KnnFixture : public ::testing::Test {
+  storage::MemPageStore store;
+  storage::BufferPool pool{&store, 256};
+  std::unique_ptr<RTree> tree;
+  std::vector<Vec> points;
+  Rng rng{777};
+
+  void SetUp() override {
+    RTreeConfig config;
+    config.dim = 4;
+    config.max_entries = 10;
+    auto created = RTree::Create(&pool, config);
+    ASSERT_TRUE(created.ok());
+    tree = std::move(created).value();
+    for (RecordId i = 0; i < 500; ++i) {
+      Vec p(4);
+      for (auto& x : p) x = rng.Uniform(-30, 30);
+      points.push_back(p);
+      ASSERT_TRUE(tree->Insert(p, i).ok());
+    }
+  }
+
+  Line RandomLine() {
+    Vec p(4), d(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      p[i] = rng.Uniform(-30, 30);
+      d[i] = rng.Uniform(-1, 1);
+    }
+    return Line{p, d};
+  }
+
+  std::vector<LineMatch> BruteKnn(const Line& line, std::size_t k) {
+    std::vector<LineMatch> all;
+    for (RecordId i = 0; i < points.size(); ++i) {
+      all.push_back(LineMatch{i, geom::Pld(points[i], line)});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const LineMatch& a, const LineMatch& b) {
+                return a.reduced_distance < b.reduced_distance;
+              });
+    all.resize(std::min(k, all.size()));
+    return all;
+  }
+};
+
+TEST_F(KnnFixture, MatchesBruteForceDistances) {
+  for (int q = 0; q < 15; ++q) {
+    const Line line = RandomLine();
+    for (std::size_t k : {1u, 5u, 20u}) {
+      auto result = tree->LineKnn(line, k);
+      ASSERT_TRUE(result.ok());
+      const std::vector<LineMatch> expected = BruteKnn(line, k);
+      ASSERT_EQ(result->size(), expected.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        // Distances must match exactly (records may tie-swap).
+        EXPECT_NEAR((*result)[i].reduced_distance, expected[i].reduced_distance,
+                    1e-9)
+            << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KnnFixture, ResultsSortedAscending) {
+  const Line line = RandomLine();
+  auto result = tree->LineKnn(line, 25);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE((*result)[i - 1].reduced_distance, (*result)[i].reduced_distance);
+  }
+}
+
+TEST_F(KnnFixture, KLargerThanTreeReturnsEverything) {
+  const Line line = RandomLine();
+  auto result = tree->LineKnn(line, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), points.size());
+}
+
+TEST_F(KnnFixture, KZeroReturnsNothing) {
+  auto result = tree->LineKnn(RandomLine(), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(KnnFixture, IteratorYieldsNonDecreasingDistances) {
+  const Line line = RandomLine();
+  auto it = tree->NearestLineNeighbors(line);
+  double prev = -1.0;
+  std::size_t count = 0;
+  while (true) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    EXPECT_GE((*next)->reduced_distance, prev - 1e-12);
+    prev = (*next)->reduced_distance;
+    ++count;
+  }
+  EXPECT_EQ(count, points.size());
+}
+
+TEST_F(KnnFixture, NearestOfExactPointIsItself) {
+  const Line degenerate{points[123], Vec(4, 0.0)};
+  auto result = tree->LineKnn(degenerate, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_NEAR((*result)[0].reduced_distance, 0.0, 1e-12);
+}
+
+TEST_F(KnnFixture, WrongDimRejected) {
+  const Line wrong{{0.0}, {1.0}};
+  EXPECT_FALSE(tree->LineKnn(wrong, 3).ok());
+}
+
+
+TEST_F(KnnFixture, PointKnnMatchesBruteForce) {
+  Rng prng(31337);
+  for (int q = 0; q < 10; ++q) {
+    Vec target(4);
+    for (auto& x : target) x = prng.Uniform(-30, 30);
+    auto result = tree->PointKnn(target, 8);
+    ASSERT_TRUE(result.ok());
+    // Brute force by point distance.
+    std::vector<double> dists;
+    for (const auto& p : points) dists.push_back(geom::Distance(p, target));
+    std::sort(dists.begin(), dists.end());
+    ASSERT_EQ(result->size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR((*result)[i].reduced_distance, dists[i], 1e-9) << i;
+    }
+  }
+}
+
+TEST_F(KnnFixture, PointKnnRejectsWrongDim) {
+  EXPECT_FALSE(tree->PointKnn(Vec{1.0, 2.0}, 3).ok());
+}
+
+TEST_F(KnnFixture, PointKnnOfStoredPointIsExact) {
+  auto result = tree->PointKnn(points[42], 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_NEAR((*result)[0].reduced_distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsss::index

@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/index/rtree.h"
+
+namespace tsss::index {
+namespace {
+
+using geom::Line;
+using geom::Mbr;
+using geom::PruneStrategy;
+using geom::Vec;
+
+struct LineQueryFixture : public ::testing::Test {
+  storage::MemPageStore store;
+  storage::BufferPool pool{&store, 256};
+  std::unique_ptr<RTree> tree;
+  std::vector<Vec> points;
+  Rng rng{4242};
+
+  void SetUp() override {
+    RTreeConfig config;
+    config.dim = 3;
+    config.max_entries = 10;
+    auto created = RTree::Create(&pool, config);
+    ASSERT_TRUE(created.ok());
+    tree = std::move(created).value();
+    for (RecordId i = 0; i < 600; ++i) {
+      Vec p(3);
+      for (auto& x : p) x = rng.Uniform(-50, 50);
+      points.push_back(p);
+      ASSERT_TRUE(tree->Insert(p, i).ok());
+    }
+  }
+
+  Line RandomLine() {
+    Vec p(3), d(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      p[i] = rng.Uniform(-50, 50);
+      d[i] = rng.Uniform(-1, 1);
+    }
+    return Line{p, d};
+  }
+};
+
+TEST_F(LineQueryFixture, MatchesBruteForceForAllStrategies) {
+  for (int q = 0; q < 20; ++q) {
+    const Line line = RandomLine();
+    const double eps = rng.Uniform(0.5, 10.0);
+
+    std::set<RecordId> expected;
+    for (RecordId i = 0; i < points.size(); ++i) {
+      if (geom::Pld(points[i], line) <= eps) expected.insert(i);
+    }
+
+    for (PruneStrategy strategy :
+         {PruneStrategy::kEepOnly, PruneStrategy::kBoundingSpheres,
+          PruneStrategy::kExactDistance}) {
+      auto result = tree->LineQuery(line, eps, strategy, nullptr);
+      ASSERT_TRUE(result.ok());
+      std::set<RecordId> got;
+      for (const LineMatch& m : *result) got.insert(m.record);
+      EXPECT_EQ(got, expected)
+          << "strategy " << geom::PruneStrategyToString(strategy) << " query "
+          << q;
+    }
+  }
+}
+
+TEST_F(LineQueryFixture, ReportedDistancesAreCorrect) {
+  const Line line = RandomLine();
+  auto result = tree->LineQuery(line, 8.0, PruneStrategy::kEepOnly, nullptr);
+  ASSERT_TRUE(result.ok());
+  for (const LineMatch& m : *result) {
+    EXPECT_NEAR(m.reduced_distance, geom::Pld(points[m.record], line), 1e-9);
+    EXPECT_LE(m.reduced_distance, 8.0);
+  }
+}
+
+TEST_F(LineQueryFixture, ZeroEpsilonFindsPointsOnLine) {
+  // Insert points exactly on a known line, query with eps = 0.
+  const Line line{{0.0, 0.0, 0.0}, {1.0, 2.0, 3.0}};
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(
+        tree->Insert(line.At(static_cast<double>(k)), 10000 + static_cast<RecordId>(k))
+            .ok());
+  }
+  auto result = tree->LineQuery(line, 0.0, PruneStrategy::kEepOnly, nullptr);
+  ASSERT_TRUE(result.ok());
+  std::set<RecordId> got;
+  for (const LineMatch& m : *result) got.insert(m.record);
+  for (RecordId k = 0; k < 5; ++k) EXPECT_TRUE(got.count(10000 + k)) << k;
+}
+
+TEST_F(LineQueryFixture, DegenerateLineActsAsPointQuery) {
+  const Line degenerate{points[7], Vec{0.0, 0.0, 0.0}};
+  auto result = tree->LineQuery(degenerate, 1e-9, PruneStrategy::kEepOnly, nullptr);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const LineMatch& m : *result) {
+    if (m.record == 7) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LineQueryFixture, StatsAccumulateAcrossNodes) {
+  geom::PenetrationStats stats;
+  const Line line = RandomLine();
+  auto result = tree->LineQuery(line, 5.0, PruneStrategy::kBoundingSpheres, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.tests, 0u);
+  EXPECT_GE(stats.tests, stats.visits);
+}
+
+TEST_F(LineQueryFixture, LargerEpsilonIsMonotone) {
+  const Line line = RandomLine();
+  auto small = tree->LineQuery(line, 2.0, PruneStrategy::kEepOnly, nullptr);
+  auto large = tree->LineQuery(line, 6.0, PruneStrategy::kEepOnly, nullptr);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  std::set<RecordId> small_set, large_set;
+  for (const LineMatch& m : *small) small_set.insert(m.record);
+  for (const LineMatch& m : *large) large_set.insert(m.record);
+  EXPECT_TRUE(std::includes(large_set.begin(), large_set.end(),
+                            small_set.begin(), small_set.end()));
+}
+
+TEST_F(LineQueryFixture, RejectsBadArguments) {
+  const Line wrong_dim{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_FALSE(tree->LineQuery(wrong_dim, 1.0, PruneStrategy::kEepOnly, nullptr).ok());
+  const Line line = RandomLine();
+  EXPECT_FALSE(tree->LineQuery(line, -1.0, PruneStrategy::kEepOnly, nullptr).ok());
+}
+
+TEST_F(LineQueryFixture, ExactStrategyVisitsNoMoreNodesThanEep) {
+  const Line line = RandomLine();
+  geom::PenetrationStats eep_stats, exact_stats;
+  ASSERT_TRUE(tree->LineQuery(line, 5.0, PruneStrategy::kEepOnly, &eep_stats).ok());
+  ASSERT_TRUE(
+      tree->LineQuery(line, 5.0, PruneStrategy::kExactDistance, &exact_stats).ok());
+  EXPECT_LE(exact_stats.visits, eep_stats.visits);
+}
+
+}  // namespace
+}  // namespace tsss::index

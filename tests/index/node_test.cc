@@ -1,0 +1,164 @@
+#include "tsss/index/node.h"
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/storage/page.h"
+
+namespace tsss::index {
+namespace {
+
+using geom::Mbr;
+using geom::Vec;
+
+TEST(NodeCodecTest, CapacitiesFitThePaperSetting) {
+  // dim 6, 4 KiB pages: internal entries are 4 + 2*6*8 = 100 bytes, so at
+  // least M=20 (+1 transient) internal entries must fit - the paper's node
+  // size. Leaf entries are 8 + 48 = 56 bytes.
+  const NodeCodec codec(6);
+  EXPECT_GE(codec.max_internal_entries(), 21u);
+  EXPECT_GE(codec.max_leaf_entries(), codec.max_internal_entries());
+}
+
+TEST(NodeCodecTest, LeafRoundTrip) {
+  const NodeCodec codec(3);
+  Node node;
+  node.level = 0;
+  node.entries.push_back(Entry::ForRecord(0xDEADBEEFCAFEBABEull, Vec{1.5, -2.5, 3.75}));
+  node.entries.push_back(Entry::ForRecord(7, Vec{0.0, 0.0, 0.0}));
+
+  storage::Page page;
+  ASSERT_TRUE(codec.Encode(node, &page).ok());
+  auto decoded = codec.Decode(page);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->level, 0);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].record, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(decoded->entries[0].mbr.lo(), (Vec{1.5, -2.5, 3.75}));
+  EXPECT_EQ(decoded->entries[0].mbr.hi(), (Vec{1.5, -2.5, 3.75}));
+  EXPECT_EQ(decoded->entries[1].record, 7u);
+}
+
+TEST(NodeCodecTest, InternalRoundTrip) {
+  const NodeCodec codec(2);
+  Node node;
+  node.level = 3;
+  node.entries.push_back(
+      Entry::ForChild(42, Mbr::FromCorners({-1.0, -2.0}, {3.0, 4.0})));
+  node.entries.push_back(
+      Entry::ForChild(77, Mbr::FromCorners({10.0, 10.0}, {11.0, 12.0})));
+
+  storage::Page page;
+  ASSERT_TRUE(codec.Encode(node, &page).ok());
+  auto decoded = codec.Decode(page);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->level, 3);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].child, 42u);
+  EXPECT_EQ(decoded->entries[0].mbr, Mbr::FromCorners({-1.0, -2.0}, {3.0, 4.0}));
+  EXPECT_EQ(decoded->entries[1].child, 77u);
+}
+
+TEST(NodeCodecTest, EmptyNodeRoundTrip) {
+  const NodeCodec codec(6);
+  Node node;
+  storage::Page page;
+  ASSERT_TRUE(codec.Encode(node, &page).ok());
+  auto decoded = codec.Decode(page);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty());
+  EXPECT_TRUE(decoded->is_leaf());
+}
+
+TEST(NodeCodecTest, RejectsOverCapacity) {
+  const NodeCodec codec(6);
+  Node node;
+  node.level = 0;
+  const Vec point(6, 0.0);
+  for (std::size_t i = 0; i <= codec.max_leaf_entries(); ++i) {
+    node.entries.push_back(Entry::ForRecord(i, point));
+  }
+  storage::Page page;
+  EXPECT_EQ(codec.Encode(node, &page).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NodeCodecTest, RejectsDimensionMismatch) {
+  const NodeCodec codec(6);
+  Node node;
+  node.entries.push_back(Entry::ForRecord(1, Vec{1.0, 2.0}));  // dim 2
+  storage::Page page;
+  EXPECT_EQ(codec.Encode(node, &page).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NodeCodecTest, RejectsEmptyMbrEntry) {
+  const NodeCodec codec(2);
+  Node node;
+  node.level = 1;
+  Entry e;
+  e.mbr = Mbr(2);  // empty
+  e.child = 5;
+  node.entries.push_back(e);
+  storage::Page page;
+  EXPECT_FALSE(codec.Encode(node, &page).ok());
+}
+
+TEST(NodeCodecTest, DecodeDetectsBadMagic) {
+  const NodeCodec codec(6);
+  storage::Page page;  // zeroed: magic 0
+  EXPECT_EQ(codec.Decode(page).status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeCodecTest, DecodeDetectsDimMismatch) {
+  const NodeCodec codec6(6);
+  const NodeCodec codec3(3);
+  Node node;
+  node.entries.push_back(Entry::ForRecord(1, Vec(6, 1.0)));
+  storage::Page page;
+  ASSERT_TRUE(codec6.Encode(node, &page).ok());
+  EXPECT_EQ(codec3.Decode(page).status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeCodecTest, FullCapacityRoundTripRandomised) {
+  Rng rng(77);
+  for (std::size_t dim : {2u, 6u, 10u, 16u}) {
+    const NodeCodec codec(dim);
+    Node node;
+    node.level = 1;
+    for (std::size_t i = 0; i < codec.max_internal_entries(); ++i) {
+      Vec lo(dim), hi(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        lo[d] = rng.Uniform(-100, 100);
+        hi[d] = lo[d] + rng.Uniform(0, 10);
+      }
+      node.entries.push_back(Entry::ForChild(static_cast<storage::PageId>(i),
+                                             Mbr::FromCorners(lo, hi)));
+    }
+    storage::Page page;
+    ASSERT_TRUE(codec.Encode(node, &page).ok());
+    auto decoded = codec.Decode(page);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->entries.size(), node.entries.size());
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      EXPECT_EQ(decoded->entries[i].child, node.entries[i].child);
+      EXPECT_TRUE(decoded->entries[i].mbr == node.entries[i].mbr);
+    }
+  }
+}
+
+TEST(NodeTest, ComputeMbrCoversAllEntries) {
+  Node node;
+  node.level = 0;
+  node.entries.push_back(Entry::ForRecord(1, Vec{0.0, 5.0}));
+  node.entries.push_back(Entry::ForRecord(2, Vec{3.0, -1.0}));
+  const Mbr box = node.ComputeMbr(2);
+  EXPECT_EQ(box.lo(), (Vec{0.0, -1.0}));
+  EXPECT_EQ(box.hi(), (Vec{3.0, 5.0}));
+}
+
+TEST(NodeTest, ComputeMbrOfEmptyNodeIsEmpty) {
+  Node node;
+  EXPECT_TRUE(node.ComputeMbr(4).empty());
+}
+
+}  // namespace
+}  // namespace tsss::index

@@ -1,0 +1,147 @@
+#include "tsss/index/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+
+namespace tsss::index {
+namespace {
+
+using geom::Mbr;
+using geom::Vec;
+
+std::vector<Entry> RandomPointEntries(Rng& rng, std::size_t count,
+                                      std::size_t dim) {
+  std::vector<Entry> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Vec p(dim);
+    for (auto& x : p) x = rng.Uniform(-100, 100);
+    out.push_back(Entry::ForRecord(i, p));
+  }
+  return out;
+}
+
+class SplitAlgorithmTest : public ::testing::TestWithParam<SplitAlgorithm> {};
+
+TEST_P(SplitAlgorithmTest, PartitionIsCompleteAndDisjoint) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(rng.UniformInt(0, 5));
+    const std::size_t count = 21;  // M+1 with M=20
+    const std::size_t min_fill = 8;
+    std::vector<Entry> entries = RandomPointEntries(rng, count, dim);
+    const SplitResult split = SplitEntries(entries, dim, min_fill, GetParam());
+
+    EXPECT_EQ(split.left.size() + split.right.size(), count);
+    EXPECT_GE(split.left.size(), min_fill);
+    EXPECT_GE(split.right.size(), min_fill);
+
+    std::multiset<RecordId> seen;
+    for (const Entry& e : split.left) seen.insert(e.record);
+    for (const Entry& e : split.right) seen.insert(e.record);
+    EXPECT_EQ(seen.size(), count);
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(seen.count(i), 1u);
+  }
+}
+
+TEST_P(SplitAlgorithmTest, HandlesMinimumInput) {
+  Rng rng(102);
+  std::vector<Entry> entries = RandomPointEntries(rng, 2, 3);
+  const SplitResult split = SplitEntries(entries, 3, 1, GetParam());
+  EXPECT_EQ(split.left.size(), 1u);
+  EXPECT_EQ(split.right.size(), 1u);
+}
+
+TEST_P(SplitAlgorithmTest, HandlesDuplicatePoints) {
+  // All entries at the same location: any valid partition is fine, but the
+  // fill guarantees must hold and nothing may be lost.
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < 11; ++i) {
+    entries.push_back(Entry::ForRecord(i, Vec{1.0, 1.0}));
+  }
+  const SplitResult split = SplitEntries(entries, 2, 4, GetParam());
+  EXPECT_EQ(split.left.size() + split.right.size(), 11u);
+  EXPECT_GE(split.left.size(), 4u);
+  EXPECT_GE(split.right.size(), 4u);
+}
+
+TEST_P(SplitAlgorithmTest, SeparatesTwoObviousClusters) {
+  // Two well-separated clusters: any sane split algorithm should cut between
+  // them (groups should not mix clusters).
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < 6; ++i) {
+    entries.push_back(
+        Entry::ForRecord(i, Vec{static_cast<double>(i) * 0.01, 0.0}));
+  }
+  for (std::size_t i = 6; i < 12; ++i) {
+    entries.push_back(
+        Entry::ForRecord(i, Vec{1000.0 + static_cast<double>(i) * 0.01, 0.0}));
+  }
+  const SplitResult split = SplitEntries(entries, 2, 3, GetParam());
+
+  auto cluster_of = [](const Entry& e) { return e.mbr.lo()[0] > 500.0; };
+  const bool left_homogeneous =
+      std::all_of(split.left.begin(), split.left.end(), cluster_of) ||
+      std::none_of(split.left.begin(), split.left.end(), cluster_of);
+  const bool right_homogeneous =
+      std::all_of(split.right.begin(), split.right.end(), cluster_of) ||
+      std::none_of(split.right.begin(), split.right.end(), cluster_of);
+  EXPECT_TRUE(left_homogeneous && right_homogeneous)
+      << SplitAlgorithmToString(GetParam()) << " mixed the clusters";
+}
+
+TEST_P(SplitAlgorithmTest, WorksOnRectangleEntries) {
+  Rng rng(103);
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < 21; ++i) {
+    Vec lo(4), hi(4);
+    for (std::size_t d = 0; d < 4; ++d) {
+      lo[d] = rng.Uniform(-50, 50);
+      hi[d] = lo[d] + rng.Uniform(0.1, 20);
+    }
+    entries.push_back(
+        Entry::ForChild(static_cast<storage::PageId>(i), Mbr::FromCorners(lo, hi)));
+  }
+  const SplitResult split = SplitEntries(entries, 4, 8, GetParam());
+  EXPECT_EQ(split.left.size() + split.right.size(), 21u);
+  EXPECT_GE(split.left.size(), 8u);
+  EXPECT_GE(split.right.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SplitAlgorithmTest,
+                         ::testing::Values(SplitAlgorithm::kLinear,
+                                           SplitAlgorithm::kQuadratic,
+                                           SplitAlgorithm::kRStar),
+                         [](const auto& info) {
+                           return std::string(SplitAlgorithmToString(info.param));
+                         });
+
+TEST(RStarSplitTest, MinimisesOverlapOnStripedData) {
+  // Points on two parallel horizontal strips: the R* split should separate
+  // the strips (zero overlap) rather than cut across them.
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < 10; ++i) {
+    entries.push_back(Entry::ForRecord(i, Vec{static_cast<double>(i), 0.0}));
+    entries.push_back(
+        Entry::ForRecord(100 + i, Vec{static_cast<double>(i), 10.0}));
+  }
+  entries.push_back(Entry::ForRecord(999, Vec{5.0, 10.0}));
+  const SplitResult split =
+      SplitEntries(entries, 2, 8, SplitAlgorithm::kRStar);
+  Mbr left(2), right(2);
+  for (const Entry& e : split.left) left.Extend(e.mbr);
+  for (const Entry& e : split.right) right.Extend(e.mbr);
+  EXPECT_DOUBLE_EQ(left.OverlapVolume(right), 0.0);
+}
+
+TEST(SplitAlgorithmToStringTest, Names) {
+  EXPECT_EQ(SplitAlgorithmToString(SplitAlgorithm::kLinear), "linear");
+  EXPECT_EQ(SplitAlgorithmToString(SplitAlgorithm::kQuadratic), "quadratic");
+  EXPECT_EQ(SplitAlgorithmToString(SplitAlgorithm::kRStar), "rstar");
+}
+
+}  // namespace
+}  // namespace tsss::index

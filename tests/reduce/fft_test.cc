@@ -1,0 +1,117 @@
+#include "tsss/reduce/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/reduce/dft.h"
+
+namespace tsss::reduce {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3);
+  EXPECT_FALSE(Fft(data).ok());
+  std::vector<Complex> empty;
+  EXPECT_FALSE(Fft(empty).ok());
+}
+
+TEST(FftTest, SizeOneIsIdentity) {
+  std::vector<Complex> data = {Complex(3.0, -1.0)};
+  ASSERT_TRUE(Fft(data).ok());
+  EXPECT_EQ(data[0], Complex(3.0, -1.0));
+}
+
+TEST(FftTest, MatchesNaiveDftRandom) {
+  Rng rng(21);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<Complex> data(n);
+    for (auto& c : data) c = Complex(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const std::vector<Complex> expected = NaiveDft(data);
+    ASSERT_TRUE(Fft(data).ok());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftTest, InverseRoundTrips) {
+  Rng rng(22);
+  std::vector<Complex> data(128);
+  for (auto& c : data) c = Complex(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+  const std::vector<Complex> original = data;
+  ASSERT_TRUE(Fft(data).ok());
+  ASSERT_TRUE(InverseFft(data).ok());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(RealFftOrthonormalTest, ParsevalHolds) {
+  Rng rng(23);
+  std::vector<double> signal(64);
+  for (auto& x : signal) x = rng.Uniform(-10, 10);
+  auto spectrum = RealFftOrthonormal(signal);
+  ASSERT_TRUE(spectrum.ok());
+  double time_energy = 0.0;
+  for (double x : signal) time_energy += x * x;
+  double freq_energy = 0.0;
+  for (const Complex& c : *spectrum) freq_energy += std::norm(c);
+  EXPECT_NEAR(time_energy, freq_energy, 1e-8);
+}
+
+TEST(RealFftOrthonormalTest, AgreesWithDftReducer) {
+  // The DftReducer's kept coefficients must equal the FFT spectrum's.
+  Rng rng(24);
+  const std::size_t n = 32;
+  std::vector<double> signal(n);
+  for (auto& x : signal) x = rng.Uniform(-10, 10);
+  auto spectrum = RealFftOrthonormal(signal);
+  ASSERT_TRUE(spectrum.ok());
+
+  const DftReducer reducer(n, 3, 1);
+  std::vector<double> reduced(6);
+  reducer.Reduce(signal, reduced);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(reduced[2 * c], (*spectrum)[c + 1].real(), 1e-9);
+    EXPECT_NEAR(reduced[2 * c + 1], (*spectrum)[c + 1].imag(), 1e-9);
+  }
+}
+
+TEST(RealFftOrthonormalTest, ConjugateSymmetryOfRealSignals) {
+  Rng rng(25);
+  const std::size_t n = 16;
+  std::vector<double> signal(n);
+  for (auto& x : signal) x = rng.Uniform(-1, 1);
+  auto spectrum = RealFftOrthonormal(signal);
+  ASSERT_TRUE(spectrum.ok());
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR((*spectrum)[k].real(), (*spectrum)[n - k].real(), 1e-9);
+    EXPECT_NEAR((*spectrum)[k].imag(), -(*spectrum)[n - k].imag(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tsss::reduce

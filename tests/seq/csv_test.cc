@@ -1,0 +1,98 @@
+#include "tsss/seq/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace tsss::seq {
+namespace {
+
+TEST(CsvTest, ParsesNamedSeries) {
+  auto parsed = ParseCsv("alpha,1,2,3\nbeta,4.5,-6\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "alpha");
+  EXPECT_EQ((*parsed)[0].values, (geom::Vec{1.0, 2.0, 3.0}));
+  EXPECT_EQ((*parsed)[1].name, "beta");
+  EXPECT_EQ((*parsed)[1].values, (geom::Vec{4.5, -6.0}));
+}
+
+TEST(CsvTest, UnnamedSeriesGetsGeneratedName) {
+  auto parsed = ParseCsv("1.0,2.0,3.0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "series0");
+  EXPECT_EQ((*parsed)[0].values, (geom::Vec{1.0, 2.0, 3.0}));
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  auto parsed = ParseCsv("# a comment\n\n  \nx,1\n# another\ny,2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(CsvTest, ToleratesWhitespaceAndTrailingComma) {
+  auto parsed = ParseCsv("  stock , 1.5 , 2.5 ,\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "stock");
+  EXPECT_EQ((*parsed)[0].values, (geom::Vec{1.5, 2.5}));
+}
+
+TEST(CsvTest, RejectsGarbageNumbers) {
+  auto parsed = ParseCsv("x,1,banana,3\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, EmptyInputGivesNoSeries) {
+  auto parsed = ParseCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(CsvTest, SeriesWithNoValuesAllowed) {
+  auto parsed = ParseCsv("lonely\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE((*parsed)[0].values.empty());
+}
+
+TEST(CsvTest, RoundTripThroughText) {
+  std::vector<TimeSeries> original;
+  original.push_back(TimeSeries{"a", {1.25, -2.5, 1e-3}});
+  original.push_back(TimeSeries{"b", {42.0}});
+  auto parsed = ParseCsv(ToCsv(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*parsed)[i].name, original[i].name);
+    ASSERT_EQ((*parsed)[i].values.size(), original[i].values.size());
+    for (std::size_t j = 0; j < original[i].values.size(); ++j) {
+      EXPECT_DOUBLE_EQ((*parsed)[i].values[j], original[i].values[j]);
+    }
+  }
+}
+
+TEST(CsvFileTest, SaveAndLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tsss_csv_test.csv";
+  std::vector<TimeSeries> original;
+  original.push_back(TimeSeries{"hk1", {10.0, 10.5, 11.0}});
+  ASSERT_TRUE(SaveCsvFile(path, original).ok());
+  auto loaded = LoadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].name, "hk1");
+  EXPECT_EQ((*loaded)[0].values, original[0].values);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto loaded = LoadCsvFile("/nonexistent/path/really.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tsss::seq

@@ -1,0 +1,94 @@
+#include "tsss/seq/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace tsss::seq {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tsss_dataset_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(DatasetIoTest, RoundTrip) {
+  Dataset original;
+  original.Add("alpha", std::vector<double>{1.5, -2.5, 1e-9});
+  original.Add("beta", std::vector<double>{});
+  original.Add("", std::vector<double>{42.0});
+  ASSERT_TRUE(SaveDataset(path_, original).ok());
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(path_, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(*loaded.Name(0), "alpha");
+  EXPECT_EQ(*loaded.Name(1), "beta");
+  EXPECT_EQ(*loaded.Name(2), "");
+  auto values = loaded.Values(0);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 3u);
+  EXPECT_DOUBLE_EQ((*values)[0], 1.5);
+  EXPECT_DOUBLE_EQ((*values)[2], 1e-9);
+  EXPECT_EQ(loaded.Values(1)->size(), 0u);
+}
+
+TEST_F(DatasetIoTest, EmptyDatasetRoundTrip) {
+  Dataset original;
+  ASSERT_TRUE(SaveDataset(path_, original).ok());
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(path_, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST_F(DatasetIoTest, LoadRequiresEmptyTarget) {
+  Dataset original;
+  original.Add("x", std::vector<double>{1.0});
+  ASSERT_TRUE(SaveDataset(path_, original).ok());
+  Dataset not_empty;
+  not_empty.Add("y", std::vector<double>{2.0});
+  EXPECT_EQ(LoadDataset(path_, &not_empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatasetIoTest, DetectsCorruption) {
+  Dataset original;
+  original.Add("x", std::vector<double>(100, 3.14));
+  ASSERT_TRUE(SaveDataset(path_, original).ok());
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(64);
+    const char evil = 0x5A;
+    file.write(&evil, 1);
+  }
+  Dataset loaded;
+  EXPECT_EQ(LoadDataset(path_, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST_F(DatasetIoTest, MissingFileIsIoError) {
+  Dataset loaded;
+  EXPECT_EQ(LoadDataset(path_ + ".does-not-exist", &loaded).code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(DatasetIoTest, TruncatedFileIsCorruption) {
+  Dataset original;
+  original.Add("x", std::vector<double>(100, 1.0));
+  ASSERT_TRUE(SaveDataset(path_, original).ok());
+  std::filesystem::resize_file(path_, 40);
+  Dataset loaded;
+  EXPECT_EQ(LoadDataset(path_, &loaded).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tsss::seq

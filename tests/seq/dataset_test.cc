@@ -1,0 +1,79 @@
+#include "tsss/seq/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tsss::seq {
+namespace {
+
+TEST(DatasetTest, AddAndLookup) {
+  Dataset ds;
+  const storage::SeriesId id = ds.Add("apple", std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(ds.size(), 1u);
+  auto name = ds.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "apple");
+  auto values = ds.Values(id);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+  EXPECT_DOUBLE_EQ((*values)[1], 2.0);
+}
+
+TEST(DatasetTest, AddFromTimeSeries) {
+  Dataset ds;
+  TimeSeries series;
+  series.name = "banana";
+  series.values = {3.0, 4.0, 5.0};
+  const storage::SeriesId id = ds.Add(series);
+  auto name = ds.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "banana");
+  EXPECT_EQ(ds.total_values(), 3u);
+}
+
+TEST(DatasetTest, UnknownIdFails) {
+  Dataset ds;
+  EXPECT_FALSE(ds.Name(0).ok());
+  EXPECT_FALSE(ds.Values(9).ok());
+}
+
+TEST(DatasetTest, AppendGrowsLastSeries) {
+  Dataset ds;
+  const storage::SeriesId id = ds.Add("c", std::vector<double>{1.0});
+  ASSERT_TRUE(ds.Append(id, std::vector<double>{2.0, 3.0}).ok());
+  auto values = ds.Values(id);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 3u);
+}
+
+TEST(DatasetTest, SequentialIdsAssigned) {
+  Dataset ds;
+  EXPECT_EQ(ds.Add("a", std::vector<double>{}), 0u);
+  EXPECT_EQ(ds.Add("b", std::vector<double>{}), 1u);
+  EXPECT_EQ(ds.Add("c", std::vector<double>{}), 2u);
+}
+
+TEST(SubsequenceTest, ExtractsSlice) {
+  TimeSeries series;
+  series.values = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(Subsequence(series, 1, 3), (geom::Vec{1.0, 2.0, 3.0}));
+  EXPECT_EQ(Subsequence(series, 0, 5), series.values);
+  EXPECT_EQ(series.length(), 5u);
+}
+
+
+TEST(DatasetTest, FindSeriesByName) {
+  Dataset ds;
+  ds.Add("alpha", std::vector<double>{1.0});
+  ds.Add("beta", std::vector<double>{2.0});
+  ds.Add("alpha", std::vector<double>{3.0});  // duplicate name
+  auto found = ds.FindSeries("beta");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 1u);
+  auto first = ds.FindSeries("alpha");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u) << "first occurrence wins";
+  EXPECT_EQ(ds.FindSeries("gamma").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tsss::seq

@@ -1,0 +1,112 @@
+#include "tsss/seq/patterns.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tsss/geom/scale_shift.h"
+
+namespace tsss::seq {
+namespace {
+
+TEST(PatternsTest, RampEndpointsAndMonotonicity) {
+  const geom::Vec v = RampPattern(32);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(PatternsTest, VShapeSymmetricWithZeroMiddle) {
+  const geom::Vec v = VPattern(33);  // odd length: exact middle sample
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[16], 0.0);
+  for (std::size_t i = 0; i < 33; ++i) EXPECT_NEAR(v[i], v[32 - i], 1e-12);
+}
+
+TEST(PatternsTest, PeakIsNegatedV) {
+  const geom::Vec peak = PeakPattern(21);
+  const geom::Vec vee = VPattern(21);
+  // Peak = 1 - V: so peak ~ V under scale-shift with a = -1, b = 1.
+  const geom::Alignment align = geom::AlignScaleShift(vee, peak);
+  EXPECT_NEAR(align.transform.scale, -1.0, 1e-9);
+  EXPECT_NEAR(align.transform.offset, 1.0, 1e-9);
+  EXPECT_NEAR(align.distance, 0.0, 1e-9);
+}
+
+TEST(PatternsTest, SineIsPeriodic) {
+  const geom::Vec v = SinePattern(101, 2.0);
+  EXPECT_NEAR(v.front(), 0.0, 1e-12);
+  EXPECT_NEAR(v.back(), 0.0, 1e-9);
+  // Max close to +1, min close to -1.
+  EXPECT_NEAR(*std::max_element(v.begin(), v.end()), 1.0, 0.01);
+  EXPECT_NEAR(*std::min_element(v.begin(), v.end()), -1.0, 0.01);
+}
+
+TEST(PatternsTest, StepJumpsAtFraction) {
+  const geom::Vec v = StepPattern(100, 0.25);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[20], 0.0);
+  EXPECT_DOUBLE_EQ(v[30], 1.0);
+  EXPECT_DOUBLE_EQ(v[99], 1.0);
+}
+
+TEST(PatternsTest, HeadAndShouldersHasThreePeaksHeadTallest) {
+  const geom::Vec v = HeadAndShouldersPattern(120);
+  // Local maxima near t = 1/6, 1/2, 5/6.
+  const double left = v[20];
+  const double head = v[60];
+  const double right = v[99];
+  EXPECT_GT(head, left);
+  EXPECT_GT(head, right);
+  EXPECT_GT(left, v[40]);   // valley between left shoulder and head
+  EXPECT_GT(right, v[80]);  // valley between head and right shoulder
+}
+
+TEST(PatternsTest, SaturationMonotoneAndBounded) {
+  const geom::Vec v = SaturationPattern(64, 4.0);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_LT(v.back(), 1.0);
+  EXPECT_GT(v.back(), 0.9);
+}
+
+TEST(PatternsTest, CupHasFlatBottom) {
+  const geom::Vec v = CupPattern(100);
+  EXPECT_NEAR(v.front(), 1.0, 1e-9);
+  EXPECT_NEAR(v.back(), 1.0, 1e-9);
+  for (std::size_t i = 35; i < 65; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(PatternsTest, AllPatternsHaveRequestedLength) {
+  for (const std::size_t n : {2u, 7u, 64u}) {
+    EXPECT_EQ(RampPattern(n).size(), n);
+    EXPECT_EQ(VPattern(n).size(), n);
+    EXPECT_EQ(PeakPattern(n).size(), n);
+    EXPECT_EQ(SinePattern(n).size(), n);
+    EXPECT_EQ(StepPattern(n).size(), n);
+    EXPECT_EQ(HeadAndShouldersPattern(n).size(), n);
+    EXPECT_EQ(SaturationPattern(n).size(), n);
+    EXPECT_EQ(CupPattern(n).size(), n);
+  }
+}
+
+TEST(PatternsTest, PatternsAreScaleShiftDistinct) {
+  // The shapes are genuinely different under scale-shift similarity (no two
+  // are affine images of each other) - otherwise they'd be redundant as
+  // query patterns.
+  const std::vector<geom::Vec> shapes = {
+      RampPattern(64),       VPattern(64),          SinePattern(64),
+      StepPattern(64),       HeadAndShouldersPattern(64),
+      SaturationPattern(64), CupPattern(64),
+  };
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+      EXPECT_GT(geom::ScaleShiftDistance(shapes[i], shapes[j]), 0.1)
+          << "patterns " << i << " and " << j << " are affine twins";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsss::seq

@@ -1,0 +1,98 @@
+#include "tsss/seq/stock_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/math_utils.h"
+
+namespace tsss::seq {
+namespace {
+
+StockMarketConfig SmallMarket() {
+  StockMarketConfig config;
+  config.num_companies = 50;
+  config.values_per_company = 200;
+  config.seed = 7;
+  return config;
+}
+
+TEST(StockGeneratorTest, ShapeMatchesConfig) {
+  const auto market = GenerateStockMarket(SmallMarket());
+  ASSERT_EQ(market.size(), 50u);
+  for (const TimeSeries& s : market) {
+    EXPECT_EQ(s.values.size(), 200u);
+    EXPECT_FALSE(s.name.empty());
+  }
+  EXPECT_EQ(market[0].name, "HK0");
+  EXPECT_EQ(market[49].name, "HK49");
+}
+
+TEST(StockGeneratorTest, DeterministicForSameSeed) {
+  const auto a = GenerateStockMarket(SmallMarket());
+  const auto b = GenerateStockMarket(SmallMarket());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(StockGeneratorTest, DifferentSeedsDiffer) {
+  StockMarketConfig other = SmallMarket();
+  other.seed = 8;
+  const auto a = GenerateStockMarket(SmallMarket());
+  const auto b = GenerateStockMarket(other);
+  EXPECT_NE(a[0].values, b[0].values);
+}
+
+TEST(StockGeneratorTest, PricesStayPositive) {
+  const auto market = GenerateStockMarket(SmallMarket());
+  for (const TimeSeries& s : market) {
+    for (double v : s.values) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(StockGeneratorTest, StartPricesSpanConfiguredRange) {
+  // With log-uniform sampling over [0.5, 150] and 50 companies, the spread
+  // between cheapest and dearest first prices should be large.
+  const auto market = GenerateStockMarket(SmallMarket());
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const TimeSeries& s : market) {
+    lo = std::min(lo, s.values[0]);
+    hi = std::max(hi, s.values[0]);
+  }
+  EXPECT_LT(lo, 5.0);
+  EXPECT_GT(hi, 30.0);
+}
+
+TEST(StockGeneratorTest, PaperScaleProducesExpectedVolume) {
+  StockMarketConfig config;
+  config.num_companies = 100;  // scaled-down proportions
+  config.values_per_company = 650;
+  const auto market = GenerateStockMarket(config);
+  std::size_t total = 0;
+  for (const TimeSeries& s : market) total += s.values.size();
+  EXPECT_EQ(total, 65000u);
+}
+
+TEST(GbmPathTest, BasicProperties) {
+  const TimeSeries path = GenerateGbmPath("test", 500, 100.0, 0.0, 0.01, 3);
+  EXPECT_EQ(path.name, "test");
+  EXPECT_EQ(path.values.size(), 500u);
+  for (double v : path.values) EXPECT_GT(v, 0.0);
+  // Zero-drift small-vol path stays within an order of magnitude.
+  for (double v : path.values) {
+    EXPECT_GT(v, 10.0);
+    EXPECT_LT(v, 1000.0);
+  }
+}
+
+TEST(GbmPathTest, DriftMovesPrices) {
+  const TimeSeries up = GenerateGbmPath("up", 1000, 100.0, 0.01, 0.001, 5);
+  EXPECT_GT(up.values.back(), 1000.0);  // e^{10} x 100 >> 1000
+  const TimeSeries down = GenerateGbmPath("down", 1000, 100.0, -0.01, 0.001, 5);
+  EXPECT_LT(down.values.back(), 10.0);
+}
+
+}  // namespace
+}  // namespace tsss::seq

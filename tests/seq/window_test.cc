@@ -1,0 +1,126 @@
+#include "tsss/seq/window.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsss::seq {
+namespace {
+
+TEST(RecordIdTest, PackUnpackRoundTrip) {
+  const index::RecordId r = MakeRecordId(0xABCD1234u, 0x9876FEDCu);
+  EXPECT_EQ(SeriesOf(r), 0xABCD1234u);
+  EXPECT_EQ(OffsetOf(r), 0x9876FEDCu);
+}
+
+TEST(RecordIdTest, ZeroAndMax) {
+  EXPECT_EQ(SeriesOf(MakeRecordId(0, 0)), 0u);
+  EXPECT_EQ(OffsetOf(MakeRecordId(0, 0)), 0u);
+  const index::RecordId r = MakeRecordId(0xFFFFFFFFu, 0xFFFFFFFFu);
+  EXPECT_EQ(SeriesOf(r), 0xFFFFFFFFu);
+  EXPECT_EQ(OffsetOf(r), 0xFFFFFFFFu);
+}
+
+std::vector<double> Iota(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return v;
+}
+
+TEST(ForEachWindowTest, SlidesWithStrideOne) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(10));
+  std::vector<std::uint32_t> offsets;
+  ASSERT_TRUE(ForEachWindow(store, 4, 1,
+                            [&](storage::SeriesId, std::uint32_t off,
+                                std::span<const double> w) {
+                              offsets.push_back(off);
+                              EXPECT_EQ(w.size(), 4u);
+                              EXPECT_DOUBLE_EQ(w[0], off);
+                            })
+                  .ok());
+  EXPECT_EQ(offsets.size(), 7u);  // offsets 0..6
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), 6u);
+}
+
+TEST(ForEachWindowTest, RespectsStride) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(10));
+  std::vector<std::uint32_t> offsets;
+  ASSERT_TRUE(ForEachWindow(store, 4, 3,
+                            [&](storage::SeriesId, std::uint32_t off,
+                                std::span<const double>) { offsets.push_back(off); })
+                  .ok());
+  EXPECT_EQ(offsets, (std::vector<std::uint32_t>{0, 3, 6}));
+}
+
+TEST(ForEachWindowTest, ShortSeriesYieldNothing) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(3));
+  int count = 0;
+  ASSERT_TRUE(ForEachWindow(store, 4, 1,
+                            [&](storage::SeriesId, std::uint32_t,
+                                std::span<const double>) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachWindowTest, ExactLengthSeriesYieldsOneWindow) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(4));
+  int count = 0;
+  ASSERT_TRUE(ForEachWindow(store, 4, 1,
+                            [&](storage::SeriesId, std::uint32_t off,
+                                std::span<const double>) {
+                              EXPECT_EQ(off, 0u);
+                              ++count;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachWindowTest, IteratesAllSeries) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(5));
+  store.AddSeries(Iota(6));
+  std::vector<storage::SeriesId> series_seen;
+  ASSERT_TRUE(ForEachWindow(store, 5, 1,
+                            [&](storage::SeriesId s, std::uint32_t,
+                                std::span<const double>) {
+                              series_seen.push_back(s);
+                            })
+                  .ok());
+  EXPECT_EQ(series_seen, (std::vector<storage::SeriesId>{0, 1, 1}));
+}
+
+TEST(ForEachWindowTest, RejectsBadParameters) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(5));
+  auto noop = [](storage::SeriesId, std::uint32_t, std::span<const double>) {};
+  EXPECT_FALSE(ForEachWindow(store, 0, 1, noop).ok());
+  EXPECT_FALSE(ForEachWindow(store, 4, 0, noop).ok());
+}
+
+TEST(CountWindowsTest, MatchesIteration) {
+  storage::SequenceStore store;
+  store.AddSeries(Iota(100));
+  store.AddSeries(Iota(7));
+  store.AddSeries(Iota(3));
+  for (std::size_t n : {4u, 7u}) {
+    for (std::size_t stride : {1u, 2u, 5u}) {
+      int count = 0;
+      ASSERT_TRUE(ForEachWindow(store, n, stride,
+                                [&](storage::SeriesId, std::uint32_t,
+                                    std::span<const double>) { ++count; })
+                      .ok());
+      auto counted = CountWindows(store, n, stride);
+      ASSERT_TRUE(counted.ok());
+      EXPECT_EQ(*counted, static_cast<std::size_t>(count))
+          << "n=" << n << " stride=" << stride;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsss::seq

@@ -1,0 +1,162 @@
+#include "tsss/storage/buffer_pool.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsss::storage {
+namespace {
+
+TEST(BufferPoolTest, NewPageIsPinnedAndWritable) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  auto guard = pool.New();
+  ASSERT_TRUE(guard.ok());
+  guard->MutablePage().bytes[0] = 0x5A;
+  EXPECT_EQ(guard->page().bytes[0], 0x5A);
+}
+
+TEST(BufferPoolTest, WriteBackOnEviction) {
+  MemPageStore store;
+  BufferPool pool(&store, 2);
+  PageId first;
+  {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+    first = guard->id();
+    guard->MutablePage().bytes[10] = 0x42;
+  }
+  // Fill the pool past capacity to force eviction of `first`.
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+  }
+  Page raw;
+  ASSERT_TRUE(store.Read(first, &raw).ok());
+  EXPECT_EQ(raw.bytes[10], 0x42) << "dirty page lost on eviction";
+}
+
+TEST(BufferPoolTest, FetchRoundTripsThroughEviction) {
+  MemPageStore store;
+  BufferPool pool(&store, 2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+    guard->MutablePage().bytes[0] = static_cast<std::uint8_t>(i);
+    ids.push_back(guard->id());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto guard = pool.Fetch(ids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->page().bytes[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(BufferPoolTest, HitsAndMissesAreCounted) {
+  MemPageStore store;
+  BufferPool pool(&store, 8);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  const PageId id = a->id();
+  a->Release();
+  pool.ResetMetrics();
+
+  ASSERT_TRUE(pool.Fetch(id).ok());  // hit (still cached)
+  EXPECT_EQ(pool.metrics().hits, 1u);
+  ASSERT_TRUE(pool.Clear().ok());
+  ASSERT_TRUE(pool.Fetch(id).ok());  // miss after cold-cache clear
+  EXPECT_EQ(pool.metrics().misses, 1u);
+  EXPECT_EQ(pool.metrics().logical_reads, 2u);
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  MemPageStore store;
+  BufferPool pool(&store, 2);
+  auto pinned = pool.New();
+  ASSERT_TRUE(pinned.ok());
+  pinned->MutablePage().bytes[3] = 0x33;
+  const PageId id = pinned->id();
+  for (int i = 0; i < 6; ++i) {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+  }
+  // The pinned frame must still be valid and hold its data.
+  EXPECT_EQ(pinned->id(), id);
+  EXPECT_EQ(pinned->page().bytes[3], 0x33);
+}
+
+TEST(BufferPoolTest, OverflowWhenEverythingPinned) {
+  MemPageStore store;
+  BufferPool pool(&store, 1);
+  std::vector<Result<PageGuard>> guards;
+  for (int i = 0; i < 3; ++i) {
+    guards.push_back(pool.New());
+    ASSERT_TRUE(guards.back().ok());
+  }
+  EXPECT_GT(pool.metrics().overflows, 0u);
+  EXPECT_GT(pool.size(), pool.capacity());
+}
+
+TEST(BufferPoolTest, DeleteRemovesPage) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  PageId id;
+  {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+    id = guard->id();
+  }
+  ASSERT_TRUE(pool.Delete(id).ok());
+  EXPECT_FALSE(pool.Fetch(id).ok());
+}
+
+TEST(BufferPoolTest, DeletePinnedPageFails) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  auto guard = pool.New();
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(pool.Delete(guard->id()).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsWithoutEviction) {
+  MemPageStore store;
+  BufferPool pool(&store, 8);
+  PageId id;
+  {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+    id = guard->id();
+    guard->MutablePage().bytes[1] = 0x11;
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(store.Read(id, &raw).ok());
+  EXPECT_EQ(raw.bytes[1], 0x11);
+}
+
+TEST(BufferPoolTest, GuardMoveSemantics) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  auto guard = pool.New();
+  ASSERT_TRUE(guard.ok());
+  PageGuard moved = std::move(*guard);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(BufferPoolTest, ClearSkipsPinnedFrames) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  auto pinned = pool.New();
+  ASSERT_TRUE(pinned.ok());
+  auto unpinned = pool.New();
+  ASSERT_TRUE(unpinned.ok());
+  unpinned->Release();
+  ASSERT_TRUE(pool.Clear().ok());
+  EXPECT_EQ(pool.size(), 1u);  // only the pinned frame remains
+}
+
+}  // namespace
+}  // namespace tsss::storage

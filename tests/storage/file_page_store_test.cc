@@ -1,0 +1,192 @@
+#include "tsss/storage/file_page_store.h"
+
+#include "tsss/storage/buffer_pool.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace tsss::storage {
+namespace {
+
+class FilePageStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tsss_fps_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".pages";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".meta").c_str());
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".meta").c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(FilePageStoreTest, CreateWriteReadBack) {
+  auto store = FilePageStore::Create(path_);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const PageId id = (*store)->Allocate();
+  Page page;
+  page.bytes[0] = 0xAB;
+  page.bytes[kPageSize - 1] = 0xCD;
+  ASSERT_TRUE((*store)->Write(id, page).ok());
+  Page out;
+  ASSERT_TRUE((*store)->Read(id, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0xAB);
+  EXPECT_EQ(out.bytes[kPageSize - 1], 0xCD);
+}
+
+TEST_F(FilePageStoreTest, PersistsAcrossReopen) {
+  PageId id;
+  {
+    auto store = FilePageStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    id = (*store)->Allocate();
+    (*store)->Allocate();  // a second page
+    Page page;
+    page.bytes[7] = 0x77;
+    ASSERT_TRUE((*store)->Write(id, page).ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  auto reopened = FilePageStore::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->num_live_pages(), 2u);
+  Page out;
+  ASSERT_TRUE((*reopened)->Read(id, &out).ok());
+  EXPECT_EQ(out.bytes[7], 0x77);
+}
+
+TEST_F(FilePageStoreTest, FreeListSurvivesReopen) {
+  PageId freed;
+  {
+    auto store = FilePageStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    freed = (*store)->Allocate();
+    (*store)->Allocate();
+    ASSERT_TRUE((*store)->Free(freed).ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  auto reopened = FilePageStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_live_pages(), 1u);
+  // The freed page is recycled on the next allocation.
+  EXPECT_EQ((*reopened)->Allocate(), freed);
+}
+
+TEST_F(FilePageStoreTest, DetectsOnDiskCorruption) {
+  PageId id;
+  {
+    auto store = FilePageStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    id = (*store)->Allocate();
+    Page page;
+    page.bytes[100] = 0x42;
+    ASSERT_TRUE((*store)->Write(id, page).ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  // Flip one byte of the page on disk behind the store's back.
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(id) * kPageSize + 100);
+    const char evil = 0x43;
+    file.write(&evil, 1);
+  }
+  auto reopened = FilePageStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  Page out;
+  EXPECT_EQ((*reopened)->Read(id, &out).code(), StatusCode::kCorruption);
+}
+
+TEST_F(FilePageStoreTest, OpenMissingFileFails) {
+  auto store = FilePageStore::Open(path_);
+  EXPECT_FALSE(store.ok());
+}
+
+TEST_F(FilePageStoreTest, OpenRejectsTruncatedMeta) {
+  {
+    auto store = FilePageStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    (*store)->Allocate();
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  // Truncate the metadata file.
+  std::filesystem::resize_file(path_ + ".meta", 10);
+  auto reopened = FilePageStore::Open(path_);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FilePageStoreTest, FreshAndRecycledPagesAreZeroed) {
+  auto store = FilePageStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  const PageId id = (*store)->Allocate();
+  Page page;
+  page.bytes.fill(0xFF);
+  ASSERT_TRUE((*store)->Write(id, page).ok());
+  ASSERT_TRUE((*store)->Free(id).ok());
+  const PageId recycled = (*store)->Allocate();
+  EXPECT_EQ(recycled, id);
+  Page out;
+  ASSERT_TRUE((*store)->Read(recycled, &out).ok());
+  for (std::size_t i = 0; i < kPageSize; i += 256) EXPECT_EQ(out.bytes[i], 0);
+}
+
+TEST_F(FilePageStoreTest, MetricsCounted) {
+  auto store = FilePageStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  const PageId id = (*store)->Allocate();
+  Page page;
+  ASSERT_TRUE((*store)->Write(id, page).ok());
+  ASSERT_TRUE((*store)->Read(id, &page).ok());
+  EXPECT_EQ((*store)->metrics().physical_writes, 1u);
+  EXPECT_EQ((*store)->metrics().physical_reads, 1u);
+}
+
+TEST_F(FilePageStoreTest, DoubleFreeAndBadIdsRejected) {
+  auto store = FilePageStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  const PageId id = (*store)->Allocate();
+  ASSERT_TRUE((*store)->Free(id).ok());
+  EXPECT_FALSE((*store)->Free(id).ok());
+  Page out;
+  EXPECT_FALSE((*store)->Read(id, &out).ok());
+  EXPECT_FALSE((*store)->Read(999, &out).ok());
+}
+
+
+TEST_F(FilePageStoreTest, WorksUnderTheBufferPool) {
+  // The full stack: pool eviction write-backs land in the file, survive a
+  // reopen, and re-verify their checksums.
+  std::vector<PageId> ids;
+  {
+    auto store = FilePageStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    BufferPool pool(store->get(), 2);  // tiny: constant eviction
+    for (int i = 0; i < 12; ++i) {
+      auto guard = pool.New();
+      ASSERT_TRUE(guard.ok());
+      guard->MutablePage().bytes[0] = static_cast<std::uint8_t>(i);
+      ids.push_back(guard->id());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  auto reopened = FilePageStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  BufferPool pool(reopened->get(), 4);
+  for (int i = 0; i < 12; ++i) {
+    auto guard = pool.Fetch(ids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->page().bytes[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace tsss::storage

@@ -1,0 +1,91 @@
+#include "tsss/storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+namespace tsss::storage {
+namespace {
+
+TEST(MemPageStoreTest, AllocateReadWrite) {
+  MemPageStore store;
+  const PageId id = store.Allocate();
+  Page page;
+  page.bytes[0] = 0xAB;
+  page.bytes[kPageSize - 1] = 0xCD;
+  ASSERT_TRUE(store.Write(id, page).ok());
+  Page out;
+  ASSERT_TRUE(store.Read(id, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0xAB);
+  EXPECT_EQ(out.bytes[kPageSize - 1], 0xCD);
+}
+
+TEST(MemPageStoreTest, FreshPagesAreZeroed) {
+  MemPageStore store;
+  const PageId id = store.Allocate();
+  Page out;
+  ASSERT_TRUE(store.Read(id, &out).ok());
+  for (std::size_t i = 0; i < kPageSize; i += 512) EXPECT_EQ(out.bytes[i], 0);
+}
+
+TEST(MemPageStoreTest, FreeAndRecycle) {
+  MemPageStore store;
+  const PageId a = store.Allocate();
+  Page page;
+  page.bytes[7] = 0x77;
+  ASSERT_TRUE(store.Write(a, page).ok());
+  ASSERT_TRUE(store.Free(a).ok());
+  EXPECT_EQ(store.num_live_pages(), 0u);
+  const PageId b = store.Allocate();
+  EXPECT_EQ(a, b);  // recycled
+  Page out;
+  ASSERT_TRUE(store.Read(b, &out).ok());
+  EXPECT_EQ(out.bytes[7], 0)
+      << "recycled pages must be zeroed, not leak old contents";
+}
+
+TEST(MemPageStoreTest, DoubleFreeDetected) {
+  MemPageStore store;
+  const PageId id = store.Allocate();
+  ASSERT_TRUE(store.Free(id).ok());
+  EXPECT_FALSE(store.Free(id).ok());
+}
+
+TEST(MemPageStoreTest, AccessToFreedPageFails) {
+  MemPageStore store;
+  const PageId id = store.Allocate();
+  ASSERT_TRUE(store.Free(id).ok());
+  Page out;
+  EXPECT_EQ(store.Read(id, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Write(id, out).code(), StatusCode::kNotFound);
+}
+
+TEST(MemPageStoreTest, AccessToUnknownPageFails) {
+  MemPageStore store;
+  Page out;
+  EXPECT_FALSE(store.Read(999, &out).ok());
+}
+
+TEST(MemPageStoreTest, MetricsCountPhysicalAccesses) {
+  MemPageStore store;
+  const PageId id = store.Allocate();
+  Page page;
+  ASSERT_TRUE(store.Write(id, page).ok());
+  ASSERT_TRUE(store.Read(id, &page).ok());
+  ASSERT_TRUE(store.Read(id, &page).ok());
+  EXPECT_EQ(store.metrics().physical_writes, 1u);
+  EXPECT_EQ(store.metrics().physical_reads, 2u);
+  store.ResetMetrics();
+  EXPECT_EQ(store.metrics().physical_reads, 0u);
+}
+
+TEST(MemPageStoreTest, CapacityTracksHighWaterMark) {
+  MemPageStore store;
+  const PageId a = store.Allocate();
+  store.Allocate();
+  EXPECT_EQ(store.capacity_pages(), 2u);
+  ASSERT_TRUE(store.Free(a).ok());
+  EXPECT_EQ(store.capacity_pages(), 2u);
+  EXPECT_EQ(store.num_live_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace tsss::storage

@@ -1,0 +1,299 @@
+// tsss command-line tool: build, persist, inspect and query scale-shift
+// indexes without writing C++.
+//
+//   tsss_cli generate --out market.csv [--companies 200] [--values 650]
+//   tsss_cli build    --data market.csv --index dir [--window 128]
+//                     [--reducer dft|paa|haar] [--dim 6] [--subtrail 0]
+//   tsss_cli info     --index dir
+//   tsss_cli query    --index dir (--pattern NAME | --series I --offset K)
+//                     [--eps 0.5] [--positive] [--min-scale A] [--suppress N]
+//   tsss_cli knn      --index dir (--pattern NAME | --series I --offset K)
+//                     [--k 10]
+//
+// Patterns: ramp, v, peak, sine, step, hns, saturation, cup.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tsss/core/engine.h"
+#include "tsss/core/postprocess.h"
+#include "tsss/seq/csv.h"
+#include "tsss/seq/patterns.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace {
+
+using tsss::Status;
+
+/// Minimal --flag value parser: flags must be "--name value".
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      const std::string name = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[name] = std::string(argv[i + 1]);
+        ++i;
+      } else {
+        values_[name] = "1";  // boolean-style flag
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::size_t GetSize(const std::string& name, std::size_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tsss_cli <generate|build|info|query|knn> --flag value...\n"
+               "see the header of tools/tsss_cli.cc for details\n");
+  return 2;
+}
+
+tsss::Result<tsss::geom::Vec> PatternByName(const std::string& name,
+                                            std::size_t n) {
+  using namespace tsss::seq;
+  if (name == "ramp") return RampPattern(n);
+  if (name == "v") return VPattern(n);
+  if (name == "peak") return PeakPattern(n);
+  if (name == "sine") return SinePattern(n);
+  if (name == "step") return StepPattern(n);
+  if (name == "hns") return HeadAndShouldersPattern(n);
+  if (name == "saturation") return SaturationPattern(n);
+  if (name == "cup") return CupPattern(n);
+  return Status::InvalidArgument("unknown pattern '" + name + "'");
+}
+
+/// Resolves the query vector from --pattern or --series/--offset flags.
+tsss::Result<tsss::geom::Vec> ResolveQuery(const Flags& flags,
+                                           tsss::core::SearchEngine& engine) {
+  const std::size_t n = engine.config().window;
+  if (flags.Has("pattern")) {
+    return PatternByName(flags.Get("pattern", ""), n);
+  }
+  if (flags.Has("series")) {
+    // --series accepts an id or a name ("7" or "HK7").
+    const std::string series_arg = flags.Get("series", "0");
+    tsss::storage::SeriesId series;
+    if (!series_arg.empty() &&
+        series_arg.find_first_not_of("0123456789") == std::string::npos) {
+      series = static_cast<tsss::storage::SeriesId>(std::atoll(series_arg.c_str()));
+    } else {
+      auto found = engine.dataset().FindSeries(series_arg);
+      if (!found.ok()) return found.status();
+      series = *found;
+    }
+    const std::size_t offset = flags.GetSize("offset", 0);
+    auto values = engine.dataset().Values(series);
+    if (!values.ok()) return values.status();
+    if (offset + n > values->size()) {
+      return Status::OutOfRange("window beyond series end");
+    }
+    return tsss::geom::Vec(values->begin() + static_cast<std::ptrdiff_t>(offset),
+                           values->begin() +
+                               static_cast<std::ptrdiff_t>(offset + n));
+  }
+  return Status::InvalidArgument("need --pattern NAME or --series I [--offset K]");
+}
+
+void PrintMatches(tsss::core::SearchEngine& engine,
+                  const std::vector<tsss::core::Match>& matches,
+                  std::size_t limit) {
+  std::printf("%-16s %-8s %-12s %-12s %-10s\n", "series", "offset", "scale(a)",
+              "shift(b)", "distance");
+  std::size_t shown = 0;
+  for (const tsss::core::Match& m : matches) {
+    auto name = engine.dataset().Name(m.series);
+    std::printf("%-16s %-8u %-12.4f %-12.4f %-10.4f\n",
+                name.ok() ? name->c_str() : "?", m.offset, m.transform.scale,
+                m.transform.offset, m.distance);
+    if (++shown >= limit) {
+      std::printf("... (%zu more)\n", matches.size() - shown);
+      break;
+    }
+  }
+}
+
+int CmdGenerate(const Flags& flags) {
+  tsss::seq::StockMarketConfig config;
+  config.num_companies = flags.GetSize("companies", 200);
+  config.values_per_company = flags.GetSize("values", 650);
+  config.seed = flags.GetSize("seed", 19990601);
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out file.csv is required\n");
+    return 2;
+  }
+  const auto market = tsss::seq::GenerateStockMarket(config);
+  if (Status s = tsss::seq::SaveCsvFile(out, market); !s.ok()) return Fail(s);
+  std::printf("wrote %zu series x %zu values to %s\n", config.num_companies,
+              config.values_per_company, out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const std::string data = flags.Get("data", "");
+  const std::string index_dir = flags.Get("index", "");
+  if (data.empty() || index_dir.empty()) {
+    std::fprintf(stderr, "build: --data file.csv and --index dir are required\n");
+    return 2;
+  }
+  auto series = tsss::seq::LoadCsvFile(data);
+  if (!series.ok()) return Fail(series.status());
+
+  tsss::core::EngineConfig config;
+  config.window = flags.GetSize("window", 128);
+  config.reduced_dim = flags.GetSize("dim", 6);
+  config.subtrail_len = flags.GetSize("subtrail", 0);
+  config.storage_dir = index_dir;
+  const std::string reducer = flags.Get("reducer", "dft");
+  if (reducer == "dft") {
+    config.reducer = tsss::reduce::ReducerKind::kDft;
+  } else if (reducer == "paa") {
+    config.reducer = tsss::reduce::ReducerKind::kPaa;
+  } else if (reducer == "haar") {
+    config.reducer = tsss::reduce::ReducerKind::kHaar;
+  } else {
+    std::fprintf(stderr, "build: unknown reducer '%s'\n", reducer.c_str());
+    return 2;
+  }
+
+  auto engine = tsss::core::SearchEngine::Create(config);
+  if (!engine.ok()) return Fail(engine.status());
+  if (Status s = (*engine)->BulkBuild(*series); !s.ok()) return Fail(s);
+  if (Status s = (*engine)->Checkpoint(); !s.ok()) return Fail(s);
+  std::printf("indexed %zu windows from %zu series into %s "
+              "(tree height %zu, %zu leaf entries)\n",
+              (*engine)->num_indexed_windows(), series->size(),
+              index_dir.c_str(), (*engine)->tree().height(),
+              (*engine)->tree().size());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "info: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  const auto& config = (*engine)->config();
+  auto stats = (*engine)->tree().ComputeStats();
+  if (!stats.ok()) return Fail(stats.status());
+
+  std::printf("index            : %s\n", index_dir.c_str());
+  std::printf("series           : %zu (%zu values)\n",
+              (*engine)->dataset().size(), (*engine)->dataset().total_values());
+  std::printf("window / stride  : %zu / %zu\n", config.window, config.stride);
+  std::printf("reducer          : %s\n", (*engine)->reducer().Name().c_str());
+  std::printf("sub-trail length : %zu%s\n", config.subtrail_len,
+              config.subtrail_len == 0 ? " (point mode)" : "");
+  std::printf("indexed windows  : %zu\n", (*engine)->num_indexed_windows());
+  std::printf("tree             : height %zu, %zu nodes (%zu pages), "
+              "%zu leaf entries\n",
+              stats->height, stats->node_count, stats->node_pages,
+              (*engine)->tree().size());
+  std::printf("fill             : leaves %.0f%%, internal %.0f%%\n",
+              100.0 * stats->avg_leaf_fill, 100.0 * stats->avg_internal_fill);
+  std::printf("data pages       : %zu (4 KiB each)\n",
+              (*engine)->dataset().store().TotalPages());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "query: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+
+  tsss::core::TransformCost cost;
+  if (flags.Has("positive")) cost.min_scale = 0.0;
+  if (flags.Has("min-scale")) cost.min_scale = flags.GetDouble("min-scale", 0.0);
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  tsss::core::QueryStats stats;
+  auto matches = (*engine)->RangeQuery(*query, eps, cost, &stats);
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::vector<tsss::core::Match> out = std::move(*matches);
+  const std::size_t suppress = flags.GetSize("suppress", 0);
+  if (suppress > 0) {
+    out = tsss::core::SuppressOverlaps(std::move(out),
+                                       static_cast<std::uint32_t>(suppress));
+  }
+  std::printf("%zu match(es) at eps=%.4g (%llu candidates, %llu pages)\n\n",
+              out.size(), eps,
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.total_page_reads()));
+  PrintMatches(**engine, out, flags.GetSize("limit", 25));
+  return 0;
+}
+
+int CmdKnn(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "knn: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+
+  const std::size_t k = flags.GetSize("k", 10);
+  auto matches = (*engine)->Knn(*query, k);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("%zu nearest window(s):\n\n", matches->size());
+  PrintMatches(**engine, *matches, k);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "knn") return CmdKnn(flags);
+  return Usage();
+}
