@@ -1,0 +1,28 @@
+#include "tsss/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsss::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* detail) {
+  if (detail != nullptr) {
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", file, line, expr,
+                 detail);
+  } else {
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void CheckOkFailed(const char* file, int line, const char* expr,
+                                const Status& status) {
+  std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s -> %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tsss::internal

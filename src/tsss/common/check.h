@@ -1,0 +1,108 @@
+#ifndef TSSS_COMMON_CHECK_H_
+#define TSSS_COMMON_CHECK_H_
+
+// Contract-checking macros for the library.
+//
+// Policy (see DESIGN.md, "Verification & static analysis"):
+//
+//  * TSSS_CHECK(cond)        - always-on invariant. Aborts with file:line and
+//                              the stringified condition. Use for contracts
+//                              whose violation means memory corruption or a
+//                              wrong answer is imminent and that are cheap to
+//                              test (O(1) off the hot path).
+//  * TSSS_DCHECK(cond)       - debug-only invariant. Compiled out of Release
+//                              hot paths (NDEBUG) unless TSSS_FORCE_DCHECKS
+//                              is defined (the sanitizer presets define it so
+//                              instrumented builds keep full checking).
+//  * TSSS_DCHECK_FINITE(x)   - debug-only check that a floating-point value
+//                              is finite (catches NaN/inf poisoning before it
+//                              propagates into MBRs and prune decisions).
+//  * TSSS_CHECK_OK(status)   - always-on check that a Status is OK; prints
+//                              the status message on failure.
+//
+// All failures funnel through tsss::internal::CheckFailed, which writes one
+// line to stderr and aborts - the library never throws, and a violated
+// invariant must not be recoverable (the paper's no-false-dismissal guarantee
+// is already gone by then).
+
+#include <cmath>
+
+#include "tsss/common/status.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TSSS_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define TSSS_PREDICT_TRUE(x) (x)
+#endif
+
+// Debug checking is on in debug builds, or when forced (sanitizer presets).
+#if !defined(NDEBUG) || defined(TSSS_FORCE_DCHECKS)
+#define TSSS_DCHECK_IS_ON 1
+#else
+#define TSSS_DCHECK_IS_ON 0
+#endif
+
+namespace tsss::internal {
+
+/// Prints "CHECK failed at <file>:<line>: <expr> <detail>" to stderr and
+/// aborts. Out-of-line so the macros stay small at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* detail = nullptr);
+
+/// CheckFailed specialization for TSSS_CHECK_OK: includes status.ToString().
+[[noreturn]] void CheckOkFailed(const char* file, int line, const char* expr,
+                                const Status& status);
+
+}  // namespace tsss::internal
+
+#define TSSS_CHECK(cond)                                            \
+  do {                                                              \
+    if (!TSSS_PREDICT_TRUE(cond)) {                                 \
+      ::tsss::internal::CheckFailed(__FILE__, __LINE__, #cond);     \
+    }                                                               \
+  } while (false)
+
+#define TSSS_CHECK_MSG(cond, detail)                                       \
+  do {                                                                     \
+    if (!TSSS_PREDICT_TRUE(cond)) {                                        \
+      ::tsss::internal::CheckFailed(__FILE__, __LINE__, #cond, (detail));  \
+    }                                                                      \
+  } while (false)
+
+#define TSSS_CHECK_OK(expr)                                                  \
+  do {                                                                       \
+    const ::tsss::Status tsss_check_ok_status = (expr);                      \
+    if (!TSSS_PREDICT_TRUE(tsss_check_ok_status.ok())) {                     \
+      ::tsss::internal::CheckOkFailed(__FILE__, __LINE__, #expr,             \
+                                      tsss_check_ok_status);                 \
+    }                                                                        \
+  } while (false)
+
+#if TSSS_DCHECK_IS_ON
+
+#define TSSS_DCHECK(cond) TSSS_CHECK(cond)
+#define TSSS_DCHECK_MSG(cond, detail) TSSS_CHECK_MSG(cond, (detail))
+#define TSSS_DCHECK_FINITE(x) \
+  TSSS_CHECK_MSG(std::isfinite(x), "value is not finite: " #x)
+
+#else  // !TSSS_DCHECK_IS_ON
+
+// Compiled out: the condition is not evaluated, but it stays visible to the
+// compiler (sizeof) so variables used only in checks don't warn as unused.
+#define TSSS_DCHECK(cond) \
+  do {                    \
+    (void)sizeof((cond)); \
+  } while (false)
+#define TSSS_DCHECK_MSG(cond, detail) \
+  do {                                \
+    (void)sizeof((cond));             \
+    (void)sizeof((detail));           \
+  } while (false)
+#define TSSS_DCHECK_FINITE(x) \
+  do {                        \
+    (void)sizeof((x));        \
+  } while (false)
+
+#endif  // TSSS_DCHECK_IS_ON
+
+#endif  // TSSS_COMMON_CHECK_H_

@@ -3,11 +3,11 @@
 #include <filesystem>
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <string>
 #include <utility>
 
+#include "tsss/common/check.h"
 #include "tsss/geom/se_transform.h"
 #include "tsss/seq/window.h"
 
@@ -58,13 +58,13 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Create(
 }
 
 geom::Vec SearchEngine::ReducedPoint(std::span<const double> window) const {
-  assert(window.size() == config_.window);
+  TSSS_DCHECK(window.size() == config_.window);
   geom::Vec se = geom::SeTransform(window);
   return reducer_->Apply(se);
 }
 
 geom::Line SearchEngine::ReducedQueryLine(std::span<const double> query) const {
-  assert(query.size() == config_.window);
+  TSSS_DCHECK(query.size() == config_.window);
   geom::Vec se = geom::SeTransform(query);
   geom::Vec dir = reducer_->Apply(se);
   return geom::Line{geom::Vec(dir.size(), 0.0), std::move(dir)};

@@ -1,8 +1,8 @@
 #include "tsss/core/similarity.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "tsss/common/check.h"
 #include "tsss/common/math_utils.h"
 #include "tsss/geom/se_transform.h"
 #include "tsss/seq/window.h"
@@ -11,14 +11,14 @@ namespace tsss::core {
 
 QueryContext::QueryContext(std::span<const double> query)
     : query_(query.begin(), query.end()) {
-  assert(!query.empty());
+  TSSS_DCHECK(!query.empty());
   use_ = query_;
   q_mean_ = geom::SeTransformInPlace(use_);
   uu_ = geom::NormSquared(use_);
 }
 
 geom::Alignment QueryContext::Align(std::span<const double> window) const {
-  assert(window.size() == use_.size());
+  TSSS_DCHECK(window.size() == use_.size());
   const double n = static_cast<double>(window.size());
   double sum_v = 0.0;
   double corr = 0.0;  // <use, v>

@@ -1,7 +1,8 @@
 #include "tsss/geom/line.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "tsss/common/check.h"
 
 namespace tsss::geom {
 
@@ -13,14 +14,17 @@ double ClosestParamOnLine(std::span<const double> q, const Line& line) {
 }
 
 double Pld(std::span<const double> q, const Line& line) {
-  assert(q.size() == line.dim());
+  TSSS_DCHECK(q.size() == line.dim());
   const double t = ClosestParamOnLine(q, line);
+  TSSS_DCHECK_FINITE(t);
   const Vec closest = line.At(t);
-  return Distance(q, closest);
+  const double dist = Distance(q, closest);
+  TSSS_DCHECK_FINITE(dist);
+  return dist;
 }
 
 LinePair ClosestBetweenLines(const Line& a, const Line& b) {
-  assert(a.dim() == b.dim());
+  TSSS_DCHECK(a.dim() == b.dim());
   const Vec w = Sub(a.point, b.point);  // p_a - p_b
   const double daa = NormSquared(a.dir);
   const double dbb = NormSquared(b.dir);

@@ -1,10 +1,11 @@
 #include "tsss/geom/mbr.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
+
+#include "tsss/common/check.h"
 
 namespace tsss::geom {
 
@@ -17,9 +18,9 @@ Mbr Mbr::FromPoint(std::span<const double> point) {
 }
 
 Mbr Mbr::FromCorners(Vec lo, Vec hi) {
-  assert(lo.size() == hi.size());
+  TSSS_DCHECK(lo.size() == hi.size());
   Mbr m(lo.size());
-  for (std::size_t i = 0; i < lo.size(); ++i) assert(lo[i] <= hi[i]);
+  for (std::size_t i = 0; i < lo.size(); ++i) TSSS_DCHECK(lo[i] <= hi[i]);
   m.lo_ = std::move(lo);
   m.hi_ = std::move(hi);
   m.empty_ = false;
@@ -27,7 +28,10 @@ Mbr Mbr::FromCorners(Vec lo, Vec hi) {
 }
 
 void Mbr::Extend(std::span<const double> point) {
-  assert(point.size() == dim());
+  TSSS_DCHECK(point.size() == dim());
+  // NaN coordinates poison every min/max and turn containment tests into
+  // silent false dismissals; catch them at the boundary where boxes grow.
+  for (const double x : point) TSSS_DCHECK_FINITE(x);
   if (empty_) {
     std::copy(point.begin(), point.end(), lo_.begin());
     std::copy(point.begin(), point.end(), hi_.begin());
@@ -41,7 +45,7 @@ void Mbr::Extend(std::span<const double> point) {
 }
 
 void Mbr::Extend(const Mbr& other) {
-  assert(other.dim() == dim());
+  TSSS_DCHECK(other.dim() == dim());
   if (other.empty_) return;
   if (empty_) {
     *this = other;
@@ -54,7 +58,7 @@ void Mbr::Extend(const Mbr& other) {
 }
 
 bool Mbr::Contains(std::span<const double> point) const {
-  assert(point.size() == dim());
+  TSSS_DCHECK(point.size() == dim());
   if (empty_) return false;
   for (std::size_t i = 0; i < dim(); ++i) {
     if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
@@ -63,7 +67,7 @@ bool Mbr::Contains(std::span<const double> point) const {
 }
 
 bool Mbr::Contains(const Mbr& other) const {
-  assert(other.dim() == dim());
+  TSSS_DCHECK(other.dim() == dim());
   if (empty_ || other.empty_) return false;
   for (std::size_t i = 0; i < dim(); ++i) {
     if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
@@ -72,7 +76,7 @@ bool Mbr::Contains(const Mbr& other) const {
 }
 
 bool Mbr::Intersects(const Mbr& other) const {
-  assert(other.dim() == dim());
+  TSSS_DCHECK(other.dim() == dim());
   if (empty_ || other.empty_) return false;
   for (std::size_t i = 0; i < dim(); ++i) {
     if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
@@ -81,7 +85,7 @@ bool Mbr::Intersects(const Mbr& other) const {
 }
 
 Mbr Mbr::Enlarged(double eps) const {
-  assert(eps >= 0.0);
+  TSSS_DCHECK(eps >= 0.0);
   if (empty_) return *this;
   Mbr out = *this;
   for (std::size_t i = 0; i < dim(); ++i) {
@@ -106,7 +110,7 @@ double Mbr::Margin() const {
 }
 
 double Mbr::OverlapVolume(const Mbr& other) const {
-  assert(other.dim() == dim());
+  TSSS_DCHECK(other.dim() == dim());
   if (empty_ || other.empty_) return 0.0;
   double v = 1.0;
   for (std::size_t i = 0; i < dim(); ++i) {
@@ -125,14 +129,14 @@ double Mbr::EnlargedVolume(const Mbr& other) const {
 }
 
 Vec Mbr::Center() const {
-  assert(!empty_);
+  TSSS_DCHECK(!empty_);
   Vec c(dim());
   for (std::size_t i = 0; i < dim(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
   return c;
 }
 
 double Mbr::HalfDiagonal() const {
-  assert(!empty_);
+  TSSS_DCHECK(!empty_);
   double acc = 0.0;
   for (std::size_t i = 0; i < dim(); ++i) {
     const double half = 0.5 * (hi_[i] - lo_[i]);
@@ -142,15 +146,15 @@ double Mbr::HalfDiagonal() const {
 }
 
 double Mbr::MinHalfExtent() const {
-  assert(!empty_);
+  TSSS_DCHECK(!empty_);
   double m = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < dim(); ++i) m = std::min(m, 0.5 * (hi_[i] - lo_[i]));
   return m;
 }
 
 double Mbr::DistanceSquaredTo(std::span<const double> point) const {
-  assert(point.size() == dim());
-  assert(!empty_);
+  TSSS_DCHECK(point.size() == dim());
+  TSSS_DCHECK(!empty_);
   double acc = 0.0;
   for (std::size_t i = 0; i < dim(); ++i) {
     double d = 0.0;

@@ -1,17 +1,17 @@
 #include "tsss/geom/penetration.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "tsss/common/check.h"
 #include "tsss/geom/sphere.h"
 
 namespace tsss::geom {
 
 SlabResult LineMbrSlab(const Line& line, const Mbr& mbr) {
-  assert(line.dim() == mbr.dim());
+  TSSS_DCHECK(line.dim() == mbr.dim());
   SlabResult out;
   if (mbr.empty()) return out;
 
@@ -87,7 +87,7 @@ bool PieceVertex(const Line& line, const Mbr& mbr, double t_probe, double* t_out
 }  // namespace
 
 double LineMbrDistance(const Line& line, const Mbr& mbr) {
-  assert(line.dim() == mbr.dim());
+  TSSS_DCHECK(line.dim() == mbr.dim());
   if (mbr.empty()) return std::numeric_limits<double>::infinity();
 
   // Degenerate line: point-to-box distance.
@@ -162,7 +162,7 @@ std::string_view PruneStrategyToString(PruneStrategy s) {
 
 bool ShouldVisit(const Line& line, const Mbr& mbr, double eps,
                  PruneStrategy strategy, PenetrationStats* stats) {
-  assert(eps >= 0.0);
+  TSSS_DCHECK(eps >= 0.0);
   if (stats != nullptr) ++stats->tests;
   if (mbr.empty()) return false;
 

@@ -1,8 +1,8 @@
 #include "tsss/geom/scale_shift.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "tsss/common/check.h"
 #include "tsss/common/math_utils.h"
 #include "tsss/geom/se_transform.h"
 
@@ -15,8 +15,8 @@ Vec ScaleShift::Apply(std::span<const double> x) const {
 }
 
 Alignment AlignScaleShift(std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
-  assert(!u.empty());
+  TSSS_DCHECK(u.size() == v.size());
+  TSSS_DCHECK(!u.empty());
   const Vec use = SeTransform(u);
   const Vec vse = SeTransform(v);
   const double uu = NormSquared(use);

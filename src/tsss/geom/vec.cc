@@ -1,12 +1,13 @@
 #include "tsss/geom/vec.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "tsss/common/check.h"
 
 namespace tsss::geom {
 
 double Dot(std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
+  TSSS_DCHECK(u.size() == v.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
   return acc;
@@ -17,7 +18,7 @@ double NormSquared(std::span<const double> u) { return Dot(u, u); }
 double Norm(std::span<const double> u) { return std::sqrt(NormSquared(u)); }
 
 double DistanceSquared(std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
+  TSSS_DCHECK(u.size() == v.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < u.size(); ++i) {
     const double d = u[i] - v[i];
@@ -31,14 +32,14 @@ double Distance(std::span<const double> u, std::span<const double> v) {
 }
 
 Vec Add(std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
+  TSSS_DCHECK(u.size() == v.size());
   Vec out(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) out[i] = u[i] + v[i];
   return out;
 }
 
 Vec Sub(std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
+  TSSS_DCHECK(u.size() == v.size());
   Vec out(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) out[i] = u[i] - v[i];
   return out;
@@ -51,7 +52,7 @@ Vec Scale(std::span<const double> u, double a) {
 }
 
 Vec Axpy(double a, std::span<const double> u, std::span<const double> v) {
-  assert(u.size() == v.size());
+  TSSS_DCHECK(u.size() == v.size());
   Vec out(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) out[i] = a * u[i] + v[i];
   return out;
@@ -82,7 +83,7 @@ bool AreParallel(std::span<const double> u, std::span<const double> v, double to
 
 Vec ProjectAlong(std::span<const double> u, std::span<const double> v) {
   const double denom = NormSquared(v);
-  assert(denom > 0.0);
+  TSSS_DCHECK(denom > 0.0);
   return Scale(v, Dot(u, v) / denom);
 }
 
@@ -92,8 +93,8 @@ Vec ProjectPerp(std::span<const double> u, std::span<const double> v) {
 }
 
 double LpDistance(std::span<const double> u, std::span<const double> v, double p) {
-  assert(u.size() == v.size());
-  assert(p >= 1.0);
+  TSSS_DCHECK(u.size() == v.size());
+  TSSS_DCHECK(p >= 1.0);
   double acc = 0.0;
   for (std::size_t i = 0; i < u.size(); ++i) {
     acc += std::pow(std::fabs(u[i] - v[i]), p);

@@ -1,7 +1,6 @@
 #include "tsss/index/rtree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -659,6 +658,38 @@ Status RTree::VisitNodes(
   return Status::OK();
 }
 
+namespace {
+
+/// Validates one entry box: dimensionality, finiteness, lo <= hi, and (for
+/// point-mode leaves) degeneracy. Returns a Corruption status naming the page.
+Status CheckEntryBox(const geom::Mbr& box, std::size_t dim, bool expect_point,
+                     storage::PageId page) {
+  const std::string where = " (page " + std::to_string(page) + ")";
+  if (box.empty()) {
+    return Status::Corruption("entry has empty MBR" + where);
+  }
+  if (box.dim() != dim) {
+    return Status::Corruption("entry MBR dim " + std::to_string(box.dim()) +
+                              " != tree dim " + std::to_string(dim) + where);
+  }
+  for (std::size_t d = 0; d < dim; ++d) {
+    if (!std::isfinite(box.lo()[d]) || !std::isfinite(box.hi()[d])) {
+      return Status::Corruption("entry MBR has non-finite coordinate" + where);
+    }
+    if (box.lo()[d] > box.hi()[d]) {
+      return Status::Corruption("entry MBR inverted (lo > hi) in dim " +
+                                std::to_string(d) + where);
+    }
+    if (expect_point && box.lo()[d] != box.hi()[d]) {
+      return Status::Corruption(
+          "point-mode leaf entry holds a non-degenerate box" + where);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RTree::CheckNode(storage::PageId page, std::uint16_t expected_level,
                         const geom::Mbr* parent_box, bool is_root,
                         std::size_t* entries_seen) {
@@ -691,6 +722,15 @@ Status RTree::CheckNode(storage::PageId page, std::uint16_t expected_level,
                                 std::to_string(page));
     }
   }
+  const bool expect_point = node->is_leaf() && !config_.box_leaves;
+  for (const Entry& e : node->entries) {
+    Status s = CheckEntryBox(e.mbr, config_.dim, expect_point, page);
+    if (!s.ok()) return s;
+    if (!node->is_leaf() && e.child == storage::kInvalidPageId) {
+      return Status::Corruption("internal entry with invalid child page (page " +
+                                std::to_string(page) + ")");
+    }
+  }
   if (node->is_leaf()) {
     *entries_seen += node->entries.size();
     return Status::OK();
@@ -703,7 +743,13 @@ Status RTree::CheckNode(storage::PageId page, std::uint16_t expected_level,
   return Status::OK();
 }
 
-Status RTree::CheckInvariants() {
+Status RTree::ValidateInvariants() {
+  if (root_ == storage::kInvalidPageId) {
+    return Status::Corruption("tree has no root page");
+  }
+  if (height_ == 0) {
+    return Status::Corruption("tree height is zero");
+  }
   std::size_t entries_seen = 0;
   Status s = CheckNode(root_, static_cast<std::uint16_t>(height_ - 1), nullptr,
                        true, &entries_seen);

@@ -193,10 +193,20 @@ class RTree {
   const RTreeConfig& config() const { return config_; }
   storage::BufferPool* pool() { return pool_; }
 
-  /// Walks the whole tree and validates structural invariants: parent MBRs
-  /// tightly contain children, fill bounds, level consistency, entry count.
-  /// Used heavily by tests.
-  Status CheckInvariants();
+  /// Walks the whole tree and validates structural invariants:
+  ///  * parent MBRs tightly contain (equal) the union of their children,
+  ///  * fanout within [m, M] for non-roots, internal root has >= 2 entries,
+  ///  * uniform leaf depth (every root-to-leaf path has length `height`),
+  ///  * total leaf entry count matches size(),
+  ///  * every box has matching dimensionality, finite coordinates and
+  ///    lo <= hi; point-mode leaves hold degenerate boxes,
+  ///  * internal entries reference valid child pages.
+  /// O(n) full-tree walk - used by tests after every mutation and by the
+  /// engine's consistency checks, not on query hot paths.
+  Status ValidateInvariants();
+
+  /// Back-compat alias for ValidateInvariants().
+  Status CheckInvariants() { return ValidateInvariants(); }
 
   /// Walks the whole tree and gathers shape statistics.
   Result<TreeStats> ComputeStats();

@@ -1,10 +1,11 @@
 #include "tsss/index/split.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "tsss/common/check.h"
 
 namespace tsss::index {
 namespace {
@@ -197,7 +198,7 @@ SplitResult QuadraticSplit(std::vector<Entry> entries, std::size_t dim,
         pick_grow_b = grow_b;
       }
     }
-    assert(pick < n);
+    TSSS_DCHECK(pick < n);
     assigned[pick] = true;
     (void)pick_grow_a;
     (void)pick_grow_b;
@@ -222,7 +223,7 @@ SplitResult RStarSplit(std::vector<Entry> entries, std::size_t dim,
                        std::size_t min_fill) {
   const std::size_t n = entries.size();
   const std::size_t num_dists = n - 2 * min_fill + 1;  // k = 0 .. num_dists-1
-  assert(num_dists >= 1);
+  TSSS_DCHECK(num_dists >= 1);
 
   std::size_t best_axis = 0;
   bool best_axis_by_hi = false;
@@ -308,8 +309,8 @@ std::string_view SplitAlgorithmToString(SplitAlgorithm algo) {
 
 SplitResult SplitEntries(std::vector<Entry> entries, std::size_t dim,
                          std::size_t min_fill, SplitAlgorithm algo) {
-  assert(min_fill >= 1);
-  assert(entries.size() >= 2 * min_fill);
+  TSSS_DCHECK(min_fill >= 1);
+  TSSS_DCHECK(entries.size() >= 2 * min_fill);
   switch (algo) {
     case SplitAlgorithm::kLinear:
       return LinearSplit(std::move(entries), dim, min_fill);

@@ -1,16 +1,17 @@
 #include "tsss/reduce/dft.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "tsss/common/check.h"
 
 namespace tsss::reduce {
 
 DftReducer::DftReducer(std::size_t n, std::size_t num_coeffs, std::size_t first_coeff)
     : n_(n), num_coeffs_(num_coeffs), first_coeff_(first_coeff) {
-  assert(n_ >= 1);
-  assert(num_coeffs_ >= 1);
-  assert(first_coeff_ + num_coeffs_ <= n_);
+  TSSS_DCHECK(n_ >= 1);
+  TSSS_DCHECK(num_coeffs_ >= 1);
+  TSSS_DCHECK(first_coeff_ + num_coeffs_ <= n_);
   const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
   cos_.resize(num_coeffs_);
   sin_.resize(num_coeffs_);
@@ -28,8 +29,8 @@ DftReducer::DftReducer(std::size_t n, std::size_t num_coeffs, std::size_t first_
 }
 
 void DftReducer::Reduce(std::span<const double> in, std::span<double> out) const {
-  assert(in.size() == n_);
-  assert(out.size() == output_dim());
+  TSSS_DCHECK(in.size() == n_);
+  TSSS_DCHECK(out.size() == output_dim());
   for (std::size_t c = 0; c < num_coeffs_; ++c) {
     double re = 0.0;
     double im = 0.0;

@@ -1,23 +1,23 @@
 #include "tsss/reduce/haar.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <vector>
 
+#include "tsss/common/check.h"
 #include "tsss/common/math_utils.h"
 
 namespace tsss::reduce {
 
 HaarReducer::HaarReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
-  assert(IsPowerOfTwo(n_));
-  assert(k_ >= 1);
-  assert(k_ <= n_);
+  TSSS_DCHECK(IsPowerOfTwo(n_));
+  TSSS_DCHECK(k_ >= 1);
+  TSSS_DCHECK(k_ <= n_);
 }
 
 void HaarReducer::Reduce(std::span<const double> in, std::span<double> out) const {
-  assert(in.size() == n_);
-  assert(out.size() == k_);
+  TSSS_DCHECK(in.size() == n_);
+  TSSS_DCHECK(out.size() == k_);
   const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
   std::vector<double> buf(in.begin(), in.end());
   std::vector<double> tmp(n_);

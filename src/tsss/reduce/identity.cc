@@ -1,15 +1,16 @@
 #include "tsss/reduce/identity.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
+
+#include "tsss/common/check.h"
 
 namespace tsss::reduce {
 
 void IdentityReducer::Reduce(std::span<const double> in,
                              std::span<double> out) const {
-  assert(in.size() == n_);
-  assert(out.size() == n_);
+  TSSS_DCHECK(in.size() == n_);
+  TSSS_DCHECK(out.size() == n_);
   std::copy(in.begin(), in.end(), out.begin());
 }
 

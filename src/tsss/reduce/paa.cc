@@ -1,14 +1,15 @@
 #include "tsss/reduce/paa.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "tsss/common/check.h"
 
 namespace tsss::reduce {
 
 PaaReducer::PaaReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
-  assert(k_ >= 1);
-  assert(k_ <= n_);
+  TSSS_DCHECK(k_ >= 1);
+  TSSS_DCHECK(k_ <= n_);
   seg_start_.resize(k_ + 1);
   seg_scale_.resize(k_);
   // Distribute n elements over k segments as evenly as possible.
@@ -22,12 +23,12 @@ PaaReducer::PaaReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
     pos += len;
   }
   seg_start_[k_] = pos;
-  assert(pos == n_);
+  TSSS_DCHECK(pos == n_);
 }
 
 void PaaReducer::Reduce(std::span<const double> in, std::span<double> out) const {
-  assert(in.size() == n_);
-  assert(out.size() == k_);
+  TSSS_DCHECK(in.size() == n_);
+  TSSS_DCHECK(out.size() == k_);
   for (std::size_t s = 0; s < k_; ++s) {
     double acc = 0.0;
     for (std::size_t j = seg_start_[s]; j < seg_start_[s + 1]; ++j) acc += in[j];

@@ -2,10 +2,12 @@
 
 #include <string>
 
+#include "tsss/common/check.h"
 #include "tsss/common/math_utils.h"
 #include "tsss/reduce/dft.h"
 #include "tsss/reduce/haar.h"
 #include "tsss/reduce/identity.h"
+#include "tsss/reduce/verify.h"
 #include "tsss/reduce/paa.h"
 
 namespace tsss::reduce {
@@ -24,9 +26,11 @@ std::string_view ReducerKindToString(ReducerKind kind) {
   return "unknown";
 }
 
-Result<std::unique_ptr<Reducer>> MakeReducer(ReducerKind kind,
-                                             std::size_t input_dim,
-                                             std::size_t output_dim) {
+namespace {
+
+Result<std::unique_ptr<Reducer>> MakeReducerImpl(ReducerKind kind,
+                                                 std::size_t input_dim,
+                                                 std::size_t output_dim) {
   if (input_dim == 0) {
     return Status::InvalidArgument("reducer input_dim must be positive");
   }
@@ -77,6 +81,25 @@ Result<std::unique_ptr<Reducer>> MakeReducer(ReducerKind kind,
     }
   }
   return Status::InvalidArgument("unknown reducer kind");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Reducer>> MakeReducer(ReducerKind kind,
+                                             std::size_t input_dim,
+                                             std::size_t output_dim) {
+  Result<std::unique_ptr<Reducer>> made =
+      MakeReducerImpl(kind, input_dim, output_dim);
+#if TSSS_DCHECK_IS_ON
+  // Debug-build self-check: a reducer that is not contractive silently breaks
+  // the no-false-dismissal guarantee, so refuse to hand one out. Cheap (a few
+  // reduce calls) and only at construction, never per query.
+  if (made.ok()) {
+    Status self_check = VerifyLowerBound(**made, /*seed=*/0x5EED, /*samples=*/8);
+    if (!self_check.ok()) return self_check;
+  }
+#endif
+  return made;
 }
 
 }  // namespace tsss::reduce

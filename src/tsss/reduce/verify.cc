@@ -1,0 +1,78 @@
+#include "tsss/reduce/verify.h"
+
+#include <cmath>
+#include <string>
+
+#include "tsss/common/rng.h"
+#include "tsss/geom/vec.h"
+
+namespace tsss::reduce {
+
+namespace {
+
+geom::Vec RandomVec(Rng& rng, std::size_t n, double scale) {
+  geom::Vec v(n);
+  for (auto& x : v) x = rng.Uniform(-scale, scale);
+  return v;
+}
+
+}  // namespace
+
+Status VerifyLowerBound(const Reducer& reducer, std::uint64_t seed,
+                        int samples, double tol) {
+  const std::size_t n = reducer.input_dim();
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    // Mix magnitudes so rounding behaves differently across samples.
+    const double scale = (i % 3 == 0) ? 1.0 : (i % 3 == 1 ? 100.0 : 1e-3);
+    geom::Vec x = RandomVec(rng, n, scale);
+    geom::Vec y;
+    if (i % 4 == 0) {
+      // Adversarial pair: y is a scaled + shifted copy of x, the exact family
+      // of pairs the paper's SE-queries compare.
+      const double a = rng.Uniform(-3.0, 3.0);
+      const double b = rng.Uniform(-10.0, 10.0);
+      y.resize(n);
+      for (std::size_t d = 0; d < n; ++d) y[d] = a * x[d] + b;
+    } else {
+      y = RandomVec(rng, n, scale);
+    }
+
+    const geom::Vec rx = reducer.Apply(x);
+    const geom::Vec ry = reducer.Apply(y);
+    const double original = geom::Distance(x, y);
+    const double reduced = geom::Distance(rx, ry);
+    // The tolerance scales with the distance magnitude to absorb rounding in
+    // the transform itself.
+    if (reduced > original + tol * (1.0 + original)) {
+      return Status::FailedPrecondition(
+          reducer.Name() + " is not contractive: reduced distance " +
+          std::to_string(reduced) + " > original " + std::to_string(original) +
+          " (sample " + std::to_string(i) + ", seed " + std::to_string(seed) +
+          ")");
+    }
+
+    // Linearity: R(a*x + y) == a*R(x) + R(y).
+    const double a = rng.Uniform(-2.0, 2.0);
+    geom::Vec combo(n);
+    for (std::size_t d = 0; d < n; ++d) combo[d] = a * x[d] + y[d];
+    const geom::Vec r_combo = reducer.Apply(combo);
+    const std::size_t k = reducer.output_dim();
+    double err = 0.0;
+    double mag = 0.0;
+    for (std::size_t d = 0; d < k; ++d) {
+      const double expect = a * rx[d] + ry[d];
+      err = std::max(err, std::abs(r_combo[d] - expect));
+      mag = std::max(mag, std::abs(expect));
+    }
+    if (err > tol * (1.0 + mag)) {
+      return Status::FailedPrecondition(
+          reducer.Name() + " is not linear: |R(a*x+y) - (a*R(x)+R(y))| = " +
+          std::to_string(err) + " (sample " + std::to_string(i) + ", seed " +
+          std::to_string(seed) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tsss::reduce

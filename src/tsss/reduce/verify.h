@@ -1,0 +1,30 @@
+#ifndef TSSS_REDUCE_VERIFY_H_
+#define TSSS_REDUCE_VERIFY_H_
+
+#include <cstdint>
+
+#include "tsss/common/status.h"
+#include "tsss/reduce/reducer.h"
+
+namespace tsss::reduce {
+
+/// Randomized self-check of the two properties the pruning proof needs from
+/// every reducer (reducer.h):
+///
+///  1. Lower bounding (contraction):
+///       dist(R(x), R(y)) <= dist(x, y) + tol
+///     for random pairs, including adversarial pairs differing by scaling
+///     and shifting. If this fails, pruning can cause false dismissals and
+///     every "exact" query answer is suspect.
+///  2. Linearity: R(a*x + y) = a*R(x) + R(y) up to tol.
+///
+/// Deterministic given `seed`; draws `samples` random pairs. Returns the
+/// first violation as a FailedPrecondition status quoting the offending
+/// distances. Cost is O(samples * reduce); meant for setup paths and tests,
+/// not per-query.
+Status VerifyLowerBound(const Reducer& reducer, std::uint64_t seed,
+                        int samples, double tol = 1e-9);
+
+}  // namespace tsss::reduce
+
+#endif  // TSSS_REDUCE_VERIFY_H_

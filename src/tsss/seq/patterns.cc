@@ -1,7 +1,8 @@
 #include "tsss/seq/patterns.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "tsss/common/check.h"
 
 namespace tsss::seq {
 namespace {
@@ -14,21 +15,21 @@ double T(std::size_t i, std::size_t n) {
 }  // namespace
 
 geom::Vec RampPattern(std::size_t n) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = T(i, n);
   return v;
 }
 
 geom::Vec VPattern(std::size_t n) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = std::fabs(T(i, n) - 0.5) * 2.0;
   return v;
 }
 
 geom::Vec PeakPattern(std::size_t n) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) {
     v[i] = 1.0 - std::fabs(T(i, n) - 0.5) * 2.0;
@@ -37,7 +38,7 @@ geom::Vec PeakPattern(std::size_t n) {
 }
 
 geom::Vec SinePattern(std::size_t n, double cycles) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) {
     v[i] = std::sin(2.0 * M_PI * cycles * T(i, n));
@@ -46,14 +47,14 @@ geom::Vec SinePattern(std::size_t n, double cycles) {
 }
 
 geom::Vec StepPattern(std::size_t n, double at) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = T(i, n) < at ? 0.0 : 1.0;
   return v;
 }
 
 geom::Vec HeadAndShouldersPattern(std::size_t n) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double t = T(i, n);
@@ -67,14 +68,14 @@ geom::Vec HeadAndShouldersPattern(std::size_t n) {
 }
 
 geom::Vec SaturationPattern(std::size_t n, double rate) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 - std::exp(-rate * T(i, n));
   return v;
 }
 
 geom::Vec CupPattern(std::size_t n) {
-  assert(n >= 2);
+  TSSS_DCHECK(n >= 2);
   geom::Vec v(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double t = T(i, n);

@@ -1,12 +1,13 @@
 #include "tsss/seq/time_series.h"
 
-#include <cassert>
+#include "tsss/common/check.h"
+
 
 namespace tsss::seq {
 
 geom::Vec Subsequence(const TimeSeries& series, std::size_t offset,
                       std::size_t n) {
-  assert(offset + n <= series.values.size());
+  TSSS_DCHECK(offset + n <= series.values.size());
   return geom::Vec(series.values.begin() + static_cast<std::ptrdiff_t>(offset),
                    series.values.begin() + static_cast<std::ptrdiff_t>(offset + n));
 }

@@ -1,8 +1,11 @@
 #include "tsss/storage/buffer_pool.h"
 
-#include <cassert>
 #include <string>
+#include <unordered_set>
 #include <utility>
+
+#include "tsss/common/check.h"
+#include "tsss/common/crc32.h"
 
 namespace tsss::storage {
 
@@ -11,8 +14,19 @@ struct PageGuard::Frame {
   Page page;
   bool dirty = false;
   int pin_count = 0;
+  /// CRC-32 of `page` as last loaded from / written back to the store.
+  /// Only meaningful when `crc_valid`; used to detect stray writes to clean
+  /// frames (see BufferPool class comment).
+  std::uint32_t clean_crc = 0;
+  bool crc_valid = false;
   std::list<PageId>::iterator lru_pos;
 };
+
+namespace {
+std::uint32_t PageCrc(const Page& page) {
+  return Crc32(page.bytes.data(), page.bytes.size());
+}
+}  // namespace
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
     : pool_(other.pool_), frame_(other.frame_) {
@@ -34,18 +48,18 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 PageGuard::~PageGuard() { Release(); }
 
 PageId PageGuard::id() const {
-  assert(valid());
+  TSSS_DCHECK(valid());
   return frame_->id;
 }
 
 const Page& PageGuard::page() const {
-  assert(valid());
+  TSSS_DCHECK(valid());
   return frame_->page;
 }
 
 Page& PageGuard::MutablePage() {
-  assert(valid());
-  frame_->dirty = true;
+  TSSS_DCHECK(valid());
+  pool_->MarkDirty(frame_);
   return frame_->page;
 }
 
@@ -57,8 +71,11 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(PageStore* store, std::size_t capacity_pages)
-    : store_(store), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+BufferPool::BufferPool(PageStore* store, std::size_t capacity_pages,
+                       bool verify_clean_crc)
+    : store_(store),
+      capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      verify_clean_crc_(verify_clean_crc) {}
 
 BufferPool::~BufferPool() {
   // Best-effort flush; errors here indicate the store died first, which the
@@ -87,6 +104,10 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   frame->id = id;
   Status s = store_->Read(id, &frame->page);
   if (!s.ok()) return s;
+  if (verify_clean_crc_) {
+    frame->clean_crc = PageCrc(frame->page);
+    frame->crc_valid = true;
+  }
   lru_.push_front(id);
   frame->lru_pos = lru_.begin();
   frame->pin_count = 1;
@@ -103,6 +124,7 @@ Result<PageGuard> BufferPool::New() {
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   frame->dirty = true;
+  ++dirty_count_;
   lru_.push_front(id);
   frame->lru_pos = lru_.begin();
   frame->pin_count = 1;
@@ -121,10 +143,24 @@ Status BufferPool::Delete(PageId id) {
       return Status::FailedPrecondition("deleting pinned page " +
                                         std::to_string(id));
     }
+    if (frame->dirty) {
+      TSSS_DCHECK(dirty_count_ > 0);
+      --dirty_count_;
+    }
     lru_.erase(frame->lru_pos);
     table_.erase(it);
   }
   return store_->Free(id);
+}
+
+void BufferPool::MarkDirty(Frame* frame) {
+  if (!frame->dirty) {
+    frame->dirty = true;
+    ++dirty_count_;
+    // The bytes are about to diverge from the stored copy; the clean CRC is
+    // refreshed on the next write-back.
+    frame->crc_valid = false;
+  }
 }
 
 Status BufferPool::WriteBack(Frame* frame) {
@@ -132,6 +168,12 @@ Status BufferPool::WriteBack(Frame* frame) {
   Status s = store_->Write(frame->id, frame->page);
   if (!s.ok()) return s;
   frame->dirty = false;
+  TSSS_DCHECK(dirty_count_ > 0);
+  --dirty_count_;
+  if (verify_clean_crc_) {
+    frame->clean_crc = PageCrc(frame->page);
+    frame->crc_valid = true;
+  }
   ++metrics_.writebacks;
   return Status::OK();
 }
@@ -184,8 +226,79 @@ Status BufferPool::Clear() {
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  assert(frame->pin_count > 0);
+  TSSS_DCHECK(frame->pin_count > 0);
   --frame->pin_count;
+  if (frame->pin_count == 0 && verify_clean_crc_ && !frame->dirty &&
+      frame->crc_valid && PageCrc(frame->page) != frame->clean_crc) {
+    // A clean frame's bytes changed: someone wrote through page() or a stale
+    // pointer without MutablePage(). Recorded (not aborted) so AuditPins()
+    // can report it and tests can exercise the detector.
+    ++metrics_.crc_failures;
+  }
+}
+
+std::size_t BufferPool::pinned_frames() const {
+  std::size_t n = 0;
+  for (const auto& [id, frame] : table_) {
+    if (frame->pin_count > 0) ++n;
+  }
+  return n;
+}
+
+Status BufferPool::AuditPins() const {
+  if (metrics_.crc_failures > 0) {
+    return Status::Corruption(
+        "clean-frame CRC verification failed " +
+        std::to_string(metrics_.crc_failures) +
+        " time(s): a page was modified without MutablePage()");
+  }
+  if (lru_.size() != table_.size()) {
+    return Status::Corruption("LRU list has " + std::to_string(lru_.size()) +
+                              " entries but the frame table has " +
+                              std::to_string(table_.size()));
+  }
+  std::unordered_set<PageId> lru_ids;
+  for (const PageId id : lru_) {
+    if (!lru_ids.insert(id).second) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " appears twice in the LRU list");
+    }
+    if (table_.find(id) == table_.end()) {
+      return Status::Corruption("LRU page " + std::to_string(id) +
+                                " is not in the frame table");
+    }
+  }
+  std::size_t dirty_recount = 0;
+  for (const auto& [id, frame] : table_) {
+    if (frame->id != id) {
+      return Status::Corruption("frame for page " + std::to_string(id) +
+                                " believes it is page " +
+                                std::to_string(frame->id));
+    }
+    if (frame->pin_count < 0) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " has negative pin count " +
+                                std::to_string(frame->pin_count));
+    }
+    if (frame->pin_count > 0) {
+      return Status::FailedPrecondition(
+          "page " + std::to_string(id) + " still has " +
+          std::to_string(frame->pin_count) +
+          " pin(s) at an operation boundary (leaked PageGuard)");
+    }
+    if (*frame->lru_pos != id) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " LRU back-pointer is stale");
+    }
+    if (frame->dirty) ++dirty_recount;
+  }
+  if (dirty_recount != dirty_count_) {
+    return Status::Corruption(
+        "dirty-frame accounting off: counter says " +
+        std::to_string(dirty_count_) + ", recount found " +
+        std::to_string(dirty_recount));
+  }
+  return Status::OK();
 }
 
 }  // namespace tsss::storage

@@ -2,10 +2,12 @@
 #define TSSS_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <unordered_map>
 
+#include "tsss/common/check.h"
 #include "tsss/common/status.h"
 #include "tsss/storage/page.h"
 #include "tsss/storage/page_store.h"
@@ -55,6 +57,9 @@ struct BufferPoolMetrics {
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t overflows = 0;  ///< times the pool exceeded soft capacity
+  /// Clean frames whose bytes changed between load and final unpin - a stray
+  /// write through a stale pointer. Any non-zero value fails AuditPins().
+  std::uint64_t crc_failures = 0;
 
   void Reset() { *this = BufferPoolMetrics{}; }
 };
@@ -64,10 +69,23 @@ struct BufferPoolMetrics {
 /// Single-threaded by design (the whole library is; see README). The
 /// capacity is soft: if every frame is pinned the pool grows past capacity
 /// rather than failing mid-operation, and counts the overflow.
+///
+/// Correctness tooling (DESIGN.md, "Verification & static analysis"):
+///  * Each frame remembers the CRC-32 of its bytes as loaded/written-back;
+///    when the last pin on a *clean* frame drops, the CRC is re-verified, so
+///    code that scribbles on a page without calling MutablePage() (or after
+///    releasing its guard) is caught at the unpin boundary instead of
+///    corrupting query answers. Enabled when debug checking is on (or
+///    explicitly via the constructor); costs one CRC over 4 KiB per unpin.
+///  * AuditPins() validates the pool's whole bookkeeping state; tests call
+///    it after every operation.
 class BufferPool {
  public:
-  /// `store` must outlive the pool. capacity_pages >= 1.
-  BufferPool(PageStore* store, std::size_t capacity_pages);
+  /// `store` must outlive the pool. capacity_pages >= 1. `verify_clean_crc`
+  /// enables the unpin-time CRC re-verification described above; it defaults
+  /// to on exactly when TSSS_DCHECK is on.
+  BufferPool(PageStore* store, std::size_t capacity_pages,
+             bool verify_clean_crc = TSSS_DCHECK_IS_ON != 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -90,6 +108,21 @@ class BufferPool {
   /// simulate a cold cache between queries.
   Status Clear();
 
+  /// Deep structural audit of the pool's bookkeeping. Verifies that
+  ///  * no frame is still pinned (a pin held across an operation boundary is
+  ///    a leak - guards are meant to be scoped),
+  ///  * the LRU list and the frame table describe the same set of pages,
+  ///  * the maintained dirty-frame count matches a recount,
+  ///  * no clean-frame CRC verification has ever failed.
+  /// Returns the first violation as a Corruption/FailedPrecondition status.
+  Status AuditPins() const;
+
+  /// Number of frames currently pinned at least once.
+  std::size_t pinned_frames() const;
+
+  /// Number of dirty (not yet written back) frames.
+  std::size_t dirty_frames() const { return dirty_count_; }
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return table_.size(); }
 
@@ -105,11 +138,14 @@ class BufferPool {
   /// Evicts LRU unpinned frames until size() <= capacity. Best effort.
   Status EvictIfNeeded();
   Status WriteBack(Frame* frame);
+  void MarkDirty(Frame* frame);
   void Unpin(Frame* frame);
   void TouchLru(Frame* frame);
 
   PageStore* store_;
   std::size_t capacity_;
+  bool verify_clean_crc_;
+  std::size_t dirty_count_ = 0;
   std::unordered_map<PageId, std::unique_ptr<Frame>> table_;
   std::list<PageId> lru_;  ///< front = most recently used
   BufferPoolMetrics metrics_;

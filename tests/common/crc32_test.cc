@@ -25,6 +25,18 @@ TEST(Crc32Test, SensitiveToSingleBitFlips) {
   EXPECT_EQ(Crc32(data.data(), data.size()), base);
 }
 
+TEST(Crc32Test, MoreKnownVectors) {
+  // RFC 3720-style reference vectors for CRC-32/IEEE.
+  const std::string a = "a";
+  EXPECT_EQ(Crc32(a.data(), a.size()), 0xE8B7BE43u);
+  const std::string abc = "abc";
+  EXPECT_EQ(Crc32(abc.data(), abc.size()), 0x352441C2u);
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(Crc32(alphabet.data(), alphabet.size()), 0x4C2750BDu);
+  const std::string digest = "message digest";
+  EXPECT_EQ(Crc32(digest.data(), digest.size()), 0x20159D7Fu);
+}
+
 TEST(Crc32Test, IncrementalMatchesOneShot) {
   const std::string data = "the quick brown fox jumps over the lazy dog";
   const std::uint32_t one_shot = Crc32(data.data(), data.size());
@@ -34,6 +46,31 @@ TEST(Crc32Test, IncrementalMatchesOneShot) {
     incremental = Crc32Continue(incremental, data.data() + i, chunk);
   }
   EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShotAtEverySplitPoint) {
+  const std::string data = "page-checksum torture input 0123456789";
+  const std::uint32_t one_shot = Crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = Crc32Continue(0, data.data(), split);
+    crc = Crc32Continue(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, EmptyChunkIsIdentity) {
+  const std::string data = "xyz";
+  const std::uint32_t crc = Crc32(data.data(), data.size());
+  EXPECT_EQ(Crc32Continue(crc, data.data(), 0), crc);
+}
+
+TEST(Crc32Test, PageSizedBufferOfZerosIsStable) {
+  // A freshly allocated 4 KiB page is all zeros; its checksum must be
+  // deterministic and nonzero (so "forgot to checksum" reads as corruption).
+  const std::string zeros(4096, '\0');
+  const std::uint32_t crc = Crc32(zeros.data(), zeros.size());
+  EXPECT_EQ(crc, Crc32(zeros.data(), zeros.size()));
+  EXPECT_NE(crc, 0u);
 }
 
 }  // namespace

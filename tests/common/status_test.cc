@@ -1,6 +1,8 @@
 #include "tsss/common/status.h"
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +82,45 @@ TEST(ResultTest, ConstructionFromOkStatusBecomesInternalError) {
   const Result<int> r(Status::OK());
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MessagePropagatesThroughCopyAndMove) {
+  Status original = Status::Corruption("page 7 checksum mismatch");
+  const Status copied = original;
+  EXPECT_EQ(copied.message(), "page 7 checksum mismatch");
+  EXPECT_EQ(copied.code(), StatusCode::kCorruption);
+
+  const Status moved = std::move(original);
+  EXPECT_EQ(moved.message(), "page 7 checksum mismatch");
+  EXPECT_EQ(moved.code(), StatusCode::kCorruption);
+  EXPECT_EQ(moved, copied);
+}
+
+TEST(StatusTest, MoveAssignmentTransfersMessage) {
+  Status target = Status::OK();
+  Status source = Status::IoError("disk on fire");
+  target = std::move(source);
+  EXPECT_EQ(target.code(), StatusCode::kIoError);
+  EXPECT_EQ(target.message(), "disk on fire");
+}
+
+TEST(ResultTest, ErrorMessagePropagatesThroughResultChain) {
+  // The library's idiom: a Status born deep in storage travels up through
+  // Result layers unchanged.
+  const Status deep = Status::Corruption("bad magic in node page 12");
+  const Result<int> inner{deep};
+  const Result<std::string> outer{inner.status()};
+  EXPECT_FALSE(outer.ok());
+  EXPECT_EQ(outer.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(outer.status().message(), "bad magic in node page 12");
+}
+
+TEST(ResultTest, MoveOnlyValueType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
 }
 
 TEST(ResultDeathTest, ValueOnErrorAborts) {

@@ -137,11 +137,11 @@ INSTANTIATE_TEST_SUITE_P(
                         std::size_t{8}, std::size_t{0}),
         std::make_tuple(reduce::ReducerKind::kIdentity, std::size_t{8},
                         std::size_t{8}, std::size_t{7})),
-    [](const testing::TestParamInfo<ValidParam>& info) {
-      return std::string(reduce::ReducerKindToString(std::get<0>(info.param))) +
-             "_w" + std::to_string(std::get<1>(info.param)) + "_d" +
-             std::to_string(std::get<2>(info.param)) + "_t" +
-             std::to_string(std::get<3>(info.param));
+    [](const testing::TestParamInfo<ValidParam>& param_info) {
+      return std::string(reduce::ReducerKindToString(std::get<0>(param_info.param))) +
+             "_w" + std::to_string(std::get<1>(param_info.param)) + "_d" +
+             std::to_string(std::get<2>(param_info.param)) + "_t" +
+             std::to_string(std::get<3>(param_info.param));
     });
 
 }  // namespace

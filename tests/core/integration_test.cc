@@ -140,12 +140,12 @@ INSTANTIATE_TEST_SUITE_P(
                         index::SplitAlgorithm::kLinear),
         std::make_tuple(reduce::ReducerKind::kDft, geom::PruneStrategy::kEepOnly,
                         index::SplitAlgorithm::kQuadratic)),
-    [](const testing::TestParamInfo<IntegrationParam>& info) {
-      std::string name(reduce::ReducerKindToString(std::get<0>(info.param)));
+    [](const testing::TestParamInfo<IntegrationParam>& param_info) {
+      std::string name(reduce::ReducerKindToString(std::get<0>(param_info.param)));
       name += "_";
-      name += geom::PruneStrategyToString(std::get<1>(info.param));
+      name += geom::PruneStrategyToString(std::get<1>(param_info.param));
       name += "_";
-      name += index::SplitAlgorithmToString(std::get<2>(info.param));
+      name += index::SplitAlgorithmToString(std::get<2>(param_info.param));
       return name;
     });
 

@@ -88,10 +88,10 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(reduce::ReducerKind::kHaar, std::size_t{16}, std::size_t{16}),
         std::make_tuple(reduce::ReducerKind::kIdentity, std::size_t{24},
                         std::size_t{24})),
-    [](const testing::TestParamInfo<LowerBoundParam>& info) {
-      return std::string(reduce::ReducerKindToString(std::get<0>(info.param))) +
-             "_n" + std::to_string(std::get<1>(info.param)) + "_k" +
-             std::to_string(std::get<2>(info.param));
+    [](const testing::TestParamInfo<LowerBoundParam>& param_info) {
+      return std::string(reduce::ReducerKindToString(std::get<0>(param_info.param))) +
+             "_n" + std::to_string(std::get<1>(param_info.param)) + "_k" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -153,10 +153,10 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(SplitAlgorithm::kRStar, true, std::uint64_t{5}),
         std::make_tuple(SplitAlgorithm::kRStar, true, std::uint64_t{6}),
         std::make_tuple(SplitAlgorithm::kLinear, true, std::uint64_t{7})),
-    [](const testing::TestParamInfo<FuzzParam>& info) {
-      return std::string(SplitAlgorithmToString(std::get<0>(info.param))) +
-             (std::get<1>(info.param) ? "_xtree" : "_plain") + "_seed" +
-             std::to_string(std::get<2>(info.param));
+    [](const testing::TestParamInfo<FuzzParam>& param_info) {
+      return std::string(SplitAlgorithmToString(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) ? "_xtree" : "_plain") + "_seed" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -159,8 +159,8 @@ INSTANTIATE_TEST_SUITE_P(AllSplits, RTreeSplitParamTest,
                          ::testing::Values(SplitAlgorithm::kLinear,
                                            SplitAlgorithm::kQuadratic,
                                            SplitAlgorithm::kRStar),
-                         [](const auto& info) {
-                           return std::string(SplitAlgorithmToString(info.param));
+                         [](const auto& param_info) {
+                           return std::string(SplitAlgorithmToString(param_info.param));
                          });
 
 TEST(RTreeDeleteTest, DeleteMissingRecordIsNotFound) {

@@ -115,8 +115,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SplitAlgorithmTest,
                          ::testing::Values(SplitAlgorithm::kLinear,
                                            SplitAlgorithm::kQuadratic,
                                            SplitAlgorithm::kRStar),
-                         [](const auto& info) {
-                           return std::string(SplitAlgorithmToString(info.param));
+                         [](const auto& param_info) {
+                           return std::string(SplitAlgorithmToString(param_info.param));
                          });
 
 TEST(RStarSplitTest, MinimisesOverlapOnStripedData) {

@@ -1,0 +1,106 @@
+// Regression test for STR bulk loading at realistic scale: bulk-build an
+// engine over a corpus with >= 1000 windows, run the deep structural
+// validators, and cross-check indexed range-query answers against the
+// sequential-scan baseline (which shares no code with the index path) on
+// random queries. Any disagreement is a false dismissal or a phantom match.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/engine.h"
+#include "tsss/core/seq_scan.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace tsss::core {
+namespace {
+
+using geom::Vec;
+
+constexpr std::size_t kWindow = 16;
+
+EngineConfig RegressionConfig() {
+  EngineConfig config;
+  config.window = kWindow;
+  config.reduced_dim = 4;
+  config.tree.max_entries = 10;
+  config.buffer_pool_pages = 64;
+  return config;
+}
+
+TEST(StrRegressionTest, BulkLoadedTreeAgreesWithSeqScanOn1kWindows) {
+  // 10 series x 116 values -> 10 * (116 - 16 + 1) = 1010 windows.
+  seq::StockMarketConfig market_config;
+  market_config.num_companies = 10;
+  market_config.values_per_company = 116;
+  market_config.seed = 4242;
+  const auto corpus = seq::GenerateStockMarket(market_config);
+
+  auto engine = SearchEngine::Create(RegressionConfig());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->BulkBuild(corpus).ok());
+  ASSERT_EQ((*engine)->num_indexed_windows(), 1010u);
+
+  // The STR-packed tree must satisfy every structural invariant, and the
+  // build must not leak a single page pin.
+  ASSERT_TRUE((*engine)->tree().ValidateInvariants().ok())
+      << (*engine)->tree().ValidateInvariants();
+  ASSERT_TRUE((*engine)->pool().AuditPins().ok())
+      << (*engine)->pool().AuditPins();
+
+  // Independent baseline over the same dataset.
+  SequentialScanner scanner(&(*engine)->dataset(), kWindow);
+
+  Rng rng(77);
+  for (int q = 0; q < 25; ++q) {
+    // Half the queries are real windows of the corpus (guaranteed
+    // near-matches); half are fresh random shapes.
+    Vec query(kWindow);
+    if (q % 2 == 0) {
+      const auto& series =
+          corpus[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(corpus.size()) - 1))];
+      const auto offset = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(series.values.size() - kWindow)));
+      std::copy_n(series.values.begin() + static_cast<std::ptrdiff_t>(offset),
+                  kWindow, query.begin());
+    } else {
+      for (auto& x : query) x = rng.Uniform(0, 60);
+    }
+    const double eps = rng.Uniform(0.05, 2.0);
+
+    auto indexed = (*engine)->RangeQuery(query, eps);
+    ASSERT_TRUE(indexed.ok()) << indexed.status();
+    auto scanned = scanner.RangeQuery(query, eps);
+    ASSERT_TRUE(scanned.ok()) << scanned.status();
+
+    std::set<std::pair<storage::SeriesId, std::uint32_t>> indexed_set;
+    for (const Match& m : *indexed) indexed_set.emplace(m.series, m.offset);
+    std::set<std::pair<storage::SeriesId, std::uint32_t>> scanned_set;
+    for (const Match& m : *scanned) scanned_set.emplace(m.series, m.offset);
+    ASSERT_EQ(indexed_set, scanned_set) << "query " << q << " eps " << eps;
+
+    // Distances must agree with the baseline match-for-match.
+    auto it = indexed->begin();
+    for (const Match& s : *scanned) {
+      while (it != indexed->end() &&
+             std::make_pair(it->series, it->offset) !=
+                 std::make_pair(s.series, s.offset)) {
+        ++it;
+      }
+      ASSERT_NE(it, indexed->end());
+      EXPECT_NEAR(it->distance, s.distance, 1e-8);
+    }
+
+    ASSERT_TRUE((*engine)->pool().AuditPins().ok()) << "query " << q;
+  }
+
+  // The tree is untouched by queries: invariants still hold afterwards.
+  ASSERT_TRUE((*engine)->tree().ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace tsss::core

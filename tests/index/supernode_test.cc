@@ -19,7 +19,8 @@ TEST(NodeChainCodecTest, PartRoundTripWithNextPointer) {
   const NodeCodec codec(4);
   std::vector<Entry> entries;
   for (RecordId i = 0; i < 5; ++i) {
-    entries.push_back(Entry::ForRecord(i, Vec{1.0 * i, 2.0, 3.0, 4.0}));
+    entries.push_back(
+        Entry::ForRecord(i, Vec{static_cast<double>(i), 2.0, 3.0, 4.0}));
   }
   storage::Page page;
   ASSERT_TRUE(codec.EncodePart(0, entries, 1234, &page).ok());

@@ -1,0 +1,94 @@
+// Tests for the reducer lower-bound self-check: every shipped reducer must
+// pass it (otherwise pruning could cause false dismissals), and reducers
+// violating contraction or linearity must be rejected.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tsss/reduce/reducer.h"
+#include "tsss/reduce/verify.h"
+
+namespace tsss::reduce {
+namespace {
+
+TEST(ReducerVerifyTest, AllShippedReducersPass) {
+  struct Case {
+    ReducerKind kind;
+    std::size_t input_dim;
+    std::size_t output_dim;
+  };
+  const Case cases[] = {
+      {ReducerKind::kIdentity, 16, 16}, {ReducerKind::kDft, 16, 4},
+      {ReducerKind::kDft, 128, 6},      {ReducerKind::kPaa, 16, 4},
+      {ReducerKind::kPaa, 128, 8},      {ReducerKind::kHaar, 16, 4},
+      {ReducerKind::kHaar, 128, 16},
+  };
+  for (const Case& c : cases) {
+    auto reducer = MakeReducer(c.kind, c.input_dim, c.output_dim);
+    ASSERT_TRUE(reducer.ok()) << reducer.status();
+    const Status s = VerifyLowerBound(**reducer, /*seed=*/1234, /*samples=*/200);
+    EXPECT_TRUE(s.ok()) << (*reducer)->Name() << ": " << s;
+  }
+}
+
+/// A deliberately broken reducer: keeps the first k coordinates but doubles
+/// them, so reduced distances can exceed original distances.
+class ExpandingReducer final : public Reducer {
+ public:
+  ExpandingReducer(std::size_t in, std::size_t out) : in_(in), out_(out) {}
+  std::size_t input_dim() const override { return in_; }
+  std::size_t output_dim() const override { return out_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override {
+    for (std::size_t i = 0; i < out_; ++i) out[i] = 2.0 * in[i];
+  }
+  std::string Name() const override { return "expanding(broken)"; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+};
+
+/// Nonlinear reducer: squares each kept coordinate. Linear queries cannot be
+/// mapped through it.
+class SquaringReducer final : public Reducer {
+ public:
+  SquaringReducer(std::size_t in, std::size_t out) : in_(in), out_(out) {}
+  std::size_t input_dim() const override { return in_; }
+  std::size_t output_dim() const override { return out_; }
+  void Reduce(std::span<const double> in, std::span<double> out) const override {
+    // Bounded so the squares stay small enough to pass contraction and fail
+    // only the linearity leg.
+    for (std::size_t i = 0; i < out_; ++i) out[i] = 1e-4 * in[i] * in[i];
+  }
+  std::string Name() const override { return "squaring(broken)"; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+};
+
+TEST(ReducerVerifyTest, RejectsNonContractiveReducer) {
+  const ExpandingReducer broken(8, 4);
+  const Status s = VerifyLowerBound(broken, /*seed=*/99, /*samples=*/100);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("not contractive"), std::string::npos) << s;
+}
+
+TEST(ReducerVerifyTest, RejectsNonLinearReducer) {
+  const SquaringReducer broken(8, 4);
+  const Status s = VerifyLowerBound(broken, /*seed=*/99, /*samples=*/100);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReducerVerifyTest, DeterministicForFixedSeed) {
+  auto reducer = MakeReducer(ReducerKind::kPaa, 32, 8);
+  ASSERT_TRUE(reducer.ok());
+  EXPECT_EQ(VerifyLowerBound(**reducer, 7, 50).ToString(),
+            VerifyLowerBound(**reducer, 7, 50).ToString());
+}
+
+}  // namespace
+}  // namespace tsss::reduce

@@ -1,0 +1,131 @@
+// Tests for the buffer pool's deep bookkeeping audit (AuditPins) and the
+// clean-frame CRC re-verification that catches writes bypassing
+// MutablePage().
+
+#include <gtest/gtest.h>
+
+#include "tsss/storage/buffer_pool.h"
+#include "tsss/storage/page_store.h"
+
+namespace tsss::storage {
+namespace {
+
+TEST(BufferPoolAuditTest, CleanAfterMixedWorkload) {
+  MemPageStore store;
+  BufferPool pool(&store, 4, /*verify_clean_crc=*/true);
+
+  std::vector<PageId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto guard = pool.New();
+    ASSERT_TRUE(guard.ok());
+    guard->MutablePage().bytes[0] = static_cast<std::uint8_t>(i);
+    ids.push_back(guard->id());
+  }
+  ASSERT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+
+  for (const PageId id : ids) {
+    auto guard = pool.Fetch(id);
+    ASSERT_TRUE(guard.ok());
+  }
+  ASSERT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.dirty_frames(), 0u);
+  ASSERT_TRUE(pool.Delete(ids[0]).ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  ASSERT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+}
+
+TEST(BufferPoolAuditTest, DetectsLeakedPin) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+
+  auto guard = pool.New();
+  ASSERT_TRUE(guard.ok());
+  const Status leaked = pool.AuditPins();
+  EXPECT_FALSE(leaked.ok());
+  EXPECT_EQ(leaked.code(), StatusCode::kFailedPrecondition);
+
+  guard->Release();
+  EXPECT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+}
+
+TEST(BufferPoolAuditTest, DirtyAccountingTracksMutationsAndFlushes) {
+  MemPageStore store;
+  BufferPool pool(&store, 8, /*verify_clean_crc=*/true);
+
+  const PageId id = [&] {
+    auto guard = pool.New();
+    EXPECT_TRUE(guard.ok());
+    return guard->id();
+  }();
+  EXPECT_EQ(pool.dirty_frames(), 1u);  // New() pages are born dirty
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.dirty_frames(), 0u);
+
+  {
+    auto guard = pool.Fetch(id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(pool.dirty_frames(), 0u);  // read-only fetch stays clean
+    guard->MutablePage().bytes[1] = 0xAB;
+    EXPECT_EQ(pool.dirty_frames(), 1u);
+    guard->MutablePage().bytes[2] = 0xCD;  // second mutation: still one frame
+    EXPECT_EQ(pool.dirty_frames(), 1u);
+  }
+  ASSERT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.dirty_frames(), 0u);
+  ASSERT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+}
+
+TEST(BufferPoolAuditTest, CrcCatchesWriteBypassingMutablePage) {
+  MemPageStore store;
+  BufferPool pool(&store, 4, /*verify_clean_crc=*/true);
+
+  const PageId id = [&] {
+    auto guard = pool.New();
+    EXPECT_TRUE(guard.ok());
+    guard->MutablePage().bytes[0] = 42;
+    return guard->id();
+  }();
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  {
+    auto guard = pool.Fetch(id);
+    ASSERT_TRUE(guard.ok());
+    // Simulate the bug class the detector exists for: scribbling on a page
+    // through a const view without marking it dirty.
+    auto& page = const_cast<Page&>(guard->page());
+    page.bytes[100] ^= 0xFF;
+  }
+  EXPECT_EQ(pool.metrics().crc_failures, 1u);
+  const Status audit = pool.AuditPins();
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.code(), StatusCode::kCorruption);
+}
+
+TEST(BufferPoolAuditTest, CrcQuietForLegitimateMutations) {
+  MemPageStore store;
+  BufferPool pool(&store, 4, /*verify_clean_crc=*/true);
+
+  const PageId id = [&] {
+    auto guard = pool.New();
+    EXPECT_TRUE(guard.ok());
+    return guard->id();
+  }();
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  for (int round = 0; round < 5; ++round) {
+    auto guard = pool.Fetch(id);
+    ASSERT_TRUE(guard.ok());
+    guard->MutablePage().bytes[static_cast<std::size_t>(round)] =
+        static_cast<std::uint8_t>(round);
+    guard->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  EXPECT_EQ(pool.metrics().crc_failures, 0u);
+  EXPECT_TRUE(pool.AuditPins().ok()) << pool.AuditPins();
+}
+
+}  // namespace
+}  // namespace tsss::storage
