@@ -1,0 +1,133 @@
+// Service throughput: a closed-loop multithreaded driver over QueryService.
+//
+// For each worker count in {1, 2, 4, 8}, TSSS_CLIENTS client threads (default
+// 2x workers) each submit one range query at a time and wait for its future
+// (closed loop), for a fixed wall-time window. Reported per sweep point:
+// queries/sec, client-observed p50/p99 latency, and the service's own
+// histogram percentiles. Output is one JSON object per line so the sweep is
+// machine-readable (jq-friendly) straight out of run_benches.sh.
+//
+// Extra environment knobs on top of bench_common.h:
+//   TSSS_SERVICE_SECONDS=S  wall time per sweep point (default 2)
+//   TSSS_CLIENTS=N          fixed client-thread count (default 2x workers)
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "tsss/service/query_service.h"
+
+namespace {
+
+double PercentileUs(std::vector<double>* latencies_us, double q) {
+  if (latencies_us->empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_us->size() - 1));
+  std::nth_element(latencies_us->begin(),
+                   latencies_us->begin() + static_cast<std::ptrdiff_t>(rank),
+                   latencies_us->end());
+  return (*latencies_us)[rank];
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsss;
+  const bench::BenchEnv env = bench::GetBenchEnv();
+  const double seconds =
+      static_cast<double>(bench::EnvSizeT("TSSS_SERVICE_SECONDS", 2));
+  const std::size_t fixed_clients = bench::EnvSizeT("TSSS_CLIENTS", 0);
+  const double eps = 0.25;
+
+  const auto market = bench::MakeMarket(env);
+  core::EngineConfig config;
+  auto engine = bench::BuildEngine(config, market);
+  const auto queries = bench::MakeQueries(market, env.queries, config.window);
+
+  std::fprintf(stderr,
+               "# service throughput: %zu windows, eps = %.2f, %.0fs per "
+               "sweep point\n",
+               engine->num_indexed_windows(), eps, seconds);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    service::ServiceConfig service_config;
+    service_config.num_workers = workers;
+    service_config.queue_capacity = 4 * workers;
+    auto service = service::QueryService::Create(engine.get(), service_config);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service creation failed: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+
+    const std::size_t clients =
+        fixed_clients > 0 ? fixed_clients : 2 * workers;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::vector<std::vector<double>> client_latencies_us(clients);
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        std::size_t next = c;  // stagger the query mix across clients
+        while (!stop.load(std::memory_order_relaxed)) {
+          service::QueryRequest request;
+          request.kind = service::QueryKind::kRange;
+          request.query = queries[next++ % queries.size()];
+          request.eps = eps;
+          const bench::Timer timer;
+          auto future = (*service)->Submit(std::move(request));
+          if (!future.ok()) {
+            // Closed loop: a rejection means the queue is saturated; retry
+            // after yielding so the drain makes progress.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+            continue;
+          }
+          const service::QueryResponse response = future->get();
+          if (!response.status.ok()) {
+            std::fprintf(stderr, "query failed: %s\n",
+                         response.status.ToString().c_str());
+            std::exit(1);
+          }
+          client_latencies_us[c].push_back(1e6 * timer.Seconds());
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    const bench::Timer wall;
+    while (wall.Seconds() < seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : client_threads) t.join();
+    const double elapsed = wall.Seconds();
+
+    const service::ServiceMetrics metrics = (*service)->Stats();
+    std::vector<double> all_latencies_us;
+    for (const auto& per_client : client_latencies_us) {
+      all_latencies_us.insert(all_latencies_us.end(), per_client.begin(),
+                              per_client.end());
+    }
+    const double p50_us = PercentileUs(&all_latencies_us, 0.50);
+    const double p99_us = PercentileUs(&all_latencies_us, 0.99);
+
+    std::printf(
+        "{\"bench\":\"service_throughput\",\"workers\":%zu,\"clients\":%zu,"
+        "\"seconds\":%.2f,\"queries\":%llu,\"qps\":%.1f,"
+        "\"client_p50_ms\":%.3f,\"client_p99_ms\":%.3f,"
+        "\"service_p50_ms\":%.3f,\"service_p99_ms\":%.3f,"
+        "\"rejected\":%llu,\"pool_hit_rate\":%.4f}\n",
+        workers, clients, elapsed,
+        static_cast<unsigned long long>(completed.load()),
+        static_cast<double>(completed.load()) / elapsed, p50_us / 1e3,
+        p99_us / 1e3, metrics.p50_latency_ms, metrics.p99_latency_ms,
+        static_cast<unsigned long long>(rejected.load()),
+        metrics.pool_hit_rate);
+    std::fflush(stdout);
+  }
+  return 0;
+}

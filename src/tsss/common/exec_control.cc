@@ -1,0 +1,18 @@
+#include "tsss/common/exec_control.h"
+
+namespace tsss {
+
+namespace {
+thread_local ExecControl* g_current_exec_control = nullptr;
+}  // namespace
+
+ExecControl* CurrentExecControl() { return g_current_exec_control; }
+
+ScopedExecControl::ScopedExecControl(ExecControl* control)
+    : prev_(g_current_exec_control) {
+  g_current_exec_control = control;
+}
+
+ScopedExecControl::~ScopedExecControl() { g_current_exec_control = prev_; }
+
+}  // namespace tsss

@@ -1,0 +1,76 @@
+#ifndef TSSS_COMMON_EXEC_CONTROL_H_
+#define TSSS_COMMON_EXEC_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "tsss/common/status.h"
+
+namespace tsss {
+
+/// Cooperative cancellation / deadline token for one in-flight query.
+///
+/// A caller that wants to bound a query installs an ExecControl on the
+/// executing thread with ScopedExecControl; long-running library loops poll
+/// Check() at natural pause points (the R-tree checks once per node load)
+/// and unwind with DeadlineExceeded/Cancelled when the token has tripped.
+/// The token is shared between the executing thread (polling) and any thread
+/// that calls RequestCancel(), hence the atomic flag; the deadline is set
+/// before installation and immutable afterwards.
+class ExecControl {
+ public:
+  ExecControl() = default;
+  ExecControl(const ExecControl&) = delete;
+  ExecControl& operator=(const ExecControl&) = delete;
+
+  /// Sets an absolute deadline. Call before installing the control.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Flags the query for cancellation. Safe from any thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded once
+  /// it must unwind. Reads the clock only when a deadline is set.
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// The control governing the current thread's in-flight query, or nullptr.
+ExecControl* CurrentExecControl();
+
+/// Installs `control` as the current thread's ExecControl for its lifetime,
+/// restoring the previous one on destruction (scopes nest).
+class ScopedExecControl {
+ public:
+  explicit ScopedExecControl(ExecControl* control);
+  ~ScopedExecControl();
+
+  ScopedExecControl(const ScopedExecControl&) = delete;
+  ScopedExecControl& operator=(const ScopedExecControl&) = delete;
+
+ private:
+  ExecControl* prev_;
+};
+
+}  // namespace tsss
+
+#endif  // TSSS_COMMON_EXEC_CONTROL_H_

@@ -23,6 +23,8 @@ enum class StatusCode : std::uint8_t {
   kCorruption = 7,
   kIoError = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,7 @@
 #include "tsss/common/check.h"
 #include "tsss/geom/se_transform.h"
 #include "tsss/seq/window.h"
+#include "tsss/storage/query_counters.h"
 
 namespace tsss::core {
 
@@ -233,7 +234,7 @@ Status SearchEngine::RemoveWindow(index::RecordId record) {
   return s;
 }
 
-Result<geom::Vec> SearchEngine::ReadWindow(index::RecordId record) {
+Result<geom::Vec> SearchEngine::ReadWindow(index::RecordId record) const {
   geom::Vec out(config_.window);
   Status s = dataset_.store().ReadWindow(seq::SeriesOf(record),
                                          seq::OffsetOf(record), out);
@@ -241,7 +242,7 @@ Result<geom::Vec> SearchEngine::ReadWindow(index::RecordId record) {
   return out;
 }
 
-void SearchEngine::BeginQuery() {
+void SearchEngine::BeginQuery() const {
   if (config_.cold_cache_per_query) {
     (void)pool_->Clear();
   }
@@ -250,7 +251,7 @@ void SearchEngine::BeginQuery() {
 Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> query,
                                                     double eps,
                                                     const TransformCost& cost,
-                                                    QueryStats* stats) {
+                                                    QueryStats* stats) const {
   if (query.size() != config_.window) {
     return Status::InvalidArgument(
         "query length " + std::to_string(query.size()) +
@@ -260,10 +261,8 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   if (eps < 0.0) return Status::InvalidArgument("eps must be non-negative");
 
   BeginQuery();
-  const std::uint64_t index_reads_before = pool_->metrics().logical_reads;
-  const std::uint64_t index_misses_before = pool_->metrics().misses;
-  const std::uint64_t data_reads_before =
-      dataset_.store().metrics().logical_reads;
+  storage::QueryCounters counters;
+  storage::ScopedQueryCounters scoped_counters(&counters);
 
   const QueryContext ctx(query);
   const geom::Line line = ReducedQueryLine(query);
@@ -297,10 +296,9 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   }
 
   if (stats != nullptr) {
-    stats->index_page_reads = pool_->metrics().logical_reads - index_reads_before;
-    stats->index_page_misses = pool_->metrics().misses - index_misses_before;
-    stats->data_page_reads =
-        dataset_.store().metrics().logical_reads - data_reads_before;
+    stats->index_page_reads = counters.pool_logical_reads;
+    stats->index_page_misses = counters.pool_misses;
+    stats->data_page_reads = counters.data_page_reads;
     stats->candidates = expanded.size();
     stats->matches = matches.size();
     stats->penetration = pen;
@@ -311,17 +309,15 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
 Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
                                              std::size_t k,
                                              const TransformCost& cost,
-                                             QueryStats* stats) {
+                                             QueryStats* stats) const {
   if (query.size() != config_.window) {
     return Status::InvalidArgument("knn query length must equal the window");
   }
   if (k == 0) return std::vector<Match>{};
 
   BeginQuery();
-  const std::uint64_t index_reads_before = pool_->metrics().logical_reads;
-  const std::uint64_t index_misses_before = pool_->metrics().misses;
-  const std::uint64_t data_reads_before =
-      dataset_.store().metrics().logical_reads;
+  storage::QueryCounters counters;
+  storage::ScopedQueryCounters scoped_counters(&counters);
 
   const QueryContext ctx(query);
   const geom::Line line = ReducedQueryLine(query);
@@ -374,10 +370,9 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   std::reverse(out.begin(), out.end());
 
   if (stats != nullptr) {
-    stats->index_page_reads = pool_->metrics().logical_reads - index_reads_before;
-    stats->index_page_misses = pool_->metrics().misses - index_misses_before;
-    stats->data_page_reads =
-        dataset_.store().metrics().logical_reads - data_reads_before;
+    stats->index_page_reads = counters.pool_logical_reads;
+    stats->index_page_misses = counters.pool_misses;
+    stats->data_page_reads = counters.data_page_reads;
     stats->candidates = candidates_seen;
     stats->matches = out.size();
   }

@@ -70,6 +70,16 @@ struct QueryStats {
 /// subtrees are pruned by eps-MBR penetration (Theorem 3); leaf candidates
 /// are verified exactly against the raw data, and each answer carries its
 /// optimal (a, b).
+///
+/// Thread safety: the const query methods (RangeQuery, Knn, LongRangeQuery,
+/// ReadWindow) may run concurrently from many threads over one engine,
+/// provided cold_cache_per_query is off (a per-query pool Clear() would
+/// evict pages out from under concurrent readers; service::QueryService
+/// turns it off). Per-query costs in QueryStats come from thread-local
+/// storage::QueryCounters, so concurrent queries never mix up each other's
+/// counts. Mutations (AddSeries, Append, BulkBuild, RemoveWindow,
+/// Checkpoint, the setters) require exclusive access: no query or other
+/// mutation may be in flight.
 class SearchEngine {
  public:
   static Result<std::unique_ptr<SearchEngine>> Create(const EngineConfig& config);
@@ -110,14 +120,14 @@ class SearchEngine {
   /// Results are sorted by (series, offset). `stats` may be null.
   Result<std::vector<Match>> RangeQuery(std::span<const double> query, double eps,
                                         const TransformCost& cost = {},
-                                        QueryStats* stats = nullptr);
+                                        QueryStats* stats = nullptr) const;
 
   /// The k nearest windows under the exact scale-shift distance
   /// (Corollary 1), via GEMINI-style multi-step search over the index's
   /// nearest-line-neighbour iterator. Results sorted by distance.
   Result<std::vector<Match>> Knn(std::span<const double> query, std::size_t k,
                                  const TransformCost& cost = {},
-                                 QueryStats* stats = nullptr);
+                                 QueryStats* stats = nullptr) const;
 
   /// Range query for queries *longer* than the window (Section 7, following
   /// [2]): the query is cut into floor(|Q|/n) disjoint length-n pieces, each
@@ -126,11 +136,11 @@ class SearchEngine {
   Result<std::vector<Match>> LongRangeQuery(std::span<const double> query,
                                             double eps,
                                             const TransformCost& cost = {},
-                                            QueryStats* stats = nullptr);
+                                            QueryStats* stats = nullptr) const;
 
   /// Reads the raw values of the window identified by `record` (counted as
   /// data page reads).
-  Result<geom::Vec> ReadWindow(index::RecordId record);
+  Result<geom::Vec> ReadWindow(index::RecordId record) const;
 
   const EngineConfig& config() const { return config_; }
 
@@ -146,8 +156,11 @@ class SearchEngine {
   /// reads that survive the buffer pool.
   void set_cold_cache_per_query(bool cold) { config_.cold_cache_per_query = cold; }
   seq::Dataset& dataset() { return dataset_; }
+  const seq::Dataset& dataset() const { return dataset_; }
   index::RTree& tree() { return *tree_; }
+  const index::RTree& tree() const { return *tree_; }
   storage::BufferPool& pool() { return *pool_; }
+  const storage::BufferPool& pool() const { return *pool_; }
   const reduce::Reducer& reducer() const { return *reducer_; }
   /// Number of windows covered by the index (equals the tree's entry count
   /// in point mode; in sub-trail mode one tree entry covers many windows).
@@ -172,7 +185,7 @@ class SearchEngine {
   /// point mode, up to subtrail_len in trail mode).
   Status ExpandCandidate(index::RecordId record,
                          std::vector<index::RecordId>* out) const;
-  void BeginQuery();
+  void BeginQuery() const;
 
   EngineConfig config_;
   std::unique_ptr<reduce::Reducer> reducer_;

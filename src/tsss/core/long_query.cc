@@ -5,6 +5,7 @@
 
 #include "tsss/core/engine.h"
 #include "tsss/seq/window.h"
+#include "tsss/storage/query_counters.h"
 
 namespace tsss::core {
 
@@ -21,7 +22,7 @@ namespace tsss::core {
 // exactly against the whole query.
 Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     std::span<const double> query, double eps, const TransformCost& cost,
-    QueryStats* stats) {
+    QueryStats* stats) const {
   const std::size_t n = config_.window;
   if (query.size() <= n) {
     return Status::InvalidArgument(
@@ -39,10 +40,8 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   const double piece_eps = eps / std::sqrt(static_cast<double>(pieces));
 
   BeginQuery();
-  const std::uint64_t index_reads_before = pool_->metrics().logical_reads;
-  const std::uint64_t index_misses_before = pool_->metrics().misses;
-  const std::uint64_t data_reads_before =
-      dataset_.store().metrics().logical_reads;
+  storage::QueryCounters counters;
+  storage::ScopedQueryCounters scoped_counters(&counters);
 
   geom::PenetrationStats pen;
   std::unordered_set<index::RecordId> candidate_records;
@@ -90,10 +89,9 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   }
 
   if (stats != nullptr) {
-    stats->index_page_reads = pool_->metrics().logical_reads - index_reads_before;
-    stats->index_page_misses = pool_->metrics().misses - index_misses_before;
-    stats->data_page_reads =
-        dataset_.store().metrics().logical_reads - data_reads_before;
+    stats->index_page_reads = counters.pool_logical_reads;
+    stats->index_page_misses = counters.pool_misses;
+    stats->data_page_reads = counters.data_page_reads;
     stats->candidates = raw_candidates;
     stats->matches = matches.size();
     stats->penetration = pen;

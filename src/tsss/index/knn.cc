@@ -5,7 +5,8 @@
 
 namespace tsss::index {
 
-RTree::LineNeighborIterator::LineNeighborIterator(RTree* tree, geom::Line line)
+RTree::LineNeighborIterator::LineNeighborIterator(const RTree* tree,
+                                                  geom::Line line)
     : tree_(tree), line_(std::move(line)) {
   QueueItem root_item;
   root_item.distance = 0.0;
@@ -42,12 +43,13 @@ Result<std::optional<LineMatch>> RTree::LineNeighborIterator::Next() {
   return std::optional<LineMatch>();
 }
 
-RTree::LineNeighborIterator RTree::NearestLineNeighbors(const geom::Line& line) {
+RTree::LineNeighborIterator RTree::NearestLineNeighbors(
+    const geom::Line& line) const {
   return LineNeighborIterator(this, line);
 }
 
 Result<std::vector<LineMatch>> RTree::PointKnn(std::span<const double> point,
-                                               std::size_t k) {
+                                               std::size_t k) const {
   if (point.size() != config_.dim) {
     return Status::InvalidArgument("query point dim mismatch");
   }
@@ -59,7 +61,7 @@ Result<std::vector<LineMatch>> RTree::PointKnn(std::span<const double> point,
 }
 
 Result<std::vector<LineMatch>> RTree::LineKnn(const geom::Line& line,
-                                              std::size_t k) {
+                                              std::size_t k) const {
   if (line.dim() != config_.dim) {
     return Status::InvalidArgument("query line dim mismatch");
   }

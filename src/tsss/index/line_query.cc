@@ -4,10 +4,9 @@
 
 namespace tsss::index {
 
-Result<std::vector<LineMatch>> RTree::LineQuery(const geom::Line& line,
-                                                double eps,
-                                                geom::PruneStrategy strategy,
-                                                geom::PenetrationStats* stats) {
+Result<std::vector<LineMatch>> RTree::LineQuery(
+    const geom::Line& line, double eps, geom::PruneStrategy strategy,
+    geom::PenetrationStats* stats) const {
   if (line.dim() != config_.dim) {
     return Status::InvalidArgument("query line dim mismatch");
   }

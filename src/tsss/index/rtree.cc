@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "tsss/common/exec_control.h"
+
 namespace tsss::index {
 
 namespace {
@@ -106,7 +108,14 @@ Result<std::unique_ptr<RTree>> RTree::Attach(storage::BufferPool* pool,
   return tree;
 }
 
-Result<Node> RTree::LoadNode(storage::PageId id) {
+Result<Node> RTree::LoadNode(storage::PageId id) const {
+  // Cooperative cancellation: the query service bounds requests with a
+  // deadline; one check per node keeps the granularity coarse enough to be
+  // free and fine enough that a runaway query unwinds promptly.
+  if (const ExecControl* control = CurrentExecControl()) {
+    Status s = control->Check();
+    if (!s.ok()) return s;
+  }
   Node node;
   storage::PageId cur = id;
   bool first = true;
@@ -617,7 +626,7 @@ Status RTree::DeleteBox(const geom::Mbr& target, RecordId record) {
   return CondenseTree(leaf_path);
 }
 
-Result<std::vector<RecordId>> RTree::RangeQuery(const geom::Mbr& box) {
+Result<std::vector<RecordId>> RTree::RangeQuery(const geom::Mbr& box) const {
   if (box.dim() != config_.dim) {
     return Status::InvalidArgument("query box dim mismatch");
   }

@@ -97,7 +97,14 @@ struct TreeStats {
 /// loading (STR), rectangle queries, the paper's line queries, and
 /// incremental nearest-line-neighbour iteration.
 ///
-/// Thread-compatibility: single-threaded, like the rest of the library.
+/// Thread-compatibility (DESIGN.md §8): the read path - RangeQuery,
+/// LineQuery, LineKnn, PointKnn and NearestLineNeighbors - is const and safe
+/// to run from many threads concurrently over one tree, provided no mutation
+/// (Insert/Delete/BulkLoad) runs at the same time; the underlying BufferPool
+/// is internally synchronized. Mutations keep the single-writer contract.
+/// Query methods poll the calling thread's ExecControl (if one is installed)
+/// once per node load, so deadlines and cancellation take effect at R-tree
+/// node granularity.
 class RTree {
  public:
   /// Creates an empty tree whose nodes live in `pool` (must outlive the
@@ -136,24 +143,25 @@ class RTree {
   Status BulkLoad(std::vector<Entry> points);
 
   /// All records whose point intersects `box`.
-  Result<std::vector<RecordId>> RangeQuery(const geom::Mbr& box);
+  Result<std::vector<RecordId>> RangeQuery(const geom::Mbr& box) const;
 
   /// The paper's search (Section 6): all records whose indexed point lies
   /// within `eps` of `line`, visiting only subtrees admitted by `strategy`
   /// (Theorem 3 guarantees no false dismissal). `stats` may be null.
   Result<std::vector<LineMatch>> LineQuery(const geom::Line& line, double eps,
                                            geom::PruneStrategy strategy,
-                                           geom::PenetrationStats* stats);
+                                           geom::PenetrationStats* stats) const;
 
   /// The k records whose points are nearest to `line` in reduced distance,
   /// in increasing order (branch-and-bound best-first search).
-  Result<std::vector<LineMatch>> LineKnn(const geom::Line& line, std::size_t k);
+  Result<std::vector<LineMatch>> LineKnn(const geom::Line& line,
+                                         std::size_t k) const;
 
   /// Classic k-nearest-neighbour search around a point (best-first search
   /// with MinDist pruning). Distances are Euclidean in the indexed space;
   /// for box leaves the distance is point-to-box.
   Result<std::vector<LineMatch>> PointKnn(std::span<const double> point,
-                                          std::size_t k);
+                                          std::size_t k) const;
 
   /// Incremental nearest-line-neighbour iterator: yields records in
   /// non-decreasing reduced distance to the query line. Used by the engine's
@@ -174,13 +182,13 @@ class RTree {
         return distance > other.distance;
       }
     };
-    LineNeighborIterator(RTree* tree, geom::Line line);
+    LineNeighborIterator(const RTree* tree, geom::Line line);
 
-    RTree* tree_;
+    const RTree* tree_;
     geom::Line line_;
     std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap_;
   };
-  LineNeighborIterator NearestLineNeighbors(const geom::Line& line);
+  LineNeighborIterator NearestLineNeighbors(const geom::Line& line) const;
 
   /// Number of data entries in the tree.
   std::size_t size() const { return size_; }
@@ -224,8 +232,10 @@ class RTree {
     std::size_t index_in_parent = 0;
   };
 
-  /// Loads a node, following supernode chain pages (each counted).
-  Result<Node> LoadNode(storage::PageId id);
+  /// Loads a node, following supernode chain pages (each counted). Const and
+  /// concurrency-safe: reads only immutable tree state plus the internally
+  /// synchronized pool. Polls the thread's ExecControl (deadline/cancel).
+  Result<Node> LoadNode(storage::PageId id) const;
   /// Stores a node, growing or shrinking its chain as needed.
   Status StoreNode(storage::PageId id, const Node& node);
   /// Writes `node` into the given chain, allocating/freeing pages to fit.

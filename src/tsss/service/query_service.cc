@@ -1,0 +1,264 @@
+#include "tsss/service/query_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <utility>
+
+#include "tsss/common/exec_control.h"
+
+namespace tsss::service {
+
+namespace {
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+}  // namespace
+
+// --- LatencyHistogram -------------------------------------------------------
+
+std::size_t LatencyHistogram::BucketFor(std::uint64_t us) {
+  if (us < 16) return static_cast<std::size_t>(us);
+  const unsigned log2 = static_cast<unsigned>(std::bit_width(us)) - 1u;
+  const std::uint64_t frac = (us >> (log2 - 2u)) & 3u;
+  const std::size_t index =
+      16 + static_cast<std::size_t>(log2 - 4u) * 4 +
+      static_cast<std::size_t>(frac);
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketFloorUs(std::size_t index) {
+  if (index < 16) return index;
+  const std::size_t rest = index - 16;
+  const unsigned octave = 4u + static_cast<unsigned>(rest / 4);
+  const std::uint64_t frac = rest % 4;
+  return (std::uint64_t{1} << octave) +
+         frac * (std::uint64_t{1} << (octave - 2u));
+}
+
+void LatencyHistogram::Record(std::chrono::microseconds latency) {
+  const std::uint64_t us =
+      latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  std::array<std::uint64_t, kNumBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return static_cast<double>(BucketFloorUs(i)) / 1000.0;
+    }
+  }
+  return static_cast<double>(BucketFloorUs(kNumBuckets - 1)) / 1000.0;
+}
+
+// --- QueryService -----------------------------------------------------------
+
+QueryService::QueryService(core::SearchEngine* engine,
+                           const ServiceConfig& config)
+    : engine_(engine), config_(config) {}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    core::SearchEngine* engine, const ServiceConfig& config) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (config.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (config.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  // The per-query pool Clear() of the cold-cache I/O model would evict pages
+  // out from under concurrent readers; results are unaffected by caching.
+  engine->set_cold_cache_per_query(false);
+
+  auto service =
+      std::unique_ptr<QueryService>(new QueryService(engine, config));
+  service->workers_.reserve(config.num_workers);
+  for (std::size_t i = 0; i < config.num_workers; ++i) {
+    service->workers_.emplace_back([raw = service.get()] { raw->WorkerLoop(); });
+  }
+  return service;
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+QueryService::Task QueryService::MakeTask(QueryRequest request) const {
+  Task task;
+  task.submitted_at = std::chrono::steady_clock::now();
+  std::chrono::milliseconds timeout = request.timeout;
+  if (timeout == std::chrono::milliseconds::zero()) {
+    timeout = config_.default_timeout;
+  }
+  task.deadline = timeout > std::chrono::milliseconds::zero()
+                      ? task.submitted_at + timeout
+                      : kNoDeadline;
+  task.request = std::move(request);
+  return task;
+}
+
+Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
+  Task task = MakeTask(std::move(request));
+  std::future<QueryResponse> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("service is shut down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(config_.queue_capacity) + ")");
+    }
+    queue_.push_back(std::move(task));
+  }
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return future;
+}
+
+Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("service is shut down");
+    }
+    if (queue_.size() + requests.size() > config_.queue_capacity) {
+      counters_.rejected.fetch_add(requests.size(),
+                                   std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "batch of " + std::to_string(requests.size()) +
+          " does not fit in the admission queue (" +
+          std::to_string(config_.queue_capacity - queue_.size()) +
+          " slots free)");
+    }
+    for (QueryRequest& request : requests) {
+      Task task = MakeTask(std::move(request));
+      futures.push_back(task.promise.get_future());
+      queue_.push_back(std::move(task));
+    }
+  }
+  counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);
+  cv_.notify_all();
+  return futures;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(std::move(task));
+  }
+}
+
+Result<std::vector<core::Match>> QueryService::RunQuery(
+    const QueryRequest& request, core::QueryStats* stats) const {
+  switch (request.kind) {
+    case QueryKind::kRange:
+      return engine_->RangeQuery(request.query, request.eps, request.cost,
+                                 stats);
+    case QueryKind::kKnn:
+      return engine_->Knn(request.query, request.k, request.cost, stats);
+    case QueryKind::kLongRange:
+      return engine_->LongRangeQuery(request.query, request.eps, request.cost,
+                                     stats);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+void QueryService::Execute(Task task) {
+  QueryResponse response;
+  if (std::chrono::steady_clock::now() >= task.deadline) {
+    // Expired while still queued: fail fast without touching the engine.
+    response.status = Status::DeadlineExceeded("deadline expired in queue");
+  } else {
+    ExecControl control;
+    if (task.deadline != kNoDeadline) control.set_deadline(task.deadline);
+    ScopedExecControl scoped(&control);
+    Result<std::vector<core::Match>> result =
+        RunQuery(task.request, &response.stats);
+    response.status = result.status();
+    if (result.ok()) response.matches = std::move(result).value();
+  }
+  FinishTask(&task, std::move(response));
+}
+
+void QueryService::FinishTask(Task* task, QueryResponse response) {
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - task->submitted_at);
+  latency_.Record(response.latency);
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      counters_.served.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      counters_.failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  task->promise.set_value(std::move(response));
+}
+
+ServiceMetrics QueryService::Stats() const {
+  ServiceMetrics out;
+  out.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  out.served = counters_.served.load(std::memory_order_relaxed);
+  out.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  out.timed_out = counters_.timed_out.load(std::memory_order_relaxed);
+  out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  out.failed = counters_.failed.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.queue_depth = queue_.size();
+  }
+  out.p50_latency_ms = latency_.PercentileMs(0.50);
+  out.p99_latency_ms = latency_.PercentileMs(0.99);
+  const storage::BufferPoolMetrics pool = engine_->pool().metrics();
+  const std::uint64_t reads = pool.hits + pool.misses;
+  out.pool_hit_rate =
+      reads == 0 ? 0.0
+                 : static_cast<double>(pool.hits) / static_cast<double>(reads);
+  return out;
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace tsss::service

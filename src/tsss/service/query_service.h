@@ -1,0 +1,189 @@
+#ifndef TSSS_SERVICE_QUERY_SERVICE_H_
+#define TSSS_SERVICE_QUERY_SERVICE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/core/engine.h"
+#include "tsss/core/similarity.h"
+#include "tsss/geom/vec.h"
+
+namespace tsss::service {
+
+/// Which SearchEngine entry point a request drives.
+enum class QueryKind {
+  kRange,      ///< SearchEngine::RangeQuery (|query| == window)
+  kKnn,        ///< SearchEngine::Knn
+  kLongRange,  ///< SearchEngine::LongRangeQuery (|query| > window)
+};
+
+/// One query submitted to the service.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kRange;
+  geom::Vec query;  ///< raw values; length checked by the engine
+  double eps = 0.0;   ///< range / long-range tolerance
+  std::size_t k = 0;  ///< k-NN result count
+  core::TransformCost cost;
+  /// Per-request deadline measured from Submit(). Zero means "use the
+  /// service default"; a negative value disables the deadline entirely.
+  std::chrono::milliseconds timeout{0};
+};
+
+/// The completed answer delivered through the future returned by Submit().
+struct QueryResponse {
+  Status status;  ///< OK, DeadlineExceeded, Cancelled, or an engine error
+  std::vector<core::Match> matches;
+  core::QueryStats stats;  ///< per-query page/candidate counters
+  /// Wall time from Submit() to completion (queueing + execution).
+  std::chrono::microseconds latency{0};
+};
+
+struct ServiceConfig {
+  std::size_t num_workers = 4;
+  /// Admission-queue bound: Submit() rejects with ResourceExhausted once
+  /// this many requests are waiting (backpressure instead of unbounded
+  /// memory growth).
+  std::size_t queue_capacity = 128;
+  /// Deadline applied to requests that leave timeout == 0. Zero disables
+  /// the default deadline.
+  std::chrono::milliseconds default_timeout{0};
+};
+
+/// Point-in-time view of the service counters, returned by Stats().
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t served = 0;     ///< completed with an OK status
+  std::uint64_t rejected = 0;   ///< refused at admission (queue full)
+  std::uint64_t timed_out = 0;  ///< deadline expired (queued or mid-query)
+  std::uint64_t cancelled = 0;  ///< unwound by RequestCancel
+  std::uint64_t failed = 0;     ///< completed with any other error
+  std::size_t queue_depth = 0;  ///< requests waiting right now
+  double p50_latency_ms = 0.0;  ///< median Submit()-to-completion latency
+  double p99_latency_ms = 0.0;
+  /// Buffer-pool hit rate over the engine's lifetime (0 when no reads yet).
+  double pool_hit_rate = 0.0;
+};
+
+/// Log-spaced fixed-bucket latency histogram. Record() is lock-free and safe
+/// from any number of threads; Percentile() reads a relaxed snapshot.
+///
+/// Buckets 0..15 are exact microsecond counts; above that each power of two
+/// is split into 4 sub-buckets, giving <= 25% relative error over a range of
+/// 16 us .. ~1 hour in 128 buckets.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 128;
+
+  void Record(std::chrono::microseconds latency);
+  /// The q-quantile (q in [0, 1]) in milliseconds; 0 when empty.
+  double PercentileMs(double q) const;
+
+  static std::size_t BucketFor(std::uint64_t us);
+  /// Lower bound (microseconds) of bucket `index`, the reported value for
+  /// any latency in it.
+  static std::uint64_t BucketFloorUs(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Serves Chu-Wong scale-shift queries concurrently over one shared
+/// SearchEngine.
+///
+/// A fixed pool of worker threads drains a bounded admission queue; Submit()
+/// returns a std::future that resolves to the QueryResponse. Admission is
+/// reject-on-full (ResourceExhausted) rather than blocking, so a saturated
+/// service applies backpressure immediately. Each request carries an optional
+/// deadline: requests that expire while still queued are failed without
+/// touching the engine, and in-flight queries poll the deadline at R-tree
+/// node granularity through ExecControl and unwind early.
+///
+/// The service only drives the engine's const read path, so any number of
+/// workers may run concurrently. Create() turns off cold_cache_per_query
+/// (a per-query pool Clear() is the single-threaded benchmark I/O model and
+/// would evict pages out from under concurrent readers); it does not change
+/// query results. Engine mutations must not run while a service is live.
+///
+/// Shutdown() (also run by the destructor) stops admission, drains every
+/// queued request, and joins the workers; futures obtained before shutdown
+/// always complete.
+class QueryService {
+ public:
+  /// `engine` must outlive the service. The engine's cold-cache-per-query
+  /// mode is switched off (see class comment).
+  static Result<std::unique_ptr<QueryService>> Create(
+      core::SearchEngine* engine, const ServiceConfig& config);
+
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one request. Fails with ResourceExhausted when the admission
+  /// queue is full and FailedPrecondition after Shutdown().
+  Result<std::future<QueryResponse>> Submit(QueryRequest request);
+
+  /// Enqueues all requests or none: when fewer than requests.size() queue
+  /// slots are free the whole batch is rejected with ResourceExhausted.
+  Result<std::vector<std::future<QueryResponse>>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  ServiceMetrics Stats() const;
+
+  /// Stops admission, drains the queue, and joins the workers. Idempotent.
+  void Shutdown();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    /// Absolute deadline; time_point::max() when none.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  QueryService(core::SearchEngine* engine, const ServiceConfig& config);
+
+  Task MakeTask(QueryRequest request) const;
+  void WorkerLoop();
+  void Execute(Task task);
+  Result<std::vector<core::Match>> RunQuery(const QueryRequest& request,
+                                            core::QueryStats* stats) const;
+  void FinishTask(Task* task, QueryResponse response);
+
+  const core::SearchEngine* engine_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+  AtomicCounters counters_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace tsss::service
+
+#endif  // TSSS_SERVICE_QUERY_SERVICE_H_

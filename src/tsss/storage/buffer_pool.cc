@@ -6,6 +6,7 @@
 
 #include "tsss/common/check.h"
 #include "tsss/common/crc32.h"
+#include "tsss/storage/query_counters.h"
 
 namespace tsss::storage {
 
@@ -13,7 +14,9 @@ struct PageGuard::Frame {
   PageId id = kInvalidPageId;
   Page page;
   bool dirty = false;
-  int pin_count = 0;
+  /// Atomic so audits and assertions may read it without the shard lock;
+  /// all modifications happen under the owning shard's mutex.
+  std::atomic<int> pin_count{0};
   /// CRC-32 of `page` as last loaded from / written back to the store.
   /// Only meaningful when `crc_valid`; used to detect stray writes to clean
   /// frames (see BufferPool class comment).
@@ -23,9 +26,19 @@ struct PageGuard::Frame {
 };
 
 namespace {
+
 std::uint32_t PageCrc(const Page& page) {
   return Crc32(page.bytes.data(), page.bytes.size());
 }
+
+/// Ticks the calling thread's per-query counters, if installed.
+void CountQueryPoolRead(bool miss) {
+  if (QueryCounters* qc = CurrentQueryCounters()) {
+    ++qc->pool_logical_reads;
+    if (miss) ++qc->pool_misses;
+  }
+}
+
 }  // namespace
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
@@ -75,101 +88,122 @@ BufferPool::BufferPool(PageStore* store, std::size_t capacity_pages,
                        bool verify_clean_crc)
     : store_(store),
       capacity_(capacity_pages == 0 ? 1 : capacity_pages),
-      verify_clean_crc_(verify_clean_crc) {}
+      verify_clean_crc_(verify_clean_crc) {
+  num_shards_ = capacity_ >= kShardingMinCapacity ? kNumShards : 1;
+  std::uint32_t bits = 0;
+  for (std::size_t n = num_shards_; n > 1; n >>= 1) ++bits;
+  shard_shift_ = 32u - bits;
+  shard_capacity_ = (capacity_ + num_shards_ - 1) / num_shards_;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
 
 BufferPool::~BufferPool() {
   // Best-effort flush; errors here indicate the store died first, which the
-  // single-threaded usage contract forbids.
+  // usage contract forbids.
   (void)FlushAll();
 }
 
-void BufferPool::TouchLru(Frame* frame) {
-  lru_.erase(frame->lru_pos);
-  lru_.push_front(frame->id);
-  frame->lru_pos = lru_.begin();
+void BufferPool::TouchLru(Shard& shard, Frame* frame) {
+  shard.lru.erase(frame->lru_pos);
+  shard.lru.push_front(frame->id);
+  frame->lru_pos = shard.lru.begin();
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++metrics_.logical_reads;
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
     ++metrics_.hits;
+    CountQueryPoolRead(/*miss=*/false);
     Frame* frame = it->second.get();
-    TouchLru(frame);
-    ++frame->pin_count;
+    TouchLru(shard, frame);
+    frame->pin_count.fetch_add(1, std::memory_order_relaxed);
     return PageGuard(this, frame);
   }
   ++metrics_.misses;
+  CountQueryPoolRead(/*miss=*/true);
   auto frame = std::make_unique<Frame>();
   frame->id = id;
+  // The store read happens under the shard lock; concurrent misses on the
+  // same page therefore load it exactly once, and misses on pages of other
+  // shards proceed in parallel.
   Status s = store_->Read(id, &frame->page);
   if (!s.ok()) return s;
   if (verify_clean_crc_) {
     frame->clean_crc = PageCrc(frame->page);
     frame->crc_valid = true;
   }
-  lru_.push_front(id);
-  frame->lru_pos = lru_.begin();
-  frame->pin_count = 1;
+  shard.lru.push_front(id);
+  frame->lru_pos = shard.lru.begin();
+  frame->pin_count.store(1, std::memory_order_relaxed);
   Frame* raw = frame.get();
-  table_.emplace(id, std::move(frame));
-  s = EvictIfNeeded();
+  shard.table.emplace(id, std::move(frame));
+  s = EvictIfNeeded(shard);
   if (!s.ok()) return s;
   return PageGuard(this, raw);
 }
 
 Result<PageGuard> BufferPool::New() {
   ++metrics_.logical_reads;
+  CountQueryPoolRead(/*miss=*/false);
   const PageId id = store_->Allocate();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   frame->dirty = true;
-  ++dirty_count_;
-  lru_.push_front(id);
-  frame->lru_pos = lru_.begin();
-  frame->pin_count = 1;
+  ++shard.dirty;
+  shard.lru.push_front(id);
+  frame->lru_pos = shard.lru.begin();
+  frame->pin_count.store(1, std::memory_order_relaxed);
   Frame* raw = frame.get();
-  table_.emplace(id, std::move(frame));
-  Status s = EvictIfNeeded();
+  shard.table.emplace(id, std::move(frame));
+  Status s = EvictIfNeeded(shard);
   if (!s.ok()) return s;
   return PageGuard(this, raw);
 }
 
 Status BufferPool::Delete(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
     Frame* frame = it->second.get();
-    if (frame->pin_count > 0) {
+    if (frame->pin_count.load(std::memory_order_relaxed) > 0) {
       return Status::FailedPrecondition("deleting pinned page " +
                                         std::to_string(id));
     }
     if (frame->dirty) {
-      TSSS_DCHECK(dirty_count_ > 0);
-      --dirty_count_;
+      TSSS_DCHECK(shard.dirty > 0);
+      --shard.dirty;
     }
-    lru_.erase(frame->lru_pos);
-    table_.erase(it);
+    shard.lru.erase(frame->lru_pos);
+    shard.table.erase(it);
   }
   return store_->Free(id);
 }
 
 void BufferPool::MarkDirty(Frame* frame) {
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   if (!frame->dirty) {
     frame->dirty = true;
-    ++dirty_count_;
+    ++shard.dirty;
     // The bytes are about to diverge from the stored copy; the clean CRC is
     // refreshed on the next write-back.
     frame->crc_valid = false;
   }
 }
 
-Status BufferPool::WriteBack(Frame* frame) {
+Status BufferPool::WriteBack(Shard& shard, Frame* frame) {
   if (!frame->dirty) return Status::OK();
   Status s = store_->Write(frame->id, frame->page);
   if (!s.ok()) return s;
   frame->dirty = false;
-  TSSS_DCHECK(dirty_count_ > 0);
-  --dirty_count_;
+  TSSS_DCHECK(shard.dirty > 0);
+  --shard.dirty;
   if (verify_clean_crc_) {
     frame->clean_crc = PageCrc(frame->page);
     frame->crc_valid = true;
@@ -178,58 +212,70 @@ Status BufferPool::WriteBack(Frame* frame) {
   return Status::OK();
 }
 
-Status BufferPool::EvictIfNeeded() {
-  while (table_.size() > capacity_) {
+Status BufferPool::EvictIfNeeded(Shard& shard) {
+  while (shard.table.size() > shard_capacity_) {
     // Scan from the LRU tail for an unpinned victim.
     Frame* victim = nullptr;
-    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      Frame* frame = table_.at(*rit).get();
-      if (frame->pin_count == 0) {
+    for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      Frame* frame = shard.table.at(*rit).get();
+      if (frame->pin_count.load(std::memory_order_relaxed) == 0) {
         victim = frame;
         break;
       }
     }
     if (victim == nullptr) {
-      // Everything is pinned: allow the pool to overflow.
+      // Everything is pinned: allow the shard to overflow.
       ++metrics_.overflows;
       return Status::OK();
     }
-    Status s = WriteBack(victim);
+    Status s = WriteBack(shard, victim);
     if (!s.ok()) return s;
     ++metrics_.evictions;
-    lru_.erase(victim->lru_pos);
-    table_.erase(victim->id);
+    shard.lru.erase(victim->lru_pos);
+    shard.table.erase(victim->id);
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : table_) {
-    Status s = WriteBack(frame.get());
-    if (!s.ok()) return s;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, frame] : shard.table) {
+      Status s = WriteBack(shard, frame.get());
+      if (!s.ok()) return s;
+    }
   }
   return Status::OK();
 }
 
 Status BufferPool::Clear() {
-  Status s = FlushAll();
-  if (!s.ok()) return s;
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (it->second->pin_count == 0) {
-      lru_.erase(it->second->lru_pos);
-      it = table_.erase(it);
-    } else {
-      ++it;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, frame] : shard.table) {
+      Status s = WriteBack(shard, frame.get());
+      if (!s.ok()) return s;
+    }
+    for (auto it = shard.table.begin(); it != shard.table.end();) {
+      if (it->second->pin_count.load(std::memory_order_relaxed) == 0) {
+        shard.lru.erase(it->second->lru_pos);
+        it = shard.table.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return Status::OK();
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  TSSS_DCHECK(frame->pin_count > 0);
-  --frame->pin_count;
-  if (frame->pin_count == 0 && verify_clean_crc_ && !frame->dirty &&
-      frame->crc_valid && PageCrc(frame->page) != frame->clean_crc) {
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  TSSS_DCHECK(prev > 0);
+  if (prev == 1 && verify_clean_crc_ && !frame->dirty && frame->crc_valid &&
+      PageCrc(frame->page) != frame->clean_crc) {
     // A clean frame's bytes changed: someone wrote through page() or a stale
     // pointer without MutablePage(). Recorded (not aborted) so AuditPins()
     // can report it and tests can exercise the detector.
@@ -239,63 +285,118 @@ void BufferPool::Unpin(Frame* frame) {
 
 std::size_t BufferPool::pinned_frames() const {
   std::size_t n = 0;
-  for (const auto& [id, frame] : table_) {
-    if (frame->pin_count > 0) ++n;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, frame] : shard.table) {
+      if (frame->pin_count.load(std::memory_order_relaxed) > 0) ++n;
+    }
   }
   return n;
 }
 
+std::size_t BufferPool::dirty_frames() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.dirty;
+  }
+  return n;
+}
+
+std::size_t BufferPool::size() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+BufferPoolMetrics BufferPool::metrics() const {
+  BufferPoolMetrics out;
+  out.logical_reads = metrics_.logical_reads.load(std::memory_order_relaxed);
+  out.hits = metrics_.hits.load(std::memory_order_relaxed);
+  out.misses = metrics_.misses.load(std::memory_order_relaxed);
+  out.evictions = metrics_.evictions.load(std::memory_order_relaxed);
+  out.writebacks = metrics_.writebacks.load(std::memory_order_relaxed);
+  out.overflows = metrics_.overflows.load(std::memory_order_relaxed);
+  out.crc_failures = metrics_.crc_failures.load(std::memory_order_relaxed);
+  return out;
+}
+
+void BufferPool::ResetMetrics() {
+  metrics_.logical_reads.store(0, std::memory_order_relaxed);
+  metrics_.hits.store(0, std::memory_order_relaxed);
+  metrics_.misses.store(0, std::memory_order_relaxed);
+  metrics_.evictions.store(0, std::memory_order_relaxed);
+  metrics_.writebacks.store(0, std::memory_order_relaxed);
+  metrics_.overflows.store(0, std::memory_order_relaxed);
+  metrics_.crc_failures.store(0, std::memory_order_relaxed);
+}
+
 Status BufferPool::AuditPins() const {
-  if (metrics_.crc_failures > 0) {
+  if (metrics_.crc_failures.load(std::memory_order_relaxed) > 0) {
     return Status::Corruption(
         "clean-frame CRC verification failed " +
-        std::to_string(metrics_.crc_failures) +
+        std::to_string(metrics_.crc_failures.load(std::memory_order_relaxed)) +
         " time(s): a page was modified without MutablePage()");
   }
-  if (lru_.size() != table_.size()) {
-    return Status::Corruption("LRU list has " + std::to_string(lru_.size()) +
-                              " entries but the frame table has " +
-                              std::to_string(table_.size()));
-  }
-  std::unordered_set<PageId> lru_ids;
-  for (const PageId id : lru_) {
-    if (!lru_ids.insert(id).second) {
-      return Status::Corruption("page " + std::to_string(id) +
-                                " appears twice in the LRU list");
-    }
-    if (table_.find(id) == table_.end()) {
-      return Status::Corruption("LRU page " + std::to_string(id) +
-                                " is not in the frame table");
-    }
-  }
   std::size_t dirty_recount = 0;
-  for (const auto& [id, frame] : table_) {
-    if (frame->id != id) {
-      return Status::Corruption("frame for page " + std::to_string(id) +
-                                " believes it is page " +
-                                std::to_string(frame->id));
+  std::size_t dirty_counter = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.lru.size() != shard.table.size()) {
+      return Status::Corruption(
+          "LRU list has " + std::to_string(shard.lru.size()) +
+          " entries but the frame table has " +
+          std::to_string(shard.table.size()) + " (shard " + std::to_string(i) +
+          ")");
     }
-    if (frame->pin_count < 0) {
-      return Status::Corruption("page " + std::to_string(id) +
-                                " has negative pin count " +
-                                std::to_string(frame->pin_count));
+    std::unordered_set<PageId> lru_ids;
+    for (const PageId id : shard.lru) {
+      if (!lru_ids.insert(id).second) {
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " appears twice in the LRU list");
+      }
+      if (shard.table.find(id) == shard.table.end()) {
+        return Status::Corruption("LRU page " + std::to_string(id) +
+                                  " is not in the frame table");
+      }
     }
-    if (frame->pin_count > 0) {
-      return Status::FailedPrecondition(
-          "page " + std::to_string(id) + " still has " +
-          std::to_string(frame->pin_count) +
-          " pin(s) at an operation boundary (leaked PageGuard)");
+    for (const auto& [id, frame] : shard.table) {
+      if (frame->id != id) {
+        return Status::Corruption("frame for page " + std::to_string(id) +
+                                  " believes it is page " +
+                                  std::to_string(frame->id));
+      }
+      const int pins = frame->pin_count.load(std::memory_order_relaxed);
+      if (pins < 0) {
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " has negative pin count " +
+                                  std::to_string(pins));
+      }
+      if (pins > 0) {
+        return Status::FailedPrecondition(
+            "page " + std::to_string(id) + " still has " +
+            std::to_string(pins) +
+            " pin(s) at an operation boundary (leaked PageGuard)");
+      }
+      if (*frame->lru_pos != id) {
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " LRU back-pointer is stale");
+      }
+      if (frame->dirty) ++dirty_recount;
     }
-    if (*frame->lru_pos != id) {
-      return Status::Corruption("page " + std::to_string(id) +
-                                " LRU back-pointer is stale");
-    }
-    if (frame->dirty) ++dirty_recount;
+    dirty_counter += shard.dirty;
   }
-  if (dirty_recount != dirty_count_) {
+  if (dirty_recount != dirty_counter) {
     return Status::Corruption(
         "dirty-frame accounting off: counter says " +
-        std::to_string(dirty_count_) + ", recount found " +
+        std::to_string(dirty_counter) + ", recount found " +
         std::to_string(dirty_recount));
   }
   return Status::OK();

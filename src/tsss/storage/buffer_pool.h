@@ -1,10 +1,12 @@
 #ifndef TSSS_STORAGE_BUFFER_POOL_H_
 #define TSSS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "tsss/common/check.h"
@@ -66,9 +68,24 @@ struct BufferPoolMetrics {
 
 /// LRU write-back buffer pool over a PageStore.
 ///
-/// Single-threaded by design (the whole library is; see README). The
-/// capacity is soft: if every frame is pinned the pool grows past capacity
-/// rather than failing mid-operation, and counts the overflow.
+/// Thread-safety (DESIGN.md §8): the pool is internally synchronized for
+/// concurrent readers. The frame table is sharded by page-id hash; each
+/// shard owns its own mutex, frame map and LRU list, so Fetch/Unpin from
+/// different threads contend only when they touch the same shard. Pin counts
+/// are atomic and a pinned frame is never evicted, so the bytes behind a
+/// live PageGuard stay valid and unchanging without further locking.
+/// Mutations that change the *set* of pages (New/Delete) are shard-locked
+/// too, but the volume-shape single-writer contract of the underlying store
+/// still applies: do not run them concurrently with anything else.
+///
+/// Small pools (capacity < kShardingMinCapacity, e.g. every unit-test pool)
+/// use a single shard and therefore keep the exact global-LRU eviction order
+/// of the classic single-threaded pool; large pools trade strict global LRU
+/// for per-shard LRU, the standard concurrency/recency compromise.
+///
+/// The capacity is soft: if every frame of a shard is pinned the shard grows
+/// past its slice of the capacity rather than failing mid-operation, and
+/// counts the overflow.
 ///
 /// Correctness tooling (DESIGN.md, "Verification & static analysis"):
 ///  * Each frame remembers the CRC-32 of its bytes as loaded/written-back;
@@ -81,6 +98,12 @@ struct BufferPoolMetrics {
 ///    it after every operation.
 class BufferPool {
  public:
+  /// Pools at least this large shard their frame table for concurrency;
+  /// smaller pools stay single-sharded (exact global LRU).
+  static constexpr std::size_t kShardingMinCapacity = 64;
+  /// Shard count used by pools past the threshold (power of two).
+  static constexpr std::size_t kNumShards = 16;
+
   /// `store` must outlive the pool. capacity_pages >= 1. `verify_clean_crc`
   /// enables the unpin-time CRC re-verification described above; it defaults
   /// to on exactly when TSSS_DCHECK is on.
@@ -91,14 +114,16 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches an existing page, pinning it.
+  /// Fetches an existing page, pinning it. Safe to call concurrently.
   Result<PageGuard> Fetch(PageId id);
 
   /// Allocates a brand-new zeroed page and pins it (already dirty).
+  /// Volume-shape mutation: requires exclusive access to the pool.
   Result<PageGuard> New();
 
   /// Drops the page from the pool (must be unpinned) and frees it in the
   /// store. Dirty contents are discarded - the page is gone.
+  /// Volume-shape mutation: requires exclusive access to the pool.
   Status Delete(PageId id);
 
   /// Writes all dirty frames back to the store (frames stay cached).
@@ -111,23 +136,26 @@ class BufferPool {
   /// Deep structural audit of the pool's bookkeeping. Verifies that
   ///  * no frame is still pinned (a pin held across an operation boundary is
   ///    a leak - guards are meant to be scoped),
-  ///  * the LRU list and the frame table describe the same set of pages,
+  ///  * each shard's LRU list and frame table describe the same set of pages,
   ///  * the maintained dirty-frame count matches a recount,
   ///  * no clean-frame CRC verification has ever failed.
   /// Returns the first violation as a Corruption/FailedPrecondition status.
+  /// Meant to run at a quiescent point (no in-flight queries).
   Status AuditPins() const;
 
   /// Number of frames currently pinned at least once.
   std::size_t pinned_frames() const;
 
   /// Number of dirty (not yet written back) frames.
-  std::size_t dirty_frames() const { return dirty_count_; }
+  std::size_t dirty_frames() const;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return table_.size(); }
+  std::size_t size() const;
 
-  const BufferPoolMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_.Reset(); }
+  /// Snapshot of the pool counters (atomics read relaxed; exact at any
+  /// quiescent point, momentarily approximate under concurrency).
+  BufferPoolMetrics metrics() const;
+  void ResetMetrics();
 
   PageStore* store() { return store_; }
 
@@ -135,20 +163,49 @@ class BufferPool {
   friend class PageGuard;
   using Frame = PageGuard::Frame;
 
-  /// Evicts LRU unpinned frames until size() <= capacity. Best effort.
-  Status EvictIfNeeded();
-  Status WriteBack(Frame* frame);
+  /// One lock domain of the frame table. All fields are guarded by `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> table;
+    std::list<PageId> lru;  ///< front = most recently used
+    std::size_t dirty = 0;  ///< dirty frames in this shard
+  };
+
+  /// Internally-atomic counters behind metrics().
+  struct AtomicMetrics {
+    std::atomic<std::uint64_t> logical_reads{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> writebacks{0};
+    std::atomic<std::uint64_t> overflows{0};
+    std::atomic<std::uint64_t> crc_failures{0};
+  };
+
+  Shard& ShardFor(PageId id) const {
+    // Multiplicative (Fibonacci) hash: page ids are sequential, so taking
+    // low bits directly would sweep scans through the shards in lock-step.
+    const std::uint64_t h = static_cast<std::uint64_t>(id) * 2654435761ull;
+    return shards_[(h >> shard_shift_) & (num_shards_ - 1)];
+  }
+
+  /// Evicts LRU unpinned frames until the shard fits its capacity slice.
+  /// Requires shard.mu held. Best effort.
+  Status EvictIfNeeded(Shard& shard);
+  /// Requires the owning shard's mu held.
+  Status WriteBack(Shard& shard, Frame* frame);
   void MarkDirty(Frame* frame);
   void Unpin(Frame* frame);
-  void TouchLru(Frame* frame);
+  static void TouchLru(Shard& shard, Frame* frame);
 
   PageStore* store_;
   std::size_t capacity_;
   bool verify_clean_crc_;
-  std::size_t dirty_count_ = 0;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> table_;
-  std::list<PageId> lru_;  ///< front = most recently used
-  BufferPoolMetrics metrics_;
+  std::size_t num_shards_;
+  std::uint32_t shard_shift_;     ///< hash >> shift yields the shard index
+  std::size_t shard_capacity_;    ///< per-shard slice of capacity_
+  std::unique_ptr<Shard[]> shards_;
+  AtomicMetrics metrics_;
 };
 
 }  // namespace tsss::storage

@@ -93,6 +93,7 @@ Status FilePageStore::CheckLive(PageId id) const {
 }
 
 PageId FilePageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id;
   const Page zero{};
   if (!free_list_.empty()) {
@@ -113,6 +114,7 @@ PageId FilePageStore::Allocate() {
 }
 
 Status FilePageStore::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   live_[id] = false;
@@ -122,6 +124,7 @@ Status FilePageStore::Free(PageId id) {
 }
 
 Status FilePageStore::Read(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   ++metrics_.physical_reads;
@@ -139,6 +142,7 @@ Status FilePageStore::Read(PageId id, Page* out) {
 }
 
 Status FilePageStore::Write(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   ++metrics_.physical_writes;
@@ -153,6 +157,11 @@ Status FilePageStore::Write(PageId id, const Page& page) {
 }
 
 Status FilePageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status FilePageStore::SyncLocked() {
   if (!file_.is_open()) return Status::OK();
   file_.flush();
   if (!file_) {

@@ -3,6 +3,7 @@
 
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@ namespace tsss::storage {
 /// the destructor calls it best-effort. Crash atomicity (journaling) is out
 /// of scope - this store exists to persist built indexes and to keep the I/O
 /// path honest, not to be a transactional engine.
+///
+/// Thread-safety: fully internally synchronized. The single std::fstream
+/// cursor forces every operation through one mutex, so concurrent access is
+/// safe but serialized; the buffer-pool shards in front of the store provide
+/// the read concurrency (see DESIGN.md §8).
 class FilePageStore final : public PageStore {
  public:
   /// Creates a fresh (truncated) volume.
@@ -36,8 +42,14 @@ class FilePageStore final : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
-  std::size_t num_live_pages() const override { return live_count_; }
-  std::size_t capacity_pages() const override { return live_.size(); }
+  std::size_t num_live_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_count_;
+  }
+  std::size_t capacity_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
 
   /// Persists metadata (allocation state + checksums) and flushes the data
   /// file.
@@ -48,10 +60,15 @@ class FilePageStore final : public PageStore {
  private:
   explicit FilePageStore(std::string path);
 
+  /// Requires mu_ held.
   Status CheckLive(PageId id) const;
   std::string MetaPath() const { return path_ + ".meta"; }
+  /// Sync body; requires mu_ held.
+  Status SyncLocked();
 
   std::string path_;
+  /// Guards the file cursor and all allocation metadata below.
+  mutable std::mutex mu_;
   std::fstream file_;
   std::vector<bool> live_;
   std::vector<std::uint32_t> crc_;

@@ -2,6 +2,7 @@
 #define TSSS_STORAGE_PAGE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -33,6 +34,33 @@ struct PageAccessMetrics {
   std::uint64_t physical_writes = 0;
 
   void Reset() { *this = PageAccessMetrics{}; }
+};
+
+/// Internally-atomic variant the stores maintain so that concurrent readers
+/// (the query service's worker pool) can count accesses without a data race.
+/// Observers take a plain PageAccessMetrics snapshot. Counters use relaxed
+/// ordering: they are statistics, not synchronization.
+struct AtomicPageAccessMetrics {
+  std::atomic<std::uint64_t> logical_reads{0};
+  std::atomic<std::uint64_t> physical_reads{0};
+  std::atomic<std::uint64_t> logical_writes{0};
+  std::atomic<std::uint64_t> physical_writes{0};
+
+  PageAccessMetrics Snapshot() const {
+    PageAccessMetrics out;
+    out.logical_reads = logical_reads.load(std::memory_order_relaxed);
+    out.physical_reads = physical_reads.load(std::memory_order_relaxed);
+    out.logical_writes = logical_writes.load(std::memory_order_relaxed);
+    out.physical_writes = physical_writes.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void Reset() {
+    logical_reads.store(0, std::memory_order_relaxed);
+    physical_reads.store(0, std::memory_order_relaxed);
+    logical_writes.store(0, std::memory_order_relaxed);
+    physical_writes.store(0, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace tsss::storage

@@ -38,16 +38,24 @@ class PageStore {
   /// Total pages ever allocated (high-water mark of the volume).
   virtual std::size_t capacity_pages() const = 0;
 
-  const PageAccessMetrics& metrics() const { return metrics_; }
+  PageAccessMetrics metrics() const { return metrics_.Snapshot(); }
   void ResetMetrics() { metrics_.Reset(); }
 
  protected:
-  PageAccessMetrics metrics_;
+  /// Atomic so concurrent readers (buffer-pool shards serving the query
+  /// service) can count without racing; see AtomicPageAccessMetrics.
+  AtomicPageAccessMetrics metrics_;
 };
 
 /// In-memory page store simulating a disk volume. The store is RAM-backed;
 /// the I/O *model* (page granularity, access counting), not the medium, is
 /// what the experiments depend on.
+///
+/// Thread-safety: Read/Write on *distinct live pages* may run concurrently
+/// (access counters are atomic; page payloads are disjoint). Allocate/Free
+/// mutate the volume shape and require exclusive access — the same
+/// single-writer contract the buffer pool and engine expose (see DESIGN.md
+/// §8, "Thread-safety contract").
 class MemPageStore final : public PageStore {
  public:
   MemPageStore() = default;

@@ -1,0 +1,20 @@
+#include "tsss/storage/query_counters.h"
+
+namespace tsss::storage {
+
+namespace {
+thread_local QueryCounters* g_current_query_counters = nullptr;
+}  // namespace
+
+QueryCounters* CurrentQueryCounters() { return g_current_query_counters; }
+
+ScopedQueryCounters::ScopedQueryCounters(QueryCounters* counters)
+    : prev_(g_current_query_counters) {
+  g_current_query_counters = counters;
+}
+
+ScopedQueryCounters::~ScopedQueryCounters() {
+  g_current_query_counters = prev_;
+}
+
+}  // namespace tsss::storage

@@ -1,0 +1,43 @@
+#ifndef TSSS_STORAGE_QUERY_COUNTERS_H_
+#define TSSS_STORAGE_QUERY_COUNTERS_H_
+
+#include <cstdint>
+
+namespace tsss::storage {
+
+/// Per-query page-access counters.
+///
+/// The engine-wide metrics (BufferPoolMetrics, PageAccessMetrics) are shared
+/// by every thread, so "counter delta across my query" stops identifying a
+/// single query's cost the moment two queries run concurrently. Instead,
+/// each query owns one of these on its stack and installs it for the
+/// duration of the call with ScopedQueryCounters; the buffer pool and the
+/// sequence store tick the installed counters alongside the global ones.
+/// Thread-local installation means concurrent queries never share a counter,
+/// and single-threaded counts are bit-identical to the old delta scheme.
+struct QueryCounters {
+  std::uint64_t pool_logical_reads = 0;  ///< BufferPool Fetch/New calls
+  std::uint64_t pool_misses = 0;         ///< of those, buffer-pool misses
+  std::uint64_t data_page_reads = 0;     ///< SequenceStore data pages touched
+};
+
+/// The counters of the query executing on this thread, or nullptr.
+QueryCounters* CurrentQueryCounters();
+
+/// Installs `counters` as this thread's per-query counters for its lifetime,
+/// restoring the previous installation on destruction (scopes nest).
+class ScopedQueryCounters {
+ public:
+  explicit ScopedQueryCounters(QueryCounters* counters);
+  ~ScopedQueryCounters();
+
+  ScopedQueryCounters(const ScopedQueryCounters&) = delete;
+  ScopedQueryCounters& operator=(const ScopedQueryCounters&) = delete;
+
+ private:
+  QueryCounters* prev_;
+};
+
+}  // namespace tsss::storage
+
+#endif  // TSSS_STORAGE_QUERY_COUNTERS_H_

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <string>
 
+#include "tsss/storage/query_counters.h"
+
 namespace tsss::storage {
+
+namespace {
+/// Ticks the per-query data-read counter of the calling thread, if any.
+void CountQueryDataReads(std::uint64_t pages) {
+  if (QueryCounters* qc = CurrentQueryCounters()) {
+    qc->data_page_reads += pages;
+  }
+}
+}  // namespace
 
 SeriesId SequenceStore::AddSeries(std::span<const double> values) {
   const SeriesId id = static_cast<SeriesId>(offsets_.size());
@@ -42,7 +53,7 @@ Result<std::span<const double>> SequenceStore::SeriesValues(SeriesId id) const {
 
 Status SequenceStore::ReadWindowDeduped(SeriesId id, std::size_t offset,
                                         std::span<double> out,
-                                        std::size_t* last_counted_page) {
+                                        std::size_t* last_counted_page) const {
   if (id >= offsets_.size()) {
     return Status::NotFound("series " + std::to_string(id) + " does not exist");
   }
@@ -61,6 +72,7 @@ Status SequenceStore::ReadWindowDeduped(SeriesId id, std::size_t offset,
     const std::size_t fresh = last_page - first_new + 1;
     metrics_.logical_reads += fresh;
     metrics_.physical_reads += fresh;
+    CountQueryDataReads(fresh);
     *last_counted_page = last_page;
   }
   std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(global), out.size(),
@@ -69,7 +81,7 @@ Status SequenceStore::ReadWindowDeduped(SeriesId id, std::size_t offset,
 }
 
 Status SequenceStore::ReadWindow(SeriesId id, std::size_t offset,
-                                 std::span<double> out) {
+                                 std::span<double> out) const {
   if (id >= offsets_.size()) {
     return Status::NotFound("series " + std::to_string(id) + " does not exist");
   }
@@ -85,6 +97,7 @@ Status SequenceStore::ReadWindow(SeriesId id, std::size_t offset,
     const std::size_t last_page = (global + out.size() - 1) / kValuesPerPage;
     metrics_.logical_reads += last_page - first_page + 1;
     metrics_.physical_reads += last_page - first_page + 1;
+    CountQueryDataReads(last_page - first_page + 1);
     std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(global), out.size(),
                 out.begin());
   }
@@ -95,10 +108,11 @@ std::size_t SequenceStore::TotalPages() const {
   return (values_.size() + kValuesPerPage - 1) / kValuesPerPage;
 }
 
-void SequenceStore::RecordFullScan() {
+void SequenceStore::RecordFullScan() const {
   const std::size_t pages = TotalPages();
   metrics_.logical_reads += pages;
   metrics_.physical_reads += pages;
+  CountQueryDataReads(pages);
 }
 
 }  // namespace tsss::storage

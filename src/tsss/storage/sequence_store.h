@@ -21,6 +21,12 @@ using SeriesId = std::uint32_t;
 /// scan at (0.65M values x 8 bytes) / 4 KiB ~= 1300 pages. Reads issued
 /// through ReadWindow() count the pages they touch; a sequential scan is
 /// accounted with RecordFullScan() (every occupied page read exactly once).
+///
+/// Thread-safety: the read path (ReadWindow/ReadWindowDeduped/SeriesLength/
+/// SeriesValues/RecordFullScan) is const and safe to call from any number of
+/// threads concurrently - access counters are atomic, values are only read.
+/// AddSeries/AppendToSeries mutate the value heap and require exclusive
+/// access (single-writer contract, DESIGN.md §8).
 class SequenceStore {
  public:
   SequenceStore() = default;
@@ -51,7 +57,7 @@ class SequenceStore {
 
   /// Copies values [offset, offset + out.size()) of the series into `out`,
   /// counting every touched page as one logical read.
-  Status ReadWindow(SeriesId id, std::size_t offset, std::span<double> out);
+  Status ReadWindow(SeriesId id, std::size_t offset, std::span<double> out) const;
 
   /// Like ReadWindow, but counts each page at most once across a sequence of
   /// calls with ascending (series, offset): pages <= *last_counted_page are
@@ -60,15 +66,15 @@ class SequenceStore {
   /// in storage order, touching every needed data page exactly once.
   static constexpr std::size_t kNoPageCounted = static_cast<std::size_t>(-1);
   Status ReadWindowDeduped(SeriesId id, std::size_t offset, std::span<double> out,
-                           std::size_t* last_counted_page);
+                           std::size_t* last_counted_page) const;
 
   /// Total pages occupied by all values.
   std::size_t TotalPages() const;
 
   /// Accounts a full sequential scan: every occupied page read once.
-  void RecordFullScan();
+  void RecordFullScan() const;
 
-  const PageAccessMetrics& metrics() const { return metrics_; }
+  PageAccessMetrics metrics() const { return metrics_.Snapshot(); }
   void ResetMetrics() { metrics_.Reset(); }
 
   /// Total number of stored values across all series.
@@ -78,7 +84,9 @@ class SequenceStore {
   std::vector<double> values_;        ///< densely packed value heap
   std::vector<std::size_t> offsets_;  ///< start of each series in values_
   std::vector<std::size_t> lengths_;  ///< length of each series
-  PageAccessMetrics metrics_;
+  /// mutable + atomic: counting is observability, not logical mutation, and
+  /// must work from the const concurrent read path.
+  mutable AtomicPageAccessMetrics metrics_;
 };
 
 }  // namespace tsss::storage

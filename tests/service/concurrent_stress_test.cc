@@ -1,0 +1,190 @@
+// Concurrency stress: many threads drive mixed Range / k-NN / LongRange
+// queries through one QueryService over one shared engine, and every answer
+// is cross-checked against a single-threaded oracle run of the identical
+// workload. Run under -fsanitize=thread (the `tsan` preset / CI job) to turn
+// any data race in the shared read path into a hard failure.
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tsss/common/rng.h"
+#include "tsss/core/engine.h"
+#include "tsss/seq/stock_generator.h"
+#include "tsss/seq/window.h"
+#include "tsss/service/query_service.h"
+
+namespace tsss::service {
+namespace {
+
+constexpr std::size_t kWindow = 16;
+constexpr std::size_t kNumQueries = 96;
+
+core::EngineConfig StressEngineConfig() {
+  core::EngineConfig config;
+  config.window = kWindow;
+  config.reduced_dim = 4;
+  config.tree.max_entries = 8;
+  // Small enough that concurrent queries contend on eviction, large enough
+  // to hold the hot upper levels.
+  config.buffer_pool_pages = 64;
+  return config;
+}
+
+std::unique_ptr<core::SearchEngine> MakeStressEngine() {
+  auto engine = core::SearchEngine::Create(StressEngineConfig());
+  EXPECT_TRUE(engine.ok());
+  seq::StockMarketConfig market;
+  market.num_companies = 16;
+  market.values_per_company = 256;
+  market.seed = 4242;
+  for (const seq::TimeSeries& series : seq::GenerateStockMarket(market)) {
+    EXPECT_TRUE((*engine)->AddSeries(series.name, series.values).ok());
+  }
+  return std::move(engine).value();
+}
+
+/// A deterministic mixed workload: round-robin over the three query kinds,
+/// with query windows lifted from the indexed data (guaranteeing matches)
+/// and perturbed so verification does real work.
+std::vector<QueryRequest> MakeWorkload(const core::SearchEngine& engine) {
+  Rng rng(1234);
+  std::vector<QueryRequest> workload;
+  workload.reserve(kNumQueries);
+  const std::size_t num_series = engine.dataset().store().num_series();
+  for (std::size_t i = 0; i < kNumQueries; ++i) {
+    const auto series = static_cast<storage::SeriesId>(i % num_series);
+    const auto offset = static_cast<std::uint32_t>((i * 13) % 128);
+    QueryRequest request;
+    switch (i % 3) {
+      case 0: {
+        request.kind = QueryKind::kRange;
+        auto window = engine.ReadWindow(seq::MakeRecordId(series, offset));
+        EXPECT_TRUE(window.ok());
+        request.query = *window;
+        for (double& v : request.query) v += rng.Uniform(-0.5, 0.5);
+        request.eps = 4.0 + rng.Uniform(0.0, 4.0);
+        break;
+      }
+      case 1: {
+        request.kind = QueryKind::kKnn;
+        auto window = engine.ReadWindow(seq::MakeRecordId(series, offset));
+        EXPECT_TRUE(window.ok());
+        request.query = *window;
+        request.k = 1 + i % 7;
+        break;
+      }
+      default: {
+        request.kind = QueryKind::kLongRange;
+        geom::Vec query(3 * kWindow);
+        auto values = engine.dataset().Values(series);
+        EXPECT_TRUE(values.ok());
+        for (std::size_t j = 0; j < query.size(); ++j) {
+          query[j] = (*values)[offset + j];
+        }
+        request.query = std::move(query);
+        request.eps = 8.0 + rng.Uniform(0.0, 8.0);
+        break;
+      }
+    }
+    workload.push_back(std::move(request));
+  }
+  return workload;
+}
+
+void ExpectSameAnswer(const QueryResponse& got,
+                      const Result<std::vector<core::Match>>& oracle,
+                      std::size_t query_index) {
+  ASSERT_TRUE(got.status.ok()) << "query " << query_index << ": "
+                               << got.status.ToString();
+  ASSERT_TRUE(oracle.ok()) << "oracle " << query_index;
+  ASSERT_EQ(got.matches.size(), oracle->size()) << "query " << query_index;
+  for (std::size_t i = 0; i < oracle->size(); ++i) {
+    EXPECT_EQ(got.matches[i].record, (*oracle)[i].record)
+        << "query " << query_index << " match " << i;
+    EXPECT_DOUBLE_EQ(got.matches[i].distance, (*oracle)[i].distance)
+        << "query " << query_index << " match " << i;
+  }
+}
+
+TEST(ConcurrentStressTest, MixedWorkloadMatchesSingleThreadedOracle) {
+  auto engine = MakeStressEngine();
+  const std::vector<QueryRequest> workload = MakeWorkload(*engine);
+
+  // Single-threaded oracle over the identical workload, computed before the
+  // service exists (warm cache either way; caching never changes results).
+  engine->set_cold_cache_per_query(false);
+  std::vector<Result<std::vector<core::Match>>> oracle;
+  oracle.reserve(workload.size());
+  for (const QueryRequest& request : workload) {
+    switch (request.kind) {
+      case QueryKind::kRange:
+        oracle.push_back(
+            engine->RangeQuery(request.query, request.eps, request.cost));
+        break;
+      case QueryKind::kKnn:
+        oracle.push_back(engine->Knn(request.query, request.k, request.cost));
+        break;
+      case QueryKind::kLongRange:
+        oracle.push_back(
+            engine->LongRangeQuery(request.query, request.eps, request.cost));
+        break;
+    }
+  }
+
+  ServiceConfig config;
+  config.num_workers = 8;
+  config.queue_capacity = workload.size();
+  auto service = QueryService::Create(engine.get(), config);
+  ASSERT_TRUE(service.ok());
+
+  // Submit everything at once so all 8 workers hammer the shared engine,
+  // then also issue direct const-path queries from this thread to mix
+  // service and non-service readers.
+  auto futures = (*service)->SubmitBatch(workload);
+  ASSERT_TRUE(futures.ok());
+  for (std::size_t i = 0; i < 16; ++i) {
+    const QueryRequest& request = workload[i * 3 % workload.size()];
+    if (request.kind != QueryKind::kRange) continue;
+    auto direct = engine->RangeQuery(request.query, request.eps, request.cost);
+    EXPECT_TRUE(direct.ok());
+  }
+
+  for (std::size_t i = 0; i < futures->size(); ++i) {
+    ExpectSameAnswer((*futures)[i].get(), oracle[i], i);
+  }
+
+  ServiceMetrics metrics = (*service)->Stats();
+  EXPECT_EQ(metrics.served, workload.size());
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.timed_out, 0u);
+  EXPECT_GT(metrics.pool_hit_rate, 0.0);
+
+  (*service)->Shutdown();
+  // No pin leaked and no frame corrupted by the concurrent readers.
+  EXPECT_TRUE(engine->pool().AuditPins().ok());
+}
+
+TEST(ConcurrentStressTest, RepeatedRoundsKeepPoolConsistent) {
+  auto engine = MakeStressEngine();
+  const std::vector<QueryRequest> workload = MakeWorkload(*engine);
+  for (int round = 0; round < 3; ++round) {
+    ServiceConfig config;
+    config.num_workers = 4;
+    config.queue_capacity = workload.size();
+    auto service = QueryService::Create(engine.get(), config);
+    ASSERT_TRUE(service.ok());
+    auto futures = (*service)->SubmitBatch(workload);
+    ASSERT_TRUE(futures.ok());
+    for (auto& future : *futures) {
+      EXPECT_TRUE(future.get().status.ok());
+    }
+    // Service destroyed mid-scope each round: destructor shutdown.
+  }
+  EXPECT_TRUE(engine->pool().AuditPins().ok());
+}
+
+}  // namespace
+}  // namespace tsss::service

@@ -9,14 +9,18 @@
 //                     [--eps 0.5] [--positive] [--min-scale A] [--suppress N]
 //   tsss_cli knn      --index dir (--pattern NAME | --series I --offset K)
 //                     [--k 10]
+//   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
+//                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
 //
 // Patterns: ramp, v, peak, sine, step, hns, saturation, cup.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tsss/core/engine.h"
@@ -24,6 +28,7 @@
 #include "tsss/seq/csv.h"
 #include "tsss/seq/patterns.h"
 #include "tsss/seq/stock_generator.h"
+#include "tsss/service/query_service.h"
 
 namespace {
 
@@ -75,7 +80,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsss_cli <generate|build|info|query|knn> --flag value...\n"
+               "usage: tsss_cli <generate|build|info|query|knn|serve-bench> "
+               "--flag value...\n"
                "see the header of tools/tsss_cli.cc for details\n");
   return 2;
 }
@@ -284,6 +290,110 @@ int CmdKnn(const Flags& flags) {
   return 0;
 }
 
+/// Drives the index through QueryService from several client threads and
+/// prints the resulting ServiceMetrics table. Queries are windows sampled
+/// from the indexed data itself, so every query does representative work.
+int CmdServeBench(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "serve-bench: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+
+  tsss::service::ServiceConfig service_config;
+  service_config.num_workers = flags.GetSize("workers", 4);
+  service_config.queue_capacity = flags.GetSize("queue", 64);
+  service_config.default_timeout =
+      std::chrono::milliseconds(flags.GetSize("timeout-ms", 0));
+  auto service =
+      tsss::service::QueryService::Create(engine->get(), service_config);
+  if (!service.ok()) return Fail(service.status());
+
+  const std::size_t num_queries = flags.GetSize("queries", 200);
+  const std::size_t clients =
+      flags.GetSize("clients", 2 * service_config.num_workers);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::size_t n = (*engine)->config().window;
+  const std::size_t num_series = (*engine)->dataset().size();
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+
+  // Deterministic workload: stride through the dataset's own windows.
+  std::vector<tsss::service::QueryRequest> workload;
+  workload.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto series =
+        static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = (*engine)->dataset().Values(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    tsss::service::QueryRequest request;
+    request.kind = tsss::service::QueryKind::kRange;
+    request.query.assign(
+        values->begin() + static_cast<std::ptrdiff_t>(offset),
+        values->begin() + static_cast<std::ptrdiff_t>(offset + n));
+    request.eps = eps;
+    workload.push_back(std::move(request));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      // Closed loop: each client walks its slice of the workload, retrying
+      // on queue-full rejections.
+      for (std::size_t i = c; i < workload.size(); i += clients) {
+        for (;;) {
+          auto future = (*service)->Submit(workload[i]);
+          if (future.ok()) {
+            (void)future->get();
+            break;
+          }
+          if (future.status().code() !=
+              tsss::StatusCode::kResourceExhausted) {
+            std::fprintf(stderr, "submit failed: %s\n",
+                         future.status().ToString().c_str());
+            return;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const tsss::service::ServiceMetrics metrics = (*service)->Stats();
+  std::printf("served %zu queries in %.2fs (%.1f queries/sec, %zu workers, "
+              "%zu clients)\n\n",
+              workload.size(), elapsed,
+              static_cast<double>(workload.size()) / elapsed,
+              service_config.num_workers, clients);
+  std::printf("%-22s %12s\n", "metric", "value");
+  std::printf("%-22s %12llu\n", "queries submitted",
+              static_cast<unsigned long long>(metrics.submitted));
+  std::printf("%-22s %12llu\n", "queries served",
+              static_cast<unsigned long long>(metrics.served));
+  std::printf("%-22s %12llu\n", "rejected (queue full)",
+              static_cast<unsigned long long>(metrics.rejected));
+  std::printf("%-22s %12llu\n", "timed out",
+              static_cast<unsigned long long>(metrics.timed_out));
+  std::printf("%-22s %12llu\n", "cancelled",
+              static_cast<unsigned long long>(metrics.cancelled));
+  std::printf("%-22s %12llu\n", "failed",
+              static_cast<unsigned long long>(metrics.failed));
+  std::printf("%-22s %12zu\n", "queue depth", metrics.queue_depth);
+  std::printf("%-22s %12.3f\n", "p50 latency (ms)", metrics.p50_latency_ms);
+  std::printf("%-22s %12.3f\n", "p99 latency (ms)", metrics.p99_latency_ms);
+  std::printf("%-22s %12.4f\n", "pool hit rate", metrics.pool_hit_rate);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,5 +405,6 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "knn") return CmdKnn(flags);
+  if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }
