@@ -1,0 +1,20 @@
+#ifndef TSSS_FUZZ_FUZZ_CHECK_H_
+#define TSSS_FUZZ_FUZZ_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check for fuzz harnesses. Unlike assert() it survives NDEBUG,
+/// and unlike TSSS_CHECK it is independent of the library's build flags:
+/// a harness invariant must fire identically in every configuration so the
+/// fuzzer (or the standalone driver) registers it as a crash.
+#define FUZZ_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond,  \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // TSSS_FUZZ_FUZZ_CHECK_H_

@@ -1,0 +1,144 @@
+// Fallback driver for toolchains without libFuzzer (the GCC-only CI image
+// and local GCC builds). It links against the same LLVMFuzzerTestOneInput
+// entry point the real fuzzer uses and supports the two libFuzzer flags our
+// scripts rely on:
+//
+//   driver CORPUS_DIR [FILE...]          replay every corpus input once
+//   driver -max_total_time=N CORPUS_DIR  replay, then mutate seeds for N s
+//
+// The mutation loop is a deliberately simple byte-level fuzzer (flip, set,
+// truncate, insert, splice); it is no substitute for coverage-guided
+// libFuzzer but keeps the harness assertions exercised on every platform.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Mutated inputs are capped so one unlucky insert chain cannot turn the
+/// time-bounded loop into a memory-bound one.
+constexpr std::size_t kMaxMutatedSize = 1 << 16;
+
+std::vector<std::uint8_t> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::vector<std::uint8_t>& data) {
+  // data() of an empty vector may be null; libFuzzer never passes null.
+  static const std::uint8_t kEmpty = 0;
+  LLVMFuzzerTestOneInput(data.empty() ? &kEmpty : data.data(), data.size());
+}
+
+void Mutate(std::vector<std::uint8_t>& buf,
+            const std::vector<std::vector<std::uint8_t>>& seeds,
+            std::mt19937_64& rng) {
+  switch (rng() % 6) {
+    case 0:  // flip one bit
+      if (!buf.empty()) {
+        std::uint8_t& b = buf[rng() % buf.size()];
+        b = static_cast<std::uint8_t>(b ^ (1u << (rng() % 8)));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!buf.empty()) buf[rng() % buf.size()] = static_cast<std::uint8_t>(rng());
+      break;
+    case 2:  // truncate
+      if (!buf.empty()) buf.resize(rng() % buf.size());
+      break;
+    case 3: {  // insert a short random run
+      const std::size_t n = 1 + rng() % 8;
+      const std::size_t at = buf.empty() ? 0 : rng() % buf.size();
+      std::vector<std::uint8_t> run(n);
+      for (auto& b : run) b = static_cast<std::uint8_t>(rng());
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                 run.end());
+      break;
+    }
+    case 4: {  // splice a chunk of another seed onto the tail
+      const std::vector<std::uint8_t>& other = seeds[rng() % seeds.size()];
+      if (!other.empty()) {
+        const std::size_t from = rng() % other.size();
+        buf.insert(buf.end(), other.begin() + static_cast<std::ptrdiff_t>(from),
+                   other.end());
+      }
+      break;
+    }
+    default:  // duplicate the buffer's own tail
+      if (!buf.empty()) {
+        const std::size_t from = rng() % buf.size();
+        buf.insert(buf.end(), buf.begin() + static_cast<std::ptrdiff_t>(from),
+                   buf.end());
+      }
+      break;
+  }
+  if (buf.size() > kMaxMutatedSize) buf.resize(kMaxMutatedSize);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 0;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::strtol(arg.c_str() + 16, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n", arg.c_str());
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const fs::directory_entry& entry : fs::directory_iterator(input)) {
+        if (entry.is_regular_file()) seeds.push_back(ReadFile(entry.path()));
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      seeds.push_back(ReadFile(input));
+    } else {
+      std::fprintf(stderr, "standalone driver: cannot read %s\n",
+                   input.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& seed : seeds) RunOne(seed);
+  std::printf("standalone driver: replayed %zu seed input(s)\n", seeds.size());
+
+  if (max_total_time > 0) {
+    if (seeds.empty()) seeds.push_back({});
+    std::mt19937_64 rng(0x7353535346555a5aull);  // fixed seed: reproducible runs
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(max_total_time);
+    std::uint64_t execs = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::vector<std::uint8_t> buf = seeds[rng() % seeds.size()];
+      const std::size_t rounds = 1 + rng() % 8;
+      for (std::size_t i = 0; i < rounds; ++i) Mutate(buf, seeds, rng);
+      RunOne(buf);
+      ++execs;
+    }
+    std::printf("standalone driver: %llu mutated exec(s) in %ld s\n",
+                static_cast<unsigned long long>(execs), max_total_time);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef TSSS_CORE_ENGINE_H_
 #define TSSS_CORE_ENGINE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,25 @@ struct EngineConfig {
   /// persistence across processes.
   std::string storage_dir;
 };
+
+/// Decoded contents of an engine.meta file (written by Checkpoint, read by
+/// Open; format in persistence.cc).
+struct EngineMeta {
+  EngineConfig config;  ///< storage_dir left empty; Open() fills it in
+  std::size_t indexed_windows = 0;
+  storage::PageId root = storage::kInvalidPageId;
+  std::size_t height = 0;
+  std::size_t tree_size = 0;
+};
+
+/// Parses engine.meta text. The input is untrusted: every numeric field is
+/// range-checked before narrowing (a huge/NaN value in the text would
+/// otherwise make the double -> integer casts undefined behaviour) and enum
+/// fields are validated against their known values, so a corrupt file yields
+/// a Corruption status rather than UB or an aborted invariant check.
+/// Exposed (rather than kept static in persistence.cc) so the fuzz harness
+/// can drive the parser over in-memory buffers. Defined in persistence.cc.
+Result<EngineMeta> ParseEngineMeta(std::istream& in);
 
 /// Per-query observability: what a query cost. All counters are deltas over
 /// the single query.

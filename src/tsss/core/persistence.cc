@@ -3,7 +3,9 @@
 // R-tree; what is saved here is the dataset (raw series) and a small
 // metadata file with the engine configuration and the tree's root/shape.
 
+#include <cmath>
 #include <fstream>
+#include <istream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -19,7 +21,133 @@ constexpr char kMetaVersion[] = "tsss-engine-meta-v1";
 std::string MetaPath(const std::string& dir) { return dir + "/engine.meta"; }
 std::string DatasetPath(const std::string& dir) { return dir + "/dataset.bin"; }
 
+/// Largest double that converts to an integer without losing exactness
+/// (2^53); also comfortably bounds every legitimate metadata value.
+constexpr double kMaxIntegralDouble = 9007199254740992.0;
+
+/// Checked double -> size_t narrowing for untrusted metadata values: the
+/// raw static_cast is undefined behaviour for NaN, infinities, negatives
+/// and out-of-range magnitudes (UBSan float-cast-overflow), all of which a
+/// corrupt file can contain.
+Status MetaToSize(double value, const char* key, std::size_t* out) {
+  if (!std::isfinite(value) || value < 0.0 || value > kMaxIntegralDouble ||
+      value != std::floor(value)) {
+    return Status::Corruption(std::string("engine metadata key '") + key +
+                              "' has non-integral or out-of-range value");
+  }
+  *out = static_cast<std::size_t>(value);
+  return Status::OK();
+}
+
+/// Checked double -> enum conversion: the value must be integral and one of
+/// 0..max_value (the enums are dense and zero-based).
+Status MetaToEnumInt(double value, const char* key, int max_value, int* out) {
+  std::size_t v = 0;
+  Status s = MetaToSize(value, key, &v);
+  if (!s.ok()) return s;
+  if (v > static_cast<std::size_t>(max_value)) {
+    return Status::Corruption(std::string("engine metadata key '") + key +
+                              "' names an unknown enumerator " +
+                              std::to_string(v));
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+Status MetaToFraction(double value, const char* key, double* out) {
+  if (!std::isfinite(value)) {
+    return Status::Corruption(std::string("engine metadata key '") + key +
+                              "' is not finite");
+  }
+  *out = value;
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<EngineMeta> ParseEngineMeta(std::istream& in) {
+  std::string version;
+  if (!std::getline(in, version) || version != kMetaVersion) {
+    return Status::Corruption("unsupported engine metadata version '" + version +
+                              "'");
+  }
+  std::map<std::string, double> kv;
+  std::string key;
+  double value;
+  while (in >> key >> value) kv[key] = value;
+  for (const char* required :
+       {"window", "stride", "subtrail", "reducer", "reduced_dim", "prune",
+        "pool_pages", "cold_cache", "tree_max", "tree_leaf_max",
+        "tree_min_fill", "tree_split", "tree_reinsert", "supernodes",
+        "supernode_overlap", "supernode_multiple", "windows", "root", "height",
+        "size"}) {
+    if (kv.find(required) == kv.end()) {
+      return Status::Corruption(std::string("engine metadata missing key '") +
+                                required + "'");
+    }
+  }
+
+  EngineMeta meta;
+  EngineConfig& config = meta.config;
+  Status s = MetaToSize(kv["window"], "window", &config.window);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["stride"], "stride", &config.stride);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["subtrail"], "subtrail", &config.subtrail_len);
+  if (!s.ok()) return s;
+  int enum_value = 0;
+  s = MetaToEnumInt(kv["reducer"], "reducer",
+                    static_cast<int>(reduce::ReducerKind::kHaar), &enum_value);
+  if (!s.ok()) return s;
+  config.reducer = static_cast<reduce::ReducerKind>(enum_value);
+  s = MetaToSize(kv["reduced_dim"], "reduced_dim", &config.reduced_dim);
+  if (!s.ok()) return s;
+  s = MetaToEnumInt(kv["prune"], "prune",
+                    static_cast<int>(geom::PruneStrategy::kExactDistance),
+                    &enum_value);
+  if (!s.ok()) return s;
+  config.prune = static_cast<geom::PruneStrategy>(enum_value);
+  s = MetaToSize(kv["pool_pages"], "pool_pages", &config.buffer_pool_pages);
+  if (!s.ok()) return s;
+  config.cold_cache_per_query = kv["cold_cache"] != 0;
+  s = MetaToSize(kv["tree_max"], "tree_max", &config.tree.max_entries);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["tree_leaf_max"], "tree_leaf_max",
+                 &config.tree.leaf_max_entries);
+  if (!s.ok()) return s;
+  s = MetaToFraction(kv["tree_min_fill"], "tree_min_fill",
+                     &config.tree.min_fill_fraction);
+  if (!s.ok()) return s;
+  s = MetaToEnumInt(kv["tree_split"], "tree_split",
+                    static_cast<int>(index::SplitAlgorithm::kRStar),
+                    &enum_value);
+  if (!s.ok()) return s;
+  config.tree.split = static_cast<index::SplitAlgorithm>(enum_value);
+  s = MetaToFraction(kv["tree_reinsert"], "tree_reinsert",
+                     &config.tree.reinsert_fraction);
+  if (!s.ok()) return s;
+  config.tree.enable_supernodes = kv["supernodes"] != 0;
+  s = MetaToFraction(kv["supernode_overlap"], "supernode_overlap",
+                     &config.tree.supernode_overlap_fraction);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["supernode_multiple"], "supernode_multiple",
+                 &config.tree.max_supernode_multiple);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["windows"], "windows", &meta.indexed_windows);
+  if (!s.ok()) return s;
+  std::size_t root = 0;
+  s = MetaToSize(kv["root"], "root", &root);
+  if (!s.ok()) return s;
+  if (root > static_cast<std::size_t>(storage::kInvalidPageId)) {
+    return Status::Corruption("engine metadata root page id out of range");
+  }
+  meta.root = static_cast<storage::PageId>(root);
+  s = MetaToSize(kv["height"], "height", &meta.height);
+  if (!s.ok()) return s;
+  s = MetaToSize(kv["size"], "size", &meta.tree_size);
+  if (!s.ok()) return s;
+  return meta;
+}
 
 Status SearchEngine::Checkpoint() {
   if (config_.storage_dir.empty() || file_store_ == nullptr) {
@@ -65,49 +193,14 @@ Status SearchEngine::Checkpoint() {
 
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Open(
     const std::string& storage_dir) {
-  std::ifstream meta(MetaPath(storage_dir));
-  if (!meta) {
+  std::ifstream meta_file(MetaPath(storage_dir));
+  if (!meta_file) {
     return Status::IoError("cannot open '" + MetaPath(storage_dir) + "'");
   }
-  std::string version;
-  if (!std::getline(meta, version) || version != kMetaVersion) {
-    return Status::Corruption("unsupported engine metadata version '" + version +
-                              "'");
-  }
-  std::map<std::string, double> kv;
-  std::string key;
-  double value;
-  while (meta >> key >> value) kv[key] = value;
-  for (const char* required :
-       {"window", "stride", "subtrail", "reducer", "reduced_dim", "prune", "pool_pages",
-        "cold_cache", "tree_max", "tree_leaf_max", "tree_min_fill",
-        "tree_split", "tree_reinsert", "supernodes", "supernode_overlap",
-        "supernode_multiple", "windows", "root", "height", "size"}) {
-    if (kv.find(required) == kv.end()) {
-      return Status::Corruption(std::string("engine metadata missing key '") +
-                                required + "'");
-    }
-  }
+  Result<EngineMeta> meta = ParseEngineMeta(meta_file);
+  if (!meta.ok()) return meta.status();
 
-  EngineConfig config;
-  config.window = static_cast<std::size_t>(kv["window"]);
-  config.stride = static_cast<std::size_t>(kv["stride"]);
-  config.subtrail_len = static_cast<std::size_t>(kv["subtrail"]);
-  config.reducer = static_cast<reduce::ReducerKind>(static_cast<int>(kv["reducer"]));
-  config.reduced_dim = static_cast<std::size_t>(kv["reduced_dim"]);
-  config.prune = static_cast<geom::PruneStrategy>(static_cast<int>(kv["prune"]));
-  config.buffer_pool_pages = static_cast<std::size_t>(kv["pool_pages"]);
-  config.cold_cache_per_query = kv["cold_cache"] != 0;
-  config.tree.max_entries = static_cast<std::size_t>(kv["tree_max"]);
-  config.tree.leaf_max_entries = static_cast<std::size_t>(kv["tree_leaf_max"]);
-  config.tree.min_fill_fraction = kv["tree_min_fill"];
-  config.tree.split =
-      static_cast<index::SplitAlgorithm>(static_cast<int>(kv["tree_split"]));
-  config.tree.reinsert_fraction = kv["tree_reinsert"];
-  config.tree.enable_supernodes = kv["supernodes"] != 0;
-  config.tree.supernode_overlap_fraction = kv["supernode_overlap"];
-  config.tree.max_supernode_multiple =
-      static_cast<std::size_t>(kv["supernode_multiple"]);
+  EngineConfig config = meta->config;
   config.storage_dir = storage_dir;
 
   Result<std::unique_ptr<reduce::Reducer>> reducer =
@@ -128,14 +221,13 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Open(
   index::RTreeConfig tree_config = config.tree;
   tree_config.dim = engine->reducer_->output_dim();
   tree_config.box_leaves = config.subtrail_len > 0;  // same derivation as Create
-  Result<std::unique_ptr<index::RTree>> tree = index::RTree::Attach(
-      engine->pool_.get(), tree_config,
-      static_cast<storage::PageId>(kv["root"]),
-      static_cast<std::size_t>(kv["height"]), static_cast<std::size_t>(kv["size"]));
+  Result<std::unique_ptr<index::RTree>> tree =
+      index::RTree::Attach(engine->pool_.get(), tree_config, meta->root,
+                           meta->height, meta->tree_size);
   if (!tree.ok()) return tree.status();
   engine->tree_ = std::move(tree).value();
 
-  engine->indexed_windows_ = static_cast<std::size_t>(kv["windows"]);
+  engine->indexed_windows_ = meta->indexed_windows;
 
   Status s = seq::LoadDataset(DatasetPath(storage_dir), &engine->dataset_);
   if (!s.ok()) return s;

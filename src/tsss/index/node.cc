@@ -1,5 +1,6 @@
 #include "tsss/index/node.h"
 
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -139,21 +140,33 @@ Result<NodePart> NodeCodec::DecodePart(const storage::Page& page) const {
   geom::Vec hi(dim_);
   for (std::uint16_t k = 0; k < count; ++k) {
     Entry e;
+    const bool has_box = !is_leaf || box_leaves_;
     if (is_leaf) {
       e.record = r.Get<std::uint64_t>();
-      for (std::size_t i = 0; i < dim_; ++i) lo[i] = r.Get<double>();
-      if (box_leaves_) {
-        for (std::size_t i = 0; i < dim_; ++i) hi[i] = r.Get<double>();
-        e.mbr = geom::Mbr::FromCorners(lo, hi);
-      } else {
-        e.mbr = geom::Mbr::FromCorners(lo, lo);
-      }
     } else {
       e.child = r.Get<std::uint32_t>();
-      for (std::size_t i = 0; i < dim_; ++i) lo[i] = r.Get<double>();
-      for (std::size_t i = 0; i < dim_; ++i) hi[i] = r.Get<double>();
-      e.mbr = geom::Mbr::FromCorners(lo, hi);
     }
+    for (std::size_t i = 0; i < dim_; ++i) lo[i] = r.Get<double>();
+    if (has_box) {
+      for (std::size_t i = 0; i < dim_; ++i) hi[i] = r.Get<double>();
+    }
+    // The coordinates come straight from an untrusted page image; validate
+    // them here so corruption surfaces as a Status instead of tripping the
+    // Mbr invariant checks (no NaN/inf, lo <= hi) further in - in checked
+    // builds those abort, which would turn bad bytes into a crash.
+    for (std::size_t i = 0; i < dim_; ++i) {
+      if (!std::isfinite(lo[i]) || (has_box && !std::isfinite(hi[i]))) {
+        return Status::Corruption("node entry " + std::to_string(k) +
+                                  " has a non-finite coordinate");
+      }
+      if (has_box && lo[i] > hi[i]) {
+        return Status::Corruption("node entry " + std::to_string(k) +
+                                  " has an inverted box (lo > hi) in dim " +
+                                  std::to_string(i));
+      }
+    }
+    e.mbr = has_box ? geom::Mbr::FromCorners(lo, hi)
+                    : geom::Mbr::FromCorners(lo, lo);
     part.entries.push_back(std::move(e));
   }
   return part;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -27,11 +28,13 @@ bool ParseDouble(std::string_view field, double* out) {
 
 }  // namespace
 
-Result<std::vector<TimeSeries>> ParseCsv(const std::string& text) {
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text,
+                                         const CsvOptions& options) {
   std::vector<TimeSeries> out;
   std::istringstream stream(text);
   std::string line;
   std::size_t line_no = 0;
+  std::size_t total_values = 0;
   while (std::getline(stream, line)) {
     ++line_no;
     std::string_view view = Trim(line);
@@ -58,17 +61,34 @@ Result<std::vector<TimeSeries>> ParseCsv(const std::string& text) {
         first_field = false;
         if (ParseDouble(field, &value)) {
           series.name = "series" + std::to_string(out.size());
-          series.values.push_back(value);
         } else {
           series.name = std::string(field);
+          continue;
         }
-        continue;
-      }
-      if (!ParseDouble(field, &value)) {
+      } else if (!ParseDouble(field, &value)) {
         return Status::InvalidArgument("csv line " + std::to_string(line_no) +
                                        ": bad number '" + std::string(field) + "'");
       }
+      if (!options.allow_nonfinite && !std::isfinite(value)) {
+        return Status::InvalidArgument("csv line " + std::to_string(line_no) +
+                                       ": non-finite value '" + std::string(field) +
+                                       "'");
+      }
+      ++total_values;
+      if (options.max_total_values != 0 &&
+          total_values > options.max_total_values) {
+        return Status::ResourceExhausted(
+            "csv input exceeds the cap of " +
+            std::to_string(options.max_total_values) + " values");
+      }
       series.values.push_back(value);
+    }
+    if (options.expected_arity != 0 &&
+        series.values.size() != options.expected_arity) {
+      return Status::InvalidArgument(
+          "csv line " + std::to_string(line_no) + ": series '" + series.name +
+          "' has " + std::to_string(series.values.size()) + " values, expected " +
+          std::to_string(options.expected_arity));
     }
     out.push_back(std::move(series));
   }

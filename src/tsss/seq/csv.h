@@ -9,11 +9,28 @@
 
 namespace tsss::seq {
 
+/// Limits applied while parsing untrusted CSV input. The defaults keep the
+/// historical permissive behaviour except that non-finite values ("nan",
+/// "inf") are rejected: they would poison every MBR min/max downstream and
+/// abort in checked builds, so the parser is where they must stop.
+struct CsvOptions {
+  /// When non-zero, every series must have exactly this many values
+  /// (uniform arity); a short or long row is an InvalidArgument error.
+  std::size_t expected_arity = 0;
+  /// When non-zero, parsing fails with ResourceExhausted once the total
+  /// value count across all series exceeds this bound (memory cap against
+  /// hostile inputs).
+  std::size_t max_total_values = 0;
+  /// Accept "nan"/"inf" tokens as values (std::from_chars parses them).
+  bool allow_nonfinite = false;
+};
+
 /// Parses time series from CSV text: one series per line,
 /// "name,v1,v2,...,vk". Blank lines and lines starting with '#' are skipped.
 /// Whitespace around fields is tolerated. A line whose first field parses as
 /// a number is treated as an unnamed series ("series<i>").
-Result<std::vector<TimeSeries>> ParseCsv(const std::string& text);
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text,
+                                         const CsvOptions& options = {});
 
 /// Loads ParseCsv-format series from a file.
 Result<std::vector<TimeSeries>> LoadCsvFile(const std::string& path);

@@ -1,6 +1,9 @@
 #include "tsss/seq/dataset_io.h"
 
 #include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
 #include <vector>
 
 #include "tsss/common/crc32.h"
@@ -9,6 +12,11 @@ namespace tsss::seq {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5453535344415441ull;  // "TSSSDATA"
+constexpr std::size_t kCrcBytes = sizeof(std::uint32_t);
+/// Smallest possible per-series record: name_len u32 (0) + value_count
+/// u64 (0) with no payload bytes.
+constexpr std::uint64_t kMinSeriesBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
 class ChecksummedWriter {
  public:
@@ -32,9 +40,13 @@ class ChecksummedWriter {
   std::uint32_t crc_ = 0;
 };
 
+/// Checksumming reader that knows how many payload bytes remain, so size
+/// fields decoded from the input can be checked BEFORE they size a read or
+/// an allocation.
 class ChecksummedReader {
  public:
-  explicit ChecksummedReader(std::istream* is) : is_(is) {}
+  ChecksummedReader(std::istream* is, std::uint64_t payload_bytes)
+      : is_(is), remaining_(payload_bytes) {}
 
   template <typename T>
   bool Get(T* value) {
@@ -42,27 +54,29 @@ class ChecksummedReader {
   }
 
   bool GetBytes(void* data, std::size_t size) {
+    if (size > remaining_) return false;
     is_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
     if (!*is_) return false;
+    remaining_ -= size;
     crc_ = Crc32Continue(crc_, data, size);
     return true;
   }
+
+  /// Payload bytes not yet consumed (excludes the trailing CRC).
+  std::uint64_t remaining() const { return remaining_; }
 
   std::uint32_t crc() const { return crc_; }
 
  private:
   std::istream* is_;
+  std::uint64_t remaining_;
   std::uint32_t crc_ = 0;
 };
 
 }  // namespace
 
-Status SaveDataset(const std::string& path, const Dataset& dataset) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  ChecksummedWriter w(&file);
+Status SaveDatasetToStream(std::ostream& out, const Dataset& dataset) {
+  ChecksummedWriter w(&out);
   w.Put<std::uint64_t>(kMagic);
   w.Put<std::uint64_t>(dataset.size());
   for (storage::SeriesId id = 0; id < dataset.size(); ++id) {
@@ -76,49 +90,103 @@ Status SaveDataset(const std::string& path, const Dataset& dataset) {
     w.PutBytes(values->data(), values->size() * sizeof(double));
   }
   const std::uint32_t crc = w.crc();
-  file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  file.flush();
-  if (!file) return Status::IoError("write to '" + path + "' failed");
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.flush();
+  if (!out) return Status::IoError("dataset stream write failed");
   return Status::OK();
 }
 
-Status LoadDataset(const std::string& path, Dataset* dataset) {
+Status SaveDataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  Status s = SaveDatasetToStream(file, dataset);
+  if (!s.ok() && s.code() == StatusCode::kIoError) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return s;
+}
+
+Status LoadDatasetFromStream(std::istream& in, Dataset* dataset) {
   if (dataset->size() != 0) {
     return Status::FailedPrecondition("LoadDataset requires an empty dataset");
   }
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::IoError("cannot open '" + path + "' for reading");
+  // Total stream size bounds every size/count field below; without it a
+  // hostile header could demand an allocation of 2^64 values before the
+  // first read ever fails.
+  in.seekg(0, std::ios::end);
+  const std::streamoff end_pos = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end_pos < 0 || !in) {
+    return Status::IoError("dataset stream is not seekable");
   }
-  ChecksummedReader r(&file);
+  const auto total = static_cast<std::uint64_t>(end_pos);
+  if (total < 2 * sizeof(std::uint64_t) + kCrcBytes) {
+    return Status::Corruption("dataset input shorter than header + checksum");
+  }
+  ChecksummedReader r(&in, total - kCrcBytes);
   std::uint64_t magic = 0;
   if (!r.Get(&magic) || magic != kMagic) {
-    return Status::Corruption("bad dataset magic in '" + path + "'");
+    return Status::Corruption("bad dataset magic");
   }
   std::uint64_t num_series = 0;
   if (!r.Get(&num_series)) return Status::Corruption("truncated dataset header");
+  if (num_series > r.remaining() / kMinSeriesBytes) {
+    return Status::Corruption(
+        "dataset declares " + std::to_string(num_series) +
+        " series but only " + std::to_string(r.remaining()) +
+        " payload bytes remain");
+  }
   for (std::uint64_t i = 0; i < num_series; ++i) {
     std::uint32_t name_len = 0;
     if (!r.Get(&name_len)) return Status::Corruption("truncated series name");
+    if (name_len > r.remaining()) {
+      return Status::Corruption("series name length " +
+                                std::to_string(name_len) +
+                                " exceeds the remaining input");
+    }
     std::string name(name_len, '\0');
     if (name_len > 0 && !r.GetBytes(name.data(), name_len)) {
       return Status::Corruption("truncated series name bytes");
     }
     std::uint64_t count = 0;
     if (!r.Get(&count)) return Status::Corruption("truncated value count");
+    // Guards both the allocation size and the count * sizeof(double)
+    // multiplication (a count near 2^61 would wrap it to a tiny read).
+    if (count > r.remaining() / sizeof(double)) {
+      return Status::Corruption("series value count " + std::to_string(count) +
+                                " exceeds the remaining input");
+    }
     std::vector<double> values(count);
     if (count > 0 && !r.GetBytes(values.data(), count * sizeof(double))) {
       return Status::Corruption("truncated series values");
     }
     dataset->Add(std::move(name), values);
   }
+  if (r.remaining() != 0) {
+    return Status::Corruption("dataset has " + std::to_string(r.remaining()) +
+                              " unconsumed bytes before its checksum");
+  }
   const std::uint32_t computed = r.crc();
   std::uint32_t stored = 0;
-  file.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!file || stored != computed) {
-    return Status::Corruption("dataset checksum mismatch in '" + path + "'");
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != computed) {
+    return Status::Corruption("dataset checksum mismatch");
   }
   return Status::OK();
+}
+
+Status LoadDataset(const std::string& path, Dataset* dataset) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  Status s = LoadDatasetFromStream(file, dataset);
+  if (!s.ok() && s.code() == StatusCode::kCorruption) {
+    return Status::Corruption(s.message() + " in '" + path + "'");
+  }
+  return s;
 }
 
 }  // namespace tsss::seq

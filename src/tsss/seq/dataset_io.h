@@ -1,6 +1,7 @@
 #ifndef TSSS_SEQ_DATASET_IO_H_
 #define TSSS_SEQ_DATASET_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "tsss/common/status.h"
@@ -14,9 +15,19 @@ namespace tsss::seq {
 /// followed by a CRC-32 of everything before it.
 Status SaveDataset(const std::string& path, const Dataset& dataset);
 
+/// Writes the SaveDataset format to an arbitrary seekable stream.
+Status SaveDatasetToStream(std::ostream& out, const Dataset& dataset);
+
 /// Loads a SaveDataset file into `dataset`, which must be empty.
 /// Verifies the trailing checksum.
 Status LoadDataset(const std::string& path, Dataset* dataset);
+
+/// Loads the SaveDataset format from an arbitrary seekable stream (the
+/// fuzz harness feeds it in-memory buffers). Every length/count field is
+/// validated against the bytes actually remaining in the stream before any
+/// allocation is sized by it, so truncated or hostile inputs fail with a
+/// Corruption status instead of attempting multi-gigabyte allocations.
+Status LoadDatasetFromStream(std::istream& in, Dataset* dataset);
 
 }  // namespace tsss::seq
 

@@ -115,7 +115,7 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
   Task task = MakeTask(std::move(request));
   std::future<QueryResponse> future = task.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("service is shut down");
     }
@@ -128,7 +128,7 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
     queue_.push_back(std::move(task));
   }
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -137,7 +137,7 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
   std::vector<std::future<QueryResponse>> futures;
   futures.reserve(requests.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("service is shut down");
     }
@@ -157,7 +157,7 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
     }
   }
   counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);
-  cv_.notify_all();
+  cv_.NotifyAll();
   return futures;
 }
 
@@ -165,8 +165,11 @@ void QueryService::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Manual spurious-wakeup loop (not a predicate overload) so the
+      // guarded reads of stopping_/queue_ stay visible to the thread-safety
+      // analysis; CondVar::Wait re-holds mu_ on return.
+      while (!stopping_ && queue_.empty()) cv_.Wait();
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -237,7 +240,7 @@ ServiceMetrics QueryService::Stats() const {
   out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
   out.failed = counters_.failed.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.queue_depth = queue_.size();
   }
   out.p50_latency_ms = latency_.PercentileMs(0.50);
@@ -252,10 +255,10 @@ ServiceMetrics QueryService::Stats() const {
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

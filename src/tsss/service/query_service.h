@@ -4,16 +4,16 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "tsss/common/mutex.h"
 #include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
 #include "tsss/core/engine.h"
 #include "tsss/core/similarity.h"
 #include "tsss/geom/vec.h"
@@ -131,17 +131,18 @@ class QueryService {
 
   /// Enqueues one request. Fails with ResourceExhausted when the admission
   /// queue is full and FailedPrecondition after Shutdown().
-  Result<std::future<QueryResponse>> Submit(QueryRequest request);
+  Result<std::future<QueryResponse>> Submit(QueryRequest request)
+      TSSS_EXCLUDES(mu_);
 
   /// Enqueues all requests or none: when fewer than requests.size() queue
   /// slots are free the whole batch is rejected with ResourceExhausted.
   Result<std::vector<std::future<QueryResponse>>> SubmitBatch(
-      std::vector<QueryRequest> requests);
+      std::vector<QueryRequest> requests) TSSS_EXCLUDES(mu_);
 
-  ServiceMetrics Stats() const;
+  ServiceMetrics Stats() const TSSS_EXCLUDES(mu_);
 
   /// Stops admission, drains the queue, and joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() TSSS_EXCLUDES(mu_);
 
   const ServiceConfig& config() const { return config_; }
 
@@ -157,7 +158,7 @@ class QueryService {
   QueryService(core::SearchEngine* engine, const ServiceConfig& config);
 
   Task MakeTask(QueryRequest request) const;
-  void WorkerLoop();
+  void WorkerLoop() TSSS_EXCLUDES(mu_);
   void Execute(Task task);
   Result<std::vector<core::Match>> RunQuery(const QueryRequest& request,
                                             core::QueryStats* stats) const;
@@ -166,10 +167,12 @@ class QueryService {
   const core::SearchEngine* engine_;
   const ServiceConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_{&mu_};
+  std::deque<Task> queue_ TSSS_GUARDED_BY(mu_);
+  bool stopping_ TSSS_GUARDED_BY(mu_) = false;
+  /// Written only by Create() (before any concurrent access exists) and
+  /// joined by Shutdown(); workers never touch it, so it needs no guard.
   std::vector<std::thread> workers_;
 
   struct AtomicCounters {

@@ -112,7 +112,7 @@ void BufferPool::TouchLru(Shard& shard, Frame* frame) {
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++metrics_.logical_reads;
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     ++metrics_.hits;
@@ -150,7 +150,7 @@ Result<PageGuard> BufferPool::New() {
   CountQueryPoolRead(/*miss=*/false);
   const PageId id = store_->Allocate();
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   frame->dirty = true;
@@ -167,7 +167,7 @@ Result<PageGuard> BufferPool::New() {
 
 Status BufferPool::Delete(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     Frame* frame = it->second.get();
@@ -187,7 +187,7 @@ Status BufferPool::Delete(PageId id) {
 
 void BufferPool::MarkDirty(Frame* frame) {
   Shard& shard = ShardFor(frame->id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (!frame->dirty) {
     frame->dirty = true;
     ++shard.dirty;
@@ -240,7 +240,7 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
 Status BufferPool::FlushAll() {
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [id, frame] : shard.table) {
       Status s = WriteBack(shard, frame.get());
       if (!s.ok()) return s;
@@ -252,7 +252,7 @@ Status BufferPool::FlushAll() {
 Status BufferPool::Clear() {
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [id, frame] : shard.table) {
       Status s = WriteBack(shard, frame.get());
       if (!s.ok()) return s;
@@ -271,7 +271,7 @@ Status BufferPool::Clear() {
 
 void BufferPool::Unpin(Frame* frame) {
   Shard& shard = ShardFor(frame->id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
   TSSS_DCHECK(prev > 0);
   if (prev == 1 && verify_clean_crc_ && !frame->dirty && frame->crc_valid &&
@@ -287,7 +287,7 @@ std::size_t BufferPool::pinned_frames() const {
   std::size_t n = 0;
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [id, frame] : shard.table) {
       if (frame->pin_count.load(std::memory_order_relaxed) > 0) ++n;
     }
@@ -299,7 +299,7 @@ std::size_t BufferPool::dirty_frames() const {
   std::size_t n = 0;
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.dirty;
   }
   return n;
@@ -309,7 +309,7 @@ std::size_t BufferPool::size() const {
   std::size_t n = 0;
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.table.size();
   }
   return n;
@@ -348,7 +348,7 @@ Status BufferPool::AuditPins() const {
   std::size_t dirty_counter = 0;
   for (std::size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.lru.size() != shard.table.size()) {
       return Status::Corruption(
           "LRU list has " + std::to_string(shard.lru.size()) +

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "tsss/common/check.h"
+#include "tsss/common/mutex.h"
 #include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
 #include "tsss/storage/page.h"
 #include "tsss/storage/page_store.h"
 
@@ -163,12 +164,19 @@ class BufferPool {
   friend class PageGuard;
   using Frame = PageGuard::Frame;
 
-  /// One lock domain of the frame table. All fields are guarded by `mu`.
+  /// One lock domain of the frame table. All fields are guarded by `mu`
+  /// (checked by Clang Thread Safety Analysis). The Frame objects owned by
+  /// `table` are part of the same lock domain: every non-atomic Frame field
+  /// is read and written only under the owning shard's mu (pin_count is the
+  /// atomic exception so PageGuard assertions and audits can read it
+  /// lock-free); that per-owner relationship is not expressible as a
+  /// GUARDED_BY attribute, so it is enforced by keeping all Frame access
+  /// inside the TSSS_REQUIRES(shard.mu) helpers below.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> table;
-    std::list<PageId> lru;  ///< front = most recently used
-    std::size_t dirty = 0;  ///< dirty frames in this shard
+    mutable Mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> table TSSS_GUARDED_BY(mu);
+    std::list<PageId> lru TSSS_GUARDED_BY(mu);  ///< front = most recently used
+    std::size_t dirty TSSS_GUARDED_BY(mu) = 0;  ///< dirty frames in this shard
   };
 
   /// Internally-atomic counters behind metrics().
@@ -190,13 +198,12 @@ class BufferPool {
   }
 
   /// Evicts LRU unpinned frames until the shard fits its capacity slice.
-  /// Requires shard.mu held. Best effort.
-  Status EvictIfNeeded(Shard& shard);
-  /// Requires the owning shard's mu held.
-  Status WriteBack(Shard& shard, Frame* frame);
+  /// Best effort.
+  Status EvictIfNeeded(Shard& shard) TSSS_REQUIRES(shard.mu);
+  Status WriteBack(Shard& shard, Frame* frame) TSSS_REQUIRES(shard.mu);
   void MarkDirty(Frame* frame);
   void Unpin(Frame* frame);
-  static void TouchLru(Shard& shard, Frame* frame);
+  static void TouchLru(Shard& shard, Frame* frame) TSSS_REQUIRES(shard.mu);
 
   PageStore* store_;
   std::size_t capacity_;

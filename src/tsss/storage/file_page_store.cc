@@ -29,11 +29,14 @@ FilePageStore::~FilePageStore() { (void)Sync(); }
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
     const std::string& path) {
   auto store = std::unique_ptr<FilePageStore>(new FilePageStore(path));
-  // Truncate/create the data file.
-  store->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
-                              std::ios::trunc);
-  if (!store->file_) {
-    return Status::IoError("cannot create page file '" + path + "'");
+  {
+    MutexLock lock(store->mu_);
+    // Truncate/create the data file.
+    store->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                                std::ios::trunc);
+    if (!store->file_) {
+      return Status::IoError("cannot create page file '" + path + "'");
+    }
   }
   Status s = store->Sync();
   if (!s.ok()) return s;
@@ -43,6 +46,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     const std::string& path) {
   auto store = std::unique_ptr<FilePageStore>(new FilePageStore(path));
+  MutexLock lock(store->mu_);
   store->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
   if (!store->file_) {
     return Status::IoError("cannot open page file '" + path + "'");
@@ -53,6 +57,16 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     return Status::IoError("cannot open metadata file '" + store->MetaPath() +
                            "'");
   }
+  // The declared capacity is untrusted input: validate it against the actual
+  // metadata file size BEFORE sizing any allocation by it, so a corrupt
+  // header cannot demand a multi-gigabyte resize (each page contributes
+  // exactly kMetaBytesPerPage bytes to the body).
+  meta.seekg(0, std::ios::end);
+  const auto meta_size = static_cast<std::uint64_t>(meta.tellg());
+  meta.seekg(0, std::ios::beg);
+  constexpr std::uint64_t kMetaHeaderBytes = 3 * sizeof(std::uint64_t);
+  constexpr std::uint64_t kMetaBytesPerPage =
+      sizeof(std::uint8_t) + sizeof(std::uint32_t);
   std::uint64_t magic = 0;
   std::uint64_t capacity = 0;
   std::uint64_t live_count = 0;
@@ -62,8 +76,25 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
   if (!GetScalar(meta, &capacity) || !GetScalar(meta, &live_count)) {
     return Status::Corruption("truncated metadata header");
   }
+  if (meta_size < kMetaHeaderBytes ||
+      capacity > (meta_size - kMetaHeaderBytes) / kMetaBytesPerPage) {
+    return Status::Corruption(
+        "metadata declares " + std::to_string(capacity) +
+        " pages but the file only holds " +
+        std::to_string((meta_size - kMetaHeaderBytes) / kMetaBytesPerPage));
+  }
+  if (capacity > static_cast<std::uint64_t>(kInvalidPageId)) {
+    return Status::Corruption("metadata capacity " + std::to_string(capacity) +
+                              " exceeds the page-id space");
+  }
+  if (live_count > capacity) {
+    return Status::Corruption("metadata live count " +
+                              std::to_string(live_count) +
+                              " exceeds capacity " + std::to_string(capacity));
+  }
   store->live_.resize(capacity);
   store->crc_.resize(capacity);
+  std::uint64_t live_recount = 0;
   for (std::uint64_t i = 0; i < capacity; ++i) {
     std::uint8_t alive = 0;
     std::uint32_t crc = 0;
@@ -72,11 +103,22 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     }
     store->live_[i] = alive != 0;
     store->crc_[i] = crc;
-    if (alive == 0) store->free_list_.push_back(static_cast<PageId>(i));
+    if (alive == 0) {
+      store->free_list_.push_back(static_cast<PageId>(i));
+    } else {
+      ++live_recount;
+    }
+  }
+  if (live_recount != live_count) {
+    return Status::Corruption(
+        "metadata live count " + std::to_string(live_count) +
+        " does not match the " + std::to_string(live_recount) +
+        " pages marked live");
   }
   store->live_count_ = live_count;
 
-  // Sanity: the data file must hold `capacity` pages.
+  // Sanity: the data file must hold `capacity` pages (capacity is bounded by
+  // the metadata size check above, so the product cannot overflow).
   store->file_.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(store->file_.tellg());
   if (file_size < capacity * kPageSize) {
@@ -93,7 +135,7 @@ Status FilePageStore::CheckLive(PageId id) const {
 }
 
 PageId FilePageStore::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId id;
   const Page zero{};
   if (!free_list_.empty()) {
@@ -114,7 +156,7 @@ PageId FilePageStore::Allocate() {
 }
 
 Status FilePageStore::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   live_[id] = false;
@@ -124,7 +166,7 @@ Status FilePageStore::Free(PageId id) {
 }
 
 Status FilePageStore::Read(PageId id, Page* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   ++metrics_.physical_reads;
@@ -142,7 +184,7 @@ Status FilePageStore::Read(PageId id, Page* out) {
 }
 
 Status FilePageStore::Write(PageId id, const Page& page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status s = CheckLive(id);
   if (!s.ok()) return s;
   ++metrics_.physical_writes;
@@ -157,7 +199,7 @@ Status FilePageStore::Write(PageId id, const Page& page) {
 }
 
 Status FilePageStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return SyncLocked();
 }
 

@@ -3,11 +3,12 @@
 
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "tsss/common/mutex.h"
 #include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
 #include "tsss/storage/page_store.h"
 
 namespace tsss::storage {
@@ -43,11 +44,11 @@ class FilePageStore final : public PageStore {
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
   std::size_t num_live_pages() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return live_count_;
   }
   std::size_t capacity_pages() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return live_.size();
   }
 
@@ -60,20 +61,19 @@ class FilePageStore final : public PageStore {
  private:
   explicit FilePageStore(std::string path);
 
-  /// Requires mu_ held.
-  Status CheckLive(PageId id) const;
+  Status CheckLive(PageId id) const TSSS_REQUIRES(mu_);
   std::string MetaPath() const { return path_ + ".meta"; }
-  /// Sync body; requires mu_ held.
-  Status SyncLocked();
+  /// Sync body.
+  Status SyncLocked() TSSS_REQUIRES(mu_);
 
   std::string path_;
   /// Guards the file cursor and all allocation metadata below.
-  mutable std::mutex mu_;
-  std::fstream file_;
-  std::vector<bool> live_;
-  std::vector<std::uint32_t> crc_;
-  std::vector<PageId> free_list_;
-  std::size_t live_count_ = 0;
+  mutable Mutex mu_;
+  std::fstream file_ TSSS_GUARDED_BY(mu_);
+  std::vector<bool> live_ TSSS_GUARDED_BY(mu_);
+  std::vector<std::uint32_t> crc_ TSSS_GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ TSSS_GUARDED_BY(mu_);
+  std::size_t live_count_ TSSS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tsss::storage

@@ -17,6 +17,7 @@ void CountQueryDataReads(std::uint64_t pages) {
 }  // namespace
 
 SeriesId SequenceStore::AddSeries(std::span<const double> values) {
+  MutexLock lock(write_mu_);
   const SeriesId id = static_cast<SeriesId>(offsets_.size());
   offsets_.push_back(values_.size());
   lengths_.push_back(values.size());
@@ -25,6 +26,7 @@ SeriesId SequenceStore::AddSeries(std::span<const double> values) {
 }
 
 Status SequenceStore::AppendToSeries(SeriesId id, std::span<const double> values) {
+  MutexLock lock(write_mu_);
   if (id >= offsets_.size()) {
     return Status::NotFound("series " + std::to_string(id) + " does not exist");
   }

@@ -6,7 +6,9 @@
 #include <span>
 #include <vector>
 
+#include "tsss/common/mutex.h"
 #include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
 #include "tsss/storage/page.h"
 
 namespace tsss::storage {
@@ -25,8 +27,14 @@ using SeriesId = std::uint32_t;
 /// Thread-safety: the read path (ReadWindow/ReadWindowDeduped/SeriesLength/
 /// SeriesValues/RecordFullScan) is const and safe to call from any number of
 /// threads concurrently - access counters are atomic, values are only read.
-/// AddSeries/AppendToSeries mutate the value heap and require exclusive
-/// access (single-writer contract, DESIGN.md §8).
+/// AddSeries/AppendToSeries mutate the value heap; they serialize against
+/// each other on an internal writer mutex, but NOT against readers, so the
+/// single-writer-vs-readers contract still applies: no read may be in
+/// flight while a mutation runs (DESIGN.md §8). The value vectors are
+/// intentionally not TSSS_GUARDED_BY(write_mu_): the lock-free const read
+/// path could not compile under that annotation, and pretending otherwise
+/// (NO_THREAD_SAFETY_ANALYSIS on every reader) would hide real races rather
+/// than document the external contract.
 class SequenceStore {
  public:
   SequenceStore() = default;
@@ -38,13 +46,14 @@ class SequenceStore {
   static constexpr std::size_t kValuesPerPage = kPageSize / sizeof(double);
 
   /// Appends a series; returns its id. Empty series are allowed.
-  SeriesId AddSeries(std::span<const double> values);
+  SeriesId AddSeries(std::span<const double> values) TSSS_EXCLUDES(write_mu_);
 
   /// Appends `values` to the end of an existing series (time-series data are
   /// collected regularly; requirement 2 of the paper's Section 3).
   /// Only the *last* inserted series can grow in the dense-packing model;
   /// appending to earlier series returns FailedPrecondition.
-  Status AppendToSeries(SeriesId id, std::span<const double> values);
+  Status AppendToSeries(SeriesId id, std::span<const double> values)
+      TSSS_EXCLUDES(write_mu_);
 
   std::size_t num_series() const { return offsets_.size(); }
 
@@ -81,6 +90,9 @@ class SequenceStore {
   std::size_t total_values() const { return values_.size(); }
 
  private:
+  /// Serializes AddSeries/AppendToSeries against each other (see the class
+  /// comment for why the vectors below carry no GUARDED_BY).
+  Mutex write_mu_;
   std::vector<double> values_;        ///< densely packed value heap
   std::vector<std::size_t> offsets_;  ///< start of each series in values_
   std::vector<std::size_t> lengths_;  ///< length of each series

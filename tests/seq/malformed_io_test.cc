@@ -1,0 +1,147 @@
+// Malformed-input tests for the seq parsers: the binary dataset reader and
+// the CSV parser. Every hostile input must produce a clean Status error —
+// in particular, size/count fields are validated against the bytes actually
+// present before they size any allocation (regression tests for the
+// dataset_io hardening) and CsvOptions bounds are enforced.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tsss/seq/csv.h"
+#include "tsss/seq/dataset.h"
+#include "tsss/seq/dataset_io.h"
+
+namespace tsss::seq {
+namespace {
+
+std::string ValidDatasetBytes() {
+  Dataset dataset;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {-0.5};
+  dataset.Add("alpha", a);
+  dataset.Add("beta", b);
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(SaveDatasetToStream(out, dataset).ok());
+  return out.str();
+}
+
+Status LoadBytes(const std::string& bytes, Dataset* dataset) {
+  std::istringstream in(bytes, std::ios::binary);
+  return LoadDatasetFromStream(in, dataset);
+}
+
+TEST(DatasetMalformedTest, ValidBytesRoundTrip) {
+  Dataset loaded;
+  ASSERT_TRUE(LoadBytes(ValidDatasetBytes(), &loaded).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(*loaded.Name(0), "alpha");
+  EXPECT_EQ(loaded.Values(1)->size(), 1u);
+}
+
+TEST(DatasetMalformedTest, HugeSeriesCountFailsFast) {
+  // num_series (offset 8) claiming 2^60 entries must be rejected against the
+  // actual input size, not attempted.
+  std::string bytes = ValidDatasetBytes();
+  const std::uint64_t huge = 1ull << 60;
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, HugeNameLengthFailsFast) {
+  // name_len of the first series (offset 16) set far beyond the input.
+  std::string bytes = ValidDatasetBytes();
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, ValueCountOverflowFailsFast) {
+  // count near 2^61 would wrap count * sizeof(double) to a small number; the
+  // reader must compare against remaining bytes with division, not multiply.
+  std::string bytes = ValidDatasetBytes();
+  // First series value count sits after magic+num_series+name_len+"alpha".
+  const std::size_t count_off = 8 + 8 + 4 + 5;
+  const std::uint64_t wrap = (1ull << 61) + 1;
+  std::memcpy(bytes.data() + count_off, &wrap, sizeof(wrap));
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, FlippedChecksumByteIsCorruption) {
+  std::string bytes = ValidDatasetBytes();
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x40);
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, TruncatedValuesAreCorruption) {
+  std::string bytes = ValidDatasetBytes();
+  bytes.resize(bytes.size() - 12);  // cut into the last series' payload
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, TrailingJunkIsCorruption) {
+  // Extra bytes between the last series and where the checksum is expected
+  // mean the reader's CRC no longer lines up; acceptance is canonical.
+  std::string bytes = ValidDatasetBytes();
+  bytes.insert(bytes.size() - 4, "junk");
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes(bytes, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetMalformedTest, EmptyInputIsCorruption) {
+  Dataset loaded;
+  EXPECT_EQ(LoadBytes("", &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(CsvMalformedTest, WrongArityRejectedWhenRequested) {
+  CsvOptions options;
+  options.expected_arity = 3;
+  auto ok = ParseCsv("a,1,2,3\nb,4,5,6\n", options);
+  ASSERT_TRUE(ok.ok());
+  auto short_row = ParseCsv("a,1,2,3\nb,4,5\n", options);
+  EXPECT_EQ(short_row.status().code(), StatusCode::kInvalidArgument);
+  auto long_row = ParseCsv("a,1,2,3,4\n", options);
+  EXPECT_EQ(long_row.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvMalformedTest, NonNumericFieldRejected) {
+  auto result = ParseCsv("a,1,banana\n");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvMalformedTest, NonFiniteValuesRejectedByDefault) {
+  // from_chars happily parses "inf" and "nan"; downstream MBR construction
+  // cannot tolerate them, so the parser is where they must stop.
+  EXPECT_EQ(ParseCsv("a,1,inf\n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsv("a,nan\n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsv("inf\n").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvMalformedTest, NonFiniteValuesAcceptedWhenOptedIn) {
+  CsvOptions options;
+  options.allow_nonfinite = true;
+  auto result = ParseCsv("a,1,inf\n", options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(std::isinf((*result)[0].values[1]));
+}
+
+TEST(CsvMalformedTest, ValueCapBoundsMemory) {
+  CsvOptions options;
+  options.max_total_values = 4;
+  EXPECT_TRUE(ParseCsv("a,1,2\nb,3,4\n", options).ok());
+  EXPECT_EQ(ParseCsv("a,1,2\nb,3,4,5\n", options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tsss::seq
