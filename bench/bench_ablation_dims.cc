@@ -11,7 +11,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
@@ -19,6 +19,8 @@ int main() {
   std::printf("# Ablation A2: DFT coefficient count (R-tree dimensionality)\n");
   std::printf("# dataset: %zu companies x %zu values; window 128; eps = 0.5\n",
               env.companies, env.values);
+  bench::JsonReport report("ablation_dims", env);
+  report.meta().Set("eps", 0.5);
   std::printf("\n%-4s %-5s %12s %12s %12s %12s %14s %10s\n", "fc", "dim",
               "cpu_ms", "pages", "candidates", "matches", "overlap", "height");
 
@@ -57,9 +59,19 @@ int main() {
                 static_cast<double>(candidates) / q,
                 static_cast<double>(matches_total) / q,
                 tree_stats->total_overlap_volume, tree_stats->height);
+    report.AddRow()
+        .Set("fc", fc)
+        .Set("dim", static_cast<std::uint64_t>(2 * fc))
+        .Set("cpu_ms", 1e3 * cpu_seconds / q)
+        .Set("pages", static_cast<double>(pages) / q)
+        .Set("candidates", static_cast<double>(candidates) / q)
+        .Set("matches", static_cast<double>(matches_total) / q)
+        .Set("overlap", tree_stats->total_overlap_volume)
+        .Set("height", tree_stats->height);
   }
   std::printf("\n# expected: candidates fall steeply up to fc~3 then flatten,\n"
               "# while node volume/overlap and per-node CPU keep growing -\n"
               "# the paper's rationale for fc = 3 (dimension 6).\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

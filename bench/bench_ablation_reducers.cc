@@ -6,10 +6,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
+  bench::JsonReport report("ablation_reducers", env);
 
   std::printf("# Ablation A3: reducer family at reduced dim 6, window 128\n");
   std::printf("# dataset: %zu companies x %zu values\n", env.companies,
@@ -53,10 +54,19 @@ int main() {
                   1e3 * cpu_seconds / q, static_cast<double>(pages) / q,
                   static_cast<double>(candidates) / q,
                   static_cast<double>(matches_total) / q, 100.0 * precision);
+      report.AddRow()
+          .Set("reducer", std::string(reduce::ReducerKindToString(kind)))
+          .Set("eps", eps)
+          .Set("cpu_ms", 1e3 * cpu_seconds / q)
+          .Set("pages", static_cast<double>(pages) / q)
+          .Set("candidates", static_cast<double>(candidates) / q)
+          .Set("matches", static_cast<double>(matches_total) / q)
+          .Set("precision_pct", 100.0 * precision);
     }
   }
   std::printf("\n# expected: all reducers return identical match counts (the\n"
               "# pipeline is exact for every linear contraction); they differ\n"
               "# only in pruning precision and per-query cost.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

@@ -14,7 +14,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
@@ -26,10 +26,14 @@ int main() {
   bench::PrintHeader("Ablation A1: bounding spheres vs entering/exiting points",
                      "sphere short-circuit rates and MBR shape", env,
                      engine->num_indexed_windows());
+  bench::JsonReport report("ablation_spheres", env);
 
   // MBR shape: the 'long thin boxes' measurement.
   auto stats = engine->tree().ComputeStats();
   if (!stats.ok()) return 1;
+  report.meta()
+      .Set("avg_aspect_ratio", stats->avg_aspect_ratio)
+      .Set("avg_diag_to_min_side", stats->avg_diag_to_min_side);
   std::printf("\n# MBR shape (all internal-node children):\n");
   std::printf("#   avg longest/shortest side ratio : %8.1f\n",
               stats->avg_aspect_ratio);
@@ -61,6 +65,16 @@ int main() {
                 100.0 * static_cast<double>(pen.inner_accepts) / tests,
                 100.0 * static_cast<double>(pen.slab_tests) / tests,
                 100.0 * short_circuited / tests);
+    report.AddRow()
+        .Set("eps", eps)
+        .Set("tests", pen.tests)
+        .Set("outer_reject_pct",
+             100.0 * static_cast<double>(pen.outer_rejects) / tests)
+        .Set("inner_accept_pct",
+             100.0 * static_cast<double>(pen.inner_accepts) / tests)
+        .Set("slab_run_pct",
+             100.0 * static_cast<double>(pen.slab_tests) / tests)
+        .Set("saved_pct", 100.0 * short_circuited / tests);
   }
 
   // Micro-cost of one decision per strategy, on the tree's real boxes.
@@ -97,8 +111,13 @@ int main() {
     std::printf("#   %-10s %8.1f ns/test  (%zu/%zu admitted)\n",
                 std::string(geom::PruneStrategyToString(strategy)).c_str(),
                 per_test, visits, lines.size() * boxes.size());
+    report.meta().Set(
+        std::string("ns_per_test_") +
+            std::string(geom::PruneStrategyToString(strategy)),
+        per_test);
   }
   std::printf("\n# expected: sphere short-circuit rate is low and the sphere\n"
               "# test costs as much as the slab test it tries to avoid.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

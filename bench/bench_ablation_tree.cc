@@ -63,7 +63,25 @@ RunResult RunConfig(const std::vector<tsss::seq::TimeSeries>& market,
 
 }  // namespace
 
-int main() {
+namespace {
+
+void AddRunRow(tsss::bench::JsonReport& report, const char* split,
+               std::size_t fanout, const char* build, const RunResult& r) {
+  report.AddRow()
+      .Set("split", split)
+      .Set("fanout", fanout)
+      .Set("build", build)
+      .Set("build_s", r.build_seconds)
+      .Set("query_ms", r.query_ms)
+      .Set("pages", r.pages)
+      .Set("overlap", r.overlap)
+      .Set("height", r.height)
+      .Set("nodes", r.nodes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace tsss;
   bench::BenchEnv env = bench::GetBenchEnv();
   // Incremental insertion of >100k windows is the slow path under test;
@@ -72,6 +90,9 @@ int main() {
   const auto market = bench::MakeMarket(env);
   const auto queries = bench::MakeQueries(market, env.queries, 128);
   const double eps = 0.5;
+
+  bench::JsonReport report("ablation_tree", env);
+  report.meta().Set("eps", eps);
 
   std::printf("# Ablation A4: R-tree construction choices (eps = %.2f)\n", eps);
   std::printf("# dataset: %zu companies x %zu values\n\n", env.companies,
@@ -89,6 +110,9 @@ int main() {
                   std::string(index::SplitAlgorithmToString(split)).c_str(), 20,
                   bulk ? "str-bulk" : "incremental", r.build_seconds, r.query_ms,
                   r.pages, r.overlap, r.height, r.nodes);
+      AddRunRow(report,
+                std::string(index::SplitAlgorithmToString(split)).c_str(), 20,
+                bulk ? "str-bulk" : "incremental", r);
     }
   }
 
@@ -103,11 +127,13 @@ int main() {
     std::printf("%-11s %-4zu %-12s %10.2f %10.3f %10.1f %10.3g %8zu %8zu\n",
                 "rstar", fanout, "incremental", r.build_seconds, r.query_ms,
                 r.pages, r.overlap, r.height, r.nodes);
+    AddRunRow(report, "rstar", fanout, "incremental", r);
   }
 
   std::printf("\n# expected: R* splits beat Guttman on overlap and pages; STR\n"
               "# bulk load builds orders of magnitude faster with equal-or-\n"
               "# better query behaviour; M=20 (the paper's pick) is near the\n"
               "# flat part of the fanout curve.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

@@ -9,12 +9,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   bench::BenchEnv env = bench::GetBenchEnv();
   if (std::getenv("TSSS_COMPANIES") == nullptr && !env.full) env.companies = 100;
   const auto market = bench::MakeMarket(env);
   const double eps = 0.5;
+
+  bench::JsonReport report("ablation_xtree", env);
+  report.meta().Set("eps", eps);
 
   std::printf("# Ablation A8: supernodes (X-tree) vs plain R* across dims "
               "(eps = %.2f)\n", eps);
@@ -62,6 +65,15 @@ int main() {
                   supernodes ? "xtree" : "rstar", 1e3 * cpu_seconds / q,
                   static_cast<double>(pages) / q, tree_stats->total_overlap_volume,
                   tree_stats->supernode_count, tree_stats->node_pages);
+      report.AddRow()
+          .Set("part", "stock")
+          .Set("dim", dim)
+          .Set("mode", supernodes ? "xtree" : "rstar")
+          .Set("cpu_ms", 1e3 * cpu_seconds / q)
+          .Set("pages", static_cast<double>(pages) / q)
+          .Set("overlap", tree_stats->total_overlap_volume)
+          .Set("supernodes", tree_stats->supernode_count)
+          .Set("node_pages", tree_stats->node_pages);
     }
   }
   std::printf("\n# note: on DFT-reduced stock data the R* splits stay below the\n"
@@ -122,9 +134,20 @@ int main() {
                   static_cast<double>(pages) / static_cast<double>(num_queries),
                   stats->total_overlap_volume, stats->supernode_count,
                   stats->node_pages);
+      report.AddRow()
+          .Set("part", "uniform")
+          .Set("dim", dim)
+          .Set("mode", supernodes ? "xtree" : "rstar")
+          .Set("cpu_ms", 1e3 * cpu_seconds / static_cast<double>(num_queries))
+          .Set("pages",
+               static_cast<double>(pages) / static_cast<double>(num_queries))
+          .Set("overlap", stats->total_overlap_volume)
+          .Set("supernodes", stats->supernode_count)
+          .Set("node_pages", stats->node_pages);
     }
   }
   std::printf("\n# expected (part 2): supernodes form, directory overlap drops,\n"
               "# and line queries touch fewer pages despite wider nodes.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

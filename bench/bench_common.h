@@ -14,10 +14,26 @@
 // fall); TSSS_FULL reproduces the paper's exact data volume (~650k values,
 // seq-scan ~1300 pages/query).
 
+// Machine-readable output: every benchmark accepts `--json-out FILE` and
+// writes its result table as a BENCH JSON report (schema below) in addition
+// to the human-readable text. run_benches.sh collects these into BENCH_*.json
+// so successive runs produce a comparable perf trajectory.
+//
+//   {
+//     "schema_version": 1,
+//     "name": "<benchmark name>",
+//     "env": {"companies": N, "values": N, "queries": N, "full": 0|1},
+//     "meta": {...},              // free-form scalars (build time, config)
+//     "rows": [{...}, ...]       // one object per result-table row
+//   }
+
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tsss/common/rng.h"
@@ -145,6 +161,134 @@ inline void PrintHeader(const char* figure, const char* description,
 inline std::vector<double> EpsSweep() {
   return {0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
 }
+
+// --- machine-readable BENCH reports -----------------------------------------
+
+/// Returns the value of `--json-out FILE` (or `--json-out=FILE`) from argv,
+/// or "" when the flag is absent.
+inline std::string JsonOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      return argv[i] + 11;
+    }
+  }
+  return "";
+}
+
+/// One row/meta entry set: ordered key -> already-encoded JSON value.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[64];
+    if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    std::string escaped = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    fields_.emplace_back(key, std::move(escaped));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+
+  std::string Encode() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates the benchmark's result table and writes the BENCH JSON file.
+class JsonReport {
+ public:
+  JsonReport(std::string name, const BenchEnv& env)
+      : name_(std::move(name)), env_(env) {}
+
+  /// Free-form scalar metadata (build seconds, tree height, config knobs).
+  JsonObject& meta() { return meta_; }
+
+  /// Appends and returns a fresh row; chain Set() calls on it.
+  JsonObject& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string Encode() const {
+    std::string out = "{\"schema_version\":1,\"name\":\"" + name_ + "\",";
+    out += "\"env\":{\"companies\":" + std::to_string(env_.companies) +
+           ",\"values\":" + std::to_string(env_.values) +
+           ",\"queries\":" + std::to_string(env_.queries) +
+           ",\"full\":" + std::string(env_.full ? "1" : "0") + "},";
+    out += "\"meta\":" + meta_.Encode() + ",";
+    out += "\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += rows_[i].Encode();
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes the report to `path`; any I/O failure aborts the benchmark (a
+  /// silently missing BENCH file would hide a broken perf trajectory).
+  void WriteOrDie(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open json-out file '%s'\n", path.c_str());
+      std::exit(1);
+    }
+    const std::string encoded = Encode();
+    if (std::fwrite(encoded.data(), 1, encoded.size(), f) != encoded.size()) {
+      std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+      std::fclose(f);
+      std::exit(1);
+    }
+    std::fclose(f);
+    std::printf("# json report written to %s\n", path.c_str());
+  }
+
+  /// Writes the report iff --json-out was passed on the command line.
+  void MaybeWrite(int argc, char** argv) const {
+    const std::string path = JsonOutPath(argc, argv);
+    if (!path.empty()) WriteOrDie(path);
+  }
+
+ private:
+  std::string name_;
+  BenchEnv env_;
+  JsonObject meta_;
+  std::vector<JsonObject> rows_;
+};
 
 }  // namespace tsss::bench
 

@@ -12,7 +12,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
@@ -26,6 +26,11 @@ int main() {
       "Figure 4: CPU Time vs Error Value of the 3 sets of experiments",
       "average CPU milliseconds per query", env, engine->num_indexed_windows());
   std::printf("# index build (STR bulk load): %.2f s\n", build_seconds);
+
+  bench::JsonReport report("fig4_cpu_time", env);
+  report.meta()
+      .Set("build_seconds", build_seconds)
+      .Set("indexed_windows", engine->num_indexed_windows());
 
   core::SequentialScanner scanner(&engine->dataset(), config.window);
   // The scan costs the same at every eps; a subset of queries bounds total
@@ -69,8 +74,16 @@ int main() {
 
     std::printf("%-8.2f %14.3f %14.3f %14.3f %12zu\n", eps, scan_ms, tree_ms[0],
                 tree_ms[1], total_matches / queries.size());
+    report.AddRow()
+        .Set("eps", eps)
+        .Set("seqscan_ms", scan_ms)
+        .Set("eep_ms", tree_ms[0])
+        .Set("spheres_ms", tree_ms[1])
+        .Set("avg_matches",
+             static_cast<std::uint64_t>(total_matches / queries.size()));
   }
   std::printf("\n# shape check: tree columns << seqscan; spheres >= eep;\n"
               "# tree time grows with eps while seqscan stays flat.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

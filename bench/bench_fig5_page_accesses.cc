@@ -12,7 +12,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
@@ -37,6 +37,12 @@ int main() {
   std::printf("# sequential scan: %.0f pages per query at every eps "
               "(total values x 8B / 4KiB)\n",
               scan_pages);
+
+  bench::JsonReport report("fig5_page_accesses", env);
+  report.meta()
+      .Set("scan_pages", scan_pages)
+      .Set("indexed_windows", engine->num_indexed_windows())
+      .Set("pool_capacity", engine->pool().capacity());
 
   std::printf("\n%-8s %14s %14s %14s %12s %12s %14s\n", "eps", "seqscan_pages",
               "eep_pages", "spheres_pages", "eep_index", "eep_data",
@@ -87,6 +93,15 @@ int main() {
     std::printf("%-8.2f %14.0f %14.1f %14.1f %12.1f %12.1f %14.1f\n", eps,
                 scan_pages, pages[0], pages[1], index_pages_eep, data_pages_eep,
                 trail_pages);
+    report.AddRow()
+        .Set("phase", "cold")
+        .Set("eps", eps)
+        .Set("seqscan_pages", scan_pages)
+        .Set("eep_pages", pages[0])
+        .Set("spheres_pages", pages[1])
+        .Set("eep_index", index_pages_eep)
+        .Set("eep_data", data_pages_eep)
+        .Set("subtrail_pages", trail_pages);
   }
 
   std::printf("\n# cold-cache ratios at eps=0: seqscan/eep = %.0fx, "
@@ -120,6 +135,13 @@ int main() {
         static_cast<double>(physical) / static_cast<double>(queries.size());
     std::printf("%-8.2f %14.0f %14.2f %15.0fx\n", eps, scan_pages, avg,
                 scan_pages / std::max(0.01, avg));
+    report.AddRow()
+        .Set("phase", "warm")
+        .Set("eps", eps)
+        .Set("seqscan_pages", scan_pages)
+        .Set("eep_physical", avg)
+        .Set("ratio_vs_scan", scan_pages / std::max(0.01, avg));
   }
+  report.MaybeWrite(argc, argv);
   return 0;
 }

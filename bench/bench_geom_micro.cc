@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "tsss/common/rng.h"
 #include "tsss/core/similarity.h"
 #include "tsss/geom/line.h"
@@ -116,6 +117,51 @@ BENCHMARK(BM_ShouldVisit<tsss::geom::PruneStrategy::kExactDistance>)
     ->Arg(6)
     ->Arg(16);
 
+/// Console reporter that additionally collects every run into the BENCH JSON
+/// report (one row per benchmark/arg combination).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(tsss::bench::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->AddRow()
+          .Set("name", run.benchmark_name())
+          .Set("iterations", static_cast<std::uint64_t>(run.iterations))
+          .Set("real_ns", run.GetAdjustedRealTime())
+          .Set("cpu_ns", run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  tsss::bench::JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): benchmark::Initialize() aborts on
+// flags it does not know, so --json-out is extracted first.
+int main(int argc, char** argv) {
+  const std::string json_out = tsss::bench::JsonOutPath(argc, argv);
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) continue;
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
+
+  tsss::bench::JsonReport report("geom_micro", tsss::bench::GetBenchEnv());
+  JsonCollectingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_out.empty()) report.WriteOrDie(json_out);
+  return 0;
+}

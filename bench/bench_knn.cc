@@ -7,7 +7,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const auto market = bench::MakeMarket(env);
@@ -20,6 +20,8 @@ int main() {
   bench::PrintHeader("Ablation A6: k-NN under scale-shift distance",
                      "multi-step tree k-NN vs full-scan k-NN", env,
                      engine->num_indexed_windows());
+
+  bench::JsonReport report("knn", env);
 
   std::printf("\n%-6s %12s %12s %14s %14s %12s\n", "k", "scan_ms", "tree_ms",
               "tree_pages", "verified", "agree");
@@ -71,9 +73,17 @@ int main() {
                 1e3 * scan_seconds, 1e3 * tree_seconds,
                 static_cast<double>(pages) / q, static_cast<double>(verified) / q,
                 all_agree ? "yes" : "NO");
+    report.AddRow()
+        .Set("k", k)
+        .Set("scan_ms", 1e3 * scan_seconds)
+        .Set("tree_ms", 1e3 * tree_seconds)
+        .Set("tree_pages", static_cast<double>(pages) / q)
+        .Set("verified", static_cast<double>(verified) / q)
+        .Set("agree", all_agree ? 1 : 0);
   }
   std::printf("\n# expected: identical answers; the multi-step search verifies\n"
               "# a small fraction of all windows and beats the scan for\n"
               "# small k.\n");
+  report.MaybeWrite(argc, argv);
   return 0;
 }

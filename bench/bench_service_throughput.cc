@@ -32,13 +32,16 @@ double PercentileUs(std::vector<double>* latencies_us, double q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsss;
   const bench::BenchEnv env = bench::GetBenchEnv();
   const double seconds =
       static_cast<double>(bench::EnvSizeT("TSSS_SERVICE_SECONDS", 2));
   const std::size_t fixed_clients = bench::EnvSizeT("TSSS_CLIENTS", 0);
   const double eps = 0.25;
+
+  bench::JsonReport report("service_throughput", env);
+  report.meta().Set("eps", eps).Set("seconds_per_point", seconds);
 
   const auto market = bench::MakeMarket(env);
   core::EngineConfig config;
@@ -128,6 +131,19 @@ int main() {
         static_cast<unsigned long long>(rejected.load()),
         metrics.pool_hit_rate);
     std::fflush(stdout);
+    report.AddRow()
+        .Set("workers", workers)
+        .Set("clients", clients)
+        .Set("seconds", elapsed)
+        .Set("queries", completed.load())
+        .Set("qps", static_cast<double>(completed.load()) / elapsed)
+        .Set("client_p50_ms", p50_us / 1e3)
+        .Set("client_p99_ms", p99_us / 1e3)
+        .Set("service_p50_ms", metrics.p50_latency_ms)
+        .Set("service_p99_ms", metrics.p99_latency_ms)
+        .Set("rejected", rejected.load())
+        .Set("pool_hit_rate", metrics.pool_hit_rate);
   }
+  report.MaybeWrite(argc, argv);
   return 0;
 }

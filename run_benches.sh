@@ -1,9 +1,81 @@
 #!/bin/sh
-# Runs every benchmark binary and prints a combined report.
-for b in build/bench/*; do
-  if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "##### $b"
-    "$b"
-    echo
+# Runs every benchmark binary, prints the combined human-readable report, and
+# collects one machine-readable BENCH_<name>.json per benchmark (schema_version
+# 1, see bench/bench_common.h) into the repo root.
+#
+# Usage: ./run_benches.sh [--smoke] [build-dir]
+#
+#   --smoke     tiny dataset (CI): a few companies, seconds per benchmark,
+#               exercising every binary and every JSON report end to end.
+#   build-dir   where the bench binaries live (default: build, then
+#               build/release as fallback).
+#
+# Any benchmark crash or non-zero exit fails the whole run loudly; a silent
+# half-missing report is worse than no report.
+
+set -eu
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
+
+BUILD_DIR="${1:-build}"
+if [ ! -d "$BUILD_DIR/bench" ] && [ -d "build/release/bench" ]; then
+  BUILD_DIR="build/release"
+fi
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: no bench binaries under '$BUILD_DIR/bench' (build first)" >&2
+  exit 1
+fi
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+if [ "$SMOKE" = 1 ]; then
+  # Small enough that every binary finishes in seconds while still producing
+  # non-degenerate tables (a few hundred indexed windows).
+  TSSS_COMPANIES="${TSSS_COMPANIES:-12}"
+  TSSS_VALUES="${TSSS_VALUES:-200}"
+  TSSS_QUERIES="${TSSS_QUERIES:-4}"
+  TSSS_SERVICE_SECONDS="${TSSS_SERVICE_SECONDS:-1}"
+  export TSSS_COMPANIES TSSS_VALUES TSSS_QUERIES TSSS_SERVICE_SECONDS
+  SMOKE_ARGS="--benchmark_min_time=0.01"
+  echo "# smoke mode: TSSS_COMPANIES=$TSSS_COMPANIES TSSS_VALUES=$TSSS_VALUES" \
+       "TSSS_QUERIES=$TSSS_QUERIES"
+fi
+
+FAILED=0
+RAN=0
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b" | sed 's/^bench_//')
+  json="$REPO_ROOT/BENCH_${name}.json"
+  echo "##### $b"
+  EXTRA_ARGS=""
+  if [ "$SMOKE" = 1 ] && [ "$name" = "geom_micro" ]; then
+    EXTRA_ARGS="$SMOKE_ARGS"
   fi
+  # shellcheck disable=SC2086
+  if ! "$b" --json-out "$json" $EXTRA_ARGS; then
+    echo "FAILED: $b exited non-zero" >&2
+    FAILED=1
+  elif [ ! -s "$json" ]; then
+    echo "FAILED: $b did not write $json" >&2
+    FAILED=1
+  fi
+  RAN=$((RAN + 1))
+  echo
 done
+
+if [ "$RAN" = 0 ]; then
+  echo "error: no benchmark binaries found under $BUILD_DIR/bench" >&2
+  exit 1
+fi
+if [ "$FAILED" != 0 ]; then
+  echo "one or more benchmarks failed" >&2
+  exit 1
+fi
+
+echo "# $RAN benchmarks OK; reports:"
+ls -1 "$REPO_ROOT"/BENCH_*.json

@@ -3,16 +3,65 @@
 #include <filesystem>
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <string>
 #include <utility>
 
 #include "tsss/common/check.h"
 #include "tsss/geom/se_transform.h"
+#include "tsss/obs/metrics.h"
+#include "tsss/obs/trace.h"
 #include "tsss/seq/window.h"
 #include "tsss/storage/query_counters.h"
 
 namespace tsss::core {
+
+namespace {
+
+/// Process-wide query counters in the metrics registry. Resolved once.
+struct QueryRegistryCounters {
+  obs::Counter* range_queries;
+  obs::Counter* knn_queries;
+  obs::Counter* long_queries;
+  obs::Counter* candidates;
+  obs::Counter* matches;
+};
+
+const QueryRegistryCounters& QueryCountersRegistry() {
+  static const QueryRegistryCounters counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return QueryRegistryCounters{
+        reg.GetCounter("tsss_range_queries_total", "Range queries executed"),
+        reg.GetCounter("tsss_knn_queries_total", "k-NN queries executed"),
+        reg.GetCounter("tsss_long_queries_total",
+                       "Long (multi-piece) range queries executed"),
+        reg.GetCounter("tsss_query_candidates_total",
+                       "Windows that reached exact verification"),
+        reg.GetCounter("tsss_query_matches_total", "Verified query answers"),
+    };
+  }();
+  return counters;
+}
+
+}  // namespace
+
+void FillPruneTelemetry(const geom::PenetrationStats& pen,
+                        obs::QueryTelemetry* telemetry) {
+  telemetry->entries_tested = pen.tests;
+  const std::uint64_t prunes = pen.tests >= pen.visits ? pen.tests - pen.visits : 0;
+  telemetry->bs_prunes = pen.outer_rejects;
+  const std::uint64_t rest =
+      prunes >= pen.outer_rejects ? prunes - pen.outer_rejects : 0;
+  // kExactDistance is the only strategy that runs exact tests; everything the
+  // spheres did not reject there was decided exactly. Under kEepOnly and
+  // kBoundingSpheres the non-sphere remainder is the slab (EP) test's share.
+  if (pen.exact_tests > 0) {
+    telemetry->exact_prunes = rest;
+  } else {
+    telemetry->ep_prunes = rest;
+  }
+}
 
 SearchEngine::SearchEngine(const EngineConfig& config) : config_(config) {}
 
@@ -264,17 +313,31 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 
+  // Telemetry is collected only when someone will read it (the caller asked
+  // for stats or a trace is installed); otherwise the index layer's tick
+  // helpers reduce to a thread-local read plus an untaken branch.
+  obs::QueryTelemetry telemetry;
+  std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
+    scoped_telemetry.emplace(&telemetry);
+  }
+  obs::TraceSpan query_span("range_query");
+
   const QueryContext ctx(query);
   const geom::Line line = ReducedQueryLine(query);
 
   geom::PenetrationStats pen;
+  obs::TraceSpan filter_span("index_filter");
   Result<std::vector<index::LineMatch>> candidates =
       tree_->LineQuery(line, eps, config_.prune, &pen);
   if (!candidates.ok()) return candidates.status();
+  filter_span.Annotate("leaf_hits", candidates->size());
+  filter_span.Close();
 
   // Expand leaf candidates to window records (a no-op in point mode; a
   // trail hit stands for all of its windows), then verify in storage order
   // so that every needed data page is fetched (and counted) exactly once.
+  obs::TraceSpan verify_span("expand_and_verify");
   std::vector<index::RecordId> expanded;
   expanded.reserve(candidates->size());
   for (const index::LineMatch& cand : *candidates) {
@@ -294,6 +357,19 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
     std::optional<Match> match = VerifyCandidate(ctx, window, record, eps, cost);
     if (match.has_value()) matches.push_back(*match);
   }
+  verify_span.Annotate("candidates", expanded.size());
+  verify_span.Annotate("matches", matches.size());
+  verify_span.Close();
+
+  if (scoped_telemetry.has_value()) {
+    FillPruneTelemetry(pen, &telemetry);
+    telemetry.candidates_postfiltered = expanded.size() - matches.size();
+    obs::AnnotateSpan(&query_span, telemetry);
+  }
+  const QueryRegistryCounters& reg = QueryCountersRegistry();
+  reg.range_queries->Inc();
+  reg.candidates->Inc(expanded.size());
+  reg.matches->Inc(matches.size());
 
   if (stats != nullptr) {
     stats->index_page_reads = counters.pool_logical_reads;
@@ -302,6 +378,7 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
     stats->candidates = expanded.size();
     stats->matches = matches.size();
     stats->penetration = pen;
+    stats->telemetry = telemetry;
   }
   return matches;
 }
@@ -319,6 +396,13 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 
+  obs::QueryTelemetry telemetry;
+  std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
+    scoped_telemetry.emplace(&telemetry);
+  }
+  obs::TraceSpan query_span("knn_query");
+
   const QueryContext ctx(query);
   const geom::Line line = ReducedQueryLine(query);
 
@@ -330,6 +414,7 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   std::priority_queue<Match, std::vector<Match>, decltype(cmp)> best(cmp);
 
   std::uint64_t candidates_seen = 0;
+  obs::TraceSpan search_span("multi_step_search");
   index::RTree::LineNeighborIterator it = tree_->NearestLineNeighbors(line);
   geom::Vec window(config_.window);
   std::vector<index::RecordId> expanded;
@@ -361,6 +446,9 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
     }
   }
 
+  search_span.Annotate("candidates", candidates_seen);
+  search_span.Close();
+
   std::vector<Match> out;
   out.reserve(best.size());
   while (!best.empty()) {
@@ -369,12 +457,22 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   }
   std::reverse(out.begin(), out.end());
 
+  if (scoped_telemetry.has_value()) {
+    telemetry.candidates_postfiltered = candidates_seen - out.size();
+    obs::AnnotateSpan(&query_span, telemetry);
+  }
+  const QueryRegistryCounters& reg = QueryCountersRegistry();
+  reg.knn_queries->Inc();
+  reg.candidates->Inc(candidates_seen);
+  reg.matches->Inc(out.size());
+
   if (stats != nullptr) {
     stats->index_page_reads = counters.pool_logical_reads;
     stats->index_page_misses = counters.pool_misses;
     stats->data_page_reads = counters.data_page_reads;
     stats->candidates = candidates_seen;
     stats->matches = out.size();
+    stats->telemetry = telemetry;
   }
   return out;
 }

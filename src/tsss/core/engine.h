@@ -9,6 +9,7 @@
 #include "tsss/common/status.h"
 #include "tsss/core/similarity.h"
 #include "tsss/geom/penetration.h"
+#include "tsss/obs/query_telemetry.h"
 #include "tsss/index/rtree.h"
 #include "tsss/reduce/reducer.h"
 #include "tsss/seq/dataset.h"
@@ -75,11 +76,23 @@ struct QueryStats {
   std::uint64_t candidates = 0;        ///< leaf hits needing verification
   std::uint64_t matches = 0;           ///< verified answers
   geom::PenetrationStats penetration;  ///< pruning-test breakdown
+  /// Index-walk breakdown: nodes visited per tree level, MBR distance
+  /// evaluations, and the EP/BS/exact prune disposition derived from
+  /// `penetration` (see FillPruneTelemetry).
+  obs::QueryTelemetry telemetry;
 
   std::uint64_t total_page_reads() const {
     return index_page_reads + data_page_reads;
   }
 };
+
+/// Derives the paper's pruning disposition from a walk's PenetrationStats:
+/// every tested entry that was not visited was pruned; bounding-sphere outer
+/// rejects are the BS share, and the remainder is attributed to the
+/// entering/exiting-point slab test (or to the exact distance test when that
+/// strategy ran). Strategies never mix within one walk. Defined in engine.cc.
+void FillPruneTelemetry(const geom::PenetrationStats& pen,
+                        obs::QueryTelemetry* telemetry);
 
 /// The paper's system: a dynamic index over all length-n windows of a set of
 /// time series supporting range and k-NN queries under scale-shift

@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
 #include "tsss/core/engine.h"
+#include "tsss/obs/metrics.h"
+#include "tsss/obs/trace.h"
 #include "tsss/seq/window.h"
 #include "tsss/storage/query_counters.h"
 
@@ -43,10 +46,20 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 
+  obs::QueryTelemetry telemetry;
+  std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
+    scoped_telemetry.emplace(&telemetry);
+  }
+  obs::TraceSpan query_span("long_range_query");
+  query_span.Annotate("pieces", pieces);
+
   geom::PenetrationStats pen;
   std::unordered_set<index::RecordId> candidate_records;
   std::uint64_t raw_candidates = 0;
   for (std::size_t i = 0; i < pieces; ++i) {
+    obs::TraceSpan piece_span("piece_search");
+    piece_span.Annotate("piece", i);
     const std::span<const double> piece = query.subspan(i * n, n);
     const geom::Line line = ReducedQueryLine(piece);
     Result<std::vector<index::LineMatch>> hits =
@@ -74,6 +87,7 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   }
 
   const QueryContext ctx(query);
+  obs::TraceSpan verify_span("verify");
   std::vector<index::RecordId> ordered(candidate_records.begin(),
                                        candidate_records.end());
   std::sort(ordered.begin(), ordered.end());
@@ -87,6 +101,20 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     std::optional<Match> match = VerifyCandidate(ctx, window, record, eps, cost);
     if (match.has_value()) matches.push_back(*match);
   }
+  verify_span.Annotate("candidates", ordered.size());
+  verify_span.Annotate("matches", matches.size());
+  verify_span.Close();
+
+  if (scoped_telemetry.has_value()) {
+    FillPruneTelemetry(pen, &telemetry);
+    telemetry.candidates_postfiltered = ordered.size() - matches.size();
+    obs::AnnotateSpan(&query_span, telemetry);
+  }
+  static obs::Counter* const long_queries =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tsss_long_queries_total",
+          "Long (multi-piece) range queries executed");
+  long_queries->Inc();
 
   if (stats != nullptr) {
     stats->index_page_reads = counters.pool_logical_reads;
@@ -95,6 +123,7 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     stats->candidates = raw_candidates;
     stats->matches = matches.size();
     stats->penetration = pen;
+    stats->telemetry = telemetry;
   }
   return matches;
 }

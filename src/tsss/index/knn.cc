@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "tsss/index/rtree.h"
+#include "tsss/obs/query_telemetry.h"
 
 namespace tsss::index {
 
@@ -20,21 +21,27 @@ Result<std::optional<LineMatch>> RTree::LineNeighborIterator::Next() {
     QueueItem item = heap_.top();
     heap_.pop();
     if (item.is_record) {
+      obs::TickLeafCandidates();
       return std::optional<LineMatch>(item.match);
     }
     Result<Node> node = tree_->LoadNode(item.page);
     if (!node.ok()) return node.status();
+    obs::TickNodeVisit(node->level);
     for (const Entry& e : node->entries) {
       QueueItem child;
       if (node->is_leaf()) {
         child.is_record = true;
-        child.distance = tree_->config().box_leaves
-                             ? geom::LineMbrDistance(line_, e.mbr)
-                             : geom::Pld(e.mbr.lo(), line_);
+        if (tree_->config().box_leaves) {
+          obs::TickMbrDistanceEvals();
+          child.distance = geom::LineMbrDistance(line_, e.mbr);
+        } else {
+          child.distance = geom::Pld(e.mbr.lo(), line_);
+        }
         child.match = LineMatch{e.record, child.distance};
       } else {
         child.is_record = false;
         child.page = e.child;
+        obs::TickMbrDistanceEvals();
         child.distance = geom::LineMbrDistance(line_, e.mbr);
       }
       heap_.push(child);

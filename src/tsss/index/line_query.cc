@@ -1,6 +1,7 @@
 #include <vector>
 
 #include "tsss/index/rtree.h"
+#include "tsss/obs/query_telemetry.h"
 
 namespace tsss::index {
 
@@ -21,6 +22,7 @@ Result<std::vector<LineMatch>> RTree::LineQuery(
     stack.pop_back();
     Result<Node> node = LoadNode(page);
     if (!node.ok()) return node.status();
+    obs::TickNodeVisit(node->level);
     if (node->is_leaf()) {
       if (config_.box_leaves) {
         // Sub-trail mode: a box entry is a candidate when it passes the same
@@ -29,6 +31,8 @@ Result<std::vector<LineMatch>> RTree::LineQuery(
         // window inside the box).
         for (const Entry& e : node->entries) {
           if (geom::ShouldVisit(line, e.mbr, eps, strategy, stats)) {
+            obs::TickMbrDistanceEvals();
+            obs::TickLeafCandidates();
             out.push_back(LineMatch{e.record, geom::LineMbrDistance(line, e.mbr)});
           }
         }
@@ -37,7 +41,10 @@ Result<std::vector<LineMatch>> RTree::LineQuery(
         // line is within eps.
         for (const Entry& e : node->entries) {
           const double d = geom::Pld(e.mbr.lo(), line);
-          if (d <= eps) out.push_back(LineMatch{e.record, d});
+          if (d <= eps) {
+            obs::TickLeafCandidates();
+            out.push_back(LineMatch{e.record, d});
+          }
         }
       }
     } else {

@@ -1,0 +1,80 @@
+#include "tsss/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace tsss::obs {
+
+std::size_t LatencyHistogram::BucketFor(std::uint64_t us) {
+  if (us < 16) return static_cast<std::size_t>(us);
+  const unsigned log2 = static_cast<unsigned>(std::bit_width(us)) - 1u;
+  const std::uint64_t frac = (us >> (log2 - 2u)) & 3u;
+  const std::size_t index =
+      16 + static_cast<std::size_t>(log2 - 4u) * 4 +
+      static_cast<std::size_t>(frac);
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketFloorUs(std::size_t index) {
+  if (index < 16) return index;
+  const std::size_t rest = index - 16;
+  const unsigned octave = 4u + static_cast<unsigned>(rest / 4);
+  const std::uint64_t frac = rest % 4;
+  return (std::uint64_t{1} << octave) +
+         frac * (std::uint64_t{1} << (octave - 2u));
+}
+
+void LatencyHistogram::Record(std::chrono::microseconds latency) {
+  RecordUs(latency.count() < 0 ? 0
+                               : static_cast<std::uint64_t>(latency.count()));
+}
+
+void LatencyHistogram::RecordUs(std::uint64_t us) {
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHistogram::SumUs() const {
+  return sum_us_.load(std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const std::uint64_t sum = other.sum_us_.load(std::memory_order_relaxed);
+  if (sum != 0) sum_us_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  std::array<std::uint64_t, kNumBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return static_cast<double>(BucketFloorUs(i)) / 1000.0;
+    }
+  }
+  return static_cast<double>(BucketFloorUs(kNumBuckets - 1)) / 1000.0;
+}
+
+}  // namespace tsss::obs

@@ -1,0 +1,56 @@
+#ifndef TSSS_OBS_HISTOGRAM_H_
+#define TSSS_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsss::obs {
+
+/// Log-spaced fixed-bucket latency histogram. Record() is lock-free and safe
+/// from any number of threads; Percentile() reads a relaxed snapshot.
+///
+/// Buckets 0..15 are exact microsecond counts; above that each power of two
+/// is split into 4 sub-buckets, giving <= 25% relative error over a range of
+/// 16 us .. ~1 hour in 128 buckets.
+///
+/// Lived in service/query_service.h until the observability layer landed;
+/// it is now the shared histogram type behind the metrics registry, the
+/// service's per-worker latency tracking, and the bench harness.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 128;
+
+  void Record(std::chrono::microseconds latency);
+  /// Records a raw microsecond value (registry/bench entry point).
+  void RecordUs(std::uint64_t us);
+
+  /// The q-quantile (q in [0, 1]) in milliseconds; 0 when empty.
+  double PercentileMs(double q) const;
+
+  /// Total number of recorded samples (relaxed snapshot).
+  std::uint64_t Count() const;
+  /// Sum of all recorded values in microseconds (relaxed snapshot).
+  std::uint64_t SumUs() const;
+
+  /// Adds every bucket (and the sum) of `other` into this histogram.
+  /// Both sides may be concurrently recorded into; the merge is a relaxed
+  /// snapshot, exact at any quiescent point. Used to aggregate per-worker
+  /// histograms into one service-wide view.
+  void Merge(const LatencyHistogram& other);
+
+  static std::size_t BucketFor(std::uint64_t us);
+  /// Lower bound (microseconds) of bucket `index`, the reported value for
+  /// any latency in it.
+  static std::uint64_t BucketFloorUs(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_HISTOGRAM_H_

@@ -1,0 +1,112 @@
+#ifndef TSSS_OBS_METRICS_H_
+#define TSSS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsss/common/mutex.h"
+#include "tsss/common/thread_annotations.h"
+#include "tsss/obs/histogram.h"
+
+namespace tsss::obs {
+
+/// Monotonic event count. Inc() is a single relaxed atomic add, safe from any
+/// thread; hot paths hold a `Counter*` obtained once from the registry.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depths, pool occupancy). Set/Add are
+/// relaxed atomics, safe from any thread.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// One metric row in a registry snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string help;
+  std::uint64_t counter_value = 0;  ///< kCounter
+  std::int64_t gauge_value = 0;     ///< kGauge
+  // kHistogram: quantile floors in microseconds (nearest-rank, <=25% rel err).
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum_us = 0;
+  double hist_p50_ms = 0.0;
+  double hist_p90_ms = 0.0;
+  double hist_p99_ms = 0.0;
+};
+
+/// Named metric registry. GetCounter/GetGauge/GetHistogram return stable
+/// pointers that stay valid for the registry's lifetime; repeated calls with
+/// the same name return the same object, so independent subsystems can share
+/// a metric by name. Registration takes a mutex; metric updates through the
+/// returned pointers are lock-free.
+///
+/// Global() is the process-wide instance every subsystem reports into; tests
+/// that need isolation construct their own registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// `help` is recorded on first registration; later calls may pass "".
+  Counter* GetCounter(const std::string& name, const std::string& help = "")
+      TSSS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help = "")
+      TSSS_EXCLUDES(mu_);
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help = "")
+      TSSS_EXCLUDES(mu_);
+
+  /// Relaxed point-in-time view of every registered metric, sorted by name
+  /// within each kind (counters, then gauges, then histograms).
+  std::vector<MetricSample> Snapshot() const TSSS_EXCLUDES(mu_);
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string help;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_ TSSS_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ TSSS_GUARDED_BY(mu_);
+  std::map<std::string, Entry<LatencyHistogram>> histograms_
+      TSSS_GUARDED_BY(mu_);
+};
+
+/// Renders a snapshot in the Prometheus text exposition format: counters and
+/// gauges as single samples, histograms as summaries (quantile label, values
+/// in seconds) with `_sum` and `_count` rows.
+std::string ExportPrometheus(const std::vector<MetricSample>& samples);
+
+/// Renders a snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum_us, p50_ms, p90_ms, p99_ms}}}.
+std::string ExportJson(const std::vector<MetricSample>& samples);
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_METRICS_H_

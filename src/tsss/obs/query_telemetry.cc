@@ -1,0 +1,45 @@
+#include "tsss/obs/query_telemetry.h"
+
+#include <string>
+
+#include "tsss/obs/trace.h"
+
+namespace tsss::obs {
+
+QueryTelemetry* CurrentQueryTelemetry() {
+  return internal::CurrentSlot();
+}
+
+ScopedQueryTelemetry::ScopedQueryTelemetry(QueryTelemetry* telemetry)
+    : prev_(internal::CurrentSlot()) {
+  internal::CurrentSlot() = telemetry;
+}
+
+ScopedQueryTelemetry::~ScopedQueryTelemetry() {
+  internal::CurrentSlot() = prev_;
+}
+
+void AnnotateSpan(TraceSpan* span, const QueryTelemetry& telemetry) {
+  if (span == nullptr) return;
+  auto put = [span](const char* key, std::uint64_t value) {
+    if (value != 0) span->Annotate(key, value);
+  };
+  put("nodes_visited", telemetry.nodes_visited);
+  for (std::size_t level = 0; level < QueryTelemetry::kMaxLevels; ++level) {
+    if (telemetry.nodes_per_level[level] != 0) {
+      const std::string key = "nodes_level_" + std::to_string(level);
+      span->Annotate(key.c_str(), telemetry.nodes_per_level[level]);
+    }
+  }
+  put("mbr_distance_evals", telemetry.mbr_distance_evals);
+  put("leaf_candidates", telemetry.leaf_candidates);
+  put("entries_tested", telemetry.entries_tested);
+  // The prune breakdown is the headline number (the paper's EP-vs-BS
+  // comparison), so it is emitted even when zero.
+  span->Annotate("ep_prunes", telemetry.ep_prunes);
+  span->Annotate("bs_prunes", telemetry.bs_prunes);
+  put("exact_prunes", telemetry.exact_prunes);
+  put("candidates_postfiltered", telemetry.candidates_postfiltered);
+}
+
+}  // namespace tsss::obs

@@ -1,0 +1,113 @@
+#ifndef TSSS_OBS_QUERY_TELEMETRY_H_
+#define TSSS_OBS_QUERY_TELEMETRY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsss::obs {
+
+class TraceSpan;
+
+/// Per-query pruning telemetry for the paper's hot path: how the index
+/// filter step disposed of every window it looked at.
+///
+/// A query runs on one thread, so the fields are plain integers; the engine
+/// installs one instance thread-locally (ScopedQueryTelemetry) around the
+/// index walk and the index layer ticks it through the inline helpers below.
+/// When no telemetry is installed each tick is a thread-local read plus a
+/// branch — the same disabled-cost pattern as storage::QueryCounters.
+struct QueryTelemetry {
+  /// Deepest tree level tracked individually; deeper levels fold into the
+  /// last slot. Fanout >= 32 makes a 16-level tree ~32^16 entries, far past
+  /// any realistic dataset.
+  static constexpr std::size_t kMaxLevels = 16;
+
+  // --- index traversal ---
+  std::uint64_t nodes_visited = 0;
+  /// nodes_per_level[0] counts leaves (level 0), matching index/node.h.
+  std::array<std::uint64_t, kMaxLevels> nodes_per_level{};
+  /// Line-to-MBR distance evaluations (LineMbrDistance calls).
+  std::uint64_t mbr_distance_evals = 0;
+  /// Entries that survived the index filter and became candidates.
+  std::uint64_t leaf_candidates = 0;
+
+  // --- pruning disposition (derived from geom::PenetrationStats) ---
+  /// Entries rejected by the entering/exiting-point slab test alone.
+  std::uint64_t ep_prunes = 0;
+  /// Entries rejected by a bounding-sphere outer test.
+  std::uint64_t bs_prunes = 0;
+  /// Entries rejected by the exact line-MBR distance (kExactDistance only).
+  std::uint64_t exact_prunes = 0;
+  /// Total penetration tests the walk performed (prunes + accepts).
+  std::uint64_t entries_tested = 0;
+
+  // --- post-filtering ---
+  /// Candidates read back and discarded by exact verification.
+  std::uint64_t candidates_postfiltered = 0;
+
+  void Reset() { *this = QueryTelemetry{}; }
+};
+
+/// Returns the telemetry installed on this thread, or nullptr.
+QueryTelemetry* CurrentQueryTelemetry();
+
+/// Installs `telemetry` thread-locally for the scope's lifetime, restoring
+/// the previous pointer on destruction (storage::ScopedQueryCounters
+/// pattern; nesting composes, inner scope wins).
+class ScopedQueryTelemetry {
+ public:
+  explicit ScopedQueryTelemetry(QueryTelemetry* telemetry);
+  ~ScopedQueryTelemetry();
+
+  ScopedQueryTelemetry(const ScopedQueryTelemetry&) = delete;
+  ScopedQueryTelemetry& operator=(const ScopedQueryTelemetry&) = delete;
+
+ private:
+  QueryTelemetry* prev_;
+};
+
+namespace internal {
+// The thread-local slot lives in this inline function (one instance
+// process-wide) so the tick helpers compile to a TLS load + branch with no
+// function call when telemetry is off. An `extern thread_local` read from
+// header-inline code would go through the compiler's TLS wrapper, which
+// GCC's UBSan mis-instruments as a null load.
+inline QueryTelemetry*& CurrentSlot() {
+  thread_local QueryTelemetry* slot = nullptr;
+  return slot;
+}
+}  // namespace internal
+
+/// Records one node visit at tree level `level` (0 = leaf).
+inline void TickNodeVisit(std::size_t level) {
+  if (QueryTelemetry* t = internal::CurrentSlot()) {
+    ++t->nodes_visited;
+    ++t->nodes_per_level[level < QueryTelemetry::kMaxLevels
+                             ? level
+                             : QueryTelemetry::kMaxLevels - 1];
+  }
+}
+
+/// Records `n` line-to-MBR distance evaluations.
+inline void TickMbrDistanceEvals(std::uint64_t n = 1) {
+  if (QueryTelemetry* t = internal::CurrentSlot()) {
+    t->mbr_distance_evals += n;
+  }
+}
+
+/// Records `n` entries surviving the index filter.
+inline void TickLeafCandidates(std::uint64_t n = 1) {
+  if (QueryTelemetry* t = internal::CurrentSlot()) {
+    t->leaf_candidates += n;
+  }
+}
+
+/// Attaches every non-zero telemetry counter to `span` (ep/bs prune counts,
+/// per-level node visits as nodes_level_<i>, ...). No-op when span is null
+/// or tracing is off.
+void AnnotateSpan(TraceSpan* span, const QueryTelemetry& telemetry);
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_QUERY_TELEMETRY_H_

@@ -1,0 +1,106 @@
+#ifndef TSSS_OBS_TRACE_H_
+#define TSSS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsss::obs {
+
+/// One completed (or still-open) span in a query trace.
+struct TraceEvent {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  std::string name;
+  std::uint64_t start_us = 0;  ///< offset from trace start
+  std::uint64_t dur_us = 0;    ///< filled when the span closes
+  std::size_t parent = kNoParent;  ///< index of enclosing span
+  int depth = 0;                   ///< nesting depth (root spans are 0)
+  bool closed = false;
+  /// Counters attached via TraceSpan::Annotate / QueryTrace::Annotate.
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Per-query trace: a tree of timed spans with attached counters.
+///
+/// A query runs on exactly one thread, so QueryTrace is deliberately NOT
+/// thread-safe — it is owned by the caller, installed thread-locally for the
+/// duration of one query via ScopedQueryTrace, and read after the query
+/// returns. Export with ToChromeJson() for chrome://tracing / Perfetto.
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  /// Opens a span nested under the innermost open span. Returns its index.
+  std::size_t OpenSpan(std::string name);
+  /// Closes span `index`, fixing its duration. Out-of-order closes are
+  /// tolerated (the open stack is unwound to the matching entry).
+  void CloseSpan(std::size_t index);
+  /// Attaches a counter to span `index`.
+  void AddArg(std::size_t index, const std::string& key, std::uint64_t value);
+  /// Attaches a counter to the innermost open span (or the first root span
+  /// when none is open; dropped on an empty trace).
+  void Annotate(const std::string& key, std::uint64_t value);
+
+  const std::vector<TraceEvent>& events() const { return spans_; }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, complete "X" events,
+  /// ts/dur in microseconds). Still-open spans get their duration as of now.
+  std::string ToChromeJson() const;
+
+ private:
+  std::uint64_t NowUs() const;
+
+  std::chrono::steady_clock::time_point start_;
+  std::vector<TraceEvent> spans_;
+  std::vector<std::size_t> open_;  ///< stack of open span indices
+};
+
+/// Returns the trace installed on this thread, or nullptr (tracing off).
+QueryTrace* CurrentQueryTrace();
+
+/// Installs `trace` as this thread's current query trace for the scope's
+/// lifetime, restoring the previous one on destruction (same pattern as
+/// storage::ScopedQueryCounters).
+class ScopedQueryTrace {
+ public:
+  explicit ScopedQueryTrace(QueryTrace* trace);
+  ~ScopedQueryTrace();
+
+  ScopedQueryTrace(const ScopedQueryTrace&) = delete;
+  ScopedQueryTrace& operator=(const ScopedQueryTrace&) = delete;
+
+ private:
+  QueryTrace* prev_;
+};
+
+/// RAII scoped timer. When a QueryTrace is installed on this thread, the
+/// constructor opens a span and the destructor closes it; when tracing is
+/// off, construction is one thread-local read and a branch — cheap enough
+/// for per-phase use on the query hot path (never per-node).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a counter to this span. No-op when tracing is off.
+  void Annotate(const char* key, std::uint64_t value);
+
+  /// Closes the span now instead of at scope exit (the destructor then
+  /// no-ops). Lets sequential phases in one scope get disjoint durations.
+  void Close();
+
+ private:
+  QueryTrace* trace_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_TRACE_H_

@@ -1,11 +1,10 @@
 #include "tsss/service/query_service.h"
 
-#include <algorithm>
-#include <bit>
 #include <string>
 #include <utility>
 
 #include "tsss/common/exec_control.h"
+#include "tsss/obs/metrics.h"
 
 namespace tsss::service {
 
@@ -14,56 +13,44 @@ namespace {
 constexpr std::chrono::steady_clock::time_point kNoDeadline =
     std::chrono::steady_clock::time_point::max();
 
+/// Process-wide service metrics in the registry, shared by every
+/// QueryService instance. Resolved once.
+struct ServiceRegistryMetrics {
+  obs::Counter* submitted;
+  obs::Counter* served;
+  obs::Counter* rejected;
+  obs::Counter* timed_out;
+  obs::Counter* cancelled;
+  obs::Counter* failed;
+  obs::Gauge* queue_depth;
+  obs::LatencyHistogram* latency;
+};
+
+const ServiceRegistryMetrics& RegistryMetrics() {
+  static const ServiceRegistryMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return ServiceRegistryMetrics{
+        reg.GetCounter("tsss_service_submitted_total",
+                       "Requests accepted into the admission queue"),
+        reg.GetCounter("tsss_service_served_total",
+                       "Requests completed with an OK status"),
+        reg.GetCounter("tsss_service_rejected_total",
+                       "Requests refused at admission (queue full)"),
+        reg.GetCounter("tsss_service_timed_out_total",
+                       "Requests whose deadline expired"),
+        reg.GetCounter("tsss_service_cancelled_total", "Requests cancelled"),
+        reg.GetCounter("tsss_service_failed_total",
+                       "Requests completed with any other error"),
+        reg.GetGauge("tsss_service_queue_depth",
+                     "Requests waiting in the admission queue"),
+        reg.GetHistogram("tsss_service_latency",
+                         "Submit()-to-completion latency"),
+    };
+  }();
+  return metrics;
+}
+
 }  // namespace
-
-// --- LatencyHistogram -------------------------------------------------------
-
-std::size_t LatencyHistogram::BucketFor(std::uint64_t us) {
-  if (us < 16) return static_cast<std::size_t>(us);
-  const unsigned log2 = static_cast<unsigned>(std::bit_width(us)) - 1u;
-  const std::uint64_t frac = (us >> (log2 - 2u)) & 3u;
-  const std::size_t index =
-      16 + static_cast<std::size_t>(log2 - 4u) * 4 +
-      static_cast<std::size_t>(frac);
-  return std::min(index, kNumBuckets - 1);
-}
-
-std::uint64_t LatencyHistogram::BucketFloorUs(std::size_t index) {
-  if (index < 16) return index;
-  const std::size_t rest = index - 16;
-  const unsigned octave = 4u + static_cast<unsigned>(rest / 4);
-  const std::uint64_t frac = rest % 4;
-  return (std::uint64_t{1} << octave) +
-         frac * (std::uint64_t{1} << (octave - 2u));
-}
-
-void LatencyHistogram::Record(std::chrono::microseconds latency) {
-  const std::uint64_t us =
-      latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
-  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::PercentileMs(double q) const {
-  std::array<std::uint64_t, kNumBuckets> counts;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the q-quantile sample (1-based, nearest-rank definition).
-  const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    seen += counts[i];
-    if (seen >= rank) {
-      return static_cast<double>(BucketFloorUs(i)) / 1000.0;
-    }
-  }
-  return static_cast<double>(BucketFloorUs(kNumBuckets - 1)) / 1000.0;
-}
 
 // --- QueryService -----------------------------------------------------------
 
@@ -88,9 +75,15 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
 
   auto service =
       std::unique_ptr<QueryService>(new QueryService(engine, config));
+  service->worker_latency_.reserve(config.num_workers);
+  for (std::size_t i = 0; i < config.num_workers; ++i) {
+    service->worker_latency_.push_back(
+        std::make_unique<obs::LatencyHistogram>());
+  }
   service->workers_.reserve(config.num_workers);
   for (std::size_t i = 0; i < config.num_workers; ++i) {
-    service->workers_.emplace_back([raw = service.get()] { raw->WorkerLoop(); });
+    service->workers_.emplace_back(
+        [raw = service.get(), i] { raw->WorkerLoop(i); });
   }
   return service;
 }
@@ -121,13 +114,17 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
     }
     if (queue_.size() >= config_.queue_capacity) {
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      RegistryMetrics().rejected->Inc();
       return Status::ResourceExhausted(
           "admission queue full (capacity " +
           std::to_string(config_.queue_capacity) + ")");
     }
     queue_.push_back(std::move(task));
+    RegistryMetrics().queue_depth->Set(
+        static_cast<std::int64_t>(queue_.size()));
   }
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  RegistryMetrics().submitted->Inc();
   cv_.NotifyOne();
   return future;
 }
@@ -144,6 +141,7 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
     if (queue_.size() + requests.size() > config_.queue_capacity) {
       counters_.rejected.fetch_add(requests.size(),
                                    std::memory_order_relaxed);
+      RegistryMetrics().rejected->Inc(requests.size());
       return Status::ResourceExhausted(
           "batch of " + std::to_string(requests.size()) +
           " does not fit in the admission queue (" +
@@ -155,13 +153,16 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
       futures.push_back(task.promise.get_future());
       queue_.push_back(std::move(task));
     }
+    RegistryMetrics().queue_depth->Set(
+        static_cast<std::int64_t>(queue_.size()));
   }
   counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);
+  RegistryMetrics().submitted->Inc(futures.size());
   cv_.NotifyAll();
   return futures;
 }
 
-void QueryService::WorkerLoop() {
+void QueryService::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     Task task;
     {
@@ -173,8 +174,10 @@ void QueryService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      RegistryMetrics().queue_depth->Set(
+          static_cast<std::int64_t>(queue_.size()));
     }
-    Execute(std::move(task));
+    Execute(std::move(task), worker_index);
   }
 }
 
@@ -193,7 +196,7 @@ Result<std::vector<core::Match>> QueryService::RunQuery(
   return Status::InvalidArgument("unknown query kind");
 }
 
-void QueryService::Execute(Task task) {
+void QueryService::Execute(Task task, std::size_t worker_index) {
   QueryResponse response;
   if (std::chrono::steady_clock::now() >= task.deadline) {
     // Expired while still queued: fail fast without touching the engine.
@@ -207,25 +210,31 @@ void QueryService::Execute(Task task) {
     response.status = result.status();
     if (result.ok()) response.matches = std::move(result).value();
   }
-  FinishTask(&task, std::move(response));
+  FinishTask(&task, std::move(response), worker_index);
 }
 
-void QueryService::FinishTask(Task* task, QueryResponse response) {
+void QueryService::FinishTask(Task* task, QueryResponse response,
+                              std::size_t worker_index) {
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - task->submitted_at);
-  latency_.Record(response.latency);
+  worker_latency_[worker_index]->Record(response.latency);
+  RegistryMetrics().latency->Record(response.latency);
   switch (response.status.code()) {
     case StatusCode::kOk:
       counters_.served.fetch_add(1, std::memory_order_relaxed);
+      RegistryMetrics().served->Inc();
       break;
     case StatusCode::kDeadlineExceeded:
       counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      RegistryMetrics().timed_out->Inc();
       break;
     case StatusCode::kCancelled:
       counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      RegistryMetrics().cancelled->Inc();
       break;
     default:
       counters_.failed.fetch_add(1, std::memory_order_relaxed);
+      RegistryMetrics().failed->Inc();
       break;
   }
   task->promise.set_value(std::move(response));
@@ -243,8 +252,10 @@ ServiceMetrics QueryService::Stats() const {
     MutexLock lock(mu_);
     out.queue_depth = queue_.size();
   }
-  out.p50_latency_ms = latency_.PercentileMs(0.50);
-  out.p99_latency_ms = latency_.PercentileMs(0.99);
+  obs::LatencyHistogram merged;
+  for (const auto& hist : worker_latency_) merged.Merge(*hist);
+  out.p50_latency_ms = merged.PercentileMs(0.50);
+  out.p99_latency_ms = merged.PercentileMs(0.99);
   const storage::BufferPoolMetrics pool = engine_->pool().metrics();
   const std::uint64_t reads = pool.hits + pool.misses;
   out.pool_hit_rate =

@@ -1,7 +1,6 @@
 #ifndef TSSS_SERVICE_QUERY_SERVICE_H_
 #define TSSS_SERVICE_QUERY_SERVICE_H_
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -17,8 +16,13 @@
 #include "tsss/core/engine.h"
 #include "tsss/core/similarity.h"
 #include "tsss/geom/vec.h"
+#include "tsss/obs/histogram.h"
 
 namespace tsss::service {
+
+/// The histogram moved to the shared observability layer; the alias keeps
+/// service-side call sites and tests on their established spelling.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Which SearchEngine entry point a request drives.
 enum class QueryKind {
@@ -43,7 +47,7 @@ struct QueryRequest {
 struct QueryResponse {
   Status status;  ///< OK, DeadlineExceeded, Cancelled, or an engine error
   std::vector<core::Match> matches;
-  core::QueryStats stats;  ///< per-query page/candidate counters
+  core::QueryStats stats;  ///< per-query page/candidate/pruning counters
   /// Wall time from Submit() to completion (queueing + execution).
   std::chrono::microseconds latency{0};
 };
@@ -74,29 +78,6 @@ struct ServiceMetrics {
   double pool_hit_rate = 0.0;
 };
 
-/// Log-spaced fixed-bucket latency histogram. Record() is lock-free and safe
-/// from any number of threads; Percentile() reads a relaxed snapshot.
-///
-/// Buckets 0..15 are exact microsecond counts; above that each power of two
-/// is split into 4 sub-buckets, giving <= 25% relative error over a range of
-/// 16 us .. ~1 hour in 128 buckets.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kNumBuckets = 128;
-
-  void Record(std::chrono::microseconds latency);
-  /// The q-quantile (q in [0, 1]) in milliseconds; 0 when empty.
-  double PercentileMs(double q) const;
-
-  static std::size_t BucketFor(std::uint64_t us);
-  /// Lower bound (microseconds) of bucket `index`, the reported value for
-  /// any latency in it.
-  static std::uint64_t BucketFloorUs(std::size_t index);
-
- private:
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-};
-
 /// Serves Chu-Wong scale-shift queries concurrently over one shared
 /// SearchEngine.
 ///
@@ -113,6 +94,12 @@ class LatencyHistogram {
 /// (a per-query pool Clear() is the single-threaded benchmark I/O model and
 /// would evict pages out from under concurrent readers); it does not change
 /// query results. Engine mutations must not run while a service is live.
+///
+/// Observability: each worker records completion latencies into its own
+/// obs::LatencyHistogram (no cross-worker cache-line sharing on the hot
+/// path); Stats() merges them on demand. Request outcomes and latency are
+/// also reported to the process-wide obs::MetricsRegistry under
+/// tsss_service_*.
 ///
 /// Shutdown() (also run by the destructor) stops admission, drains every
 /// queued request, and joins the workers; futures obtained before shutdown
@@ -158,11 +145,12 @@ class QueryService {
   QueryService(core::SearchEngine* engine, const ServiceConfig& config);
 
   Task MakeTask(QueryRequest request) const;
-  void WorkerLoop() TSSS_EXCLUDES(mu_);
-  void Execute(Task task);
+  void WorkerLoop(std::size_t worker_index) TSSS_EXCLUDES(mu_);
+  void Execute(Task task, std::size_t worker_index);
   Result<std::vector<core::Match>> RunQuery(const QueryRequest& request,
                                             core::QueryStats* stats) const;
-  void FinishTask(Task* task, QueryResponse response);
+  void FinishTask(Task* task, QueryResponse response,
+                  std::size_t worker_index);
 
   const core::SearchEngine* engine_;
   const ServiceConfig config_;
@@ -184,7 +172,9 @@ class QueryService {
     std::atomic<std::uint64_t> failed{0};
   };
   AtomicCounters counters_;
-  LatencyHistogram latency_;
+  /// One histogram per worker, sized by Create() before the threads start
+  /// and merged by Stats(); indexing is wait-free and contention-free.
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> worker_latency_;
 };
 
 }  // namespace tsss::service

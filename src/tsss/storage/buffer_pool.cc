@@ -6,6 +6,7 @@
 
 #include "tsss/common/check.h"
 #include "tsss/common/crc32.h"
+#include "tsss/obs/metrics.h"
 #include "tsss/storage/query_counters.h"
 
 namespace tsss::storage {
@@ -37,6 +38,41 @@ void CountQueryPoolRead(bool miss) {
     ++qc->pool_logical_reads;
     if (miss) ++qc->pool_misses;
   }
+}
+
+/// Process-wide pool counters in the metrics registry, aggregated across
+/// every BufferPool instance. Pointers are resolved once; each tick is one
+/// relaxed atomic add on top of the per-instance AtomicMetrics.
+struct PoolRegistryCounters {
+  obs::Counter* logical_reads;
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* writebacks;
+  obs::Counter* overflows;
+  obs::Counter* crc_failures;
+};
+
+const PoolRegistryCounters& PoolCounters() {
+  static const PoolRegistryCounters counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return PoolRegistryCounters{
+        reg.GetCounter("tsss_pool_logical_reads_total",
+                       "Buffer-pool page requests (Fetch/New calls)"),
+        reg.GetCounter("tsss_pool_hits_total", "Buffer-pool cache hits"),
+        reg.GetCounter("tsss_pool_misses_total",
+                       "Buffer-pool cache misses (store reads)"),
+        reg.GetCounter("tsss_pool_evictions_total",
+                       "Frames evicted to make room"),
+        reg.GetCounter("tsss_pool_writebacks_total",
+                       "Dirty frames written back to the store"),
+        reg.GetCounter("tsss_pool_overflows_total",
+                       "Times a shard exceeded its soft capacity"),
+        reg.GetCounter("tsss_pool_crc_failures_total",
+                       "Clean-frame CRC verification failures"),
+    };
+  }();
+  return counters;
 }
 
 }  // namespace
@@ -111,11 +147,13 @@ void BufferPool::TouchLru(Shard& shard, Frame* frame) {
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++metrics_.logical_reads;
+  PoolCounters().logical_reads->Inc();
   Shard& shard = ShardFor(id);
   MutexLock lock(shard.mu);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     ++metrics_.hits;
+    PoolCounters().hits->Inc();
     CountQueryPoolRead(/*miss=*/false);
     Frame* frame = it->second.get();
     TouchLru(shard, frame);
@@ -123,6 +161,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, frame);
   }
   ++metrics_.misses;
+  PoolCounters().misses->Inc();
   CountQueryPoolRead(/*miss=*/true);
   auto frame = std::make_unique<Frame>();
   frame->id = id;
@@ -147,6 +186,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 
 Result<PageGuard> BufferPool::New() {
   ++metrics_.logical_reads;
+  PoolCounters().logical_reads->Inc();
   CountQueryPoolRead(/*miss=*/false);
   const PageId id = store_->Allocate();
   Shard& shard = ShardFor(id);
@@ -209,6 +249,7 @@ Status BufferPool::WriteBack(Shard& shard, Frame* frame) {
     frame->crc_valid = true;
   }
   ++metrics_.writebacks;
+  PoolCounters().writebacks->Inc();
   return Status::OK();
 }
 
@@ -226,11 +267,13 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
     if (victim == nullptr) {
       // Everything is pinned: allow the shard to overflow.
       ++metrics_.overflows;
+      PoolCounters().overflows->Inc();
       return Status::OK();
     }
     Status s = WriteBack(shard, victim);
     if (!s.ok()) return s;
     ++metrics_.evictions;
+    PoolCounters().evictions->Inc();
     shard.lru.erase(victim->lru_pos);
     shard.table.erase(victim->id);
   }
@@ -280,6 +323,7 @@ void BufferPool::Unpin(Frame* frame) {
     // pointer without MutablePage(). Recorded (not aborted) so AuditPins()
     // can report it and tests can exercise the detector.
     ++metrics_.crc_failures;
+    PoolCounters().crc_failures->Inc();
   }
 }
 

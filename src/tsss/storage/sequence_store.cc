@@ -3,16 +3,23 @@
 #include <algorithm>
 #include <string>
 
+#include "tsss/obs/metrics.h"
 #include "tsss/storage/query_counters.h"
 
 namespace tsss::storage {
 
 namespace {
-/// Ticks the per-query data-read counter of the calling thread, if any.
+/// Ticks the per-query data-read counter of the calling thread (if any) and
+/// the process-wide registry counter.
 void CountQueryDataReads(std::uint64_t pages) {
   if (QueryCounters* qc = CurrentQueryCounters()) {
     qc->data_page_reads += pages;
   }
+  static obs::Counter* const data_page_reads =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tsss_data_page_reads_total",
+          "Raw-data pages read for candidate verification");
+  data_page_reads->Inc(pages);
 }
 }  // namespace
 

@@ -1,0 +1,154 @@
+#include "tsss/obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsss::obs {
+namespace {
+
+TEST(ObsMetricsRegistryTest, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests", "Requests served");
+  Counter* b = registry.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3u);
+
+  Gauge* g1 = registry.GetGauge("depth");
+  Gauge* g2 = registry.GetGauge("depth");
+  EXPECT_EQ(g1, g2);
+
+  LatencyHistogram* h1 = registry.GetHistogram("latency");
+  LatencyHistogram* h2 = registry.GetHistogram("latency");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(ObsMetricsRegistryTest, HelpComesFromFirstRegistration) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "the first help");
+  registry.GetCounter("c", "a different help");
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].help, "the first help");
+}
+
+TEST(ObsMetricsRegistryTest, SnapshotIsSortedWithinKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz")->Inc(1);
+  registry.GetCounter("aa")->Inc(2);
+  registry.GetGauge("mm")->Set(-7);
+  registry.GetHistogram("hh")->RecordUs(50);
+
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "aa");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[0].counter_value, 2u);
+  EXPECT_EQ(samples[1].name, "zz");
+  EXPECT_EQ(samples[1].counter_value, 1u);
+  EXPECT_EQ(samples[2].name, "mm");
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[2].gauge_value, -7);
+  EXPECT_EQ(samples[3].name, "hh");
+  EXPECT_EQ(samples[3].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[3].hist_count, 1u);
+  EXPECT_EQ(samples[3].hist_sum_us, 50u);
+}
+
+TEST(ObsMetricsRegistryTest, GlobalReturnsOneProcessWideInstance) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(ObsMetricsRegistryTest, PrometheusExportGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("test_count", "A count")->Inc(3);
+  registry.GetGauge("test_depth", "Queue depth")->Set(-5);
+  // One 1000us sample: bucket floor 896us, so every quantile reports 896us.
+  registry.GetHistogram("test_latency", "Latency")->RecordUs(1000);
+
+  const std::string expected =
+      "# HELP test_count A count\n"
+      "# TYPE test_count counter\n"
+      "test_count 3\n"
+      "# HELP test_depth Queue depth\n"
+      "# TYPE test_depth gauge\n"
+      "test_depth -5\n"
+      "# HELP test_latency Latency\n"
+      "# TYPE test_latency summary\n"
+      "test_latency{quantile=\"0.5\"} 0.000896\n"
+      "test_latency{quantile=\"0.9\"} 0.000896\n"
+      "test_latency{quantile=\"0.99\"} 0.000896\n"
+      "test_latency_sum 0.001000\n"
+      "test_latency_count 1\n";
+  EXPECT_EQ(ExportPrometheus(registry.Snapshot()), expected);
+}
+
+TEST(ObsMetricsRegistryTest, PrometheusExportOmitsEmptyHelp) {
+  MetricsRegistry registry;
+  registry.GetCounter("bare")->Inc();
+  EXPECT_EQ(ExportPrometheus(registry.Snapshot()),
+            "# TYPE bare counter\n"
+            "bare 1\n");
+}
+
+TEST(ObsMetricsRegistryTest, JsonExportGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("test_count", "A count")->Inc(3);
+  registry.GetGauge("test_depth", "Queue depth")->Set(-5);
+  registry.GetHistogram("test_latency", "Latency")->RecordUs(1000);
+
+  const std::string expected =
+      "{\"counters\":{\"test_count\":3},"
+      "\"gauges\":{\"test_depth\":-5},"
+      "\"histograms\":{\"test_latency\":{\"count\":1,\"sum_us\":1000,"
+      "\"p50_ms\":0.896000,\"p90_ms\":0.896000,\"p99_ms\":0.896000}}}\n";
+  EXPECT_EQ(ExportJson(registry.Snapshot()), expected);
+}
+
+TEST(ObsMetricsRegistryTest, JsonExportEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ExportJson(registry.Snapshot()),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+}
+
+TEST(ObsMetricsRegistryTest, EightThreadConcurrencyIsLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread registers the shared metrics itself (exercising the
+      // registration path concurrently) and hammers them; snapshots run
+      // concurrently with the updates.
+      Counter* shared = registry.GetCounter("shared");
+      Counter* own = registry.GetCounter("thread_" + std::to_string(t));
+      Gauge* gauge = registry.GetGauge("gauge");
+      LatencyHistogram* hist = registry.GetHistogram("hist");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shared->Inc();
+        own->Inc();
+        gauge->Add(1);
+        hist->RecordUs(i % 1000);
+        if (i % 4096 == 0) (void)registry.Snapshot();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("thread_" + std::to_string(t))->Value(),
+              kPerThread);
+  }
+  EXPECT_EQ(registry.GetGauge("gauge")->Value(),
+            static_cast<std::int64_t>(kThreads * kPerThread));
+  EXPECT_EQ(registry.GetHistogram("hist")->Count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace tsss::obs

@@ -1,0 +1,290 @@
+// Validates BENCH_<name>.json reports against the schema documented in
+// bench/bench_common.h (schema_version 1). Used by CI after run_benches.sh:
+//
+//   bench_schema_check BENCH_a.json BENCH_b.json ...
+//
+// Exits non-zero naming the first offending file/field. Self-contained
+// recursive-descent JSON parser: the reports are machine-written, small, and
+// flat, so a minimal strict parser beats a library dependency.
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered map would be nicer; lookup order is irrelevant here.
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, error)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = "trailing garbage at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Consume(char c, std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Consume('"', error)) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail(error, "dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          default:
+            // \uXXXX never appears in our reports; reject rather than mangle.
+            return Fail(error, "unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str, error);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    // Number.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return Fail(error, "unexpected character");
+    try {
+      out->number = std::stod(text_.substr(pos_, end - pos_));
+    } catch (...) {
+      return Fail(error, "malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    if (!Consume('{', error)) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key, error)) return false;
+      if (!Consume(':', error)) return false;
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}', error);
+    }
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    if (!Consume('[', error)) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']', error);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool CheckFile(const char* path, std::string* error) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    *error = "cannot open";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  JsonValue root;
+  if (!Parser(text).Parse(&root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "top level is not an object";
+    return false;
+  }
+
+  const JsonValue* version = root.Get("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
+      version->number != 1.0) {
+    *error = "schema_version must be the number 1";
+    return false;
+  }
+  const JsonValue* name = root.Get("name");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+      name->str.empty()) {
+    *error = "name must be a non-empty string";
+    return false;
+  }
+  const JsonValue* env = root.Get("env");
+  if (env == nullptr || env->kind != JsonValue::Kind::kObject) {
+    *error = "env must be an object";
+    return false;
+  }
+  for (const char* key : {"companies", "values", "queries", "full"}) {
+    const JsonValue* v = env->Get(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+      *error = std::string("env.") + key + " must be a number";
+      return false;
+    }
+  }
+  const JsonValue* meta = root.Get("meta");
+  if (meta == nullptr || meta->kind != JsonValue::Kind::kObject) {
+    *error = "meta must be an object";
+    return false;
+  }
+  const JsonValue* rows = root.Get("rows");
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+    *error = "rows must be an array";
+    return false;
+  }
+  if (rows->array.empty()) {
+    *error = "rows is empty (benchmark produced no results)";
+    return false;
+  }
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    if (row.kind != JsonValue::Kind::kObject || row.object.empty()) {
+      *error = "rows[" + std::to_string(i) + "] must be a non-empty object";
+      return false;
+    }
+    for (const auto& [key, value] : row.object) {
+      if (value.kind == JsonValue::Kind::kArray ||
+          value.kind == JsonValue::Kind::kObject) {
+        *error = "rows[" + std::to_string(i) + "]." + key +
+                 " must be a scalar";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", argv[0]);
+    return 2;
+  }
+  int failed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (CheckFile(argv[i], &error)) {
+      std::printf("%s: OK\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
+      failed = 1;
+    }
+  }
+  return failed;
+}

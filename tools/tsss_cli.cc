@@ -7,24 +7,35 @@
 //   tsss_cli info     --index dir
 //   tsss_cli query    --index dir (--pattern NAME | --series I --offset K)
 //                     [--eps 0.5] [--positive] [--min-scale A] [--suppress N]
+//                     [--trace trace.json]
 //   tsss_cli knn      --index dir (--pattern NAME | --series I --offset K)
-//                     [--k 10]
+//                     [--k 10] [--trace trace.json]
+//   tsss_cli stats    --index dir [--queries 25] [--eps 0.5]
+//                     [--format prometheus|json|both]
 //   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
 //                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
 //
 // Patterns: ramp, v, peak, sine, step, hns, saturation, cup.
+//
+// --trace writes a chrome://tracing / Perfetto-loadable span tree of the
+// query (per-phase timings plus per-level node visits and EP/BS prune
+// counts); `stats` runs a small sample workload so the process-wide metrics
+// registry has data, then dumps it.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "tsss/core/engine.h"
 #include "tsss/core/postprocess.h"
+#include "tsss/obs/metrics.h"
+#include "tsss/obs/trace.h"
 #include "tsss/seq/csv.h"
 #include "tsss/seq/patterns.h"
 #include "tsss/seq/stock_generator.h"
@@ -80,10 +91,22 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsss_cli <generate|build|info|query|knn|serve-bench> "
-               "--flag value...\n"
+               "usage: tsss_cli <generate|build|info|query|knn|stats|"
+               "serve-bench> --flag value...\n"
                "see the header of tools/tsss_cli.cc for details\n");
   return 2;
+}
+
+/// Writes `contents` to `path`, failing loudly.
+int WriteFileOrFail(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return 0;
 }
 
 tsss::Result<tsss::geom::Vec> PatternByName(const std::string& name,
@@ -253,9 +276,23 @@ int CmdQuery(const Flags& flags) {
   if (flags.Has("min-scale")) cost.min_scale = flags.GetDouble("min-scale", 0.0);
   const double eps = flags.GetDouble("eps", 0.5);
 
+  const std::string trace_path = flags.Get("trace", "");
+  tsss::obs::QueryTrace trace;
+  std::optional<tsss::obs::ScopedQueryTrace> scoped_trace;
+  if (!trace_path.empty()) scoped_trace.emplace(&trace);
+
   tsss::core::QueryStats stats;
   auto matches = (*engine)->RangeQuery(*query, eps, cost, &stats);
   if (!matches.ok()) return Fail(matches.status());
+
+  if (!trace_path.empty()) {
+    scoped_trace.reset();
+    if (int rc = WriteFileOrFail(trace_path, trace.ToChromeJson()); rc != 0) {
+      return rc;
+    }
+    std::printf("trace written to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
 
   std::vector<tsss::core::Match> out = std::move(*matches);
   const std::size_t suppress = flags.GetSize("suppress", 0);
@@ -282,11 +319,70 @@ int CmdKnn(const Flags& flags) {
   auto query = ResolveQuery(flags, **engine);
   if (!query.ok()) return Fail(query.status());
 
+  const std::string trace_path = flags.Get("trace", "");
+  tsss::obs::QueryTrace trace;
+  std::optional<tsss::obs::ScopedQueryTrace> scoped_trace;
+  if (!trace_path.empty()) scoped_trace.emplace(&trace);
+
   const std::size_t k = flags.GetSize("k", 10);
   auto matches = (*engine)->Knn(*query, k);
   if (!matches.ok()) return Fail(matches.status());
+
+  if (!trace_path.empty()) {
+    scoped_trace.reset();
+    if (int rc = WriteFileOrFail(trace_path, trace.ToChromeJson()); rc != 0) {
+      return rc;
+    }
+    std::printf("trace written to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
   std::printf("%zu nearest window(s):\n\n", matches->size());
   PrintMatches(**engine, *matches, k);
+  return 0;
+}
+
+/// Runs a small sample workload over the index so the process-wide registry
+/// has live counters, then dumps it in Prometheus text and/or JSON.
+int CmdStats(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "stats: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+
+  const std::size_t num_queries = flags.GetSize("queries", 25);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::size_t n = (*engine)->config().window;
+  const std::size_t num_series = (*engine)->dataset().size();
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+
+  // Deterministic sample workload (windows of the indexed data itself).
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = (*engine)->dataset().Values(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    tsss::core::QueryStats stats;
+    auto matches = (*engine)->RangeQuery(
+        values->subspan(offset, n), eps, {}, &stats);
+    if (!matches.ok()) return Fail(matches.status());
+  }
+
+  const auto samples = tsss::obs::MetricsRegistry::Global().Snapshot();
+  const std::string format = flags.Get("format", "both");
+  if (format != "prometheus" && format != "json" && format != "both") {
+    std::fprintf(stderr, "stats: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (format == "prometheus" || format == "both") {
+    std::fputs(tsss::obs::ExportPrometheus(samples).c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::fputs(tsss::obs::ExportJson(samples).c_str(), stdout);
+  }
   return 0;
 }
 
@@ -405,6 +501,7 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "knn") return CmdKnn(flags);
+  if (command == "stats") return CmdStats(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }
