@@ -45,6 +45,17 @@ if [ "$SMOKE" = 1 ]; then
        "TSSS_QUERIES=$TSSS_QUERIES"
 fi
 
+# Clear stale reports first: a BENCH_*.json left by a since-removed benchmark
+# would otherwise survive every run and poison bench_diff comparisons.
+for json in "$REPO_ROOT"/BENCH_*.json; do
+  [ -e "$json" ] || continue
+  name=$(basename "$json" .json | sed 's/^BENCH_//')
+  if [ ! -x "$BUILD_DIR/bench/bench_${name}" ]; then
+    echo "# removing orphaned report $json (no bench_${name} binary)"
+  fi
+  rm -f "$json"
+done
+
 FAILED=0
 RAN=0
 for b in "$BUILD_DIR"/bench/bench_*; do

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <queue>
 #include <string>
@@ -42,6 +43,13 @@ const QueryRegistryCounters& QueryCountersRegistry() {
     };
   }();
   return counters;
+}
+
+/// Microseconds elapsed since `start` on the monotonic clock.
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return static_cast<std::uint64_t>(us.count());
 }
 
 }  // namespace
@@ -297,6 +305,11 @@ void SearchEngine::BeginQuery() const {
   }
 }
 
+void SearchEngine::RecordLastQuery(const LastQuery& last) const {
+  MutexLock lock(last_query_mu_);
+  last_query_ = last;
+}
+
 Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> query,
                                                     double eps,
                                                     const TransformCost& cost,
@@ -318,8 +331,10 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   // helpers reduce to a thread-local read plus an untaken branch.
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  std::chrono::steady_clock::time_point query_start;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
+    query_start = std::chrono::steady_clock::now();
   }
   obs::TraceSpan query_span("range_query");
 
@@ -365,6 +380,19 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
     FillPruneTelemetry(pen, &telemetry);
     telemetry.candidates_postfiltered = expanded.size() - matches.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    LastQuery last;
+    last.kind = "range";
+    last.eps = eps;
+    last.prune = config_.prune;
+    last.elapsed_us = ElapsedUs(query_start);
+    last.stats.index_page_reads = counters.pool_logical_reads;
+    last.stats.index_page_misses = counters.pool_misses;
+    last.stats.data_page_reads = counters.data_page_reads;
+    last.stats.candidates = expanded.size();
+    last.stats.matches = matches.size();
+    last.stats.penetration = pen;
+    last.stats.telemetry = telemetry;
+    RecordLastQuery(last);
   }
   const QueryRegistryCounters& reg = QueryCountersRegistry();
   reg.range_queries->Inc();
@@ -398,8 +426,10 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
 
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  std::chrono::steady_clock::time_point query_start;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
+    query_start = std::chrono::steady_clock::now();
   }
   obs::TraceSpan query_span("knn_query");
 
@@ -460,6 +490,18 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   if (scoped_telemetry.has_value()) {
     telemetry.candidates_postfiltered = candidates_seen - out.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    LastQuery last;
+    last.kind = "knn";
+    last.k = k;
+    last.prune = config_.prune;
+    last.elapsed_us = ElapsedUs(query_start);
+    last.stats.index_page_reads = counters.pool_logical_reads;
+    last.stats.index_page_misses = counters.pool_misses;
+    last.stats.data_page_reads = counters.data_page_reads;
+    last.stats.candidates = candidates_seen;
+    last.stats.matches = out.size();
+    last.stats.telemetry = telemetry;
+    RecordLastQuery(last);
   }
   const QueryRegistryCounters& reg = QueryCountersRegistry();
   reg.knn_queries->Inc();

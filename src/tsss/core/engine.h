@@ -3,12 +3,16 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "tsss/common/mutex.h"
 #include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
 #include "tsss/core/similarity.h"
 #include "tsss/geom/penetration.h"
+#include "tsss/obs/explain.h"
 #include "tsss/obs/query_telemetry.h"
 #include "tsss/index/rtree.h"
 #include "tsss/reduce/reducer.h"
@@ -199,6 +203,14 @@ class SearchEngine {
   /// in point mode; in sub-trail mode one tree entry covers many windows).
   std::size_t num_indexed_windows() const { return indexed_windows_; }
 
+  /// Plan report of the most recent *telemetry-enabled* query on this engine
+  /// (one that was passed a QueryStats or ran under a trace; queries with
+  /// neither are not snapshotted, keeping the instrumentation-off path free
+  /// of extra work). Combines the saved QueryStats with the tree's current
+  /// structural profile and the sequential-scan baseline. Thread-safe;
+  /// returns NotFound before the first eligible query. Defined in explain.cc.
+  Result<obs::ExplainReport> ExplainLast() const;
+
   /// SE-transform + reduction of one window: the point actually indexed.
   geom::Vec ReducedPoint(std::span<const double> window) const;
 
@@ -207,6 +219,21 @@ class SearchEngine {
 
  private:
   explicit SearchEngine(const EngineConfig& config);
+
+  /// Snapshot of one finished query, the raw material of ExplainLast().
+  struct LastQuery {
+    const char* kind = "range";  ///< "range" | "knn" | "long_range"
+    double eps = 0.0;
+    std::uint64_t k = 0;  ///< k-NN only
+    geom::PruneStrategy prune = geom::PruneStrategy::kEepOnly;
+    std::uint64_t elapsed_us = 0;
+    QueryStats stats;
+  };
+
+  /// Saves the snapshot for ExplainLast(). Called from the const query
+  /// methods only when telemetry was collected, so the mutex is off the
+  /// instrumentation-disabled path entirely.
+  void RecordLastQuery(const LastQuery& last) const TSSS_EXCLUDES(last_query_mu_);
 
   Status IndexWindows(storage::SeriesId id, std::size_t first_offset);
   Status IndexWindowsTrail(storage::SeriesId id, std::size_t first_offset);
@@ -229,6 +256,11 @@ class SearchEngine {
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<index::RTree> tree_;
   std::size_t indexed_windows_ = 0;
+
+  /// mutable: recording the last query is observability, not logical
+  /// mutation, and happens on the const query path.
+  mutable Mutex last_query_mu_;
+  mutable std::optional<LastQuery> last_query_ TSSS_GUARDED_BY(last_query_mu_);
 };
 
 }  // namespace tsss::core

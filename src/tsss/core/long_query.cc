@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -48,8 +49,10 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
 
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
+  std::chrono::steady_clock::time_point query_start;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
+    query_start = std::chrono::steady_clock::now();
   }
   obs::TraceSpan query_span("long_range_query");
   query_span.Annotate("pieces", pieces);
@@ -109,6 +112,22 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     FillPruneTelemetry(pen, &telemetry);
     telemetry.candidates_postfiltered = ordered.size() - matches.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    LastQuery last;
+    last.kind = "long_range";
+    last.eps = eps;
+    last.prune = config_.prune;
+    last.elapsed_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - query_start)
+            .count());
+    last.stats.index_page_reads = counters.pool_logical_reads;
+    last.stats.index_page_misses = counters.pool_misses;
+    last.stats.data_page_reads = counters.data_page_reads;
+    last.stats.candidates = raw_candidates;
+    last.stats.matches = matches.size();
+    last.stats.penetration = pen;
+    last.stats.telemetry = telemetry;
+    RecordLastQuery(last);
   }
   static obs::Counter* const long_queries =
       obs::MetricsRegistry::Global().GetCounter(

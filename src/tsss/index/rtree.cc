@@ -651,7 +651,7 @@ Result<std::vector<RecordId>> RTree::RangeQuery(const geom::Mbr& box) const {
 }
 
 Status RTree::VisitNodes(
-    const std::function<void(const Node&, storage::PageId)>& fn) {
+    const std::function<void(const Node&, storage::PageId)>& fn) const {
   std::vector<storage::PageId> stack;
   stack.push_back(root_);
   while (!stack.empty()) {

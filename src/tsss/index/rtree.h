@@ -86,6 +86,47 @@ struct TreeStats {
   double avg_diag_to_min_side = 0.0;  ///< mean (diagonal / shortest side)
 };
 
+/// Shape of one tree level, for ComputeStructuralStats(). Level 0 = leaves.
+struct LevelStats {
+  std::size_t level = 0;
+  std::size_t nodes = 0;
+  std::size_t entries = 0;      ///< total entries across the level's nodes
+  std::size_t min_fanout = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+  /// Mean entries / capacity; capacity is leaf_capacity() for level 0 and
+  /// config().max_entries otherwise (supernodes can push a node above 1.0).
+  double avg_occupancy = 0.0;
+  /// Node count by occupancy decile; [9] also holds occupancy >= 100%.
+  std::size_t occupancy_histogram[10] = {};
+  /// Pairwise overlap volume among sibling MBRs, summed over the level's
+  /// nodes (the X-tree degradation signal, per node of the level *above*
+  /// this one's entries live in - i.e. computed from nodes AT this level
+  /// over their own entry boxes).
+  double overlap_volume = 0.0;
+  /// Mean of max(0, V(node) - sum V(entries)) / V(node) over nodes with
+  /// V(node) > 0: how much of each node's box covers no child box. Point
+  /// leaves have degenerate entry boxes, so their ratio is 1 by definition.
+  double dead_space_ratio = 0.0;
+  double margin_sum = 0.0;  ///< sum of node-MBR margins (R* split objective)
+};
+
+/// Full structural profile of the tree: TreeStats' totals plus per-level
+/// fanout/occupancy histograms, overlap, dead space and margins, and a
+/// leaf-depth uniformity check. See ComputeStructuralStats().
+struct StructuralStats {
+  std::size_t height = 0;
+  std::size_t node_count = 0;
+  std::size_t entry_count = 0;      ///< data entries (leaf records)
+  std::size_t supernode_count = 0;
+  /// True iff the observed levels are exactly {0, ..., height-1}, the top
+  /// level has one node (the root) and each internal level's entry count
+  /// equals the node count of the level below - i.e. the tree is height-
+  /// balanced with no dangling references.
+  bool depth_uniform = false;
+  std::vector<LevelStats> levels;  ///< [0] = leaves, [height-1] = root
+};
+
 /// Disk-resident R-tree over `dim`-dimensional points with the paper's
 /// line-penetration search.
 ///
@@ -217,11 +258,18 @@ class RTree {
   Status CheckInvariants() { return ValidateInvariants(); }
 
   /// Walks the whole tree and gathers shape statistics.
-  Result<TreeStats> ComputeStats();
+  Result<TreeStats> ComputeStats() const;
+
+  /// Walks the whole tree and gathers the full structural profile (per-level
+  /// histograms, overlap, dead space, depth check). Const and read-only like
+  /// ComputeStats(); an O(n + sum fanout^2) walk for diagnostics, not for
+  /// query hot paths.
+  Result<StructuralStats> ComputeStructuralStats() const;
 
   /// Calls `fn(node, page_id)` for every node, top-down. Exposed for the
-  /// stats/ablation tooling.
-  Status VisitNodes(const std::function<void(const Node&, storage::PageId)>& fn);
+  /// stats/ablation tooling. Read-only (queries may run concurrently).
+  Status VisitNodes(
+      const std::function<void(const Node&, storage::PageId)>& fn) const;
 
  private:
   RTree(storage::BufferPool* pool, const RTreeConfig& config);
@@ -298,6 +346,11 @@ class RTree {
   std::size_t size_ = 0;
   std::size_t height_ = 1;
 };
+
+/// Publishes the headline numbers of `stats` as tsss_tree_* gauges in the
+/// global MetricsRegistry (height, nodes, entries, supernodes, occupancy and
+/// dead-space permille). Idempotent: gauges are set, not accumulated.
+void RegisterStructuralGauges(const StructuralStats& stats);
 
 }  // namespace tsss::index
 

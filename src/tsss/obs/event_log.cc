@@ -1,0 +1,156 @@
+#include "tsss/obs/event_log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace tsss::obs {
+
+namespace {
+
+constexpr std::size_t kWordBytes = sizeof(std::uint64_t);
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One ring slot. The payload is a rendered NDJSON line stored as relaxed
+/// atomic words so a lapped writer and a snapshotting reader never race on
+/// non-atomic memory; `stamp` is the per-slot seqlock (odd = being written,
+/// 2*ticket+2 = record for `ticket` is complete).
+struct EventLog::Slot {
+  static constexpr std::size_t kWords =
+      (kMaxLineBytes + kWordBytes - 1) / kWordBytes;
+
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic<std::uint64_t> length{0};  ///< payload bytes, <= kMaxLineBytes
+  std::atomic<std::uint64_t> words[kWords];
+};
+
+EventLog::EventLog(std::size_t capacity) {
+  std::size_t cap = 8;
+  while (cap < capacity) cap <<= 1;
+  capacity_ = cap;
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    slots_[i].stamp.store(0, std::memory_order_relaxed);
+    slots_[i].length.store(0, std::memory_order_relaxed);
+  }
+  epoch_ns_ = SteadyNowNs();
+}
+
+EventLog::~EventLog() = default;
+
+EventLog& EventLog::Global() {
+  static EventLog* const log = new EventLog();
+  return *log;
+}
+
+void EventLog::Publish(const char* category, const char* event,
+                       std::initializer_list<EventField> fields) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t ts_us = (SteadyNowNs() - epoch_ns_) / 1000;
+
+  // Render the full line locally first; the slot is touched only with the
+  // finished bytes. Fields that no longer fit are dropped whole, so the line
+  // always remains valid JSON.
+  char line[kMaxLineBytes + 1];
+  int len = std::snprintf(line, sizeof(line),
+                          "{\"seq\":%llu,\"ts_us\":%llu,\"category\":\"%s\","
+                          "\"event\":\"%s\"",
+                          static_cast<unsigned long long>(ticket),
+                          static_cast<unsigned long long>(ts_us), category,
+                          event);
+  if (len < 0) return;
+  // Reserve one byte for the closing brace.
+  std::size_t pos = static_cast<std::size_t>(len) < kMaxLineBytes - 1
+                        ? static_cast<std::size_t>(len)
+                        : kMaxLineBytes - 1;
+  for (const EventField& field : fields) {
+    char frag[96];
+    const int flen =
+        std::snprintf(frag, sizeof(frag), ",\"%s\":%llu", field.key,
+                      static_cast<unsigned long long>(field.value));
+    if (flen < 0) continue;
+    // +1 leaves room for the closing brace.
+    if (pos + static_cast<std::size_t>(flen) + 1 > kMaxLineBytes) break;
+    std::memcpy(line + pos, frag, static_cast<std::size_t>(flen));
+    pos += static_cast<std::size_t>(flen);
+  }
+  line[pos++] = '}';
+
+  // Release payload stores keep the odd stamp ordered before them, so a
+  // reader that observes any new word is guaranteed to observe a moved
+  // stamp on its re-check. (A release fence would do, but TSan cannot
+  // model standalone fences; per-word release costs nothing on x86.)
+  Slot& slot = slots_[ticket & mask_];
+  slot.stamp.store(2 * ticket + 1, std::memory_order_release);
+  slot.length.store(pos, std::memory_order_release);
+  for (std::size_t w = 0; w * kWordBytes < pos; ++w) {
+    std::uint64_t word = 0;
+    const std::size_t n =
+        pos - w * kWordBytes < kWordBytes ? pos - w * kWordBytes : kWordBytes;
+    std::memcpy(&word, line + w * kWordBytes, n);
+    slot.words[w].store(word, std::memory_order_release);
+  }
+  slot.stamp.store(2 * ticket + 2, std::memory_order_release);
+}
+
+bool EventLog::ReadSlot(std::uint64_t ticket, std::string* out) const {
+  const Slot& slot = slots_[ticket & mask_];
+  const std::uint64_t want = 2 * ticket + 2;
+  if (slot.stamp.load(std::memory_order_acquire) != want) return false;
+  const std::uint64_t len = slot.length.load(std::memory_order_acquire);
+  if (len > kMaxLineBytes) return false;
+  char line[kMaxLineBytes];
+  // Acquire payload loads pair with the writer's release stores: if any
+  // word read came from a concurrent writer, that writer's odd stamp
+  // happens-before the re-check below, which therefore cannot still read
+  // `want`. This replaces the textbook acquire fence, which TSan rejects.
+  for (std::size_t w = 0; w * kWordBytes < len; ++w) {
+    const std::uint64_t word = slot.words[w].load(std::memory_order_acquire);
+    const std::size_t n =
+        len - w * kWordBytes < kWordBytes ? len - w * kWordBytes : kWordBytes;
+    std::memcpy(line + w * kWordBytes, &word, n);
+  }
+  // The copy is only coherent if the stamp did not move while it ran.
+  if (slot.stamp.load(std::memory_order_acquire) != want) return false;
+  out->assign(line, len);
+  return true;
+}
+
+std::vector<std::string> EventLog::Snapshot() const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(total - first));
+  std::string line;
+  for (std::uint64_t t = first; t < total; ++t) {
+    if (ReadSlot(t, &line)) out.push_back(line);
+  }
+  return out;
+}
+
+Status EventLog::DumpNdjson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open event-log file '" + path + "'");
+  }
+  for (const std::string& line : Snapshot()) {
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size() ||
+        std::fputc('\n', f) == EOF) {
+      std::fclose(f);
+      return Status::IoError("short write to event-log file '" + path + "'");
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace tsss::obs

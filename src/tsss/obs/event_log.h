@@ -1,0 +1,94 @@
+#ifndef TSSS_OBS_EVENT_LOG_H_
+#define TSSS_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+
+namespace tsss::obs {
+
+/// One numeric field of an event. Keys must be string literals that are valid
+/// JSON identifiers without escaping (the publisher renders them verbatim).
+struct EventField {
+  const char* key;
+  std::uint64_t value;
+};
+
+/// Ring-buffered structured event log with lock-free publish.
+///
+/// Each Publish() renders one NDJSON line
+///
+///   {"seq":N,"ts_us":T,"category":"...","event":"...","k1":v1,...}
+///
+/// into a fixed-size slot of a power-of-two ring. Publishing takes a ticket
+/// with one atomic fetch_add and then writes the slot under a per-slot
+/// sequence stamp (Vyukov-style seqlock): the slot's stamp goes odd while the
+/// payload words are stored and settles at 2*ticket+2 when the record is
+/// complete. Writers never block each other or readers; a reader (Snapshot)
+/// validates the stamp before and after copying and simply skips slots that
+/// are mid-overwrite, so concurrent use is wait-free for writers and torn
+/// records are impossible to observe. Payload bytes travel through relaxed
+/// atomic words, keeping concurrent overwrite-vs-read access race-free by
+/// construction (TSan-clean, not just "benign").
+///
+/// The ring retains the most recent `capacity` records; older ones are
+/// overwritten. ts_us is microseconds since the log's construction
+/// (monotonic clock).
+class EventLog {
+ public:
+  /// Payload capacity of one slot; longer rendered lines are truncated at a
+  /// field boundary (the line stays valid JSON).
+  static constexpr std::size_t kMaxLineBytes = 232;
+
+  /// `capacity` is rounded up to a power of two (min 8).
+  explicit EventLog(std::size_t capacity = 4096);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Process-wide instance the service and CLI publish into.
+  static EventLog& Global();
+
+  /// Appends one event. `category` and `event` must be literals that need no
+  /// JSON escaping. Safe from any thread, lock-free.
+  void Publish(const char* category, const char* event,
+               std::initializer_list<EventField> fields = {});
+
+  /// Total events published so far (including overwritten ones).
+  std::uint64_t published() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// The retained records, oldest first. Slots being concurrently rewritten
+  /// are skipped, never returned torn.
+  std::vector<std::string> Snapshot() const;
+
+  /// Writes Snapshot() as newline-delimited JSON to `path`.
+  Status DumpNdjson(const std::string& path) const;
+
+ private:
+  struct Slot;
+
+  /// Copies slot contents for ticket `t` into `out`; false when the slot is
+  /// mid-write or was lapped.
+  bool ReadSlot(std::uint64_t ticket, std::string* out) const;
+
+  std::size_t capacity_ = 0;   ///< power of two
+  std::size_t mask_ = 0;       ///< capacity_ - 1
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};  ///< next ticket (== total published)
+  std::uint64_t epoch_ns_ = 0;          ///< steady-clock origin for ts_us
+};
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_EVENT_LOG_H_

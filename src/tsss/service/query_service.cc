@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "tsss/common/exec_control.h"
+#include "tsss/obs/event_log.h"
 #include "tsss/obs/metrics.h"
 
 namespace tsss::service {
@@ -115,10 +116,18 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
     if (queue_.size() >= config_.queue_capacity) {
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().rejected->Inc();
+      obs::EventLog::Global().Publish(
+          "service", "rejected",
+          {{"queue_depth", queue_.size()},
+           {"kind", static_cast<std::uint64_t>(task.request.kind)}});
       return Status::ResourceExhausted(
           "admission queue full (capacity " +
           std::to_string(config_.queue_capacity) + ")");
     }
+    obs::EventLog::Global().Publish(
+        "service", "admitted",
+        {{"queue_depth", queue_.size() + 1},
+         {"kind", static_cast<std::uint64_t>(task.request.kind)}});
     queue_.push_back(std::move(task));
     RegistryMetrics().queue_depth->Set(
         static_cast<std::int64_t>(queue_.size()));
@@ -142,6 +151,9 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
       counters_.rejected.fetch_add(requests.size(),
                                    std::memory_order_relaxed);
       RegistryMetrics().rejected->Inc(requests.size());
+      obs::EventLog::Global().Publish(
+          "service", "batch_rejected",
+          {{"batch", requests.size()}, {"queue_depth", queue_.size()}});
       return Status::ResourceExhausted(
           "batch of " + std::to_string(requests.size()) +
           " does not fit in the admission queue (" +
@@ -155,6 +167,9 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
     }
     RegistryMetrics().queue_depth->Set(
         static_cast<std::int64_t>(queue_.size()));
+    obs::EventLog::Global().Publish(
+        "service", "batch_admitted",
+        {{"batch", futures.size()}, {"queue_depth", queue_.size()}});
   }
   counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);
   RegistryMetrics().submitted->Inc(futures.size());
@@ -200,6 +215,8 @@ void QueryService::Execute(Task task, std::size_t worker_index) {
   QueryResponse response;
   if (std::chrono::steady_clock::now() >= task.deadline) {
     // Expired while still queued: fail fast without touching the engine.
+    obs::EventLog::Global().Publish("service", "deadline_expired_in_queue",
+                                    {{"worker", worker_index}});
     response.status = Status::DeadlineExceeded("deadline expired in queue");
   } else {
     ExecControl control;
@@ -219,24 +236,33 @@ void QueryService::FinishTask(Task* task, QueryResponse response,
       std::chrono::steady_clock::now() - task->submitted_at);
   worker_latency_[worker_index]->Record(response.latency);
   RegistryMetrics().latency->Record(response.latency);
+  const char* outcome = "failed";
   switch (response.status.code()) {
     case StatusCode::kOk:
       counters_.served.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().served->Inc();
+      outcome = "served";
       break;
     case StatusCode::kDeadlineExceeded:
       counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().timed_out->Inc();
+      outcome = "timed_out";
       break;
     case StatusCode::kCancelled:
       counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().cancelled->Inc();
+      outcome = "cancelled";
       break;
     default:
       counters_.failed.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().failed->Inc();
       break;
   }
+  obs::EventLog::Global().Publish(
+      "service", outcome,
+      {{"worker", worker_index},
+       {"latency_us", static_cast<std::uint64_t>(response.latency.count())},
+       {"matches", response.matches.size()}});
   task->promise.set_value(std::move(response));
 }
 
@@ -267,6 +293,10 @@ ServiceMetrics QueryService::Stats() const {
 void QueryService::Shutdown() {
   {
     MutexLock lock(mu_);
+    if (!stopping_) {
+      obs::EventLog::Global().Publish("service", "shutdown",
+                                      {{"queue_depth", queue_.size()}});
+    }
     stopping_ = true;
   }
   cv_.NotifyAll();

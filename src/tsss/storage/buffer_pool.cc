@@ -1,5 +1,6 @@
 #include "tsss/storage/buffer_pool.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -155,6 +156,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     ++metrics_.hits;
     PoolCounters().hits->Inc();
     CountQueryPoolRead(/*miss=*/false);
+    ProfileAccess(shard, id, /*miss=*/false);
     Frame* frame = it->second.get();
     TouchLru(shard, frame);
     frame->pin_count.fetch_add(1, std::memory_order_relaxed);
@@ -163,6 +165,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++metrics_.misses;
   PoolCounters().misses->Inc();
   CountQueryPoolRead(/*miss=*/true);
+  ProfileAccess(shard, id, /*miss=*/true);
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   // The store read happens under the shard lock; concurrent misses on the
@@ -274,6 +277,11 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
     if (!s.ok()) return s;
     ++metrics_.evictions;
     PoolCounters().evictions->Inc();
+    if (profile_enabled_.load(std::memory_order_relaxed)) {
+      PageAccessStats& tally = shard.profile[victim->id];
+      tally.page = victim->id;
+      ++tally.evictions;
+    }
     shard.lru.erase(victim->lru_pos);
     shard.table.erase(victim->id);
   }
@@ -368,6 +376,43 @@ BufferPoolMetrics BufferPool::metrics() const {
   out.writebacks = metrics_.writebacks.load(std::memory_order_relaxed);
   out.overflows = metrics_.overflows.load(std::memory_order_relaxed);
   out.crc_failures = metrics_.crc_failures.load(std::memory_order_relaxed);
+  return out;
+}
+
+void BufferPool::ProfileAccess(Shard& shard, PageId id, bool miss) {
+  if (!profile_enabled_.load(std::memory_order_relaxed)) return;
+  PageAccessStats& tally = shard.profile[id];
+  tally.page = id;
+  ++tally.accesses;
+  if (miss) ++tally.misses;
+}
+
+void BufferPool::EnableAccessProfile(bool enabled) {
+  if (enabled) {
+    // Start from a clean slate so the profile covers exactly the workload
+    // run while it is on.
+    for (std::size_t i = 0; i < num_shards_; ++i) {
+      Shard& shard = shards_[i];
+      MutexLock lock(shard.mu);
+      shard.profile.clear();
+    }
+  }
+  profile_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<PageAccessStats> BufferPool::AccessProfile() const {
+  std::vector<PageAccessStats> out;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mu);
+    out.reserve(out.size() + shard.profile.size());
+    for (const auto& [id, tally] : shard.profile) out.push_back(tally);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PageAccessStats& a, const PageAccessStats& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.page < b.page;
+            });
   return out;
 }
 

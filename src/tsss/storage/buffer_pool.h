@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "tsss/common/check.h"
 #include "tsss/common/mutex.h"
@@ -65,6 +66,15 @@ struct BufferPoolMetrics {
   std::uint64_t crc_failures = 0;
 
   void Reset() { *this = BufferPoolMetrics{}; }
+};
+
+/// Per-page tally collected while the access profile is enabled; the raw
+/// material of the `tsss_cli inspect` heatmap (pages bucketed by tree level).
+struct PageAccessStats {
+  PageId page = kInvalidPageId;
+  std::uint64_t accesses = 0;   ///< Fetch calls for this page (hits + misses)
+  std::uint64_t misses = 0;     ///< of those, store reads
+  std::uint64_t evictions = 0;  ///< times the page was evicted while profiled
 };
 
 /// LRU write-back buffer pool over a PageStore.
@@ -158,6 +168,18 @@ class BufferPool {
   BufferPoolMetrics metrics() const;
   void ResetMetrics();
 
+  /// Turns the per-page access profile on or off. Enabling clears any prior
+  /// tally; disabling keeps it readable via AccessProfile(). While off (the
+  /// default) the cost on Fetch is one relaxed atomic load.
+  void EnableAccessProfile(bool enabled);
+  bool access_profile_enabled() const {
+    return profile_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The tally collected since the profile was last enabled, sorted by
+  /// descending access count (ties broken by ascending page id).
+  std::vector<PageAccessStats> AccessProfile() const;
+
   PageStore* store() { return store_; }
 
  private:
@@ -177,6 +199,8 @@ class BufferPool {
     std::unordered_map<PageId, std::unique_ptr<Frame>> table TSSS_GUARDED_BY(mu);
     std::list<PageId> lru TSSS_GUARDED_BY(mu);  ///< front = most recently used
     std::size_t dirty TSSS_GUARDED_BY(mu) = 0;  ///< dirty frames in this shard
+    /// Per-page access tally; written only while profile_enabled_.
+    std::unordered_map<PageId, PageAccessStats> profile TSSS_GUARDED_BY(mu);
   };
 
   /// Internally-atomic counters behind metrics().
@@ -201,6 +225,9 @@ class BufferPool {
   /// Best effort.
   Status EvictIfNeeded(Shard& shard) TSSS_REQUIRES(shard.mu);
   Status WriteBack(Shard& shard, Frame* frame) TSSS_REQUIRES(shard.mu);
+  /// Records one Fetch for `id` in the shard's profile (if enabled).
+  void ProfileAccess(Shard& shard, PageId id, bool miss)
+      TSSS_REQUIRES(shard.mu);
   void MarkDirty(Frame* frame);
   void Unpin(Frame* frame);
   static void TouchLru(Shard& shard, Frame* frame) TSSS_REQUIRES(shard.mu);
@@ -213,6 +240,7 @@ class BufferPool {
   std::size_t shard_capacity_;    ///< per-shard slice of capacity_
   std::unique_ptr<Shard[]> shards_;
   AtomicMetrics metrics_;
+  std::atomic<bool> profile_enabled_{false};
 };
 
 }  // namespace tsss::storage

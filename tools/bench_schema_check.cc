@@ -1,252 +1,108 @@
-// Validates BENCH_<name>.json reports against the schema documented in
-// bench/bench_common.h (schema_version 1). Used by CI after run_benches.sh:
+// Validates machine-written report files against their documented schemas:
 //
-//   bench_schema_check BENCH_a.json BENCH_b.json ...
+//   bench_schema_check [--schema bench|explain|inspect] report.json...
 //
-// Exits non-zero naming the first offending file/field. Self-contained
-// recursive-descent JSON parser: the reports are machine-written, small, and
-// flat, so a minimal strict parser beats a library dependency.
+//   bench   — BENCH_<name>.json emitted by run_benches.sh (schema documented
+//             in bench/bench_common.h, schema_version 1). The default.
+//   explain — `tsss_cli explain --format json` plan reports (schema in
+//             src/tsss/obs/explain.h).
+//   inspect — `tsss_cli inspect --format json` structural reports.
+//
+// Exits non-zero naming the first offending file/field. JSON parsing lives in
+// tools/json_mini.h (shared with bench_diff).
 
-#include <cctype>
 #include <cstdio>
-#include <map>
-#include <memory>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "json_mini.h"
+
 namespace {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0.0;
-  bool boolean = false;
-  std::string str;
-  std::vector<JsonValue> array;
-  // Insertion-ordered map would be nicer; lookup order is irrelevant here.
-  std::map<std::string, JsonValue> object;
+using jsonmini::JsonValue;
 
-  bool Has(const std::string& key) const { return object.count(key) != 0; }
-  const JsonValue* Get(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
+bool IsNumber(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+bool IsString(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+bool IsBool(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kBool;
+}
+
+/// Checks that `parent.key` is an object and returns it (else sets *error).
+const JsonValue* RequireObject(const JsonValue& parent, const char* key,
+                               std::string* error) {
+  const JsonValue* v = parent.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) {
+    *error = std::string(key) + " must be an object";
+    return nullptr;
   }
-};
+  return v;
+}
 
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
+const JsonValue* RequireArray(const JsonValue& parent, const char* key,
+                              std::string* error) {
+  const JsonValue* v = parent.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    *error = std::string(key) + " must be an array";
+    return nullptr;
+  }
+  return v;
+}
 
-  bool Parse(JsonValue* out, std::string* error) {
-    if (!ParseValue(out, error)) return false;
-    SkipWs();
-    if (pos_ != text_.size()) {
-      *error = "trailing garbage at byte " + std::to_string(pos_);
+bool RequireNumbers(const JsonValue& obj, const char* where,
+                    const std::vector<const char*>& keys, std::string* error) {
+  for (const char* key : keys) {
+    if (!IsNumber(obj.Get(key))) {
+      *error = std::string(where) + "." + key + " must be a number";
       return false;
     }
-    return true;
   }
+  return true;
+}
 
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Fail(std::string* error, const std::string& what) {
-    *error = what + " at byte " + std::to_string(pos_);
-    return false;
-  }
-
-  bool Consume(char c, std::string* error) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Fail(error, std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool ParseString(std::string* out, std::string* error) {
-    if (!Consume('"', error)) return false;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Fail(error, "dangling escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          default:
-            // \uXXXX never appears in our reports; reject rather than mangle.
-            return Fail(error, "unsupported escape");
-        }
-      }
-      out->push_back(c);
-    }
-    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out, std::string* error) {
-    SkipWs();
-    if (pos_ >= text_.size()) return Fail(error, "unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out, error);
-    if (c == '[') return ParseArray(out, error);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->str, error);
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->kind = JsonValue::Kind::kNull;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = false;
-      pos_ += 5;
-      return true;
-    }
-    // Number.
-    std::size_t end = pos_;
-    while (end < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
-            text_[end] == 'e' || text_[end] == 'E')) {
-      ++end;
-    }
-    if (end == pos_) return Fail(error, "unexpected character");
-    try {
-      out->number = std::stod(text_.substr(pos_, end - pos_));
-    } catch (...) {
-      return Fail(error, "malformed number");
-    }
-    out->kind = JsonValue::Kind::kNumber;
-    pos_ = end;
-    return true;
-  }
-
-  bool ParseObject(JsonValue* out, std::string* error) {
-    if (!Consume('{', error)) return false;
-    out->kind = JsonValue::Kind::kObject;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      SkipWs();
-      if (!ParseString(&key, error)) return false;
-      if (!Consume(':', error)) return false;
-      JsonValue value;
-      if (!ParseValue(&value, error)) return false;
-      out->object.emplace(std::move(key), std::move(value));
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return Consume('}', error);
-    }
-  }
-
-  bool ParseArray(JsonValue* out, std::string* error) {
-    if (!Consume('[', error)) return false;
-    out->kind = JsonValue::Kind::kArray;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue value;
-      if (!ParseValue(&value, error)) return false;
-      out->array.push_back(std::move(value));
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return Consume(']', error);
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-bool CheckFile(const char* path, std::string* error) {
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) {
-    *error = "cannot open";
-    return false;
-  }
-  std::string text;
-  char buf[4096];
-  std::size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
-  std::fclose(f);
-
-  JsonValue root;
-  if (!Parser(text).Parse(&root, error)) return false;
+/// Common preamble: top level object with schema_version == 1. When
+/// `report_name` is non-null the "report" field must equal it.
+bool CheckHeader(const JsonValue& root, const char* report_name,
+                 std::string* error) {
   if (root.kind != JsonValue::Kind::kObject) {
     *error = "top level is not an object";
     return false;
   }
-
   const JsonValue* version = root.Get("schema_version");
-  if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
-      version->number != 1.0) {
+  if (!IsNumber(version) || version->number != 1.0) {
     *error = "schema_version must be the number 1";
     return false;
   }
-  const JsonValue* name = root.Get("name");
-  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
-      name->str.empty()) {
-    *error = "name must be a non-empty string";
-    return false;
-  }
-  const JsonValue* env = root.Get("env");
-  if (env == nullptr || env->kind != JsonValue::Kind::kObject) {
-    *error = "env must be an object";
-    return false;
-  }
-  for (const char* key : {"companies", "values", "queries", "full"}) {
-    const JsonValue* v = env->Get(key);
-    if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-      *error = std::string("env.") + key + " must be a number";
+  if (report_name != nullptr) {
+    const JsonValue* report = root.Get("report");
+    if (!IsString(report) || report->str != report_name) {
+      *error = std::string("report must be the string \"") + report_name + '"';
       return false;
     }
   }
-  const JsonValue* meta = root.Get("meta");
-  if (meta == nullptr || meta->kind != JsonValue::Kind::kObject) {
-    *error = "meta must be an object";
+  return true;
+}
+
+bool CheckBench(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, nullptr, error)) return false;
+  const JsonValue* name = root.Get("name");
+  if (!IsString(name) || name->str.empty()) {
+    *error = "name must be a non-empty string";
     return false;
   }
-  const JsonValue* rows = root.Get("rows");
-  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
-    *error = "rows must be an array";
+  const JsonValue* env = RequireObject(root, "env", error);
+  if (env == nullptr) return false;
+  if (!RequireNumbers(*env, "env", {"companies", "values", "queries", "full"},
+                      error)) {
     return false;
   }
+  if (RequireObject(root, "meta", error) == nullptr) return false;
+  const JsonValue* rows = RequireArray(root, "rows", error);
+  if (rows == nullptr) return false;
   if (rows->array.empty()) {
     *error = "rows is empty (benchmark produced no results)";
     return false;
@@ -269,18 +125,208 @@ bool CheckFile(const char* path, std::string* error) {
   return true;
 }
 
+bool CheckExplain(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "explain", error)) return false;
+
+  const JsonValue* query = RequireObject(root, "query", error);
+  if (query == nullptr) return false;
+  if (!IsString(query->Get("kind")) || !IsString(query->Get("prune"))) {
+    *error = "query.kind and query.prune must be strings";
+    return false;
+  }
+  if (!RequireNumbers(*query, "query", {"eps", "k", "elapsed_us"}, error)) {
+    return false;
+  }
+
+  const JsonValue* totals = RequireObject(root, "totals", error);
+  if (totals == nullptr) return false;
+  if (!RequireNumbers(
+          *totals, "totals",
+          {"tree_height", "tree_nodes", "nodes_visited", "entries_tested",
+           "ep_prunes", "bs_prunes", "exact_prunes", "descents",
+           "accepted_leaf_entries", "mbr_distance_evals", "indexed_windows",
+           "leaf_candidates", "candidates", "postfiltered", "matches"},
+          error)) {
+    return false;
+  }
+  // The prune waterfall must account for every tested entry (the report
+  // invariant the oracle tests pin down; a report violating it is corrupt).
+  const double accounted = totals->Get("ep_prunes")->number +
+                           totals->Get("bs_prunes")->number +
+                           totals->Get("exact_prunes")->number +
+                           totals->Get("descents")->number +
+                           totals->Get("accepted_leaf_entries")->number;
+  if (totals->Get("entries_tested")->number != accounted) {
+    *error = "totals: prune waterfall does not sum to entries_tested";
+    return false;
+  }
+
+  const JsonValue* levels = RequireArray(root, "levels", error);
+  if (levels == nullptr) return false;
+  for (std::size_t i = 0; i < levels->array.size(); ++i) {
+    const JsonValue& row = levels->array[i];
+    const std::string where = "levels[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(row, where.c_str(), {"level", "visited", "total"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+  }
+
+  const JsonValue* io = RequireObject(root, "io", error);
+  if (io == nullptr) return false;
+  if (!RequireNumbers(*io, "io",
+                      {"index_page_reads", "index_page_hits",
+                       "index_page_misses", "data_page_reads"},
+                      error)) {
+    return false;
+  }
+
+  const JsonValue* baseline = RequireObject(root, "baseline", error);
+  if (baseline == nullptr) return false;
+  if (!RequireNumbers(*baseline, "baseline",
+                      {"seq_scan_pages", "query_pages"}, error)) {
+    return false;
+  }
+
+  const JsonValue* phases = RequireArray(root, "phases", error);
+  if (phases == nullptr) return false;
+  for (std::size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& row = phases->array[i];
+    const std::string where = "phases[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject || !IsString(row.Get("name")) ||
+        !RequireNumbers(row, where.c_str(), {"depth", "dur_us"}, error)) {
+      if (error->empty()) *error = where + " must have name/depth/dur_us";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckInspect(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "inspect", error)) return false;
+
+  const JsonValue* tree = RequireObject(root, "tree", error);
+  if (tree == nullptr) return false;
+  if (!RequireNumbers(*tree, "tree",
+                      {"height", "nodes", "entries", "supernodes"}, error)) {
+    return false;
+  }
+  if (!IsBool(tree->Get("depth_uniform"))) {
+    *error = "tree.depth_uniform must be a boolean";
+    return false;
+  }
+  const JsonValue* levels = RequireArray(*tree, "levels", error);
+  if (levels == nullptr) {
+    *error = "tree." + *error;
+    return false;
+  }
+  for (std::size_t i = 0; i < levels->array.size(); ++i) {
+    const JsonValue& row = levels->array[i];
+    const std::string where = "tree.levels[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(row, where.c_str(),
+                        {"level", "nodes", "entries", "min_fanout",
+                         "max_fanout", "avg_fanout", "avg_occupancy",
+                         "overlap_volume", "dead_space_ratio", "margin_sum"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+    const JsonValue* histogram = row.Get("occupancy_histogram");
+    if (histogram == nullptr ||
+        histogram->kind != JsonValue::Kind::kArray ||
+        histogram->array.size() != 10) {
+      *error = where + ".occupancy_histogram must be a 10-element array";
+      return false;
+    }
+  }
+
+  const JsonValue* pool = RequireObject(root, "pool", error);
+  if (pool == nullptr) return false;
+  if (!RequireNumbers(*pool, "pool", {"capacity", "profiled_pages"}, error)) {
+    return false;
+  }
+  const JsonValue* pool_levels = RequireArray(*pool, "levels", error);
+  if (pool_levels == nullptr) {
+    *error = "pool." + *error;
+    return false;
+  }
+  for (std::size_t i = 0; i < pool_levels->array.size(); ++i) {
+    const JsonValue& row = pool_levels->array[i];
+    const std::string where = "pool.levels[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(row, where.c_str(),
+                        {"level", "pages", "accesses", "misses", "evictions"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+  }
+  const JsonValue* unclassified = RequireObject(*pool, "unclassified", error);
+  if (unclassified == nullptr) {
+    *error = "pool." + *error;
+    return false;
+  }
+  if (!RequireNumbers(*unclassified, "pool.unclassified",
+                      {"pages", "accesses", "misses", "evictions"}, error)) {
+    return false;
+  }
+  const JsonValue* top = RequireArray(*pool, "top_pages", error);
+  if (top == nullptr) {
+    *error = "pool." + *error;
+    return false;
+  }
+  for (std::size_t i = 0; i < top->array.size(); ++i) {
+    const JsonValue& row = top->array[i];
+    const std::string where = "pool.top_pages[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(row, where.c_str(),
+                        {"page", "level", "accesses", "misses", "evictions"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckFile(const char* path, const std::string& schema,
+               std::string* error) {
+  JsonValue root;
+  if (!jsonmini::ParseFile(path, &root, error)) return false;
+  if (schema == "bench") return CheckBench(root, error);
+  if (schema == "explain") return CheckExplain(root, error);
+  if (schema == "inspect") return CheckInspect(root, error);
+  *error = "unknown schema '" + schema + "'";
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", argv[0]);
+  std::string schema = "bench";
+  int first = 1;
+  if (argc >= 3 && std::strcmp(argv[1], "--schema") == 0) {
+    schema = argv[2];
+    first = 3;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr,
+                 "usage: %s [--schema bench|explain|inspect] report.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  if (schema != "bench" && schema != "explain" && schema != "inspect") {
+    std::fprintf(stderr, "unknown --schema '%s'\n", schema.c_str());
     return 2;
   }
   int failed = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     std::string error;
-    if (CheckFile(argv[i], &error)) {
-      std::printf("%s: OK\n", argv[i]);
+    if (CheckFile(argv[i], schema, &error)) {
+      std::printf("%s: OK (%s)\n", argv[i], schema.c_str());
     } else {
       std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
       failed = 1;

@@ -1,0 +1,280 @@
+#ifndef TSSS_TOOLS_JSON_MINI_H_
+#define TSSS_TOOLS_JSON_MINI_H_
+
+// Minimal strict JSON parser shared by the report tooling (bench_schema_check,
+// bench_diff). The reports it reads are machine-written, small and flat, so a
+// self-contained recursive-descent parser beats a library dependency.
+//
+// Limitations (deliberate): no \uXXXX escapes (our writers never emit them;
+// rejected rather than mangled) and numbers are parsed as double.
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jsonmini {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered map would be nicer; lookup order is irrelevant here.
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  JsonValue* GetMutable(const std::string& key) {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, error)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = "trailing garbage at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Consume(char c, std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Consume('"', error)) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail(error, "dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          default:
+            // \uXXXX never appears in our reports; reject rather than mangle.
+            return Fail(error, "unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str, error);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    // Number.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return Fail(error, "unexpected character");
+    try {
+      out->number = std::stod(text_.substr(pos_, end - pos_));
+    } catch (...) {
+      return Fail(error, "malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    if (!Consume('{', error)) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key, error)) return false;
+      if (!Consume(':', error)) return false;
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}', error);
+    }
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    if (!Consume('[', error)) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']', error);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads a whole file; false (with `error`) when it cannot be opened.
+inline bool ReadFile(const std::string& path, std::string* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  out->clear();
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+/// Parses `path` into `out`; false (with `error` naming the file) on failure.
+inline bool ParseFile(const std::string& path, JsonValue* out,
+                      std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text, error)) return false;
+  if (!Parser(text).Parse(out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+/// Re-serializes a JsonValue (used by bench_diff --inject). Object keys come
+/// out in std::map order, which downstream consumers do not depend on.
+inline void Serialize(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      *out += buf;
+      return;
+    }
+    case JsonValue::Kind::kString: {
+      *out += '"';
+      for (char c : v.str) {
+        if (c == '"' || c == '\\') *out += '\\';
+        *out += c;
+      }
+      *out += '"';
+      return;
+    }
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) *out += ',';
+        Serialize(v.array[i], out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"' + key + "\":";
+        Serialize(value, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace jsonmini
+
+#endif  // TSSS_TOOLS_JSON_MINI_H_

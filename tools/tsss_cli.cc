@@ -10,17 +10,28 @@
 //                     [--trace trace.json]
 //   tsss_cli knn      --index dir (--pattern NAME | --series I --offset K)
 //                     [--k 10] [--trace trace.json]
-//   tsss_cli stats    --index dir [--queries 25] [--eps 0.5]
+//   tsss_cli explain  --index dir (--pattern NAME | --series I --offset K)
+//                     [--eps 0.5] [--knn --k 10] [--format text|json]
+//                     [--out report] [--log-file events.ndjson]
+//   tsss_cli inspect  --index dir [--queries 25] [--eps 0.5]
+//                     [--format text|json] [--out report]
+//   tsss_cli stats    --index dir [--queries 25] [--eps 0.5] [--workers 2]
 //                     [--format prometheus|json|both]
 //   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
 //                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
+//                     [--log-file events.ndjson]
 //
 // Patterns: ramp, v, peak, sine, step, hns, saturation, cup.
 //
 // --trace writes a chrome://tracing / Perfetto-loadable span tree of the
 // query (per-phase timings plus per-level node visits and EP/BS prune
-// counts); `stats` runs a small sample workload so the process-wide metrics
-// registry has data, then dumps it.
+// counts). `explain` runs one query with full telemetry and renders the plan
+// report (prune waterfall, candidate funnel, I/O split, scan baseline).
+// `inspect` renders the tree's structural profile and a buffer-pool access
+// heatmap from a sample workload. `stats` drives a sample workload through a
+// QueryService so the registry (including the service latency histogram) has
+// data, then dumps it. --log-file writes the structured event-log ring as
+// NDJSON.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +45,8 @@
 
 #include "tsss/core/engine.h"
 #include "tsss/core/postprocess.h"
+#include "tsss/obs/event_log.h"
+#include "tsss/obs/explain.h"
 #include "tsss/obs/metrics.h"
 #include "tsss/obs/trace.h"
 #include "tsss/seq/csv.h"
@@ -91,10 +104,21 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsss_cli <generate|build|info|query|knn|stats|"
-               "serve-bench> --flag value...\n"
+               "usage: tsss_cli <generate|build|info|query|knn|explain|"
+               "inspect|stats|serve-bench> --flag value...\n"
                "see the header of tools/tsss_cli.cc for details\n");
   return 2;
+}
+
+/// Dumps the global event-log ring to --log-file, if given.
+int MaybeDumpEventLog(const Flags& flags) {
+  const std::string path = flags.Get("log-file", "");
+  if (path.empty()) return 0;
+  if (Status s = tsss::obs::EventLog::Global().DumpNdjson(path); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("event log written to %s\n", path.c_str());
+  return 0;
 }
 
 /// Writes `contents` to `path`, failing loudly.
@@ -305,7 +329,10 @@ int CmdQuery(const Flags& flags) {
               static_cast<unsigned long long>(stats.candidates),
               static_cast<unsigned long long>(stats.total_page_reads()));
   PrintMatches(**engine, out, flags.GetSize("limit", 25));
-  return 0;
+  tsss::obs::EventLog::Global().Publish(
+      "cli", "range_query",
+      {{"matches", out.size()}, {"candidates", stats.candidates}});
+  return MaybeDumpEventLog(flags);
 }
 
 int CmdKnn(const Flags& flags) {
@@ -338,11 +365,318 @@ int CmdKnn(const Flags& flags) {
   }
   std::printf("%zu nearest window(s):\n\n", matches->size());
   PrintMatches(**engine, *matches, k);
-  return 0;
+  tsss::obs::EventLog::Global().Publish("cli", "knn_query",
+                                        {{"k", k}, {"matches", matches->size()}});
+  return MaybeDumpEventLog(flags);
 }
 
-/// Runs a small sample workload over the index so the process-wide registry
-/// has live counters, then dumps it in Prometheus text and/or JSON.
+/// Runs one query with full telemetry and a trace, then renders the engine's
+/// plan report (prune waterfall, candidate funnel, I/O split, scan baseline).
+int CmdExplain(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "explain: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+
+  tsss::obs::QueryTrace trace;
+  {
+    // Scope the trace so every span is closed before rendering phases.
+    tsss::obs::ScopedQueryTrace scoped_trace(&trace);
+    tsss::core::QueryStats stats;
+    if (flags.Has("knn")) {
+      auto matches =
+          (*engine)->Knn(*query, flags.GetSize("k", 10), {}, &stats);
+      if (!matches.ok()) return Fail(matches.status());
+    } else {
+      tsss::core::TransformCost cost;
+      if (flags.Has("positive")) cost.min_scale = 0.0;
+      if (flags.Has("min-scale")) {
+        cost.min_scale = flags.GetDouble("min-scale", 0.0);
+      }
+      auto matches = (*engine)->RangeQuery(
+          *query, flags.GetDouble("eps", 0.5), cost, &stats);
+      if (!matches.ok()) return Fail(matches.status());
+    }
+  }
+
+  auto report = (*engine)->ExplainLast();
+  if (!report.ok()) return Fail(report.status());
+  tsss::obs::FillExplainPhases(trace, &*report);
+
+  const std::string format = flags.Get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = tsss::obs::RenderExplainText(*report);
+  } else if (format == "json") {
+    rendered = tsss::obs::RenderExplainJson(*report);
+  } else {
+    std::fprintf(stderr, "explain: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (int rc = WriteFileOrFail(out, rendered); rc != 0) return rc;
+    std::printf("explain report written to %s\n", out.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  tsss::obs::EventLog::Global().Publish(
+      "cli", "explain",
+      {{"entries_tested", report->entries_tested},
+       {"matches", report->matches}});
+  return MaybeDumpEventLog(flags);
+}
+
+/// Per-tree-level rollup of the buffer-pool access profile.
+struct PoolLevelRollup {
+  std::size_t pages = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Renders the tree's structural profile and a buffer-pool access heatmap
+/// collected while a deterministic sample workload runs.
+int CmdInspect(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "inspect: --index dir is required\n");
+    return 2;
+  }
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+
+  auto shape = (*engine)->tree().ComputeStructuralStats();
+  if (!shape.ok()) return Fail(shape.status());
+  tsss::index::RegisterStructuralGauges(*shape);
+
+  // Map each node's first page to its level. Supernode continuation pages
+  // are not first pages, so they (and any non-index pages sharing the pool)
+  // land in the "unclassified" bucket below.
+  std::map<tsss::storage::PageId, std::size_t> page_level;
+  Status visited = (*engine)->tree().VisitNodes(
+      [&page_level](const tsss::index::Node& node,
+                    tsss::storage::PageId page) {
+        page_level[page] = node.level;
+      });
+  if (!visited.ok()) return Fail(visited);
+
+  // Profile a sample workload. Cold-cache mode would clear the pool (and the
+  // hit/miss split) between queries, so switch it off for the heatmap.
+  (*engine)->set_cold_cache_per_query(false);
+  (*engine)->pool().EnableAccessProfile(true);
+  const std::size_t num_queries = flags.GetSize("queries", 25);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::size_t n = (*engine)->config().window;
+  const std::size_t num_series = (*engine)->dataset().size();
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = (*engine)->dataset().Values(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    auto matches = (*engine)->RangeQuery(values->subspan(offset, n), eps, {});
+    if (!matches.ok()) return Fail(matches.status());
+  }
+  (*engine)->pool().EnableAccessProfile(false);
+  const std::vector<tsss::storage::PageAccessStats> profile =
+      (*engine)->pool().AccessProfile();
+
+  std::vector<PoolLevelRollup> by_level(shape->height);
+  PoolLevelRollup unclassified;
+  for (const tsss::storage::PageAccessStats& page : profile) {
+    auto it = page_level.find(page.page);
+    PoolLevelRollup& bucket = (it != page_level.end() &&
+                               it->second < by_level.size())
+                                  ? by_level[it->second]
+                                  : unclassified;
+    ++bucket.pages;
+    bucket.accesses += page.accesses;
+    bucket.misses += page.misses;
+    bucket.evictions += page.evictions;
+  }
+  const std::size_t top_limit =
+      profile.size() < std::size_t{10} ? profile.size() : std::size_t{10};
+
+  const std::string format = flags.Get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "INSPECT %s\ntree: height %zu, %zu nodes, %zu entries, "
+                  "%zu supernode(s), depth uniform: %s\n\n",
+                  index_dir.c_str(), shape->height, shape->node_count,
+                  shape->entry_count, shape->supernode_count,
+                  shape->depth_uniform ? "yes" : "NO");
+    rendered += line;
+    std::snprintf(line, sizeof(line),
+                  "%-6s %8s %8s %18s %6s %6s %12s %10s\n", "level", "nodes",
+                  "entries", "fanout min/avg/max", "occ%", "dead%", "overlap",
+                  "margin");
+    rendered += line;
+    for (std::size_t l = shape->levels.size(); l-- > 0;) {
+      const tsss::index::LevelStats& lv = shape->levels[l];
+      char fanout[32];
+      std::snprintf(fanout, sizeof(fanout), "%zu/%.1f/%zu", lv.min_fanout,
+                    lv.avg_fanout, lv.max_fanout);
+      std::snprintf(line, sizeof(line),
+                    "%-6zu %8zu %8zu %18s %6.1f %6.1f %12.4g %10.4g%s\n",
+                    lv.level, lv.nodes, lv.entries, fanout,
+                    100.0 * lv.avg_occupancy, 100.0 * lv.dead_space_ratio,
+                    lv.overlap_volume, lv.margin_sum,
+                    l + 1 == shape->levels.size()
+                        ? " (root)"
+                        : (l == 0 ? " (leaves)" : ""));
+      rendered += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "\nbuffer pool heatmap (%zu queries, %zu profiled pages, "
+                  "capacity %zu):\n%-12s %8s %10s %10s %10s\n",
+                  num_queries, profile.size(), (*engine)->pool().capacity(),
+                  "level", "pages", "accesses", "misses", "evictions");
+    rendered += line;
+    for (std::size_t l = by_level.size(); l-- > 0;) {
+      const PoolLevelRollup& b = by_level[l];
+      if (b.pages == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "%-12zu %8zu %10llu %10llu %10llu\n", l, b.pages,
+                    static_cast<unsigned long long>(b.accesses),
+                    static_cast<unsigned long long>(b.misses),
+                    static_cast<unsigned long long>(b.evictions));
+      rendered += line;
+    }
+    if (unclassified.pages > 0) {
+      std::snprintf(line, sizeof(line),
+                    "%-12s %8zu %10llu %10llu %10llu\n", "unclassified",
+                    unclassified.pages,
+                    static_cast<unsigned long long>(unclassified.accesses),
+                    static_cast<unsigned long long>(unclassified.misses),
+                    static_cast<unsigned long long>(unclassified.evictions));
+      rendered += line;
+    }
+    if (top_limit > 0) {
+      rendered += "\nhottest pages:\n";
+      for (std::size_t i = 0; i < top_limit; ++i) {
+        const tsss::storage::PageAccessStats& page = profile[i];
+        auto it = page_level.find(page.page);
+        char level_tag[24];
+        if (it != page_level.end()) {
+          std::snprintf(level_tag, sizeof(level_tag), "level %zu",
+                        it->second);
+        } else {
+          std::snprintf(level_tag, sizeof(level_tag), "unclassified");
+        }
+        std::snprintf(line, sizeof(line),
+                      "  page %-8llu %-12s %8llu accesses, %llu misses, "
+                      "%llu evictions\n",
+                      static_cast<unsigned long long>(page.page), level_tag,
+                      static_cast<unsigned long long>(page.accesses),
+                      static_cast<unsigned long long>(page.misses),
+                      static_cast<unsigned long long>(page.evictions));
+        rendered += line;
+      }
+    }
+  } else if (format == "json") {
+    char buf[192];
+    rendered = "{\"schema_version\":1,\"report\":\"inspect\",\"tree\":{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"height\":%zu,\"nodes\":%zu,\"entries\":%zu,"
+                  "\"supernodes\":%zu,\"depth_uniform\":%s,\"levels\":[",
+                  shape->height, shape->node_count, shape->entry_count,
+                  shape->supernode_count,
+                  shape->depth_uniform ? "true" : "false");
+    rendered += buf;
+    for (std::size_t l = 0; l < shape->levels.size(); ++l) {
+      const tsss::index::LevelStats& lv = shape->levels[l];
+      if (l > 0) rendered += ',';
+      std::snprintf(buf, sizeof(buf),
+                    "{\"level\":%zu,\"nodes\":%zu,\"entries\":%zu,"
+                    "\"min_fanout\":%zu,\"max_fanout\":%zu,"
+                    "\"avg_fanout\":%.6g,\"avg_occupancy\":%.6g,",
+                    lv.level, lv.nodes, lv.entries, lv.min_fanout,
+                    lv.max_fanout, lv.avg_fanout, lv.avg_occupancy);
+      rendered += buf;
+      rendered += "\"occupancy_histogram\":[";
+      for (std::size_t b = 0; b < 10; ++b) {
+        std::snprintf(buf, sizeof(buf), "%s%zu", b > 0 ? "," : "",
+                      lv.occupancy_histogram[b]);
+        rendered += buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "],\"overlap_volume\":%.6g,\"dead_space_ratio\":%.6g,"
+                    "\"margin_sum\":%.6g}",
+                    lv.overlap_volume, lv.dead_space_ratio, lv.margin_sum);
+      rendered += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "]},\"pool\":{\"capacity\":%zu,\"profiled_pages\":%zu,"
+                  "\"levels\":[",
+                  (*engine)->pool().capacity(), profile.size());
+    rendered += buf;
+    bool first = true;
+    for (std::size_t l = 0; l < by_level.size(); ++l) {
+      const PoolLevelRollup& b = by_level[l];
+      if (b.pages == 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"level\":%zu,\"pages\":%zu,\"accesses\":%llu,"
+                    "\"misses\":%llu,\"evictions\":%llu}",
+                    first ? "" : ",", l, b.pages,
+                    static_cast<unsigned long long>(b.accesses),
+                    static_cast<unsigned long long>(b.misses),
+                    static_cast<unsigned long long>(b.evictions));
+      rendered += buf;
+      first = false;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "],\"unclassified\":{\"pages\":%zu,\"accesses\":%llu,"
+                  "\"misses\":%llu,\"evictions\":%llu},\"top_pages\":[",
+                  unclassified.pages,
+                  static_cast<unsigned long long>(unclassified.accesses),
+                  static_cast<unsigned long long>(unclassified.misses),
+                  static_cast<unsigned long long>(unclassified.evictions));
+    rendered += buf;
+    for (std::size_t i = 0; i < top_limit; ++i) {
+      const tsss::storage::PageAccessStats& page = profile[i];
+      auto it = page_level.find(page.page);
+      // level -1 marks a page outside the node map (unclassified).
+      const long long level =
+          it != page_level.end() ? static_cast<long long>(it->second) : -1;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"page\":%llu,\"level\":%lld,\"accesses\":%llu,"
+                    "\"misses\":%llu,\"evictions\":%llu}",
+                    i > 0 ? "," : "",
+                    static_cast<unsigned long long>(page.page), level,
+                    static_cast<unsigned long long>(page.accesses),
+                    static_cast<unsigned long long>(page.misses),
+                    static_cast<unsigned long long>(page.evictions));
+      rendered += buf;
+    }
+    rendered += "]}}\n";
+  } else {
+    std::fprintf(stderr, "inspect: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (int rc = WriteFileOrFail(out, rendered); rc != 0) return rc;
+    std::printf("inspect report written to %s\n", out.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return MaybeDumpEventLog(flags);
+}
+
+/// Drives a small sample workload through a QueryService so the process-wide
+/// registry has live counters (including the service latency histogram and
+/// its p50/p90/p99 quantiles), then dumps it in Prometheus text and/or JSON.
 int CmdStats(const Flags& flags) {
   const std::string index_dir = flags.Get("index", "");
   if (index_dir.empty()) {
@@ -352,24 +686,38 @@ int CmdStats(const Flags& flags) {
   auto engine = tsss::core::SearchEngine::Open(index_dir);
   if (!engine.ok()) return Fail(engine.status());
 
+  tsss::service::ServiceConfig service_config;
+  service_config.num_workers = flags.GetSize("workers", 2);
+  auto service =
+      tsss::service::QueryService::Create(engine->get(), service_config);
+  if (!service.ok()) return Fail(service.status());
+
   const std::size_t num_queries = flags.GetSize("queries", 25);
   const double eps = flags.GetDouble("eps", 0.5);
   const std::size_t n = (*engine)->config().window;
   const std::size_t num_series = (*engine)->dataset().size();
   if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
 
-  // Deterministic sample workload (windows of the indexed data itself).
+  // Deterministic sample workload (windows of the indexed data itself),
+  // submitted closed-loop so the queue never fills.
   for (std::size_t i = 0; i < num_queries; ++i) {
     const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
     auto values = (*engine)->dataset().Values(series);
     if (!values.ok()) return Fail(values.status());
     if (values->size() < n) continue;
     const std::size_t offset = (i * 37) % (values->size() - n + 1);
-    tsss::core::QueryStats stats;
-    auto matches = (*engine)->RangeQuery(
-        values->subspan(offset, n), eps, {}, &stats);
-    if (!matches.ok()) return Fail(matches.status());
+    tsss::service::QueryRequest request;
+    request.kind = tsss::service::QueryKind::kRange;
+    request.query.assign(
+        values->begin() + static_cast<std::ptrdiff_t>(offset),
+        values->begin() + static_cast<std::ptrdiff_t>(offset + n));
+    request.eps = eps;
+    auto future = (*service)->Submit(std::move(request));
+    if (!future.ok()) return Fail(future.status());
+    const tsss::service::QueryResponse response = future->get();
+    if (!response.status.ok()) return Fail(response.status);
   }
+  (*service)->Shutdown();
 
   const auto samples = tsss::obs::MetricsRegistry::Global().Snapshot();
   const std::string format = flags.Get("format", "both");
@@ -383,7 +731,7 @@ int CmdStats(const Flags& flags) {
   if (format == "json" || format == "both") {
     std::fputs(tsss::obs::ExportJson(samples).c_str(), stdout);
   }
-  return 0;
+  return MaybeDumpEventLog(flags);
 }
 
 /// Drives the index through QueryService from several client threads and
@@ -487,7 +835,7 @@ int CmdServeBench(const Flags& flags) {
   std::printf("%-22s %12.3f\n", "p50 latency (ms)", metrics.p50_latency_ms);
   std::printf("%-22s %12.3f\n", "p99 latency (ms)", metrics.p99_latency_ms);
   std::printf("%-22s %12.4f\n", "pool hit rate", metrics.pool_hit_rate);
-  return 0;
+  return MaybeDumpEventLog(flags);
 }
 
 }  // namespace
@@ -501,6 +849,8 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "knn") return CmdKnn(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "inspect") return CmdInspect(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
