@@ -27,6 +27,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   {
     std::istringstream in(bytes);
+    // discard-ok: fuzz target — only crashes/hangs matter, any Status is fine.
     (void)tsss::core::ParseEngineMeta(in);
   }
 

@@ -31,7 +31,7 @@ class TSSS_CAPABILITY("mutex") Mutex {
 
   void Lock() TSSS_ACQUIRE() { mu_.lock(); }
   void Unlock() TSSS_RELEASE() { mu_.unlock(); }
-  bool TryLock() TSSS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  [[nodiscard]] bool TryLock() TSSS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
   /// For checked documentation of "must hold" in code the analysis cannot
   /// follow (e.g. across a condition-variable wait).
@@ -39,6 +39,7 @@ class TSSS_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
+  // lint-ok: raw-mutex (this class IS the annotated wrapper around it)
   std::mutex mu_;
 };
 
@@ -73,6 +74,7 @@ class CondVar {
 
   /// Caller must hold the bound mutex.
   void Wait() {
+    // lint-ok: raw-mutex (adopting the wrapper's underlying handle for cv wait)
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
@@ -80,7 +82,9 @@ class CondVar {
 
   /// Caller must hold the bound mutex. Returns false on timeout.
   template <typename Clock, typename Duration>
-  bool WaitUntil(const std::chrono::time_point<Clock, Duration>& deadline) {
+  [[nodiscard]] bool WaitUntil(
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    // lint-ok: raw-mutex (adopting the wrapper's underlying handle for cv wait)
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(lock, deadline);
     lock.release();

@@ -35,7 +35,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status swallows an error. Call sites
+/// that genuinely do not care must write `(void)DoThing();` with a
+/// `// discard-ok: <why>` comment — tools/tsss_lint rejects the cast alone.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -104,8 +108,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// A Result is either an OK status plus a value, or a non-OK status. Accessing
 /// the value of a failed Result aborts the process (programming error).
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error (and a dropped value).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: success.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -299,10 +299,9 @@ Result<geom::Vec> SearchEngine::ReadWindow(index::RecordId record) const {
   return out;
 }
 
-void SearchEngine::BeginQuery() const {
-  if (config_.cold_cache_per_query) {
-    (void)pool_->Clear();
-  }
+Status SearchEngine::BeginQuery() const {
+  if (config_.cold_cache_per_query) return pool_->Clear();
+  return Status::OK();
 }
 
 void SearchEngine::RecordLastQuery(const LastQuery& last) const {
@@ -322,7 +321,7 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   }
   if (eps < 0.0) return Status::InvalidArgument("eps must be non-negative");
 
-  BeginQuery();
+  if (Status begin = BeginQuery(); !begin.ok()) return begin;
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 
@@ -420,7 +419,7 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   }
   if (k == 0) return std::vector<Match>{};
 
-  BeginQuery();
+  if (Status begin = BeginQuery(); !begin.ok()) return begin;
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 

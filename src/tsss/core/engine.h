@@ -245,7 +245,10 @@ class SearchEngine {
   /// point mode, up to subtrail_len in trail mode).
   Status ExpandCandidate(index::RecordId record,
                          std::vector<index::RecordId>* out) const;
-  void BeginQuery() const;
+  /// Per-query setup (cold-cache drop when configured). Fails when the pool
+  /// cannot be cleared — a silent failure here would quietly turn cold-cache
+  /// measurements into warm-cache ones.
+  Status BeginQuery() const;
 
   EngineConfig config_;
   std::unique_ptr<reduce::Reducer> reducer_;

@@ -43,7 +43,7 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   const std::size_t pieces = total / n;
   const double piece_eps = eps / std::sqrt(static_cast<double>(pieces));
 
-  BeginQuery();
+  if (Status begin = BeginQuery(); !begin.ok()) return begin;
   storage::QueryCounters counters;
   storage::ScopedQueryCounters scoped_counters(&counters);
 

@@ -19,6 +19,8 @@ QueryContext::QueryContext(std::span<const double> query)
 
 geom::Alignment QueryContext::Align(std::span<const double> window) const {
   TSSS_DCHECK(window.size() == use_.size());
+  // TSSS_HOT_BEGIN(exact_verify) — the exact scale-shift verification over a
+  // raw window; runs once per candidate that survives index pruning.
   const double n = static_cast<double>(window.size());
   double sum_v = 0.0;
   double corr = 0.0;  // <use, v>
@@ -44,6 +46,7 @@ geom::Alignment QueryContext::Align(std::span<const double> window) const {
   out.transform.offset = uu_ > 0.0 ? v_mean - a * q_mean_ : v_mean;
   out.distance = std::sqrt(acc);
   return out;
+  // TSSS_HOT_END(exact_verify)
 }
 
 std::optional<Match> VerifyCandidate(const QueryContext& ctx,

@@ -15,6 +15,8 @@ SlabResult LineMbrSlab(const Line& line, const Mbr& mbr) {
   SlabResult out;
   if (mbr.empty()) return out;
 
+  // TSSS_HOT_BEGIN(penetration_slab) — the EP penetration test; executed for
+  // every R-tree entry the traversal touches.
   double t_enter = -std::numeric_limits<double>::infinity();
   double t_exit = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < mbr.dim(); ++i) {
@@ -38,6 +40,7 @@ SlabResult LineMbrSlab(const Line& line, const Mbr& mbr) {
   out.t_enter = t_enter;
   out.t_exit = t_exit;
   return out;
+  // TSSS_HOT_END(penetration_slab)
 }
 
 bool LinePenetratesMbr(const Line& line, const Mbr& mbr) {
@@ -48,6 +51,7 @@ namespace {
 
 /// Squared distance from the line point at parameter t to the box.
 double BoxDistSquaredAt(const Line& line, const Mbr& mbr, double t) {
+  // TSSS_HOT_BEGIN(penetration_box_dist)
   double acc = 0.0;
   for (std::size_t i = 0; i < mbr.dim(); ++i) {
     const double x = line.point[i] + t * line.dir[i];
@@ -60,6 +64,7 @@ double BoxDistSquaredAt(const Line& line, const Mbr& mbr, double t) {
     acc += d * d;
   }
   return acc;
+  // TSSS_HOT_END(penetration_box_dist)
 }
 
 /// Unconstrained minimiser of the quadratic piece of f(t) whose active set is

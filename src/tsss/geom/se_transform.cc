@@ -13,9 +13,12 @@ Vec SeTransform(std::span<const double> p) {
 }
 
 double SeTransformInPlace(std::span<double> p) {
+  // TSSS_HOT_BEGIN(se_transform) — runs once per window at index-build time
+  // and once per candidate window on the query path.
   const double mean = Mean(p);
   for (double& x : p) x -= mean;
   return mean;
+  // TSSS_HOT_END(se_transform)
 }
 
 Line SeLine(std::span<const double> u) {

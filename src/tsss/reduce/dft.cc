@@ -31,6 +31,8 @@ DftReducer::DftReducer(std::size_t n, std::size_t num_coeffs, std::size_t first_
 void DftReducer::Reduce(std::span<const double> in, std::span<double> out) const {
   TSSS_DCHECK(in.size() == n_);
   TSSS_DCHECK(out.size() == output_dim());
+  // TSSS_HOT_BEGIN(dft_reduce) — per-window reduction; runs once per indexed
+  // window at build time and once per candidate at query time.
   for (std::size_t c = 0; c < num_coeffs_; ++c) {
     double re = 0.0;
     double im = 0.0;
@@ -43,6 +45,7 @@ void DftReducer::Reduce(std::span<const double> in, std::span<double> out) const
     out[2 * c] = re;
     out[2 * c + 1] = im;
   }
+  // TSSS_HOT_END(dft_reduce)
 }
 
 std::string DftReducer::Name() const {

@@ -25,6 +25,8 @@ void HaarReducer::Reduce(std::span<const double> in, std::span<double> out) cons
   // second half the detail coefficients of that level; recursing on the first
   // half leaves the buffer in coarse-to-fine order:
   //   [average, detail_coarsest, detail_next (x2), detail_next (x4), ...]
+  // TSSS_HOT_BEGIN(haar_reduce) — the wavelet passes; the scratch buffers
+  // above are the allowed setup cost (ROADMAP item 1 moves them caller-side).
   for (std::size_t len = n_; len > 1; len /= 2) {
     const std::size_t half = len / 2;
     for (std::size_t i = 0; i < half; ++i) {
@@ -34,6 +36,7 @@ void HaarReducer::Reduce(std::span<const double> in, std::span<double> out) cons
     for (std::size_t i = 0; i < len; ++i) buf[i] = tmp[i];
   }
   for (std::size_t i = 0; i < k_; ++i) out[i] = buf[i];
+  // TSSS_HOT_END(haar_reduce)
 }
 
 std::string HaarReducer::Name() const {

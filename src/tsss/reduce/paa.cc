@@ -29,11 +29,13 @@ PaaReducer::PaaReducer(std::size_t n, std::size_t k) : n_(n), k_(k) {
 void PaaReducer::Reduce(std::span<const double> in, std::span<double> out) const {
   TSSS_DCHECK(in.size() == n_);
   TSSS_DCHECK(out.size() == k_);
+  // TSSS_HOT_BEGIN(paa_reduce)
   for (std::size_t s = 0; s < k_; ++s) {
     double acc = 0.0;
     for (std::size_t j = seg_start_[s]; j < seg_start_[s + 1]; ++j) acc += in[j];
     out[s] = acc * seg_scale_[s];
   }
+  // TSSS_HOT_END(paa_reduce)
 }
 
 std::string PaaReducer::Name() const {

@@ -6,7 +6,6 @@
 #include <span>
 
 #include "tsss/common/status.h"
-#include "tsss/index/node.h"
 #include "tsss/storage/sequence_store.h"
 
 namespace tsss::seq {
@@ -14,16 +13,20 @@ namespace tsss::seq {
 /// A record id names one extracted window: (series id, window offset) packed
 /// into 64 bits. This is the identity stored in R-tree leaves
 /// (paper, Section 6: "<ID_i, S'_i>").
-inline index::RecordId MakeRecordId(storage::SeriesId series,
-                                    std::uint32_t offset) {
+///
+/// Spelled std::uint64_t rather than index::RecordId (the same type): seq/ is
+/// below index/ in the layer DAG, so the packing helpers cannot reach up for
+/// the alias. index/node.h documents that leaf record ids carry this packing.
+inline std::uint64_t MakeRecordId(storage::SeriesId series,
+                                  std::uint32_t offset) {
   return (static_cast<std::uint64_t>(series) << 32) | offset;
 }
 
-inline storage::SeriesId SeriesOf(index::RecordId record) {
+inline storage::SeriesId SeriesOf(std::uint64_t record) {
   return static_cast<storage::SeriesId>(record >> 32);
 }
 
-inline std::uint32_t OffsetOf(index::RecordId record) {
+inline std::uint32_t OffsetOf(std::uint64_t record) {
   return static_cast<std::uint32_t>(record & 0xFFFFFFFFu);
 }
 

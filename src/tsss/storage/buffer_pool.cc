@@ -52,6 +52,7 @@ struct PoolRegistryCounters {
   obs::Counter* writebacks;
   obs::Counter* overflows;
   obs::Counter* crc_failures;
+  obs::Counter* dtor_flush_failures;
 };
 
 const PoolRegistryCounters& PoolCounters() {
@@ -71,6 +72,9 @@ const PoolRegistryCounters& PoolCounters() {
                        "Times a shard exceeded its soft capacity"),
         reg.GetCounter("tsss_pool_crc_failures_total",
                        "Clean-frame CRC verification failures"),
+        reg.GetCounter("tsss_pool_dtor_flush_failures_total",
+                       "FlushAll failures during pool destruction (dirty "
+                       "pages lost)"),
     };
   }();
   return counters;
@@ -136,8 +140,11 @@ BufferPool::BufferPool(PageStore* store, std::size_t capacity_pages,
 
 BufferPool::~BufferPool() {
   // Best-effort flush; errors here indicate the store died first, which the
-  // usage contract forbids.
-  (void)FlushAll();
+  // usage contract forbids. A destructor cannot propagate, but a silent
+  // failure here is lost dirty pages — surface it through the registry so
+  // an operator can see it happened.
+  Status s = FlushAll();
+  if (!s.ok()) PoolCounters().dtor_flush_failures->Inc();
 }
 
 void BufferPool::TouchLru(Shard& shard, Frame* frame) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "tsss/common/crc32.h"
+#include "tsss/obs/metrics.h"
 
 namespace tsss::storage {
 namespace {
@@ -24,7 +25,18 @@ bool GetScalar(std::istream& is, T* value) {
 
 FilePageStore::FilePageStore(std::string path) : path_(std::move(path)) {}
 
-FilePageStore::~FilePageStore() { (void)Sync(); }
+FilePageStore::~FilePageStore() {
+  // A destructor cannot propagate, but a failed final Sync means the
+  // metadata on disk is stale — count it where an operator can see it.
+  Status s = Sync();
+  if (!s.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tsss_store_dtor_sync_failures_total",
+                    "Sync failures during FilePageStore destruction (on-disk "
+                    "metadata left stale)")
+        ->Inc();
+  }
+}
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
     const std::string& path) {

@@ -1,5 +1,6 @@
 #include "tsss/seq/window.h"
 
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,7 +9,7 @@ namespace tsss::seq {
 namespace {
 
 TEST(RecordIdTest, PackUnpackRoundTrip) {
-  const index::RecordId r = MakeRecordId(0xABCD1234u, 0x9876FEDCu);
+  const std::uint64_t r = MakeRecordId(0xABCD1234u, 0x9876FEDCu);
   EXPECT_EQ(SeriesOf(r), 0xABCD1234u);
   EXPECT_EQ(OffsetOf(r), 0x9876FEDCu);
 }
@@ -16,7 +17,7 @@ TEST(RecordIdTest, PackUnpackRoundTrip) {
 TEST(RecordIdTest, ZeroAndMax) {
   EXPECT_EQ(SeriesOf(MakeRecordId(0, 0)), 0u);
   EXPECT_EQ(OffsetOf(MakeRecordId(0, 0)), 0u);
-  const index::RecordId r = MakeRecordId(0xFFFFFFFFu, 0xFFFFFFFFu);
+  const std::uint64_t r = MakeRecordId(0xFFFFFFFFu, 0xFFFFFFFFu);
   EXPECT_EQ(SeriesOf(r), 0xFFFFFFFFu);
   EXPECT_EQ(OffsetOf(r), 0xFFFFFFFFu);
 }

@@ -1,0 +1,190 @@
+// Drives tsss_lint over the fixture corpus in tools/tsss_lint/testdata/.
+// Every check family gets one passing fixture (good/ exercises all four)
+// and at least two failing fixtures with golden finding counts, so a
+// regression that silences a family trips a test here before it lets a
+// real violation through CI.
+//
+// TSSS_LINT_TESTDATA_DIR and TSSS_LINT_RULES are injected by CMake.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tsss_lint/lexer.h"
+#include "tsss_lint/lint.h"
+#include "tsss_lint/rules.h"
+
+namespace tsss_lint {
+namespace {
+
+LintResult RunOnFixture(const std::string& fixture) {
+  LintOptions options;
+  options.root = std::string(TSSS_LINT_TESTDATA_DIR) + "/" + fixture;
+  options.rules_path = TSSS_LINT_RULES;
+  options.paths = {"src"};
+  return RunLint(options);
+}
+
+TEST(TsssLintFixtures, GoodCorpusIsClean) {
+  const LintResult result = RunOnFixture("good");
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected finding: " << FormatFinding(result.findings.front());
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(TsssLintFixtures, BadLayeringFindsBothUpwardIncludes) {
+  const LintResult result = RunOnFixture("bad_layering");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kLayering), 2);
+  EXPECT_EQ(static_cast<int>(result.findings.size()), 2);
+}
+
+TEST(TsssLintFixtures, BadIncludeCycleIsReportedOnce) {
+  const LintResult result = RunOnFixture("bad_include_cycle");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kLayering), 1);
+  EXPECT_NE(result.findings.front().message.find("include cycle"),
+            std::string::npos);
+}
+
+TEST(TsssLintFixtures, BadLockCycleFromDeclaredOrder) {
+  const LintResult result = RunOnFixture("bad_lock_cycle");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kLockOrder), 1);
+  EXPECT_NE(result.findings.front().message.find("cycle"), std::string::npos);
+}
+
+TEST(TsssLintFixtures, BadLockCycleFromNestedMutexLockScopes) {
+  const LintResult result = RunOnFixture("bad_lock_nested");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kLockOrder), 1);
+}
+
+TEST(TsssLintFixtures, BadLockUnannotatedFlagsBothMembers) {
+  const LintResult result = RunOnFixture("bad_lock_unannotated");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kLockOrder), 2);
+}
+
+TEST(TsssLintFixtures, BadStatusBareCallsAreFlagged) {
+  const LintResult result = RunOnFixture("bad_status_bare");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kStatusDiscard), 2);
+}
+
+TEST(TsssLintFixtures, BadStatusVoidCastNeedsJustification) {
+  const LintResult result = RunOnFixture("bad_status_void");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kStatusDiscard), 2);
+  EXPECT_NE(result.findings.front().message.find("discard-ok"),
+            std::string::npos);
+}
+
+TEST(TsssLintFixtures, BadHotAllocFlagsGrowthAndNew) {
+  const LintResult result = RunOnFixture("bad_hot_alloc");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kHotPath), 2);
+}
+
+TEST(TsssLintFixtures, BadHotAssertFlagsAssertAndLock) {
+  const LintResult result = RunOnFixture("bad_hot_assert");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.CountFor(Check::kHotPath), 2);
+}
+
+TEST(TsssLintFixtures, BadHotUnbalancedRegionIsFlagged) {
+  const LintResult result = RunOnFixture("bad_hot_unbalanced");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kHotPath), 1);
+  EXPECT_NE(result.findings.front().message.find("never closed"),
+            std::string::npos);
+}
+
+// --checks filtering: a layering-broken fixture is clean when only the
+// hot-path family runs.
+TEST(TsssLintFixtures, CheckFilterRestrictsFamilies) {
+  LintOptions options;
+  options.root = std::string(TSSS_LINT_TESTDATA_DIR) + "/bad_layering";
+  options.rules_path = TSSS_LINT_RULES;
+  options.paths = {"src"};
+  options.checks = {Check::kHotPath};
+  const LintResult result = RunLint(options);
+  EXPECT_TRUE(result.ok()) << (result.findings.empty()
+                                   ? result.error
+                                   : FormatFinding(result.findings.front()));
+}
+
+// Configuration failures surface as `error` (CLI exit 2), not findings.
+TEST(TsssLintFixtures, MissingRulesFileIsAnError) {
+  LintOptions options;
+  options.root = std::string(TSSS_LINT_TESTDATA_DIR) + "/good";
+  options.rules_path =
+      std::string(TSSS_LINT_TESTDATA_DIR) + "/no_such_rules.toml";
+  options.paths = {"src"};
+  const LintResult result = RunLint(options);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(TsssLintFindings, FormatMatchesCliContract) {
+  Finding finding;
+  finding.check = Check::kStatusDiscard;
+  finding.file = "src/tsss/core/engine.cc";
+  finding.line = 42;
+  finding.message = "result discarded";
+  EXPECT_EQ(FormatFinding(finding),
+            "src/tsss/core/engine.cc:42: [status-discard] result discarded");
+}
+
+TEST(TsssLintLexer, CommentsStringsAndRawStrings) {
+  const auto tokens = Lex(
+      "int a; // trailing\n"
+      "/* block */ const char* s = \"x\\\"y\";\n"
+      "auto r = R\"(raw \" text)\";\n");
+  int comments = 0;
+  int strings = 0;
+  for (const auto& token : tokens) {
+    if (token.kind == TokKind::kComment) ++comments;
+    if (token.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(comments, 2);
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(TsssLintRules, ParsesLayersAndRejectsUnknownDeps) {
+  std::string error;
+  LayerRules rules;
+  ASSERT_TRUE(ParseRulesText("[layer.common]\n"
+                             "path = \"src/tsss/common\"\n"
+                             "deps = []\n"
+                             "[layer.geom]\n"
+                             "path = \"src/tsss/geom\"\n"
+                             "deps = [\"common\"]\n",
+                             &rules, &error))
+      << error;
+  const Layer* geom = rules.LayerForPath("src/tsss/geom/vec.h");
+  ASSERT_NE(geom, nullptr);
+  EXPECT_EQ(geom->name, "geom");
+  EXPECT_TRUE(rules.FindCycle().empty());
+
+  LayerRules bad;
+  EXPECT_FALSE(ParseRulesText("[layer.common]\n"
+                              "path = \"src/tsss/common\"\n"
+                              "deps = [\"ghost\"]\n",
+                              &bad, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace tsss_lint

@@ -1,0 +1,179 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+
+namespace tsss_lint {
+
+namespace {
+
+/// Container-growth member calls banned in hot regions: each one can
+/// reallocate, and ROADMAP item 1 (SIMD/SoA) assumes the hot loops run
+/// against preallocated storage.
+const std::set<std::string>& GrowthCalls() {
+  static const std::set<std::string> kCalls = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
+      "insert",    "resize",       "reserve",    "append",        "assign",
+  };
+  return kCalls;
+}
+
+/// Free functions that allocate.
+const std::set<std::string>& AllocCalls() {
+  static const std::set<std::string> kCalls = {
+      "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup",
+  };
+  return kCalls;
+}
+
+struct Region {
+  std::string name;
+  int begin_line = 0;
+};
+
+/// Extracts the marker name from a comment like " TSSS_HOT_BEGIN(name) ...".
+std::string MarkerName(const std::string& comment, std::size_t at) {
+  const std::size_t open = comment.find('(', at);
+  if (open == std::string::npos) return "";
+  const std::size_t close = comment.find(')', open + 1);
+  if (close == std::string::npos) return "";
+  return comment.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+std::vector<Finding> CheckHotPath(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  for (const SourceFile& file : files) {
+    // Pass 1: hot line ranges from the comment markers.
+    std::vector<std::pair<int, int>> regions;  // [begin_line, end_line]
+    std::vector<Region> open_regions;
+    for (const Token& t : file.tokens) {
+      if (!IsComment(t)) continue;
+      // Only comments that *lead* with the marker count; prose that merely
+      // mentions the convention (docs, this linter) must not open a region.
+      std::size_t lead = 0;
+      while (lead < t.text.size() &&
+             (t.text[lead] == ' ' || t.text[lead] == '/' ||
+              t.text[lead] == '*' || t.text[lead] == '!')) {
+        ++lead;
+      }
+      const bool leads_begin = t.text.compare(lead, 14, "TSSS_HOT_BEGIN") == 0;
+      const bool leads_end =
+          !leads_begin && t.text.compare(lead, 12, "TSSS_HOT_END") == 0;
+      const std::size_t begin_at = leads_begin ? lead : std::string::npos;
+      const std::size_t end_at = leads_end ? lead : std::string::npos;
+      if (begin_at != std::string::npos) {
+        if (!open_regions.empty()) {
+          findings.push_back(
+              Finding{Check::kHotPath, file.path, t.line,
+                      "TSSS_HOT_BEGIN inside an open hot region (started line " +
+                          std::to_string(open_regions.back().begin_line) +
+                          "); hot regions do not nest"});
+        }
+        open_regions.push_back(Region{MarkerName(t.text, begin_at), t.line});
+      } else if (end_at != std::string::npos) {
+        if (open_regions.empty()) {
+          findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                     "TSSS_HOT_END without a matching "
+                                     "TSSS_HOT_BEGIN"});
+          continue;
+        }
+        const Region region = open_regions.back();
+        open_regions.pop_back();
+        const std::string end_name = MarkerName(t.text, end_at);
+        if (!end_name.empty() && end_name != region.name) {
+          findings.push_back(
+              Finding{Check::kHotPath, file.path, t.line,
+                      "TSSS_HOT_END(" + end_name + ") closes TSSS_HOT_BEGIN(" +
+                          region.name + ") from line " +
+                          std::to_string(region.begin_line)});
+        }
+        regions.emplace_back(region.begin_line, t.line);
+      }
+    }
+    for (const Region& region : open_regions) {
+      findings.push_back(Finding{
+          Check::kHotPath, file.path, region.begin_line,
+          "TSSS_HOT_BEGIN(" + region.name + ") is never closed in this file"});
+    }
+    if (regions.empty()) continue;
+
+    auto in_region = [&](int line) {
+      for (const auto& [b, e] : regions) {
+        if (line > b && line < e) return true;
+      }
+      return false;
+    };
+
+    // Pass 2: banned constructs inside the regions.
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (IsComment(t) || !in_region(t.line)) continue;
+      if (t.kind != TokKind::kIdent) continue;
+
+      auto next_is = [&](std::size_t ahead, const char* text) {
+        std::size_t j = i;
+        std::size_t remaining = ahead;
+        while (remaining > 0 && ++j < toks.size()) {
+          if (!IsComment(toks[j])) --remaining;
+        }
+        return j < toks.size() && toks[j].text == text;
+      };
+      auto prev_text = [&]() -> const std::string& {
+        static const std::string kEmpty;
+        std::size_t j = i;
+        while (j > 0) {
+          --j;
+          if (!IsComment(toks[j])) return toks[j].text;
+        }
+        return kEmpty;
+      };
+
+      if (t.text == "new") {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "heap allocation (`new`) in hot region"});
+      } else if (AllocCalls().count(t.text) != 0 && next_is(1, "(")) {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "heap allocation ('" + t.text +
+                                       "') in hot region"});
+      } else if (t.text == "make_unique" || t.text == "make_shared") {
+        // template form: make_unique<T>(...)
+        if (next_is(1, "<")) {
+          findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                     "heap allocation ('" + t.text +
+                                         "') in hot region"});
+        }
+      } else if (GrowthCalls().count(t.text) != 0 &&
+                 (prev_text() == "." || prev_text() == "->") &&
+                 (next_is(1, "(") || next_is(1, "<"))) {
+        findings.push_back(Finding{
+            Check::kHotPath, file.path, t.line,
+            "container growth ('" + t.text +
+                "') in hot region; preallocate outside the region"});
+      } else if (t.text == "assert" && next_is(1, "(")) {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "bare assert in hot region; use TSSS_DCHECK "
+                                   "(compiled out in Release)"});
+      } else if (t.text == "throw") {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "throw in hot region (the library is "
+                                   "exception-free)"});
+      } else if (t.text == "std" && next_is(1, "::") && next_is(2, "mutex")) {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "std::mutex in hot region; locking belongs "
+                                   "outside, via annotated tsss::Mutex"});
+      } else if (t.text == "MutexLock") {
+        findings.push_back(Finding{Check::kHotPath, file.path, t.line,
+                                   "lock acquisition in hot region; hoist the "
+                                   "lock outside the loop"});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+
+namespace tsss_lint {
+
+namespace {
+
+/// One `#include "..."` directive (project-style quotes only; system
+/// includes cannot cross project layers).
+struct Include {
+  std::string target;  ///< include path as written, e.g. "tsss/geom/vec.h"
+  int line = 0;
+};
+
+std::vector<Include> ExtractIncludes(const SourceFile& file) {
+  std::vector<Include> out;
+  std::istringstream in(file.text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (line.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] != '"') continue;
+    const std::size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(Include{line.substr(i + 1, close - i - 1), line_no});
+  }
+  return out;
+}
+
+/// Maps an include target as written to the repo-relative path of the header
+/// it resolves to. The tree uses two spellings: "tsss/geom/vec.h" (via
+/// src/ on the include path) and "tsss_lint/lexer.h" (via tools/).
+std::string ResolveInclude(const std::string& target) {
+  if (target.rfind("tsss/", 0) == 0) return "src/" + target;
+  if (target.rfind("tsss_lint/", 0) == 0) return "tools/" + target;
+  return target;  // bench_common.h-style sibling includes resolve elsewhere
+}
+
+}  // namespace
+
+std::vector<Finding> CheckLayering(const std::vector<SourceFile>& files,
+                                   const LayerRules& rules) {
+  std::vector<Finding> findings;
+
+  // A cyclic rule file declares no usable layering: report and stop.
+  const std::vector<std::string> rule_cycle = rules.FindCycle();
+  if (!rule_cycle.empty()) {
+    std::string msg = "layer rule file declares a dependency cycle: ";
+    for (std::size_t i = 0; i < rule_cycle.size(); ++i) {
+      msg += rule_cycle[i] + " -> ";
+    }
+    msg += rule_cycle.front();
+    findings.push_back(Finding{Check::kLayering, "layers.toml", 0, msg});
+    return findings;
+  }
+
+  const std::map<std::string, std::set<std::string>> closure = rules.Closure();
+
+  // Per-file include edges among project headers, for cycle detection.
+  std::map<std::string, std::vector<std::string>> header_edges;
+  std::set<std::string> known_paths;
+  for (const SourceFile& file : files) known_paths.insert(file.path);
+
+  for (const SourceFile& file : files) {
+    const std::vector<Include> includes = ExtractIncludes(file);
+
+    for (const Include& inc : includes) {
+      const std::string resolved = ResolveInclude(inc.target);
+      if (known_paths.count(resolved) != 0) {
+        header_edges[file.path].push_back(resolved);
+      }
+
+      if (rules.IsExempt(file.path)) continue;  // tests et al. see everything
+      const Layer* from = rules.LayerForPath(file.path);
+      const Layer* to = rules.LayerForPath(resolved);
+      if (from == nullptr || to == nullptr) continue;
+      const auto reach = closure.find(from->name);
+      if (reach != closure.end() && reach->second.count(to->name) != 0) {
+        continue;
+      }
+      findings.push_back(Finding{
+          Check::kLayering, file.path, inc.line,
+          "layer '" + from->name + "' must not include '" + inc.target +
+              "' (layer '" + to->name + "' is not among its declared deps)"});
+    }
+  }
+
+  // Include-cycle detection over the project header graph. Header guards
+  // make cycles compile, but a cycle always means a layering inversion
+  // waiting to happen.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  auto visit = [&](auto&& self, const std::string& node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    const auto it = header_edges.find(node);
+    if (it != header_edges.end()) {
+      for (const std::string& next : it->second) {
+        if (state[next] == 1) {
+          auto begin = std::find(stack.begin(), stack.end(), next);
+          std::string msg = "include cycle: ";
+          for (auto p = begin; p != stack.end(); ++p) msg += *p + " -> ";
+          msg += next;
+          findings.push_back(Finding{Check::kLayering, node, 0, msg});
+          return true;
+        }
+        if (state[next] == 0 && self(self, next)) return true;
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+  for (const SourceFile& file : files) {
+    if (state[file.path] == 0) {
+      stack.clear();
+      // One reported cycle per run: after a hit the DFS state is tainted
+      // (nodes stay marked on-stack), and one cycle is enough to fail.
+      if (visit(visit, file.path)) break;
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+
+namespace tsss_lint {
+
+namespace {
+
+/// Annotation macros that "reference" a mutex member, for the
+/// every-mutex-is-annotated rule.
+bool IsReferencingAnnotation(const std::string& ident) {
+  return ident == "TSSS_GUARDED_BY" || ident == "TSSS_PT_GUARDED_BY" ||
+         ident == "TSSS_REQUIRES" || ident == "TSSS_REQUIRES_SHARED" ||
+         ident == "TSSS_EXCLUDES" || ident == "TSSS_ACQUIRE" ||
+         ident == "TSSS_RELEASE" || ident == "TSSS_ACQUIRED_BEFORE" ||
+         ident == "TSSS_ACQUIRED_AFTER";
+}
+
+bool IsIdent(const Token& token, const char* text) {
+  return token.kind == TokKind::kIdent && token.text == text;
+}
+
+/// Index of the matching ')' for the '(' at `open`, or tokens.size().
+std::size_t MatchParen(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")" && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// The identity a mutex expression hashes to in the acquisition graph:
+/// the final member name of the chain ("shard.mu" -> "mu", "mu_" -> "mu_").
+/// Member names are unique enough across this tree for a project linter;
+/// qualifying further (class name) would require real semantic analysis.
+std::string MutexKey(const std::vector<Token>& tokens, std::size_t begin,
+                     std::size_t end) {
+  std::string last;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind == TokKind::kIdent) last = tokens[i].text;
+  }
+  return last;
+}
+
+struct Edge {
+  std::string from;  ///< acquired first
+  std::string to;    ///< acquired while `from` is held
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace
+
+std::vector<Finding> CheckLockOrder(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  std::vector<Edge> edges;
+
+  for (const SourceFile& file : files) {
+    // Comment-free view; comments are only consulted for lint-ok waivers.
+    std::vector<Token> toks;
+    std::set<int> raw_mutex_waiver_lines;
+    toks.reserve(file.tokens.size());
+    for (const Token& t : file.tokens) {
+      if (IsComment(t)) {
+        if (t.text.find("lint-ok: raw-mutex") != std::string::npos) {
+          raw_mutex_waiver_lines.insert(t.line);
+        }
+        continue;
+      }
+      toks.push_back(t);
+    }
+
+    // --- Member declarations and annotation references ------------------
+    std::map<std::string, int> mutex_members;  // name -> decl line
+    std::set<std::string> annotated;           // names referenced by any macro
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      // `Mutex name_ ...;` members. Skip `class ... Mutex` (the wrapper's
+      // own declaration), `Mutex&`/`Mutex*` parameters and locals taking a
+      // reference — heuristically: followed directly by an identifier then
+      // one of `;`, `TSSS_*(...)`, `=` (brace-init members use `{` too).
+      if (IsIdent(toks[i], "Mutex") && toks[i + 1].kind == TokKind::kIdent) {
+        if (i > 0 && (IsIdent(toks[i - 1], "class") ||
+                      IsIdent(toks[i - 1], "struct") ||
+                      toks[i - 1].text == "::")) {
+          continue;
+        }
+        const std::string& name = toks[i + 1].text;
+        const std::size_t after = i + 2;
+        if (after < toks.size() &&
+            (toks[after].text == ";" || toks[after].text == "=" ||
+             toks[after].text == "{" ||
+             (toks[after].kind == TokKind::kIdent &&
+              toks[after].text.rfind("TSSS_", 0) == 0))) {
+          mutex_members.emplace(name, toks[i + 1].line);
+        }
+      }
+
+      // Raw std::mutex members: invisible to -Wthread-safety and to this
+      // check's acquisition graph, so they need an explicit waiver.
+      if (IsIdent(toks[i], "std") && i + 2 < toks.size() &&
+          toks[i + 1].text == "::" && IsIdent(toks[i + 2], "mutex")) {
+        if (raw_mutex_waiver_lines.count(toks[i].line) == 0 &&
+            raw_mutex_waiver_lines.count(toks[i].line - 1) == 0) {
+          findings.push_back(
+              Finding{Check::kLockOrder, file.path, toks[i].line,
+                      "raw std::mutex is invisible to thread-safety analysis; "
+                      "use tsss::Mutex (or waive with `// lint-ok: raw-mutex "
+                      "(<why>)`)"});
+        }
+      }
+
+      // Annotation references + declared acquisition order.
+      if (toks[i].kind == TokKind::kIdent &&
+          IsReferencingAnnotation(toks[i].text) && toks[i + 1].text == "(") {
+        const std::size_t close = MatchParen(toks, i + 1);
+        std::vector<std::string> args;
+        std::string cur;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (toks[j].text == ",") {
+            if (!cur.empty()) args.push_back(cur);
+            cur.clear();
+          } else if (toks[j].kind == TokKind::kIdent) {
+            cur = toks[j].text;  // last identifier of the expression
+          }
+        }
+        if (!cur.empty()) args.push_back(cur);
+        for (const std::string& arg : args) annotated.insert(arg);
+
+        // `Mutex b_ TSSS_ACQUIRED_AFTER(a_);` declares a before b.
+        if (toks[i].text == "TSSS_ACQUIRED_AFTER" ||
+            toks[i].text == "TSSS_ACQUIRED_BEFORE") {
+          std::string member;
+          if (i >= 1 && toks[i - 1].kind == TokKind::kIdent) {
+            member = toks[i - 1].text;
+          }
+          if (!member.empty()) {
+            annotated.insert(member);
+            for (const std::string& arg : args) {
+              if (toks[i].text == "TSSS_ACQUIRED_AFTER") {
+                edges.push_back(Edge{arg, member, file.path, toks[i].line});
+              } else {
+                edges.push_back(Edge{member, arg, file.path, toks[i].line});
+              }
+            }
+          }
+        }
+      }
+    }
+
+    const bool in_src = file.path.rfind("src/", 0) == 0;
+    if (in_src) {
+      for (const auto& [name, line] : mutex_members) {
+        if (annotated.count(name) == 0) {
+          findings.push_back(Finding{
+              Check::kLockOrder, file.path, line,
+              "Mutex member '" + name +
+                  "' has no thread-safety annotation in this file; add "
+                  "TSSS_GUARDED_BY(" +
+                  name + ") to the state it protects (or TSSS_ACQUIRED_*)"});
+        }
+      }
+    }
+
+    // --- Lexically nested MutexLock scopes ------------------------------
+    // Track `MutexLock guard(expr);` acquisitions against brace depth; a
+    // second acquisition while one is active adds an order edge.
+    struct Held {
+      std::string key;
+      int depth = 0;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::kPunct) {
+        if (toks[i].text == "{") ++depth;
+        if (toks[i].text == "}") {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) held.pop_back();
+          // A function/class boundary at depth 0 clears everything.
+          if (depth <= 0) held.clear();
+        }
+        continue;
+      }
+      if (IsIdent(toks[i], "MutexLock") && toks[i + 1].kind == TokKind::kIdent &&
+          toks[i + 2].text == "(") {
+        const std::size_t close = MatchParen(toks, i + 2);
+        const std::string key = MutexKey(toks, i + 3, close);
+        if (key.empty()) continue;
+        for (const Held& h : held) {
+          if (h.key != key) {
+            edges.push_back(Edge{h.key, key, file.path, toks[i].line});
+          }
+        }
+        held.push_back(Held{key, depth});
+      }
+    }
+  }
+
+  // --- Cycle detection over the union acquisition graph -----------------
+  std::map<std::string, std::vector<const Edge*>> graph;
+  for (const Edge& e : edges) graph[e.from].push_back(&e);
+
+  std::map<std::string, int> state;
+  std::vector<const Edge*> stack;
+  auto visit = [&](auto&& self, const std::string& node) -> bool {
+    state[node] = 1;
+    for (const Edge* e : graph[node]) {
+      if (state[e->to] == 1) {
+        std::string msg = "mutex acquisition cycle: ";
+        bool in_cycle = false;
+        for (const Edge* s : stack) {
+          if (s->from == e->to) in_cycle = true;
+          if (in_cycle) msg += s->from + " -> ";
+        }
+        msg += e->from + " -> " + e->to;
+        findings.push_back(Finding{Check::kLockOrder, e->file, e->line, msg});
+        return true;
+      }
+      if (state[e->to] == 0) {
+        stack.push_back(e);
+        if (self(self, e->to)) return true;
+        stack.pop_back();
+      }
+    }
+    state[node] = 2;
+    return false;
+  };
+  for (const auto& entry : graph) {
+    if (state[entry.first] == 0) {
+      stack.clear();
+      // One reported cycle per run; the DFS state is tainted after a hit.
+      if (visit(visit, entry.first)) break;
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace tsss_lint

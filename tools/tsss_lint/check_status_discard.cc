@@ -1,0 +1,191 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+
+namespace tsss_lint {
+
+namespace {
+
+bool IsPunct(const Token& token, const char* text) {
+  return token.kind == TokKind::kPunct && token.text == text;
+}
+
+/// Keywords that can directly precede a parenthesized expression and must
+/// never be collected as "function names".
+bool IsKeyword(const std::string& ident) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while", "for",    "switch", "return", "sizeof",
+      "static", "const", "co_await", "case",  "new",    "delete"};
+  return kKeywords.count(ident) != 0;
+}
+
+std::size_t MatchParen(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")" && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// Collects names declared with return type `Status` or `Result<...>`.
+/// Token pattern: [ident Status | ident Result < ... >] ident `(`. The odd
+/// false positive (a variable of type Status with a parenthesized
+/// initializer) only *adds* a name to the set, and a bare statement-level
+/// call to such a name is dead code worth flagging anyway.
+void CollectFallible(const std::vector<Token>& toks,
+                     std::set<std::string>* fallible) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    std::size_t name_at = 0;
+    if (toks[i].text == "Status") {
+      name_at = i + 1;
+    } else if (toks[i].text == "Result" && IsPunct(toks[i + 1], "<")) {
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "<")) ++depth;
+        if (IsPunct(toks[j], ">") && --depth == 0) break;
+      }
+      if (j >= toks.size()) continue;
+      name_at = j + 1;
+    } else {
+      continue;
+    }
+    if (name_at + 1 >= toks.size()) continue;
+    if (toks[name_at].kind != TokKind::kIdent) continue;
+    if (!IsPunct(toks[name_at + 1], "(")) continue;
+    if (IsKeyword(toks[name_at].text)) continue;
+    fallible->insert(toks[name_at].text);
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckStatusDiscard(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  // Pass 1: the fallible-function name set, across every file at once so
+  // that a call in core/ sees declarations from storage/ headers.
+  std::set<std::string> fallible;
+  std::map<const SourceFile*, std::vector<Token>> code_tokens;
+  std::map<const SourceFile*, std::set<int>> discard_ok_lines;
+  for (const SourceFile& file : files) {
+    std::vector<Token>& toks = code_tokens[&file];
+    toks.reserve(file.tokens.size());
+    for (const Token& t : file.tokens) {
+      if (IsComment(t)) {
+        if (t.text.find("discard-ok:") != std::string::npos) {
+          discard_ok_lines[&file].insert(t.line);
+        }
+        continue;
+      }
+      toks.push_back(t);
+    }
+    CollectFallible(toks, &fallible);
+  }
+
+  // Pass 2: statement-level calls whose result is dropped.
+  for (const SourceFile& file : files) {
+    const std::vector<Token>& toks = code_tokens[&file];
+    const std::set<int>& ok_lines = discard_ok_lines[&file];
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || fallible.count(toks[i].text) == 0)
+        continue;
+      if (!IsPunct(toks[i + 1], "(")) continue;
+      const std::size_t close = MatchParen(toks, i + 1);
+      if (close + 1 >= toks.size()) continue;
+      if (!IsPunct(toks[close + 1], ";")) continue;  // result fed elsewhere
+
+      // Walk back over the object chain: `pool->`, `engine().`, `ns::`.
+      std::size_t start = i;
+      while (start > 0) {
+        const Token& prev = toks[start - 1];
+        if (IsPunct(prev, ".") || IsPunct(prev, "->") || IsPunct(prev, "::")) {
+          if (start >= 2 && (toks[start - 2].kind == TokKind::kIdent ||
+                             IsPunct(toks[start - 2], ")"))) {
+            start -= 2;
+            // `foo(...)->Bar()`: hop over the whole call/paren group.
+            if (IsPunct(toks[start], ")")) {
+              int depth = 0;
+              while (start > 0) {
+                if (IsPunct(toks[start], ")")) ++depth;
+                if (IsPunct(toks[start], "(") && --depth == 0) break;
+                --start;
+              }
+              if (start > 0 && toks[start - 1].kind == TokKind::kIdent) --start;
+            }
+            continue;
+          }
+        }
+        break;
+      }
+      if (start == 0) continue;
+
+      const Token& before = toks[start - 1];
+      // `(void)chain(...)`: explicit discard — accepted only with a
+      // `// discard-ok:` justification on the same or previous line.
+      const bool void_cast = start >= 3 && IsPunct(toks[start - 1], ")") &&
+                             toks[start - 2].kind == TokKind::kIdent &&
+                             toks[start - 2].text == "void" &&
+                             IsPunct(toks[start - 3], "(");
+      if (void_cast) {
+        const int line = toks[i].line;
+        if (ok_lines.count(line) == 0 && ok_lines.count(line - 1) == 0) {
+          findings.push_back(Finding{
+              Check::kStatusDiscard, file.path, line,
+              "(void)-discarded call to fallible '" + toks[i].text +
+                  "' without a `// discard-ok: <why>` justification"});
+        }
+        continue;
+      }
+
+      // Only statement-initial chains are discards; anything else consumed
+      // the value (`return f();`, `s = f();`, `if (f().ok())`...).
+      const bool statement_start =
+          IsPunct(before, ";") || IsPunct(before, "{") || IsPunct(before, "}") ||
+          IsPunct(before, ":") || IsPunct(before, ")") ||
+          (before.kind == TokKind::kIdent &&
+           (before.text == "else" || before.text == "do"));
+      if (!statement_start) continue;
+
+      // `) f();` is only a statement context when the `)` closes a control
+      // clause; approximate by requiring if/while/for/switch before the
+      // matching `(`. This keeps casts like `(tsss::Status) f()` out.
+      if (IsPunct(before, ")")) {
+        int depth = 0;
+        std::size_t j = start - 1;
+        while (j > 0) {
+          if (IsPunct(toks[j], ")")) ++depth;
+          if (IsPunct(toks[j], "(") && --depth == 0) break;
+          --j;
+        }
+        const bool control =
+            j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+            (toks[j - 1].text == "if" || toks[j - 1].text == "while" ||
+             toks[j - 1].text == "for" || toks[j - 1].text == "switch");
+        if (!control) continue;
+      }
+
+      // Declarations spell their return type right before the name.
+      if (start == i &&
+          (before.text == "Status" || IsPunct(before, ">"))) {
+        continue;
+      }
+
+      findings.push_back(Finding{
+          Check::kStatusDiscard, file.path, toks[i].line,
+          "result of fallible '" + toks[i].text +
+              "' is discarded; consume it, propagate it, or write "
+              "`(void)...;  // discard-ok: <why>`"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,55 @@
+#ifndef TSSS_TOOLS_TSSS_LINT_CHECKS_H_
+#define TSSS_TOOLS_TSSS_LINT_CHECKS_H_
+
+// The four check families. Each check is a pure function over pre-lexed
+// sources: no globals, no filesystem — the runner does the IO, the tests
+// feed fixtures straight in.
+
+#include <string>
+#include <vector>
+
+#include "tsss_lint/lexer.h"
+#include "tsss_lint/lint.h"
+#include "tsss_lint/rules.h"
+
+namespace tsss_lint {
+
+/// One analyzed file: repo-relative path, raw text and token stream.
+struct SourceFile {
+  std::string path;
+  std::string text;
+  std::vector<Token> tokens;
+};
+
+/// Check 1 — layering. Extracts the `#include "tsss/..."` graph and
+/// enforces the layer DAG from `rules`; also rejects include cycles among
+/// project headers. Exempt prefixes (tests/bench/tools/fuzz/examples) may
+/// include anything but still participate as cycle *edges* sources.
+std::vector<Finding> CheckLayering(const std::vector<SourceFile>& files,
+                                   const LayerRules& rules);
+
+/// Check 2 — lock order. Builds the static mutex-acquisition graph from
+/// TSSS_ACQUIRED_BEFORE/AFTER annotations plus lexically nested MutexLock
+/// scopes, and fails on cycles. Also requires every `Mutex` member in an
+/// analyzed src/ file to be referenced by at least one thread-safety
+/// annotation in that file, and bans raw `std::mutex` members (invisible
+/// to -Wthread-safety) unless the line carries `// lint-ok: raw-mutex`.
+std::vector<Finding> CheckLockOrder(const std::vector<SourceFile>& files);
+
+/// Check 3 — Status soundness. Collects the names of functions returning
+/// Status / Result<...> across all files, then flags statement-level calls
+/// to them whose result is dropped. `(void)`-casts are accepted only when
+/// justified by a `// discard-ok: <why>` comment on the same or previous
+/// line; a bare cast is itself a finding.
+std::vector<Finding> CheckStatusDiscard(const std::vector<SourceFile>& files);
+
+/// Check 4 — hot-path hygiene. Inside `// TSSS_HOT_BEGIN(name)` ...
+/// `// TSSS_HOT_END` regions: no heap allocation (new / make_unique /
+/// make_shared / malloc family), no container growth (push_back, resize,
+/// reserve, insert, ...), no bare assert, no throw, no std::mutex.
+/// Unbalanced or nested markers are findings too.
+std::vector<Finding> CheckHotPath(const std::vector<SourceFile>& files);
+
+}  // namespace tsss_lint
+
+#endif  // TSSS_TOOLS_TSSS_LINT_CHECKS_H_

@@ -1,0 +1,153 @@
+#include "tsss_lint/lexer.h"
+
+#include <cctype>
+
+namespace tsss_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view text) {
+  std::vector<Token> out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t ahead) -> char {
+    return i + ahead < n ? text[i + ahead] : '\0';
+  };
+  auto push = [&](TokKind kind, std::string tok_text, int tok_line) {
+    out.push_back(Token{kind, std::move(tok_text), tok_line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Comments. Kept as tokens: discard-ok / TSSS_HOT conventions live here.
+    if (c == '/' && peek(1) == '/') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      push(TokKind::kComment, std::string(text.substr(i + 2, j - i - 2)),
+           start_line);
+      i = j;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j : n;
+      push(TokKind::kComment, std::string(text.substr(i + 2, end - i - 2)),
+           start_line);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(' && text[j] != '\n' && delim.size() < 16) {
+        delim.push_back(text[j]);
+        ++j;
+      }
+      if (j < n && text[j] == '(') {
+        const int start_line = line;
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body = j + 1;
+        const std::size_t found = text.find(closer, body);
+        const std::size_t end = (found == std::string_view::npos) ? n : found;
+        for (std::size_t k = body; k < end; ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        push(TokKind::kString, std::string(text.substr(body, end - body)),
+             start_line);
+        i = (found == std::string_view::npos) ? n : found + closer.size();
+        continue;
+      }
+      // "R" not followed by a raw string: fall through as an identifier.
+    }
+
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          ++j;  // skip the escaped character
+        } else if (text[j] == '\n') {
+          break;  // unterminated literal: close at end of line
+        }
+        ++j;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           std::string(text.substr(i + 1, j - i - 1)), start_line);
+      i = (j < n && text[j] == quote) ? j + 1 : j;
+      continue;
+    }
+
+    if (IsDigit(c) || (c == '.' && IsDigit(peek(1)))) {
+      std::size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::kNumber, std::string(text.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      push(TokKind::kIdent, std::string(text.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+
+    // Multi-char punctuators the checks care about; everything else is
+    // emitted one character at a time.
+    if (c == ':' && peek(1) == ':') {
+      push(TokKind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      push(TokKind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,43 @@
+#ifndef TSSS_TOOLS_TSSS_LINT_LEXER_H_
+#define TSSS_TOOLS_TSSS_LINT_LEXER_H_
+
+// Lightweight C++ tokenizer for tsss_lint. Not a real C++ lexer: it only
+// needs to be faithful enough to (a) never mistake string/comment contents
+// for code and (b) keep comments as first-class tokens, because two of the
+// checks key off comment conventions (`// discard-ok:`, `// TSSS_HOT_*`).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsss_lint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords, undistinguished
+  kNumber,   ///< numeric literal (value irrelevant to every check)
+  kString,   ///< "..." / R"(...)" — text excludes quotes
+  kChar,     ///< '...'
+  kPunct,    ///< one operator/punctuator; "::" and "->" kept whole
+  kComment,  ///< // or /* */ — text excludes the comment markers
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes `text`. Never fails: unterminated constructs are closed at EOF,
+/// bytes that fit no token class are emitted as single-char kPunct. Line
+/// splices (backslash-newline) are honored inside nothing — the checks are
+/// line-oriented and the tree does not use them.
+std::vector<Token> Lex(std::string_view text);
+
+/// True for tokens the structural checks should skip.
+inline bool IsComment(const Token& token) {
+  return token.kind == TokKind::kComment;
+}
+
+}  // namespace tsss_lint
+
+#endif  // TSSS_TOOLS_TSSS_LINT_LEXER_H_

@@ -1,0 +1,70 @@
+#ifndef TSSS_TOOLS_TSSS_LINT_LINT_H_
+#define TSSS_TOOLS_TSSS_LINT_LINT_H_
+
+// Core data model for tsss_lint, the project-specific static analyzer
+// (see DESIGN.md §12). Dependency-free by design, like tools/json_mini.h:
+// a lightweight tokenizer plus per-check passes, no libclang. The checks
+// enforce what generic tooling cannot see — the layer DAG, the mutex
+// acquisition order, the Status-discard convention and the hot-path
+// allocation ban are all project inventions.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tsss_lint {
+
+/// One check family. Names double as the --checks= CLI spellings.
+enum class Check {
+  kLayering,       ///< include graph must respect the declared layer DAG
+  kLockOrder,      ///< mutex acquisition graph must be acyclic + annotated
+  kStatusDiscard,  ///< Status/Result returns must be consumed or justified
+  kHotPath,        ///< TSSS_HOT regions: no allocation, assert, raw mutex
+};
+
+std::string CheckName(Check check);
+
+/// One diagnostic. `file` is repo-relative when the runner was given a root.
+struct Finding {
+  Check check = Check::kLayering;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Renders "file:line: [check] message".
+std::string FormatFinding(const Finding& finding);
+
+struct LintOptions {
+  /// Path to the layer rule file (layers.toml).
+  std::string rules_path;
+  /// Directory that repo-relative paths (layer prefixes) are resolved
+  /// against; file paths are reported relative to it.
+  std::string root;
+  /// Files or directories to analyze, relative to `root` (or absolute).
+  /// Directories are walked recursively for .h/.cc/.cpp files.
+  std::vector<std::string> paths;
+  /// Empty = run every check.
+  std::set<Check> checks;
+  /// Verbose: print per-file progress to stderr.
+  bool verbose = false;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  /// Set on configuration/IO failure (unreadable rules file, bad path);
+  /// distinct from findings so the CLI can exit 2 instead of 1.
+  std::string error;
+
+  bool ok() const { return error.empty() && findings.empty(); }
+  /// Findings for one family, for golden-count tests.
+  int CountFor(Check check) const;
+};
+
+/// Runs the configured checks over the configured paths.
+LintResult RunLint(const LintOptions& options);
+
+}  // namespace tsss_lint
+
+#endif  // TSSS_TOOLS_TSSS_LINT_LINT_H_

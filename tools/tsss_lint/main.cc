@@ -1,0 +1,107 @@
+// tsss_lint — project-specific static analysis for the tsss tree.
+//
+// Usage:
+//   tsss_lint [--root DIR] [--rules FILE] [--checks a,b,...] [-v] [PATH...]
+//
+// Checks: layering, lock-order, status-discard, hot-path (default: all).
+// With no PATH arguments the default scope is src tools bench fuzz under
+// --root. Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+//
+// See DESIGN.md §12 for the conventions the checks enforce.
+
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--root DIR] [--rules FILE] [--checks LIST] [-v] [PATH...]\n"
+         "  --root DIR     repo root for layer prefixes (default: cwd)\n"
+         "  --rules FILE   layer rule file (default: "
+         "<root>/tools/tsss_lint/layers.toml)\n"
+         "  --checks LIST  comma list of layering,lock-order,status-discard,"
+         "hot-path\n"
+         "  -v             verbose per-file progress on stderr\n"
+         "  PATH...        files or directories, relative to --root "
+         "(default: src tools bench fuzz)\n";
+  return 2;
+}
+
+bool ParseChecks(const std::string& list, std::set<tsss_lint::Check>* out) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (name == "layering") {
+      out->insert(tsss_lint::Check::kLayering);
+    } else if (name == "lock-order") {
+      out->insert(tsss_lint::Check::kLockOrder);
+    } else if (name == "status-discard") {
+      out->insert(tsss_lint::Check::kStatusDiscard);
+    } else if (name == "hot-path") {
+      out->insert(tsss_lint::Check::kHotPath);
+    } else if (!name.empty()) {
+      std::cerr << "tsss_lint: unknown check '" << name << "'\n";
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tsss_lint::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (arg == "--rules" && i + 1 < argc) {
+      options.rules_path = argv[++i];
+    } else if (arg == "--checks" && i + 1 < argc) {
+      if (!ParseChecks(argv[++i], &options.checks)) return 2;
+    } else if (arg == "-v" || arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tsss_lint: unknown flag '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  if (options.root.empty()) options.root = ".";
+  if (options.rules_path.empty()) {
+    options.rules_path = options.root + "/tools/tsss_lint/layers.toml";
+  }
+  if (options.paths.empty()) {
+    options.paths = {"src", "tools", "bench", "fuzz"};
+  }
+
+  const tsss_lint::LintResult result = tsss_lint::RunLint(options);
+  if (!result.error.empty()) {
+    std::cerr << "tsss_lint: error: " << result.error << "\n";
+    return 2;
+  }
+  for (const tsss_lint::Finding& finding : result.findings) {
+    std::cout << tsss_lint::FormatFinding(finding) << "\n";
+  }
+  if (result.findings.empty()) {
+    std::cout << "tsss_lint: clean\n";
+    return 0;
+  }
+  std::cout << "tsss_lint: " << result.findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -1,0 +1,241 @@
+#include "tsss_lint/rules.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tsss_lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+std::string StripComment(const std::string& s) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_string = !in_string;
+    if (s[i] == '#' && !in_string) return s.substr(0, i);
+  }
+  return s;
+}
+
+/// Parses `"a"` or `["a", "b"]` into items. Returns false on syntax error.
+bool ParseValue(const std::string& value, std::vector<std::string>* items) {
+  const std::string v = Trim(value);
+  if (v.empty()) return false;
+  if (v.front() == '"') {
+    if (v.size() < 2 || v.back() != '"') return false;
+    items->push_back(v.substr(1, v.size() - 2));
+    return true;
+  }
+  if (v.front() == '[') {
+    if (v.back() != ']') return false;
+    std::string body = v.substr(1, v.size() - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      while (pos < body.size() &&
+             (body[pos] == ' ' || body[pos] == '\t' || body[pos] == ',')) {
+        ++pos;
+      }
+      if (pos >= body.size()) break;
+      if (body[pos] != '"') return false;
+      const std::size_t close = body.find('"', pos + 1);
+      if (close == std::string::npos) return false;
+      items->push_back(body.substr(pos + 1, close - pos - 1));
+      pos = close + 1;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool PathHasPrefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+}  // namespace
+
+const Layer* LayerRules::LayerForPath(
+    const std::string& repo_relative_path) const {
+  const Layer* best = nullptr;
+  for (const Layer& layer : layers) {
+    if (PathHasPrefix(repo_relative_path, layer.path)) {
+      if (best == nullptr || layer.path.size() > best->path.size()) {
+        best = &layer;
+      }
+    }
+  }
+  return best;
+}
+
+bool LayerRules::IsExempt(const std::string& repo_relative_path) const {
+  for (const std::string& prefix : exempt_paths) {
+    if (PathHasPrefix(repo_relative_path, prefix)) return true;
+  }
+  return false;
+}
+
+std::map<std::string, std::set<std::string>> LayerRules::Closure() const {
+  std::map<std::string, std::set<std::string>> out;
+  for (const Layer& layer : layers) {
+    // Iterative DFS from each layer; the graphs are tiny.
+    std::set<std::string>& reach = out[layer.name];
+    std::vector<std::string> stack = {layer.name};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (!reach.insert(cur).second) continue;
+      for (const Layer& other : layers) {
+        if (other.name != cur) continue;
+        for (const std::string& dep : other.deps) stack.push_back(dep);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> LayerRules::FindCycle() const {
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  std::map<std::string, const Layer*> by_name;
+  for (const Layer& layer : layers) by_name[layer.name] = &layer;
+
+  // Recursive DFS via explicit lambda; layer counts are single digits.
+  auto visit = [&](auto&& self, const std::string& name) -> bool {
+    state[name] = 1;
+    stack.push_back(name);
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      for (const std::string& dep : it->second->deps) {
+        const int dep_state = state[dep];
+        if (dep_state == 1) {
+          // Found a back edge; slice the cycle out of the DFS stack.
+          auto begin = stack.begin();
+          while (begin != stack.end() && *begin != dep) ++begin;
+          cycle.assign(begin, stack.end());
+          return true;
+        }
+        if (dep_state == 0 && self(self, dep)) return true;
+      }
+    }
+    stack.pop_back();
+    state[name] = 2;
+    return false;
+  };
+
+  for (const Layer& layer : layers) {
+    if (state[layer.name] == 0 && visit(visit, layer.name)) return cycle;
+  }
+  return {};
+}
+
+bool ParseRulesText(const std::string& text, LayerRules* rules,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  Layer* current_layer = nullptr;
+  bool in_exempt = false;
+
+  auto fail = [&](const std::string& message) {
+    *error = "rules:" + std::to_string(line_no) + ": " + message;
+    return false;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string stmt = Trim(StripComment(raw));
+    if (stmt.empty()) continue;
+
+    if (stmt.front() == '[') {
+      if (stmt.back() != ']') return fail("unterminated table header");
+      const std::string table = stmt.substr(1, stmt.size() - 2);
+      current_layer = nullptr;
+      in_exempt = false;
+      if (table.rfind("layer.", 0) == 0) {
+        Layer layer;
+        layer.name = table.substr(6);
+        if (layer.name.empty()) return fail("empty layer name");
+        for (const Layer& existing : rules->layers) {
+          if (existing.name == layer.name) {
+            return fail("duplicate layer '" + layer.name + "'");
+          }
+        }
+        rules->layers.push_back(layer);
+        current_layer = &rules->layers.back();
+      } else if (table == "exempt") {
+        in_exempt = true;
+      } else {
+        return fail("unknown table [" + table + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = stmt.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = Trim(stmt.substr(0, eq));
+    std::vector<std::string> items;
+    if (!ParseValue(stmt.substr(eq + 1), &items)) {
+      return fail("bad value for '" + key + "'");
+    }
+
+    if (current_layer != nullptr) {
+      if (key == "path") {
+        if (items.size() != 1) return fail("'path' wants one string");
+        current_layer->path = items.front();
+      } else if (key == "deps") {
+        current_layer->deps = items;
+      } else {
+        return fail("unknown layer key '" + key + "'");
+      }
+    } else if (in_exempt) {
+      if (key == "paths") {
+        rules->exempt_paths = items;
+      } else {
+        return fail("unknown exempt key '" + key + "'");
+      }
+    } else {
+      return fail("key outside any table");
+    }
+  }
+
+  for (const Layer& layer : rules->layers) {
+    if (layer.path.empty()) {
+      *error = "layer '" + layer.name + "' has no path";
+      return false;
+    }
+    for (const std::string& dep : layer.deps) {
+      bool known = false;
+      for (const Layer& other : rules->layers) known |= other.name == dep;
+      if (!known) {
+        *error = "layer '" + layer.name + "' depends on unknown '" + dep + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ParseRulesFile(const std::string& path, LayerRules* rules,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open rules file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseRulesText(buf.str(), rules, error);
+}
+
+}  // namespace tsss_lint

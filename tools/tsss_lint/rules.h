@@ -1,0 +1,54 @@
+#ifndef TSSS_TOOLS_TSSS_LINT_RULES_H_
+#define TSSS_TOOLS_TSSS_LINT_RULES_H_
+
+// Rule file (layers.toml) for the layering check. The file is the single
+// machine-readable statement of the architecture's layer DAG; DESIGN.md §12
+// is its prose twin. Parsed with a minimal TOML subset: `[layer.<name>]`
+// tables, string and string-array values, `#` comments. That subset is the
+// whole grammar the rule file needs — a full TOML parser would be a
+// dependency for no gain (the json_mini.h argument).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tsss_lint {
+
+struct Layer {
+  std::string name;
+  /// Repo-relative directory prefix, e.g. "src/tsss/geom".
+  std::string path;
+  /// Names of layers this one may include directly.
+  std::vector<std::string> deps;
+};
+
+struct LayerRules {
+  /// In declaration order (error messages follow the file).
+  std::vector<Layer> layers;
+  /// Repo-relative prefixes exempt from layering (tests, bench, ...).
+  std::vector<std::string> exempt_paths;
+
+  const Layer* LayerForPath(const std::string& repo_relative_path) const;
+  bool IsExempt(const std::string& repo_relative_path) const;
+
+  /// Transitive dependency closure per layer (includes the layer itself).
+  std::map<std::string, std::set<std::string>> Closure() const;
+
+  /// Returns the layer names on a dependency cycle, empty when the declared
+  /// graph is a DAG. A rule file with a cycle defines no layering at all, so
+  /// this is checked before any file is analyzed.
+  std::vector<std::string> FindCycle() const;
+};
+
+/// Parses `path`. On failure returns false and sets `error`.
+bool ParseRulesFile(const std::string& path, LayerRules* rules,
+                    std::string* error);
+
+/// Parses rule text (split out for tests).
+bool ParseRulesText(const std::string& text, LayerRules* rules,
+                    std::string* error);
+
+}  // namespace tsss_lint
+
+#endif  // TSSS_TOOLS_TSSS_LINT_RULES_H_

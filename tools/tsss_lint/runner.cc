@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "tsss_lint/checks.h"
+#include "tsss_lint/lint.h"
+#include "tsss_lint/rules.h"
+
+namespace tsss_lint {
+
+namespace fs = std::filesystem;
+
+std::string CheckName(Check check) {
+  switch (check) {
+    case Check::kLayering:
+      return "layering";
+    case Check::kLockOrder:
+      return "lock-order";
+    case Check::kStatusDiscard:
+      return "status-discard";
+    case Check::kHotPath:
+      return "hot-path";
+  }
+  return "unknown";
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         CheckName(finding.check) + "] " + finding.message;
+}
+
+int LintResult::CountFor(Check check) const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.check == check) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+bool IsSourcePath(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Repo-relative path with forward slashes (the layer rules' currency).
+std::string Relativize(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  const fs::path& use = (ec || rel.empty()) ? path : rel;
+  return use.generic_string();
+}
+
+}  // namespace
+
+LintResult RunLint(const LintOptions& options) {
+  LintResult result;
+
+  LayerRules rules;
+  if (!options.rules_path.empty()) {
+    std::string error;
+    if (!ParseRulesFile(options.rules_path, &rules, &error)) {
+      result.error = error;
+      return result;
+    }
+  }
+
+  const fs::path root =
+      options.root.empty() ? fs::current_path() : fs::path(options.root);
+
+  // Collect + lex the file set.
+  std::vector<SourceFile> files;
+  std::vector<fs::path> inputs;
+  for (const std::string& raw : options.paths) {
+    fs::path p(raw);
+    if (p.is_relative()) p = root / p;
+    if (!fs::exists(p)) {
+      result.error = "no such file or directory: " + raw;
+      return result;
+    }
+    if (fs::is_directory(p)) {
+      // Skip `testdata` trees during directory walks: fixture corpora (the
+      // linter's own included) are analyzer *inputs*, deliberately full of
+      // violations. An explicit file path still works, so the fixture tests
+      // and CI self-test reach them via --root <fixture>.
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && it->path().filename() == "testdata") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourcePath(it->path())) {
+          inputs.push_back(it->path());
+        }
+      }
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+
+  for (const fs::path& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      result.error = "cannot read " + path.string();
+      return result;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile file;
+    file.path = Relativize(path, root);
+    file.text = buf.str();
+    file.tokens = Lex(file.text);
+    if (options.verbose) {
+      std::cerr << "tsss_lint: " << file.path << " (" << file.tokens.size()
+                << " tokens)\n";
+    }
+    files.push_back(std::move(file));
+  }
+
+  auto enabled = [&](Check check) {
+    return options.checks.empty() || options.checks.count(check) != 0;
+  };
+
+  auto append = [&](std::vector<Finding> found) {
+    for (Finding& f : found) result.findings.push_back(std::move(f));
+  };
+
+  if (enabled(Check::kLayering) && !options.rules_path.empty()) {
+    append(CheckLayering(files, rules));
+  }
+  if (enabled(Check::kLockOrder)) append(CheckLockOrder(files));
+  if (enabled(Check::kStatusDiscard)) append(CheckStatusDiscard(files));
+  if (enabled(Check::kHotPath)) append(CheckHotPath(files));
+
+  // Stable output order for golden tests and humans alike.
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return result;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,22 @@
+// Fixture: MUST FAIL hot-path twice — container growth and a naked new
+// inside a TSSS_HOT region.
+#include <vector>
+
+namespace tsss::core {
+
+double SumWindows(const std::vector<double>& in) {
+  std::vector<double> scratch;
+  double acc = 0.0;
+  // TSSS_HOT_BEGIN(fixture_alloc)
+  for (double x : in) {
+    scratch.push_back(x);  // growth inside the hot loop
+    acc += x;
+  }
+  double* leak = new double(acc);  // heap allocation inside the hot loop
+  acc += *leak;
+  // TSSS_HOT_END(fixture_alloc)
+  delete leak;
+  return acc;
+}
+
+}  // namespace tsss::core

@@ -1,0 +1,26 @@
+// Fixture: MUST FAIL hot-path twice — a bare assert and a lock acquisition
+// inside a TSSS_HOT region.
+#include <cassert>
+
+namespace tsss::core {
+
+class Counter {
+ public:
+  double Drain(const double* values, int n) {
+    double acc = 0.0;
+    // TSSS_HOT_BEGIN(fixture_assert)
+    for (int i = 0; i < n; ++i) {
+      assert(values != nullptr);  // bare assert stays live in Release
+      MutexLock lock(mu_);        // lock churn inside the hot loop
+      acc += values[i];
+    }
+    // TSSS_HOT_END(fixture_assert)
+    return acc;
+  }
+
+ private:
+  Mutex mu_;
+  double drained_ TSSS_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace tsss::core

@@ -1,0 +1,11 @@
+// Fixture: MUST FAIL hot-path — the region is never closed.
+namespace tsss::core {
+
+double Sum(const double* values, int n) {
+  double acc = 0.0;
+  // TSSS_HOT_BEGIN(fixture_unbalanced)
+  for (int i = 0; i < n; ++i) acc += values[i];
+  return acc;
+}
+
+}  // namespace tsss::core

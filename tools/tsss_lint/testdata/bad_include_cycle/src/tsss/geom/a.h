@@ -1,0 +1,13 @@
+// Fixture: MUST FAIL layering — a.h and b.h include each other.
+#ifndef FIXTURE_CYCLE_A_H_
+#define FIXTURE_CYCLE_A_H_
+
+#include "tsss/geom/b.h"
+
+namespace tsss::geom {
+struct A {
+  int value = 0;
+};
+}  // namespace tsss::geom
+
+#endif

@@ -1,0 +1,13 @@
+// Fixture: MUST FAIL layering — see a.h.
+#ifndef FIXTURE_CYCLE_B_H_
+#define FIXTURE_CYCLE_B_H_
+
+#include "tsss/geom/a.h"
+
+namespace tsss::geom {
+struct B {
+  int value = 0;
+};
+}  // namespace tsss::geom
+
+#endif

@@ -1,0 +1,12 @@
+// Fixture: MUST FAIL layering — common is the bottom layer and may not
+// reach up into geom.
+#ifndef FIXTURE_BAD_COMMON_USES_GEOM_H_
+#define FIXTURE_BAD_COMMON_USES_GEOM_H_
+
+#include "tsss/geom/shape.h"
+
+namespace tsss {
+inline double Twice(double x) { return 2.0 * x; }
+}  // namespace tsss
+
+#endif

@@ -1,0 +1,7 @@
+// Fixture: MUST FAIL layering — geom depends only on common; core is three
+// layers up.
+#include "tsss/core/engine.h"
+
+namespace tsss::geom {
+double Nothing() { return 0.0; }
+}  // namespace tsss::geom

@@ -1,0 +1,18 @@
+// Fixture: MUST FAIL lock-order — the declared acquisition order is cyclic:
+// each mutex claims to be acquired after the other.
+#ifndef FIXTURE_BAD_LOCK_CYCLE_AB_H_
+#define FIXTURE_BAD_LOCK_CYCLE_AB_H_
+
+namespace tsss::storage {
+
+class Tangle {
+ private:
+  Mutex a_ TSSS_ACQUIRED_AFTER(b_);
+  Mutex b_ TSSS_ACQUIRED_AFTER(a_);
+  int x_ TSSS_GUARDED_BY(a_) = 0;
+  int y_ TSSS_GUARDED_BY(b_) = 0;
+};
+
+}  // namespace tsss::storage
+
+#endif

@@ -1,0 +1,24 @@
+// Fixture: MUST FAIL lock-order — two functions take the same pair of locks
+// in opposite orders (the classic AB/BA deadlock).
+namespace tsss::storage {
+
+class Pools {
+ public:
+  void Transfer() {
+    MutexLock a(alpha_mu_);
+    MutexLock b(beta_mu_);
+    ++moves_;
+  }
+  void Rebalance() {
+    MutexLock b(beta_mu_);
+    MutexLock a(alpha_mu_);
+    ++moves_;
+  }
+
+ private:
+  Mutex alpha_mu_;
+  Mutex beta_mu_;
+  int moves_ TSSS_GUARDED_BY(alpha_mu_) TSSS_GUARDED_BY(beta_mu_) = 0;
+};
+
+}  // namespace tsss::storage

@@ -1,0 +1,19 @@
+// Fixture: MUST FAIL lock-order twice — a tsss::Mutex member that no
+// annotation references, and a raw std::mutex member with no waiver.
+#ifndef FIXTURE_BAD_LOCK_UNANNOTATED_H_
+#define FIXTURE_BAD_LOCK_UNANNOTATED_H_
+
+#include <mutex>
+
+namespace tsss::storage {
+
+class Naked {
+ private:
+  Mutex mystery_mu_;
+  std::mutex invisible_mu_;
+  int state_ = 0;
+};
+
+}  // namespace tsss::storage
+
+#endif

@@ -1,0 +1,21 @@
+// Fixture: MUST FAIL status-discard twice — a bare call to a fallible free
+// function and a bare call through a member chain.
+namespace tsss::core {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist();
+
+struct Store {
+  Status Write(int page);
+};
+
+void Checkpoint(Store& store) {
+  Persist();        // dropped: nothing reads the returned Status
+  store.Write(42);  // dropped through the member chain
+}
+
+}  // namespace tsss::core

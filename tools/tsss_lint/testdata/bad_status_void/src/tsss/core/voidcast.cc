@@ -1,0 +1,18 @@
+// Fixture: MUST FAIL status-discard — (void)-casts without the required
+// `// discard-ok:` justification comment.
+namespace tsss::core {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist();
+Status Compact();
+
+void Shutdown() {
+  (void)Persist();  // no justification: the cast alone is not enough
+  (void)Compact();
+}
+
+}  // namespace tsss::core

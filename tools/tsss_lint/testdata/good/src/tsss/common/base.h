@@ -1,0 +1,16 @@
+// Fixture: a bottom-layer header. Everything here is legal.
+#ifndef FIXTURE_COMMON_BASE_H_
+#define FIXTURE_COMMON_BASE_H_
+
+namespace tsss {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status MightFail();
+
+}  // namespace tsss
+
+#endif

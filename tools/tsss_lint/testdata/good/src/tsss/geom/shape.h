@@ -1,0 +1,13 @@
+// Fixture: geom may include common (declared dep).
+#ifndef FIXTURE_GEOM_SHAPE_H_
+#define FIXTURE_GEOM_SHAPE_H_
+
+#include "tsss/common/base.h"
+
+namespace tsss::geom {
+
+double Area(double w, double h);
+
+}  // namespace tsss::geom
+
+#endif

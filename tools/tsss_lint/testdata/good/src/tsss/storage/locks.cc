@@ -1,0 +1,23 @@
+// Fixture: consumed Status results, a justified discard, locks taken in the
+// declared order, and a clean hot region.
+#include "tsss/storage/locks.h"
+
+namespace tsss::storage {
+
+Status Store::Flush() {
+  MutexLock meta(meta_mu_);
+  MutexLock data(data_mu_);  // matches the TSSS_ACQUIRED_AFTER declaration
+  Status s = MightFail();
+  if (!s.ok()) return s;
+  // discard-ok: second flush is advisory in this fixture.
+  (void)MightFail();
+
+  // TSSS_HOT_BEGIN(fixture_sum)
+  double acc = 0.0;
+  for (int i = 0; i < bytes_; ++i) acc += static_cast<double>(i);
+  epoch_ = acc > 0.0 ? epoch_ + 1 : epoch_;
+  // TSSS_HOT_END(fixture_sum)
+  return Status();
+}
+
+}  // namespace tsss::storage

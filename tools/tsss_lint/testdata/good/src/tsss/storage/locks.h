@@ -1,0 +1,22 @@
+// Fixture: fully annotated lock state with a declared acquisition order.
+#ifndef FIXTURE_STORAGE_LOCKS_H_
+#define FIXTURE_STORAGE_LOCKS_H_
+
+#include "tsss/common/base.h"
+
+namespace tsss::storage {
+
+class Store {
+ public:
+  Status Flush();
+
+ private:
+  Mutex meta_mu_;
+  Mutex data_mu_ TSSS_ACQUIRED_AFTER(meta_mu_);
+  int epoch_ TSSS_GUARDED_BY(meta_mu_) = 0;
+  int bytes_ TSSS_GUARDED_BY(data_mu_) = 0;
+};
+
+}  // namespace tsss::storage
+
+#endif
