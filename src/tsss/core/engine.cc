@@ -413,7 +413,8 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
 Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
                                              std::size_t k,
                                              const TransformCost& cost,
-                                             QueryStats* stats) const {
+                                             QueryStats* stats,
+                                             KnnSharedBound* shared_bound) const {
   if (query.size() != config_.window) {
     return Status::InvalidArgument("knn query length must equal the window");
   }
@@ -438,9 +439,15 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   // GEMINI multi-step k-NN: consume index neighbours in increasing *reduced*
   // distance (a lower bound of the exact distance); verify each; stop once
   // the lower bound of the next neighbour exceeds the k-th best exact
-  // distance seen so far.
-  auto cmp = [](const Match& a, const Match& b) { return a.distance < b.distance; };
-  std::priority_queue<Match, std::vector<Match>, decltype(cmp)> best(cmp);
+  // distance seen so far. Exact-distance ties are broken by record id so the
+  // answer set is canonical — independent of iterator visit order and of how
+  // the windows are partitioned across shards.
+  auto canonical = [](const Match& a, const Match& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.record < b.record);
+  };
+  std::priority_queue<Match, std::vector<Match>, decltype(canonical)> best(
+      canonical);
 
   std::uint64_t candidates_seen = 0;
   obs::TraceSpan search_span("multi_step_search");
@@ -452,7 +459,13 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
     if (!next.ok()) return next.status();
     if (!next->has_value()) break;
     const index::LineMatch& cand = **next;
-    if (best.size() == k && cand.reduced_distance > best.top().distance) break;
+    // Local termination bound, optionally tightened by sibling partitions.
+    // Strict > keeps ties alive: a candidate at exactly the bound may still
+    // displace the k-th best via the record tie-break.
+    double limit = best.size() == k ? best.top().distance
+                                    : std::numeric_limits<double>::infinity();
+    if (shared_bound != nullptr) limit = std::min(limit, shared_bound->Get());
+    if (cand.reduced_distance > limit) break;
     expanded.clear();
     Status es = ExpandCandidate(cand.record, &expanded);
     if (!es.ok()) return es;
@@ -463,15 +476,18 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
       if (!s.ok()) return s;
       const geom::Alignment alignment = ctx.Align(window);
       if (!cost.Allows(alignment.transform)) continue;
-      if (best.size() == k && alignment.distance >= best.top().distance) continue;
       Match match;
       match.record = record;
       match.series = seq::SeriesOf(record);
       match.offset = seq::OffsetOf(record);
       match.distance = alignment.distance;
       match.transform = alignment.transform;
+      if (best.size() == k && !canonical(match, best.top())) continue;
       best.push(match);
       if (best.size() > k) best.pop();
+      if (shared_bound != nullptr && best.size() == k) {
+        shared_bound->Tighten(best.top().distance);
+      }
     }
   }
 

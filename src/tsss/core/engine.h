@@ -1,7 +1,9 @@
 #ifndef TSSS_CORE_ENGINE_H_
 #define TSSS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -90,6 +92,33 @@ struct QueryStats {
   }
 };
 
+/// A monotonically tightening upper bound on the k-th best exact distance,
+/// shared by concurrent k-NN sub-queries over disjoint partitions of one
+/// logical index (shard scatter-gather). Each partition publishes its local
+/// k-th best distance as it improves; every partition polls the bound and
+/// stops its index walk early once the next candidate's *lower* bound
+/// (reduced distance) exceeds it. Correctness: the bound is always >= the
+/// global k-th best distance (a local k-th order statistic can only be
+/// larger than the union's), and the walk only skips candidates *strictly*
+/// above it, so no true neighbour is ever dismissed — the merged answer is
+/// bit-identical to a single-engine run. Lock-free; safe from any thread.
+class KnnSharedBound {
+ public:
+  /// Lowers the bound to `distance` if it improves it (CAS min).
+  void Tighten(double distance) {
+    double current = bound_.load(std::memory_order_relaxed);
+    while (distance < current &&
+           !bound_.compare_exchange_weak(current, distance,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Current bound; +infinity until any partition has k results.
+  double Get() const { return bound_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
+};
+
 /// Derives the paper's pruning disposition from a walk's PenetrationStats:
 /// every tested entry that was not visited was pruned; bounding-sphere outer
 /// rejects are the BS share, and the remainder is attributed to the
@@ -161,10 +190,16 @@ class SearchEngine {
 
   /// The k nearest windows under the exact scale-shift distance
   /// (Corollary 1), via GEMINI-style multi-step search over the index's
-  /// nearest-line-neighbour iterator. Results sorted by distance.
+  /// nearest-line-neighbour iterator. Results sorted by (distance, record);
+  /// the record id breaks exact distance ties so the answer is a
+  /// deterministic function of the indexed set — shard::ShardedEngine relies
+  /// on this to merge per-shard top-k lists bit-identically. `shared_bound`,
+  /// when non-null, lets concurrent sub-queries over disjoint partitions
+  /// tighten each other's termination bound (see KnnSharedBound).
   Result<std::vector<Match>> Knn(std::span<const double> query, std::size_t k,
                                  const TransformCost& cost = {},
-                                 QueryStats* stats = nullptr) const;
+                                 QueryStats* stats = nullptr,
+                                 KnnSharedBound* shared_bound = nullptr) const;
 
   /// Range query for queries *longer* than the window (Section 7, following
   /// [2]): the query is cut into floor(|Q|/n) disjoint length-n pieces, each

@@ -61,6 +61,60 @@ bool explain_accounted(const ExplainReport& r) {
                                  r.descents + r.accepted_leaf_entries;
 }
 
+ExplainReport MergeExplainReports(const std::vector<ExplainReport>& parts) {
+  ExplainReport merged;
+  if (parts.empty()) return merged;
+
+  // Query identity: the fan-out issues the same logical query to every
+  // partition, so the first part speaks for all of them.
+  merged.kind = parts.front().kind;
+  merged.eps = parts.front().eps;
+  merged.k = parts.front().k;
+  merged.prune_strategy = parts.front().prune_strategy;
+
+  for (const ExplainReport& part : parts) {
+    if (part.elapsed_us > merged.elapsed_us) merged.elapsed_us = part.elapsed_us;
+    if (part.tree_height > merged.tree_height) {
+      merged.tree_height = part.tree_height;
+    }
+    if (part.levels.size() > merged.levels.size()) {
+      std::size_t old = merged.levels.size();
+      merged.levels.resize(part.levels.size());
+      for (std::size_t i = old; i < merged.levels.size(); ++i) {
+        merged.levels[i].level = i;
+      }
+    }
+    for (std::size_t i = 0; i < part.levels.size(); ++i) {
+      merged.levels[i].visited += part.levels[i].visited;
+      merged.levels[i].total += part.levels[i].total;
+    }
+
+    merged.tree_nodes += part.tree_nodes;
+    merged.nodes_visited += part.nodes_visited;
+    merged.entries_tested += part.entries_tested;
+    merged.ep_prunes += part.ep_prunes;
+    merged.bs_prunes += part.bs_prunes;
+    merged.exact_prunes += part.exact_prunes;
+    merged.descents += part.descents;
+    merged.accepted_leaf_entries += part.accepted_leaf_entries;
+    merged.mbr_distance_evals += part.mbr_distance_evals;
+
+    merged.indexed_windows += part.indexed_windows;
+    merged.leaf_candidates += part.leaf_candidates;
+    merged.candidates += part.candidates;
+    merged.postfiltered += part.postfiltered;
+    merged.matches += part.matches;
+
+    merged.index_page_reads += part.index_page_reads;
+    merged.index_page_hits += part.index_page_hits;
+    merged.index_page_misses += part.index_page_misses;
+    merged.data_page_reads += part.data_page_reads;
+
+    merged.seq_scan_pages += part.seq_scan_pages;
+  }
+  return merged;
+}
+
 void FillExplainPhases(const QueryTrace& trace, ExplainReport* report) {
   report->phases.clear();
   report->phases.reserve(trace.events().size());

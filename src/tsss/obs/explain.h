@@ -85,6 +85,17 @@ struct ExplainReport {
 /// identity above). Reports built from a telemetry-enabled walk satisfy it.
 bool explain_accounted(const ExplainReport& report);
 
+/// Folds per-partition reports of ONE logical query (the shard fan-out) into
+/// a single report. Every counter in the waterfall, funnel, I/O and baseline
+/// sections is summed — the waterfall identity is linear, so the merged
+/// report satisfies explain_accounted() whenever every part does. Tree shape
+/// rows are summed level-by-level (height = max over parts), elapsed_us is
+/// the max (the parts ran concurrently), and the query identity is taken
+/// from the first part. Phases are dropped: per-shard span timelines overlap
+/// and a concatenation would be misleading. Empty input yields a default
+/// report.
+ExplainReport MergeExplainReports(const std::vector<ExplainReport>& parts);
+
 /// Copies the spans of `trace` into report.phases (name, depth, duration).
 void FillExplainPhases(const QueryTrace& trace, ExplainReport* report);
 

@@ -118,19 +118,31 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+std::string WithLabel(const std::string& base, const std::string& key,
+                      const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
 std::string ExportPrometheus(const std::vector<MetricSample>& samples) {
   std::string out;
+  // The snapshot is name-sorted, so all labelled variants of a base follow
+  // each other (and any unlabelled sample of the same base): one HELP/TYPE
+  // header covers the run.
+  std::string last_base;
   for (const MetricSample& s : samples) {
-    if (!s.help.empty()) {
-      out += "# HELP " + s.name + " " + s.help + "\n";
+    const std::string base = s.name.substr(0, s.name.find('{'));
+    const bool new_base = base != last_base;
+    last_base = base;
+    if (!s.help.empty() && new_base) {
+      out += "# HELP " + base + " " + s.help + "\n";
     }
     switch (s.kind) {
       case MetricSample::Kind::kCounter:
-        out += "# TYPE " + s.name + " counter\n";
+        if (new_base) out += "# TYPE " + base + " counter\n";
         out += s.name + " " + std::to_string(s.counter_value) + "\n";
         break;
       case MetricSample::Kind::kGauge:
-        out += "# TYPE " + s.name + " gauge\n";
+        if (new_base) out += "# TYPE " + base + " gauge\n";
         out += s.name + " " + std::to_string(s.gauge_value) + "\n";
         break;
       case MetricSample::Kind::kHistogram: {

@@ -98,9 +98,20 @@ class MetricsRegistry {
       TSSS_GUARDED_BY(mu_);
 };
 
+/// Builds a Prometheus-style labelled metric name:
+///   WithLabel("tsss_pool_hits_total", "shard", "3")
+///     == R"(tsss_pool_hits_total{shard="3"})"
+/// The registry keys metrics by the full string (same name+label -> same
+/// object), so per-instance series — e.g. one per shard — coexist with the
+/// unlabelled process-wide total. ExportPrometheus emits HELP/TYPE against
+/// the base name (everything before '{'), once per base.
+std::string WithLabel(const std::string& base, const std::string& key,
+                      const std::string& value);
+
 /// Renders a snapshot in the Prometheus text exposition format: counters and
 /// gauges as single samples, histograms as summaries (quantile label, values
-/// in seconds) with `_sum` and `_count` rows.
+/// in seconds) with `_sum` and `_count` rows. Labelled names (see WithLabel)
+/// share their base's HELP/TYPE header.
 std::string ExportPrometheus(const std::vector<MetricSample>& samples);
 
 /// Renders a snapshot as a JSON object: {"counters": {...}, "gauges": {...},

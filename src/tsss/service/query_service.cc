@@ -198,15 +198,18 @@ void QueryService::WorkerLoop(std::size_t worker_index) {
 
 Result<std::vector<core::Match>> QueryService::RunQuery(
     const QueryRequest& request, core::QueryStats* stats) const {
+  const core::SearchEngine* engine =
+      request.target != nullptr ? request.target : engine_;
   switch (request.kind) {
     case QueryKind::kRange:
-      return engine_->RangeQuery(request.query, request.eps, request.cost,
-                                 stats);
+      return engine->RangeQuery(request.query, request.eps, request.cost,
+                                stats);
     case QueryKind::kKnn:
-      return engine_->Knn(request.query, request.k, request.cost, stats);
+      return engine->Knn(request.query, request.k, request.cost, stats,
+                         request.knn_bound);
     case QueryKind::kLongRange:
-      return engine_->LongRangeQuery(request.query, request.eps, request.cost,
-                                     stats);
+      return engine->LongRangeQuery(request.query, request.eps, request.cost,
+                                    stats);
   }
   return Status::InvalidArgument("unknown query kind");
 }

@@ -41,6 +41,16 @@ struct QueryRequest {
   /// Per-request deadline measured from Submit(). Zero means "use the
   /// service default"; a negative value disables the deadline entirely.
   std::chrono::milliseconds timeout{0};
+  /// Scatter-gather hook: when non-null the request runs against this
+  /// engine instead of the service's default one. shard::ShardedEngine uses
+  /// this to fan one logical query out across its shard engines through a
+  /// single worker pool. The engine must outlive the request's future and,
+  /// like the default engine, must have cold_cache_per_query off.
+  const core::SearchEngine* target = nullptr;
+  /// Optional shared k-NN termination bound, forwarded to SearchEngine::Knn
+  /// so concurrent sub-queries over disjoint partitions tighten each other
+  /// mid-flight. Ignored for non-kNN kinds. Must outlive the future.
+  core::KnnSharedBound* knn_bound = nullptr;
 };
 
 /// The completed answer delivered through the future returned by Submit().

@@ -1,0 +1,233 @@
+#include "tsss/shard/shard_map.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tsss::shard {
+namespace {
+
+constexpr char kShardMapVersion[] = "tsss-shard-map-v1";
+
+/// Strict digits-only uint64 parse for untrusted tokens. Rejects empty
+/// tokens, signs, leading '+'/'-', non-digits and anything above `max`
+/// (including values that overflow uint64 on the way). istream's built-in
+/// `>>` into an unsigned silently accepts "-1" by wrapping; this does not.
+Status ParseU64(const std::string& token, const char* key, std::uint64_t max,
+                std::uint64_t* out) {
+  if (token.empty() || token.size() > 20) {
+    return Status::Corruption(std::string("shard map key '") + key +
+                              "' has a malformed value");
+  }
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption(std::string("shard map key '") + key +
+                                "' has a non-numeric value");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::Corruption(std::string("shard map key '") + key +
+                                "' overflows");
+    }
+    value = value * 10 + digit;
+  }
+  if (value > max) {
+    return Status::Corruption(std::string("shard map key '") + key +
+                              "' is out of range");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+/// Reads the next whitespace-separated token; Corruption when the stream is
+/// exhausted (truncated input).
+Status NextToken(std::istream& in, const char* key, std::string* token) {
+  if (!(in >> *token)) {
+    return Status::Corruption(std::string("shard map truncated before '") +
+                              key + "'");
+  }
+  return Status::OK();
+}
+
+Status ExpectKeyword(std::istream& in, const char* keyword) {
+  std::string token;
+  Status s = NextToken(in, keyword, &token);
+  if (!s.ok()) return s;
+  if (token != keyword) {
+    return Status::Corruption(std::string("shard map expected '") + keyword +
+                              "', found '" + token + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardAssignment> ShardMap::Assignment(storage::SeriesId global) const {
+  if (global >= series.size()) {
+    return Status::InvalidArgument("series id " + std::to_string(global) +
+                                   " not in shard map (" +
+                                   std::to_string(series.size()) + " series)");
+  }
+  return series[global];
+}
+
+std::vector<std::uint64_t> ShardMap::SeriesPerShard() const {
+  std::vector<std::uint64_t> counts(num_shards, 0);
+  for (const ShardAssignment& a : series) {
+    if (a.shard < counts.size()) ++counts[a.shard];
+  }
+  return counts;
+}
+
+std::uint32_t AssignShard(ShardScheme scheme, storage::SeriesId global,
+                          std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  switch (scheme) {
+    case ShardScheme::kHash: {
+      // Fibonacci multiplicative hash: the golden-ratio multiplier diffuses
+      // consecutive ids across the high bits before the modulo.
+      const std::uint64_t h =
+          static_cast<std::uint64_t>(global) * 0x9E3779B97F4A7C15ull;
+      return static_cast<std::uint32_t>((h >> 32) % num_shards);
+    }
+    case ShardScheme::kRoundRobin:
+      return global % num_shards;
+  }
+  return 0;
+}
+
+ShardMap BuildShardMap(ShardScheme scheme, std::uint64_t num_series,
+                       std::uint32_t num_shards) {
+  ShardMap map;
+  map.num_shards = num_shards == 0 ? 1 : num_shards;
+  map.scheme = scheme;
+  map.series.reserve(num_series);
+  std::vector<storage::SeriesId> next_local(map.num_shards, 0);
+  for (std::uint64_t g = 0; g < num_series; ++g) {
+    ShardAssignment a;
+    a.shard =
+        AssignShard(scheme, static_cast<storage::SeriesId>(g), map.num_shards);
+    a.local_id = next_local[a.shard]++;
+    map.series.push_back(a);
+  }
+  return map;
+}
+
+std::string EncodeShardMap(const ShardMap& map) {
+  std::ostringstream out;
+  out << kShardMapVersion << "\n";
+  out << "shards " << map.num_shards << "\n";
+  out << "scheme " << static_cast<int>(map.scheme) << "\n";
+  out << "series " << map.series.size() << "\n";
+  for (std::size_t g = 0; g < map.series.size(); ++g) {
+    out << g << " " << map.series[g].shard << " " << map.series[g].local_id
+        << "\n";
+  }
+  return out.str();
+}
+
+Result<ShardMap> ParseShardMap(std::istream& in) {
+  std::string version;
+  if (!std::getline(in, version) || version != kShardMapVersion) {
+    return Status::Corruption("unsupported shard map version '" + version +
+                              "'");
+  }
+
+  ShardMap map;
+  std::string token;
+  std::uint64_t value = 0;
+
+  Status s = ExpectKeyword(in, "shards");
+  if (!s.ok()) return s;
+  s = NextToken(in, "shards", &token);
+  if (!s.ok()) return s;
+  s = ParseU64(token, "shards", kMaxShards, &value);
+  if (!s.ok()) return s;
+  if (value == 0) return Status::Corruption("shard map declares zero shards");
+  map.num_shards = static_cast<std::uint32_t>(value);
+
+  s = ExpectKeyword(in, "scheme");
+  if (!s.ok()) return s;
+  s = NextToken(in, "scheme", &token);
+  if (!s.ok()) return s;
+  s = ParseU64(token, "scheme",
+               static_cast<std::uint64_t>(ShardScheme::kRoundRobin), &value);
+  if (!s.ok()) return s;
+  map.scheme = static_cast<ShardScheme>(value);
+
+  s = ExpectKeyword(in, "series");
+  if (!s.ok()) return s;
+  s = NextToken(in, "series", &token);
+  if (!s.ok()) return s;
+  std::uint64_t count = 0;
+  s = ParseU64(token, "series", kMaxShardMapSeries, &count);
+  if (!s.ok()) return s;
+
+  // The count is bounded above, so this reserve cannot be driven into a
+  // hostile allocation.
+  map.series.reserve(static_cast<std::size_t>(count));
+  std::vector<storage::SeriesId> next_local(map.num_shards, 0);
+  for (std::uint64_t g = 0; g < count; ++g) {
+    s = NextToken(in, "row global", &token);
+    if (!s.ok()) return s;
+    s = ParseU64(token, "row global", kMaxShardMapSeries, &value);
+    if (!s.ok()) return s;
+    if (value != g) {
+      return Status::Corruption("shard map rows out of order: expected " +
+                                std::to_string(g) + ", found " +
+                                std::to_string(value));
+    }
+    ShardAssignment a;
+    s = NextToken(in, "row shard", &token);
+    if (!s.ok()) return s;
+    s = ParseU64(token, "row shard", map.num_shards - 1, &value);
+    if (!s.ok()) return s;
+    a.shard = static_cast<std::uint32_t>(value);
+    s = NextToken(in, "row local", &token);
+    if (!s.ok()) return s;
+    s = ParseU64(token, "row local", kMaxShardMapSeries, &value);
+    if (!s.ok()) return s;
+    a.local_id = static_cast<storage::SeriesId>(value);
+    // Locals must be dense and in global order per shard — the invariant
+    // the merge-order reasoning (see ShardMap) depends on.
+    if (a.local_id != next_local[a.shard]) {
+      return Status::Corruption(
+          "shard map local ids not dense: shard " + std::to_string(a.shard) +
+          " expected local " + std::to_string(next_local[a.shard]) +
+          ", found " + std::to_string(a.local_id));
+    }
+    ++next_local[a.shard];
+    map.series.push_back(a);
+  }
+
+  if (in >> token) {
+    return Status::Corruption("shard map has trailing content '" + token +
+                              "'");
+  }
+  return map;
+}
+
+Status SaveShardMap(const std::string& path, const ShardMap& map) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write shard map '" + path + "'");
+  out << EncodeShardMap(map);
+  out.flush();
+  if (!out) return Status::IoError("short write to shard map '" + path + "'");
+  return Status::OK();
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("shard map '" + path + "' does not exist");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read shard map '" + path + "'");
+  return ParseShardMap(in);
+}
+
+}  // namespace tsss::shard

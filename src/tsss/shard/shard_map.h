@@ -1,0 +1,94 @@
+#ifndef TSSS_SHARD_SHARD_MAP_H_
+#define TSSS_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+#include "tsss/storage/sequence_store.h"
+
+namespace tsss::shard {
+
+/// How global series ids are assigned to shards. Partitioning is at *series*
+/// granularity: every window of a series lands in that series' shard, so a
+/// long-range query (whose candidate pieces all come from one series) stays
+/// shard-local and per-window verdicts merge trivially.
+enum class ShardScheme : int {
+  /// Fibonacci multiplicative hash of the global series id. Spreads any id
+  /// pattern evenly; the default.
+  kHash = 0,
+  /// global_id % num_shards. Deterministic striping; useful in tests where
+  /// the placement must be obvious.
+  kRoundRobin = 1,
+};
+
+/// Where one global series lives: which shard, and under which series id
+/// inside that shard's private SearchEngine (each shard numbers its own
+/// series densely from 0).
+struct ShardAssignment {
+  std::uint32_t shard = 0;
+  storage::SeriesId local_id = 0;
+};
+
+/// The versioned partition record of a sharded index: shard count, the
+/// assignment scheme, and the global-series -> (shard, local id) table.
+/// Persisted as `shard_map.tsss` next to the per-shard engine directories
+/// and required to re-open the index — it is the only place the global id
+/// space is recorded.
+///
+/// Locals are assigned in increasing global-id order, so within a shard
+/// local order == global order. ShardedEngine relies on this: remapping a
+/// shard's (distance, record)-sorted k-NN answer to global record ids
+/// preserves its order.
+struct ShardMap {
+  std::uint32_t num_shards = 1;
+  ShardScheme scheme = ShardScheme::kHash;
+  /// Indexed by global storage::SeriesId.
+  std::vector<ShardAssignment> series;
+
+  /// Range-checked lookup; InvalidArgument for an unknown global id.
+  Result<ShardAssignment> Assignment(storage::SeriesId global) const;
+
+  /// Per-shard series counts (by scanning the table).
+  std::vector<std::uint64_t> SeriesPerShard() const;
+};
+
+/// Upper bound on shards a map may declare; far above any deployment and
+/// small enough that a hostile count cannot drive a large allocation.
+inline constexpr std::uint32_t kMaxShards = 4096;
+/// Upper bound on series rows a map may declare (bounds the table
+/// allocation before it happens; ~512 MiB of raw doubles per series would
+/// exhaust the container long before this).
+inline constexpr std::uint64_t kMaxShardMapSeries = 1ull << 26;
+
+/// Deterministic shard for a new global series id under `scheme`.
+/// `num_shards` must be >= 1.
+std::uint32_t AssignShard(ShardScheme scheme, storage::SeriesId global,
+                          std::uint32_t num_shards);
+
+/// Builds the map for globals 0..num_series-1 under `scheme`, assigning
+/// shard-local ids densely in global order.
+ShardMap BuildShardMap(ShardScheme scheme, std::uint64_t num_series,
+                       std::uint32_t num_shards);
+
+/// Text encoding (version line "tsss-shard-map-v1", then key/value and table
+/// rows). Deterministic; round-trips through ParseShardMap.
+std::string EncodeShardMap(const ShardMap& map);
+
+/// Parses an encoded map from untrusted bytes. Every violation — bad
+/// version, missing or non-numeric fields, out-of-range counts, rows out of
+/// order, a shard id >= num_shards, local ids that are not dense per shard,
+/// trailing garbage — returns Corruption (never UB, never an unbounded
+/// allocation), per the fuzz-hardened parser conventions.
+Result<ShardMap> ParseShardMap(std::istream& in);
+
+/// File variants. Load returns NotFound when `path` does not exist and
+/// Corruption for any malformed content.
+Status SaveShardMap(const std::string& path, const ShardMap& map);
+Result<ShardMap> LoadShardMap(const std::string& path);
+
+}  // namespace tsss::shard
+
+#endif  // TSSS_SHARD_SHARD_MAP_H_

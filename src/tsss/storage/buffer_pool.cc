@@ -156,12 +156,14 @@ void BufferPool::TouchLru(Shard& shard, Frame* frame) {
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++metrics_.logical_reads;
   PoolCounters().logical_reads->Inc();
+  if (labeled_logical_reads_ != nullptr) labeled_logical_reads_->Inc();
   Shard& shard = ShardFor(id);
   MutexLock lock(shard.mu);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     ++metrics_.hits;
     PoolCounters().hits->Inc();
+    if (labeled_hits_ != nullptr) labeled_hits_->Inc();
     CountQueryPoolRead(/*miss=*/false);
     ProfileAccess(shard, id, /*miss=*/false);
     Frame* frame = it->second.get();
@@ -171,6 +173,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   }
   ++metrics_.misses;
   PoolCounters().misses->Inc();
+  if (labeled_misses_ != nullptr) labeled_misses_->Inc();
   CountQueryPoolRead(/*miss=*/true);
   ProfileAccess(shard, id, /*miss=*/true);
   auto frame = std::make_unique<Frame>();
@@ -197,6 +200,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 Result<PageGuard> BufferPool::New() {
   ++metrics_.logical_reads;
   PoolCounters().logical_reads->Inc();
+  if (labeled_logical_reads_ != nullptr) labeled_logical_reads_->Inc();
   CountQueryPoolRead(/*miss=*/false);
   const PageId id = store_->Allocate();
   Shard& shard = ShardFor(id);
@@ -284,6 +288,7 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
     if (!s.ok()) return s;
     ++metrics_.evictions;
     PoolCounters().evictions->Inc();
+    if (labeled_evictions_ != nullptr) labeled_evictions_->Inc();
     if (profile_enabled_.load(std::memory_order_relaxed)) {
       PageAccessStats& tally = shard.profile[victim->id];
       tally.page = victim->id;
@@ -431,6 +436,18 @@ void BufferPool::ResetMetrics() {
   metrics_.writebacks.store(0, std::memory_order_relaxed);
   metrics_.overflows.store(0, std::memory_order_relaxed);
   metrics_.crc_failures.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::SetMetricsLabel(const std::string& key,
+                                 const std::string& value) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  labeled_logical_reads_ =
+      reg.GetCounter(obs::WithLabel("tsss_pool_logical_reads_total", key, value));
+  labeled_hits_ = reg.GetCounter(obs::WithLabel("tsss_pool_hits_total", key, value));
+  labeled_misses_ =
+      reg.GetCounter(obs::WithLabel("tsss_pool_misses_total", key, value));
+  labeled_evictions_ =
+      reg.GetCounter(obs::WithLabel("tsss_pool_evictions_total", key, value));
 }
 
 Status BufferPool::AuditPins() const {

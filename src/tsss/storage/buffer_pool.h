@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,10 @@
 #include "tsss/common/thread_annotations.h"
 #include "tsss/storage/page.h"
 #include "tsss/storage/page_store.h"
+
+namespace tsss::obs {
+class Counter;  // labelled per-instance registry counters (SetMetricsLabel)
+}  // namespace tsss::obs
 
 namespace tsss::storage {
 
@@ -168,6 +173,14 @@ class BufferPool {
   BufferPoolMetrics metrics() const;
   void ResetMetrics();
 
+  /// Registers labelled per-instance mirrors of the read-path counters
+  /// (tsss_pool_{logical_reads,hits,misses,evictions}_total{key="value"}) in
+  /// the process-wide obs::MetricsRegistry and bumps them alongside the
+  /// unlabelled process totals. shard::ShardedEngine labels each shard's
+  /// pool so per-shard hit rates are visible in one exporter scrape. Call
+  /// during single-threaded setup, before any concurrent use of the pool.
+  void SetMetricsLabel(const std::string& key, const std::string& value);
+
   /// Turns the per-page access profile on or off. Enabling clears any prior
   /// tally; disabling keeps it readable via AccessProfile(). While off (the
   /// default) the cost on Fetch is one relaxed atomic load.
@@ -241,6 +254,13 @@ class BufferPool {
   std::unique_ptr<Shard[]> shards_;
   AtomicMetrics metrics_;
   std::atomic<bool> profile_enabled_{false};
+
+  /// Labelled per-instance registry counters; null until SetMetricsLabel().
+  /// Written once during setup, then read lock-free on the hot path.
+  obs::Counter* labeled_logical_reads_ = nullptr;
+  obs::Counter* labeled_hits_ = nullptr;
+  obs::Counter* labeled_misses_ = nullptr;
+  obs::Counter* labeled_evictions_ = nullptr;
 };
 
 }  // namespace tsss::storage

@@ -1,0 +1,189 @@
+// Shard-map unit tests: deterministic assignment, encode/parse round trips,
+// file persistence, and — per the fuzz-hardened parser conventions — clean
+// Corruption statuses (never UB, never an unbounded allocation) for every
+// malformed or hostile input shape.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tsss/shard/shard_map.h"
+
+namespace tsss::shard {
+namespace {
+
+ShardMap SampleMap(ShardScheme scheme, std::uint64_t series,
+                   std::uint32_t shards) {
+  return BuildShardMap(scheme, series, shards);
+}
+
+TEST(ShardMapTest, AssignShardIsDeterministicAndInRange) {
+  for (const ShardScheme scheme :
+       {ShardScheme::kHash, ShardScheme::kRoundRobin}) {
+    for (std::uint32_t shards : {1u, 2u, 4u, 7u}) {
+      for (storage::SeriesId g = 0; g < 100; ++g) {
+        const std::uint32_t a = AssignShard(scheme, g, shards);
+        EXPECT_LT(a, shards);
+        EXPECT_EQ(a, AssignShard(scheme, g, shards));
+      }
+    }
+  }
+  // Single shard short-circuits regardless of scheme.
+  EXPECT_EQ(AssignShard(ShardScheme::kHash, 12345, 1), 0u);
+}
+
+TEST(ShardMapTest, RoundRobinStripes) {
+  const ShardMap map = SampleMap(ShardScheme::kRoundRobin, 8, 4);
+  for (storage::SeriesId g = 0; g < 8; ++g) {
+    EXPECT_EQ(map.series[g].shard, g % 4);
+    EXPECT_EQ(map.series[g].local_id, g / 4);
+  }
+}
+
+TEST(ShardMapTest, HashSpreadsSeriesAcrossShards) {
+  const ShardMap map = SampleMap(ShardScheme::kHash, 64, 4);
+  const std::vector<std::uint64_t> counts = map.SeriesPerShard();
+  ASSERT_EQ(counts.size(), 4u);
+  for (std::uint64_t c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(ShardMapTest, LocalIdsAreDensePerShardInGlobalOrder) {
+  const ShardMap map = SampleMap(ShardScheme::kHash, 100, 3);
+  std::vector<storage::SeriesId> next(3, 0);
+  for (const ShardAssignment& a : map.series) {
+    EXPECT_EQ(a.local_id, next[a.shard]++);
+  }
+}
+
+TEST(ShardMapTest, EncodeParseRoundTrip) {
+  for (const ShardScheme scheme :
+       {ShardScheme::kHash, ShardScheme::kRoundRobin}) {
+    const ShardMap map = SampleMap(scheme, 17, 4);
+    std::istringstream in(EncodeShardMap(map));
+    auto parsed = ParseShardMap(in);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->num_shards, map.num_shards);
+    EXPECT_EQ(parsed->scheme, map.scheme);
+    ASSERT_EQ(parsed->series.size(), map.series.size());
+    for (std::size_t g = 0; g < map.series.size(); ++g) {
+      EXPECT_EQ(parsed->series[g].shard, map.series[g].shard);
+      EXPECT_EQ(parsed->series[g].local_id, map.series[g].local_id);
+    }
+  }
+}
+
+TEST(ShardMapTest, EmptyMapRoundTrips) {
+  const ShardMap map = SampleMap(ShardScheme::kHash, 0, 2);
+  std::istringstream in(EncodeShardMap(map));
+  auto parsed = ParseShardMap(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_shards, 2u);
+  EXPECT_TRUE(parsed->series.empty());
+}
+
+TEST(ShardMapTest, SaveLoadRoundTrip) {
+  const std::string dir =
+      ::testing::TempDir() + "/tsss_shard_map_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/shard_map.tsss";
+
+  const ShardMap map = SampleMap(ShardScheme::kRoundRobin, 9, 3);
+  ASSERT_TRUE(SaveShardMap(path, map).ok());
+  auto loaded = LoadShardMap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->series.size(), 9u);
+  EXPECT_EQ(loaded->num_shards, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardMapTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadShardMap(::testing::TempDir() + "/tsss_no_such_map.tsss");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardMapTest, AssignmentRangeChecksGlobalId) {
+  const ShardMap map = SampleMap(ShardScheme::kHash, 4, 2);
+  EXPECT_TRUE(map.Assignment(3).ok());
+  auto bad = map.Assignment(4);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- hostile inputs: every one must come back as clean Corruption ---
+
+Status ParseString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseShardMap(in).status();
+}
+
+void ExpectCorruption(const std::string& text) {
+  const Status s = ParseString(text);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << "input:\n"
+                                               << text << "\ngot: "
+                                               << s.ToString();
+}
+
+TEST(ShardMapTest, RejectsWrongVersionLine) {
+  ExpectCorruption("");
+  ExpectCorruption("tsss-shard-map-v0\nshards 1\nscheme 0\nseries 0\n");
+  ExpectCorruption("tsss-engine-meta-v1\nshards 1\nscheme 0\nseries 0\n");
+}
+
+TEST(ShardMapTest, RejectsMalformedCounts) {
+  // Zero or absurd shard counts.
+  ExpectCorruption("tsss-shard-map-v1\nshards 0\nscheme 0\nseries 0\n");
+  ExpectCorruption("tsss-shard-map-v1\nshards 5000\nscheme 0\nseries 0\n");
+  // Negative, non-numeric, overflowing, or hostile-huge values. None of
+  // these may wrap, crash, or drive a large allocation.
+  ExpectCorruption("tsss-shard-map-v1\nshards -1\nscheme 0\nseries 0\n");
+  ExpectCorruption("tsss-shard-map-v1\nshards two\nscheme 0\nseries 0\n");
+  ExpectCorruption(
+      "tsss-shard-map-v1\nshards 99999999999999999999999\nscheme 0\n"
+      "series 0\n");
+  ExpectCorruption(
+      "tsss-shard-map-v1\nshards 2\nscheme 0\nseries 18446744073709551615\n");
+  ExpectCorruption("tsss-shard-map-v1\nshards 2\nscheme 7\nseries 0\n");
+}
+
+TEST(ShardMapTest, RejectsMissingOrMisnamedKeys) {
+  ExpectCorruption("tsss-shard-map-v1\n");
+  ExpectCorruption("tsss-shard-map-v1\nshards 2\n");
+  ExpectCorruption("tsss-shard-map-v1\nshardz 2\nscheme 0\nseries 0\n");
+  ExpectCorruption("tsss-shard-map-v1\nshards 2\nscheme 0\nseries\n");
+}
+
+TEST(ShardMapTest, RejectsMalformedRows) {
+  const std::string header = "tsss-shard-map-v1\nshards 2\nscheme 1\n";
+  // Truncated table.
+  ExpectCorruption(header + "series 2\n0 0 0\n");
+  // Rows out of order.
+  ExpectCorruption(header + "series 2\n1 1 0\n0 0 0\n");
+  // Shard id out of range.
+  ExpectCorruption(header + "series 1\n0 2 0\n");
+  // Local ids not dense within their shard.
+  ExpectCorruption(header + "series 2\n0 0 0\n1 0 5\n");
+  ExpectCorruption(header + "series 1\n0 0 1\n");
+  // Trailing garbage after a well-formed table.
+  ExpectCorruption(header + "series 1\n0 0 0\nextra\n");
+}
+
+TEST(ShardMapTest, ParsesMaximallyNestedValidInput) {
+  // A valid 2-shard map exercising both shards — the happy path through the
+  // same validation branches the hostile cases trip.
+  std::istringstream in(
+      "tsss-shard-map-v1\nshards 2\nscheme 1\nseries 4\n"
+      "0 0 0\n1 1 0\n2 0 1\n3 1 1\n");
+  auto parsed = ParseShardMap(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->series[2].shard, 0u);
+  EXPECT_EQ(parsed->series[2].local_id, 1u);
+}
+
+}  // namespace
+}  // namespace tsss::shard

@@ -41,6 +41,16 @@ TEST(TsssLintFixtures, BadLayeringFindsBothUpwardIncludes) {
   EXPECT_EQ(static_cast<int>(result.findings.size()), 2);
 }
 
+// shard is the top layer: a lower layer (service) including a shard header
+// is an upward edge the DAG must reject.
+TEST(TsssLintFixtures, BadShardLayeringReachUpIsCaught) {
+  const LintResult result = RunOnFixture("bad_shard_layering");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kLayering), 1);
+  EXPECT_NE(result.findings.front().message.find("shard"), std::string::npos);
+}
+
 TEST(TsssLintFixtures, BadIncludeCycleIsReportedOnce) {
   const LintResult result = RunOnFixture("bad_include_cycle");
   ASSERT_TRUE(result.error.empty()) << result.error;

@@ -1,12 +1,17 @@
 // Validates machine-written report files against their documented schemas:
 //
-//   bench_schema_check [--schema bench|explain|inspect] report.json...
+//   bench_schema_check [--schema bench|explain|inspect|inspect_sharded]
+//                      report.json...
 //
 //   bench   — BENCH_<name>.json emitted by run_benches.sh (schema documented
-//             in bench/bench_common.h, schema_version 1). The default.
+//             in bench/bench_common.h, schema_version 1). `tsss_cli
+//             serve-bench --json-out` emits the same shape.
 //   explain — `tsss_cli explain --format json` plan reports (schema in
-//             src/tsss/obs/explain.h).
+//             src/tsss/obs/explain.h). Sharded indexes render the merged
+//             per-shard report through the same schema.
 //   inspect — `tsss_cli inspect --format json` structural reports.
+//   inspect_sharded — `tsss_cli inspect --format json` on a sharded index
+//             (shard map summary + one row per shard).
 //
 // Exits non-zero naming the first offending file/field. JSON parsing lives in
 // tools/json_mini.h (shared with bench_diff).
@@ -292,6 +297,42 @@ bool CheckInspect(const JsonValue& root, std::string* error) {
   return true;
 }
 
+bool CheckInspectSharded(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "inspect_sharded", error)) return false;
+
+  const JsonValue* map = RequireObject(root, "shard_map", error);
+  if (map == nullptr) return false;
+  if (!RequireNumbers(*map, "shard_map",
+                      {"shards", "series", "indexed_windows"}, error)) {
+    return false;
+  }
+  if (!IsString(map->Get("scheme"))) {
+    *error = "shard_map.scheme must be a string";
+    return false;
+  }
+
+  const JsonValue* shards = RequireArray(root, "shards", error);
+  if (shards == nullptr) return false;
+  if (static_cast<double>(shards->array.size()) !=
+      map->Get("shards")->number) {
+    *error = "shards must hold exactly shard_map.shards rows";
+    return false;
+  }
+  for (std::size_t i = 0; i < shards->array.size(); ++i) {
+    const JsonValue& row = shards->array[i];
+    const std::string where = "shards[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(row, where.c_str(),
+                        {"shard", "series", "indexed_windows", "tree_height",
+                         "pool_hit_ratio"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool CheckFile(const char* path, const std::string& schema,
                std::string* error) {
   JsonValue root;
@@ -299,6 +340,7 @@ bool CheckFile(const char* path, const std::string& schema,
   if (schema == "bench") return CheckBench(root, error);
   if (schema == "explain") return CheckExplain(root, error);
   if (schema == "inspect") return CheckInspect(root, error);
+  if (schema == "inspect_sharded") return CheckInspectSharded(root, error);
   *error = "unknown schema '" + schema + "'";
   return false;
 }
@@ -314,11 +356,13 @@ int main(int argc, char** argv) {
   }
   if (first >= argc) {
     std::fprintf(stderr,
-                 "usage: %s [--schema bench|explain|inspect] report.json...\n",
+                 "usage: %s [--schema bench|explain|inspect|inspect_sharded] "
+                 "report.json...\n",
                  argv[0]);
     return 2;
   }
-  if (schema != "bench" && schema != "explain" && schema != "inspect") {
+  if (schema != "bench" && schema != "explain" && schema != "inspect" &&
+      schema != "inspect_sharded") {
     std::fprintf(stderr, "unknown --schema '%s'\n", schema.c_str());
     return 2;
   }

@@ -4,6 +4,7 @@
 //   tsss_cli generate --out market.csv [--companies 200] [--values 650]
 //   tsss_cli build    --data market.csv --index dir [--window 128]
 //                     [--reducer dft|paa|haar] [--dim 6] [--subtrail 0]
+//                     [--shards N] [--scheme hash|round-robin]
 //   tsss_cli info     --index dir
 //   tsss_cli query    --index dir (--pattern NAME | --series I --offset K)
 //                     [--eps 0.5] [--positive] [--min-scale A] [--suppress N]
@@ -19,7 +20,16 @@
 //                     [--format prometheus|json|both]
 //   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
 //                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
+//                     [--shards N] [--json-out report.json]
 //                     [--log-file events.ndjson]
+//
+// Sharded indexes: `build --shards N` partitions the corpus across N shard
+// engines under <index>/shard-<i> with the shard map at
+// <index>/shard_map.tsss. query/knn/explain/inspect/serve-bench detect the
+// shard map automatically and route through the scatter-gather ShardedEngine
+// (explain renders the merged per-shard prune waterfall; inspect prints the
+// shard map plus per-shard rows). Answers are bit-identical to a single
+// engine over the same data.
 //
 // Patterns: ramp, v, peak, sine, step, hns, saturation, cup.
 //
@@ -33,6 +43,7 @@
 // data, then dumps it. --log-file writes the structured event-log ring as
 // NDJSON.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +64,7 @@
 #include "tsss/seq/patterns.h"
 #include "tsss/seq/stock_generator.h"
 #include "tsss/service/query_service.h"
+#include "tsss/shard/sharded_engine.h"
 
 namespace {
 
@@ -133,6 +145,19 @@ int WriteFileOrFail(const std::string& path, const std::string& contents) {
   return 0;
 }
 
+/// True when `index_dir` is a sharded index root (its shard map exists).
+bool IsShardedIndex(const std::string& index_dir) {
+  std::FILE* f = std::fopen(
+      (index_dir + "/" + tsss::shard::kShardMapFileName).c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+const char* SchemeName(tsss::shard::ShardScheme scheme) {
+  return scheme == tsss::shard::ShardScheme::kHash ? "hash" : "round-robin";
+}
+
 tsss::Result<tsss::geom::Vec> PatternByName(const std::string& name,
                                             std::size_t n) {
   using namespace tsss::seq;
@@ -179,6 +204,40 @@ tsss::Result<tsss::geom::Vec> ResolveQuery(const Flags& flags,
   return Status::InvalidArgument("need --pattern NAME or --series I [--offset K]");
 }
 
+/// Sharded counterpart of ResolveQuery: series lookups go through the
+/// ShardedEngine's global-id directory instead of one engine's dataset.
+tsss::Result<tsss::geom::Vec> ResolveShardedQuery(
+    const Flags& flags, const tsss::shard::ShardedEngine& engine) {
+  const std::size_t n = engine.engine_config().window;
+  if (flags.Has("pattern")) {
+    return PatternByName(flags.Get("pattern", ""), n);
+  }
+  if (flags.Has("series")) {
+    // --series accepts an id or a name ("7" or "HK7").
+    const std::string series_arg = flags.Get("series", "0");
+    tsss::storage::SeriesId series;
+    if (!series_arg.empty() &&
+        series_arg.find_first_not_of("0123456789") == std::string::npos) {
+      series =
+          static_cast<tsss::storage::SeriesId>(std::atoll(series_arg.c_str()));
+    } else {
+      auto found = engine.FindSeries(series_arg);
+      if (!found.ok()) return found.status();
+      series = *found;
+    }
+    const std::size_t offset = flags.GetSize("offset", 0);
+    auto values = engine.SeriesValues(series);
+    if (!values.ok()) return values.status();
+    if (offset + n > values->size()) {
+      return Status::OutOfRange("window beyond series end");
+    }
+    return tsss::geom::Vec(
+        values->begin() + static_cast<std::ptrdiff_t>(offset),
+        values->begin() + static_cast<std::ptrdiff_t>(offset + n));
+  }
+  return Status::InvalidArgument("need --pattern NAME or --series I [--offset K]");
+}
+
 void PrintMatches(tsss::core::SearchEngine& engine,
                   const std::vector<tsss::core::Match>& matches,
                   std::size_t limit) {
@@ -194,6 +253,34 @@ void PrintMatches(tsss::core::SearchEngine& engine,
       std::printf("... (%zu more)\n", matches.size() - shown);
       break;
     }
+  }
+}
+
+void PrintShardedMatches(const tsss::shard::ShardedEngine& engine,
+                         const std::vector<tsss::core::Match>& matches,
+                         std::size_t limit) {
+  std::printf("%-16s %-8s %-12s %-12s %-10s\n", "series", "offset", "scale(a)",
+              "shift(b)", "distance");
+  std::size_t shown = 0;
+  for (const tsss::core::Match& m : matches) {
+    auto name = engine.SeriesName(m.series);
+    std::printf("%-16s %-8u %-12.4f %-12.4f %-10.4f\n",
+                name.ok() ? name->c_str() : "?", m.offset, m.transform.scale,
+                m.transform.offset, m.distance);
+    if (++shown >= limit) {
+      std::printf("... (%zu more)\n", matches.size() - shown);
+      break;
+    }
+  }
+}
+
+/// --trace captures the calling thread's spans; a sharded query runs on the
+/// fan-out workers, so there is nothing meaningful to record.
+void WarnTraceUnsupportedSharded(const Flags& flags) {
+  if (flags.Has("trace")) {
+    std::fprintf(stderr,
+                 "note: --trace is per-thread and sharded queries run on "
+                 "fan-out workers; ignoring --trace\n");
   }
 }
 
@@ -241,6 +328,39 @@ int CmdBuild(const Flags& flags) {
     return 2;
   }
 
+  const std::size_t shards = flags.GetSize("shards", 1);
+  if (shards > 1) {
+    tsss::shard::ShardedEngineConfig sharded_config;
+    sharded_config.engine = config;
+    sharded_config.num_shards = static_cast<std::uint32_t>(shards);
+    const std::string scheme = flags.Get("scheme", "hash");
+    if (scheme == "hash") {
+      sharded_config.scheme = tsss::shard::ShardScheme::kHash;
+    } else if (scheme == "round-robin") {
+      sharded_config.scheme = tsss::shard::ShardScheme::kRoundRobin;
+    } else {
+      std::fprintf(stderr, "build: unknown --scheme '%s'\n", scheme.c_str());
+      return 2;
+    }
+    auto sharded = tsss::shard::ShardedEngine::Create(sharded_config);
+    if (!sharded.ok()) return Fail(sharded.status());
+    if (Status s = (*sharded)->BulkBuild(*series); !s.ok()) return Fail(s);
+    if (Status s = (*sharded)->Checkpoint(); !s.ok()) return Fail(s);
+    std::printf("indexed %llu windows from %zu series into %s "
+                "(%u shards, %s partitioning)\n",
+                static_cast<unsigned long long>(
+                    (*sharded)->num_indexed_windows()),
+                series->size(), index_dir.c_str(), (*sharded)->num_shards(),
+                scheme.c_str());
+    for (const tsss::shard::ShardInfo& info : (*sharded)->ShardInfos()) {
+      std::printf("  shard-%u: %llu series, %llu windows, tree height %zu\n",
+                  info.shard, static_cast<unsigned long long>(info.series),
+                  static_cast<unsigned long long>(info.indexed_windows),
+                  info.tree_height);
+    }
+    return 0;
+  }
+
   auto engine = tsss::core::SearchEngine::Create(config);
   if (!engine.ok()) return Fail(engine.status());
   if (Status s = (*engine)->BulkBuild(*series); !s.ok()) return Fail(s);
@@ -284,12 +404,47 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+int CmdQuerySharded(const Flags& flags, const std::string& index_dir) {
+  auto engine = tsss::shard::ShardedEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveShardedQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+  WarnTraceUnsupportedSharded(flags);
+
+  tsss::core::TransformCost cost;
+  if (flags.Has("positive")) cost.min_scale = 0.0;
+  if (flags.Has("min-scale")) cost.min_scale = flags.GetDouble("min-scale", 0.0);
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  tsss::core::QueryStats stats;
+  auto matches = (*engine)->RangeQuery(*query, eps, cost, &stats);
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::vector<tsss::core::Match> out = std::move(*matches);
+  const std::size_t suppress = flags.GetSize("suppress", 0);
+  if (suppress > 0) {
+    out = tsss::core::SuppressOverlaps(std::move(out),
+                                       static_cast<std::uint32_t>(suppress));
+  }
+  std::printf("%zu match(es) at eps=%.4g across %u shards "
+              "(%llu candidates, %llu pages)\n\n",
+              out.size(), eps, (*engine)->num_shards(),
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.total_page_reads()));
+  PrintShardedMatches(**engine, out, flags.GetSize("limit", 25));
+  tsss::obs::EventLog::Global().Publish(
+      "cli", "range_query",
+      {{"matches", out.size()}, {"candidates", stats.candidates}});
+  return MaybeDumpEventLog(flags);
+}
+
 int CmdQuery(const Flags& flags) {
   const std::string index_dir = flags.Get("index", "");
   if (index_dir.empty()) {
     std::fprintf(stderr, "query: --index dir is required\n");
     return 2;
   }
+  if (IsShardedIndex(index_dir)) return CmdQuerySharded(flags, index_dir);
   auto engine = tsss::core::SearchEngine::Open(index_dir);
   if (!engine.ok()) return Fail(engine.status());
   auto query = ResolveQuery(flags, **engine);
@@ -335,12 +490,32 @@ int CmdQuery(const Flags& flags) {
   return MaybeDumpEventLog(flags);
 }
 
+int CmdKnnSharded(const Flags& flags, const std::string& index_dir) {
+  auto engine = tsss::shard::ShardedEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveShardedQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+  WarnTraceUnsupportedSharded(flags);
+
+  const std::size_t k = flags.GetSize("k", 10);
+  auto matches = (*engine)->Knn(*query, k);
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::printf("%zu nearest window(s) across %u shards:\n\n", matches->size(),
+              (*engine)->num_shards());
+  PrintShardedMatches(**engine, *matches, k);
+  tsss::obs::EventLog::Global().Publish(
+      "cli", "knn_query", {{"k", k}, {"matches", matches->size()}});
+  return MaybeDumpEventLog(flags);
+}
+
 int CmdKnn(const Flags& flags) {
   const std::string index_dir = flags.Get("index", "");
   if (index_dir.empty()) {
     std::fprintf(stderr, "knn: --index dir is required\n");
     return 2;
   }
+  if (IsShardedIndex(index_dir)) return CmdKnnSharded(flags, index_dir);
   auto engine = tsss::core::SearchEngine::Open(index_dir);
   if (!engine.ok()) return Fail(engine.status());
   auto query = ResolveQuery(flags, **engine);
@@ -370,6 +545,58 @@ int CmdKnn(const Flags& flags) {
   return MaybeDumpEventLog(flags);
 }
 
+/// Sharded explain: runs the query through the fan-out path and renders the
+/// per-shard reports folded into one (the waterfall identity is preserved by
+/// summation). Phases are omitted — they are per-thread trace artifacts.
+int CmdExplainSharded(const Flags& flags, const std::string& index_dir) {
+  auto engine = tsss::shard::ShardedEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  auto query = ResolveShardedQuery(flags, **engine);
+  if (!query.ok()) return Fail(query.status());
+
+  tsss::core::QueryStats stats;
+  if (flags.Has("knn")) {
+    auto matches = (*engine)->Knn(*query, flags.GetSize("k", 10), {}, &stats);
+    if (!matches.ok()) return Fail(matches.status());
+  } else {
+    tsss::core::TransformCost cost;
+    if (flags.Has("positive")) cost.min_scale = 0.0;
+    if (flags.Has("min-scale")) {
+      cost.min_scale = flags.GetDouble("min-scale", 0.0);
+    }
+    auto matches = (*engine)->RangeQuery(*query, flags.GetDouble("eps", 0.5),
+                                         cost, &stats);
+    if (!matches.ok()) return Fail(matches.status());
+  }
+
+  auto report = (*engine)->ExplainLast();
+  if (!report.ok()) return Fail(report.status());
+
+  const std::string format = flags.Get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = tsss::obs::RenderExplainText(*report);
+  } else if (format == "json") {
+    rendered = tsss::obs::RenderExplainJson(*report);
+  } else {
+    std::fprintf(stderr, "explain: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (int rc = WriteFileOrFail(out, rendered); rc != 0) return rc;
+    std::printf("explain report written to %s\n", out.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  tsss::obs::EventLog::Global().Publish(
+      "cli", "explain",
+      {{"entries_tested", report->entries_tested},
+       {"matches", report->matches}});
+  return MaybeDumpEventLog(flags);
+}
+
 /// Runs one query with full telemetry and a trace, then renders the engine's
 /// plan report (prune waterfall, candidate funnel, I/O split, scan baseline).
 int CmdExplain(const Flags& flags) {
@@ -378,6 +605,7 @@ int CmdExplain(const Flags& flags) {
     std::fprintf(stderr, "explain: --index dir is required\n");
     return 2;
   }
+  if (IsShardedIndex(index_dir)) return CmdExplainSharded(flags, index_dir);
   auto engine = tsss::core::SearchEngine::Open(index_dir);
   if (!engine.ok()) return Fail(engine.status());
   auto query = ResolveQuery(flags, **engine);
@@ -441,6 +669,92 @@ struct PoolLevelRollup {
   std::uint64_t evictions = 0;
 };
 
+/// Sharded inspect: the shard map summary plus one row per shard. A sample
+/// workload (same stride as single-engine inspect) runs first so the
+/// per-shard pool hit rates reflect real fan-out traffic.
+int CmdInspectSharded(const Flags& flags, const std::string& index_dir) {
+  auto engine = tsss::shard::ShardedEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+
+  const std::size_t num_queries = flags.GetSize("queries", 25);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::size_t n = (*engine)->engine_config().window;
+  const std::size_t num_series =
+      static_cast<std::size_t>((*engine)->total_series());
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = (*engine)->SeriesValues(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    auto matches = (*engine)->RangeQuery(values->subspan(offset, n), eps, {});
+    if (!matches.ok()) return Fail(matches.status());
+  }
+
+  const std::vector<tsss::shard::ShardInfo> infos = (*engine)->ShardInfos();
+  const tsss::shard::ShardMap& map = (*engine)->shard_map();
+
+  const std::string format = flags.Get("format", "text");
+  std::string rendered;
+  char line[256];
+  if (format == "text") {
+    std::snprintf(line, sizeof(line),
+                  "INSPECT %s (sharded)\nshard map: %u shards, %s "
+                  "partitioning, %llu series, %llu indexed windows\n\n",
+                  index_dir.c_str(), map.num_shards, SchemeName(map.scheme),
+                  static_cast<unsigned long long>((*engine)->total_series()),
+                  static_cast<unsigned long long>(
+                      (*engine)->num_indexed_windows()));
+    rendered += line;
+    std::snprintf(line, sizeof(line), "%-8s %10s %10s %8s %10s\n", "shard",
+                  "series", "windows", "height", "pool-hit%");
+    rendered += line;
+    for (const tsss::shard::ShardInfo& info : infos) {
+      std::snprintf(line, sizeof(line), "%-8u %10llu %10llu %8zu %10.1f\n",
+                    info.shard, static_cast<unsigned long long>(info.series),
+                    static_cast<unsigned long long>(info.indexed_windows),
+                    info.tree_height, 100.0 * info.pool_hit_rate);
+      rendered += line;
+    }
+  } else if (format == "json") {
+    std::snprintf(line, sizeof(line),
+                  "{\"schema_version\":1,\"report\":\"inspect_sharded\","
+                  "\"shard_map\":{\"shards\":%u,\"scheme\":\"%s\","
+                  "\"series\":%llu,\"indexed_windows\":%llu},\"shards\":[",
+                  map.num_shards, SchemeName(map.scheme),
+                  static_cast<unsigned long long>((*engine)->total_series()),
+                  static_cast<unsigned long long>(
+                      (*engine)->num_indexed_windows()));
+    rendered += line;
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      const tsss::shard::ShardInfo& info = infos[i];
+      std::snprintf(line, sizeof(line),
+                    "%s{\"shard\":%u,\"series\":%llu,"
+                    "\"indexed_windows\":%llu,\"tree_height\":%zu,"
+                    "\"pool_hit_ratio\":%.6g}",
+                    i > 0 ? "," : "", info.shard,
+                    static_cast<unsigned long long>(info.series),
+                    static_cast<unsigned long long>(info.indexed_windows),
+                    info.tree_height, info.pool_hit_rate);
+      rendered += line;
+    }
+    rendered += "]}\n";
+  } else {
+    std::fprintf(stderr, "inspect: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (int rc = WriteFileOrFail(out, rendered); rc != 0) return rc;
+    std::printf("inspect report written to %s\n", out.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return MaybeDumpEventLog(flags);
+}
+
 /// Renders the tree's structural profile and a buffer-pool access heatmap
 /// collected while a deterministic sample workload runs.
 int CmdInspect(const Flags& flags) {
@@ -449,6 +763,7 @@ int CmdInspect(const Flags& flags) {
     std::fprintf(stderr, "inspect: --index dir is required\n");
     return 2;
   }
+  if (IsShardedIndex(index_dir)) return CmdInspectSharded(flags, index_dir);
   auto engine = tsss::core::SearchEngine::Open(index_dir);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -734,6 +1049,201 @@ int CmdStats(const Flags& flags) {
   return MaybeDumpEventLog(flags);
 }
 
+/// q-quantile of the pooled client latencies, in ms (destructive).
+double PercentileMs(std::vector<double>* latencies_ms, double q) {
+  if (latencies_ms->empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_ms->size() - 1));
+  std::nth_element(latencies_ms->begin(),
+                   latencies_ms->begin() + static_cast<std::ptrdiff_t>(rank),
+                   latencies_ms->end());
+  return (*latencies_ms)[rank];
+}
+
+/// One serve-bench run, shared between the single-engine and sharded paths.
+struct ServeBenchStats {
+  std::size_t shards = 1;
+  std::size_t workers = 0;
+  std::size_t clients = 0;
+  std::size_t queries = 0;  ///< logical queries completed
+  double elapsed = 0.0;
+  double client_p50_ms = 0.0;
+  double client_p99_ms = 0.0;
+  tsss::service::ServiceMetrics metrics;  ///< service / fan-out pool view
+  std::vector<double> shard_hit_ratio;    ///< per shard; single engine: one
+  std::size_t series = 0;
+  std::size_t values_per_series = 0;
+};
+
+void PrintServeBench(const ServeBenchStats& r) {
+  std::printf("served %zu queries in %.2fs (%.1f queries/sec, %zu workers, "
+              "%zu clients, %zu shard%s)\n\n",
+              r.queries, r.elapsed,
+              static_cast<double>(r.queries) / r.elapsed, r.workers,
+              r.clients, r.shards, r.shards == 1 ? "" : "s");
+  std::printf("%-22s %12s\n", "metric", "value");
+  std::printf("%-22s %12llu\n", "queries submitted",
+              static_cast<unsigned long long>(r.metrics.submitted));
+  std::printf("%-22s %12llu\n", "queries served",
+              static_cast<unsigned long long>(r.metrics.served));
+  std::printf("%-22s %12llu\n", "rejected (queue full)",
+              static_cast<unsigned long long>(r.metrics.rejected));
+  std::printf("%-22s %12llu\n", "timed out",
+              static_cast<unsigned long long>(r.metrics.timed_out));
+  std::printf("%-22s %12llu\n", "cancelled",
+              static_cast<unsigned long long>(r.metrics.cancelled));
+  std::printf("%-22s %12llu\n", "failed",
+              static_cast<unsigned long long>(r.metrics.failed));
+  std::printf("%-22s %12zu\n", "queue depth", r.metrics.queue_depth);
+  std::printf("%-22s %12.3f\n", "client p50 (ms)", r.client_p50_ms);
+  std::printf("%-22s %12.3f\n", "client p99 (ms)", r.client_p99_ms);
+  std::printf("%-22s %12.3f\n", "p50 latency (ms)", r.metrics.p50_latency_ms);
+  std::printf("%-22s %12.3f\n", "p99 latency (ms)", r.metrics.p99_latency_ms);
+  for (std::size_t i = 0; i < r.shard_hit_ratio.size(); ++i) {
+    char label[48];
+    if (r.shards == 1) {
+      std::snprintf(label, sizeof(label), "pool hit rate");
+    } else {
+      std::snprintf(label, sizeof(label), "pool hit rate s%zu", i);
+    }
+    std::printf("%-22s %12.4f\n", label, r.shard_hit_ratio[i]);
+  }
+}
+
+/// Writes the run as a schema-v1 BENCH JSON report (bench/bench_common.h) so
+/// serve-bench output flows into the same tooling as run_benches.sh reports
+/// (bench_schema_check, bench_diff). One row per run; per-shard pool hit
+/// rates land as pool_hit_ratio_s<i> columns.
+int MaybeWriteServeBenchJson(const Flags& flags, const ServeBenchStats& r,
+                             double eps) {
+  const std::string path = flags.Get("json-out", "");
+  if (path.empty()) return 0;
+  char buf[768];
+  std::string out = "{\"schema_version\":1,\"name\":\"serve_bench\",";
+  std::snprintf(buf, sizeof(buf),
+                "\"env\":{\"companies\":%zu,\"values\":%zu,\"queries\":%zu,"
+                "\"full\":0},",
+                r.series, r.values_per_series, r.queries);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"meta\":{\"eps\":%.6g,\"shards\":%zu},",
+                eps, r.shards);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"rows\":[{\"shards\":%zu,\"workers\":%zu,\"clients\":%zu,"
+                "\"queries\":%zu,\"seconds\":%.9g,\"qps\":%.9g,"
+                "\"client_p50_ms\":%.9g,\"client_p99_ms\":%.9g,"
+                "\"service_p50_ms\":%.9g,\"service_p99_ms\":%.9g,"
+                "\"submitted\":%llu,\"served\":%llu,\"rejected\":%llu,"
+                "\"timed_out\":%llu,\"failed\":%llu",
+                r.shards, r.workers, r.clients, r.queries, r.elapsed,
+                static_cast<double>(r.queries) / r.elapsed, r.client_p50_ms,
+                r.client_p99_ms, r.metrics.p50_latency_ms,
+                r.metrics.p99_latency_ms,
+                static_cast<unsigned long long>(r.metrics.submitted),
+                static_cast<unsigned long long>(r.metrics.served),
+                static_cast<unsigned long long>(r.metrics.rejected),
+                static_cast<unsigned long long>(r.metrics.timed_out),
+                static_cast<unsigned long long>(r.metrics.failed));
+  out += buf;
+  for (std::size_t i = 0; i < r.shard_hit_ratio.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), ",\"pool_hit_ratio_s%zu\":%.6g", i,
+                  r.shard_hit_ratio[i]);
+    out += buf;
+  }
+  out += "}]}\n";
+  if (int rc = WriteFileOrFail(path, out); rc != 0) return rc;
+  std::printf("json report written to %s\n", path.c_str());
+  return 0;
+}
+
+/// Sharded serve-bench: client threads drive range queries straight into the
+/// ShardedEngine, whose internal fan-out pool (sized by --workers) is the
+/// serving path being measured.
+int CmdServeBenchSharded(const Flags& flags, const std::string& index_dir) {
+  auto engine = tsss::shard::ShardedEngine::Open(
+      index_dir, flags.GetSize("workers", 0));
+  if (!engine.ok()) return Fail(engine.status());
+  const std::size_t requested_shards = flags.GetSize("shards", 0);
+  if (requested_shards != 0 && requested_shards != (*engine)->num_shards()) {
+    std::fprintf(stderr, "serve-bench: index has %u shards, not %zu\n",
+                 (*engine)->num_shards(), requested_shards);
+    return 2;
+  }
+
+  const std::size_t num_queries = flags.GetSize("queries", 200);
+  const std::size_t clients = flags.GetSize("clients", 8);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::size_t n = (*engine)->engine_config().window;
+  const std::size_t num_series =
+      static_cast<std::size_t>((*engine)->total_series());
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+
+  // Deterministic workload: stride through the dataset's own windows.
+  std::vector<tsss::geom::Vec> workload;
+  workload.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = (*engine)->SeriesValues(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    workload.emplace_back(
+        values->begin() + static_cast<std::ptrdiff_t>(offset),
+        values->begin() + static_cast<std::ptrdiff_t>(offset + n));
+  }
+
+  std::vector<std::vector<double>> latencies_ms(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < workload.size(); i += clients) {
+        const auto begin = std::chrono::steady_clock::now();
+        auto matches = (*engine)->RangeQuery(workload[i], eps);
+        if (!matches.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       matches.status().ToString().c_str());
+          return;
+        }
+        latencies_ms[c].push_back(
+            1e3 * std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count());
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+
+  ServeBenchStats r;
+  r.elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.shards = (*engine)->num_shards();
+  r.workers = flags.GetSize("workers", 0);
+  if (r.workers == 0) r.workers = r.shards;
+  r.clients = clients;
+  r.queries = workload.size();
+  r.metrics = (*engine)->FanoutStats();
+  std::vector<double> all_ms;
+  for (const auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  r.client_p50_ms = PercentileMs(&all_ms, 0.50);
+  r.client_p99_ms = PercentileMs(&all_ms, 0.99);
+  for (const tsss::shard::ShardInfo& info : (*engine)->ShardInfos()) {
+    r.shard_hit_ratio.push_back(info.pool_hit_rate);
+  }
+  r.series = num_series;
+  if (auto first = (*engine)->SeriesValues(0); first.ok()) {
+    r.values_per_series = first->size();
+  }
+
+  PrintServeBench(r);
+  if (int rc = MaybeWriteServeBenchJson(flags, r, eps); rc != 0) return rc;
+  return MaybeDumpEventLog(flags);
+}
+
 /// Drives the index through QueryService from several client threads and
 /// prints the resulting ServiceMetrics table. Queries are windows sampled
 /// from the indexed data itself, so every query does representative work.
@@ -741,6 +1251,14 @@ int CmdServeBench(const Flags& flags) {
   const std::string index_dir = flags.Get("index", "");
   if (index_dir.empty()) {
     std::fprintf(stderr, "serve-bench: --index dir is required\n");
+    return 2;
+  }
+  if (IsShardedIndex(index_dir)) return CmdServeBenchSharded(flags, index_dir);
+  if (flags.GetSize("shards", 1) > 1) {
+    std::fprintf(stderr,
+                 "serve-bench: '%s' is a single-engine index; build it with "
+                 "--shards N first\n",
+                 index_dir.c_str());
     return 2;
   }
   auto engine = tsss::core::SearchEngine::Open(index_dir);
@@ -782,6 +1300,7 @@ int CmdServeBench(const Flags& flags) {
     workload.push_back(std::move(request));
   }
 
+  std::vector<std::vector<double>> latencies_ms(clients);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> client_threads;
   client_threads.reserve(clients);
@@ -790,6 +1309,7 @@ int CmdServeBench(const Flags& flags) {
       // Closed loop: each client walks its slice of the workload, retrying
       // on queue-full rejections.
       for (std::size_t i = c; i < workload.size(); i += clients) {
+        const auto begin = std::chrono::steady_clock::now();
         for (;;) {
           auto future = (*service)->Submit(workload[i]);
           if (future.ok()) {
@@ -804,37 +1324,36 @@ int CmdServeBench(const Flags& flags) {
           }
           std::this_thread::yield();
         }
+        latencies_ms[c].push_back(
+            1e3 * std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count());
       }
     });
   }
   for (std::thread& t : client_threads) t.join();
-  const double elapsed =
+
+  ServeBenchStats r;
+  r.elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  r.shards = 1;
+  r.workers = service_config.num_workers;
+  r.clients = clients;
+  r.queries = workload.size();
+  r.metrics = (*service)->Stats();
+  std::vector<double> all_ms;
+  for (const auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  r.client_p50_ms = PercentileMs(&all_ms, 0.50);
+  r.client_p99_ms = PercentileMs(&all_ms, 0.99);
+  r.shard_hit_ratio.push_back(r.metrics.pool_hit_rate);
+  r.series = num_series;
+  r.values_per_series = (*engine)->dataset().total_values() / num_series;
 
-  const tsss::service::ServiceMetrics metrics = (*service)->Stats();
-  std::printf("served %zu queries in %.2fs (%.1f queries/sec, %zu workers, "
-              "%zu clients)\n\n",
-              workload.size(), elapsed,
-              static_cast<double>(workload.size()) / elapsed,
-              service_config.num_workers, clients);
-  std::printf("%-22s %12s\n", "metric", "value");
-  std::printf("%-22s %12llu\n", "queries submitted",
-              static_cast<unsigned long long>(metrics.submitted));
-  std::printf("%-22s %12llu\n", "queries served",
-              static_cast<unsigned long long>(metrics.served));
-  std::printf("%-22s %12llu\n", "rejected (queue full)",
-              static_cast<unsigned long long>(metrics.rejected));
-  std::printf("%-22s %12llu\n", "timed out",
-              static_cast<unsigned long long>(metrics.timed_out));
-  std::printf("%-22s %12llu\n", "cancelled",
-              static_cast<unsigned long long>(metrics.cancelled));
-  std::printf("%-22s %12llu\n", "failed",
-              static_cast<unsigned long long>(metrics.failed));
-  std::printf("%-22s %12zu\n", "queue depth", metrics.queue_depth);
-  std::printf("%-22s %12.3f\n", "p50 latency (ms)", metrics.p50_latency_ms);
-  std::printf("%-22s %12.3f\n", "p99 latency (ms)", metrics.p99_latency_ms);
-  std::printf("%-22s %12.4f\n", "pool hit rate", metrics.pool_hit_rate);
+  PrintServeBench(r);
+  if (int rc = MaybeWriteServeBenchJson(flags, r, eps); rc != 0) return rc;
   return MaybeDumpEventLog(flags);
 }
 

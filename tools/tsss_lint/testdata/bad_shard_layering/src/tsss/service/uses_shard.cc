@@ -1,0 +1,7 @@
+// Fixture: MUST FAIL layering — shard sits on top of service; the worker
+// pool must not reach back up into the scatter-gather engine.
+#include "tsss/shard/sharded_engine.h"
+
+namespace tsss::service {
+double Nothing() { return 0.0; }
+}  // namespace tsss::service
