@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 
 #include "tsss/common/status.h"
 
@@ -30,17 +31,40 @@ class ExecControl {
   }
 
   /// Flags the query for cancellation. Safe from any thread.
-  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void RequestCancel() {
+    // relaxed-ok: standalone flag; polled by Check(), no data published
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
 
   bool cancel_requested() const {
+    // relaxed-ok: advisory poll of a standalone flag, no acquire payload
     return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Trips Check() after `n` more polls, regardless of the wall clock.
+  /// Test hook: lets a regression test aim a deadline at the Nth poll site
+  /// on a query path deterministically. 0 disables (the default).
+  void set_check_budget(std::uint64_t n) {
+    check_budget_ = n;
+    has_budget_ = n != 0;
+  }
+
+  /// Number of Check() calls observed so far (poll-coverage telemetry).
+  std::uint64_t checks() const {
+    // relaxed-ok: monotonic counter read for telemetry, no ordering needed
+    return checks_.load(std::memory_order_relaxed);
   }
 
   /// OK while the query may keep running; Cancelled / DeadlineExceeded once
   /// it must unwind. Reads the clock only when a deadline is set.
   Status Check() const {
+    // relaxed-ok: poll counter is advisory; only the polling thread writes
+    const std::uint64_t seen = 1 + checks_.fetch_add(1, std::memory_order_relaxed);
     if (cancel_requested()) {
       return Status::Cancelled("query cancelled");
+    }
+    if (has_budget_ && seen > check_budget_) {
+      return Status::DeadlineExceeded("query check budget exhausted");
     }
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
       return Status::DeadlineExceeded("query deadline exceeded");
@@ -50,12 +74,25 @@ class ExecControl {
 
  private:
   std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint64_t> checks_{0};
   bool has_deadline_ = false;
+  bool has_budget_ = false;
+  std::uint64_t check_budget_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
 };
 
 /// The control governing the current thread's in-flight query, or nullptr.
 ExecControl* CurrentExecControl();
+
+/// Polls the current thread's ExecControl, if any. The canonical one-liner
+/// for query loops that do page I/O without going through RTree::LoadNode
+/// (which polls per node on its own): tsss_lint's deadline-poll check
+/// requires every such loop to reach this, LoadNode, or a waiver.
+inline Status PollExecControl() {
+  ExecControl* control = CurrentExecControl();
+  if (control == nullptr) return Status::OK();
+  return control->Check();
+}
 
 /// Installs `control` as the current thread's ExecControl for its lifetime,
 /// restoring the previous one on destruction (scopes nest).

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "tsss/common/check.h"
+#include "tsss/common/exec_control.h"
 #include "tsss/geom/se_transform.h"
 #include "tsss/obs/metrics.h"
 #include "tsss/obs/trace.h"
@@ -364,9 +365,14 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   geom::Vec window(config_.window);
   std::size_t last_counted_page = storage::SequenceStore::kNoPageCounted;
   for (const index::RecordId record : expanded) {
-    Status s = dataset_.store().ReadWindowDeduped(seq::SeriesOf(record),
-                                                  seq::OffsetOf(record),
-                                                  window, &last_counted_page);
+    // The index phase polls per node load; the verify phase reads data
+    // pages without touching the tree, so it needs its own poll or a
+    // deadline set mid-scan would never fire (tsss_lint: deadline-poll).
+    Status s = PollExecControl();
+    if (!s.ok()) return s;
+    s = dataset_.store().ReadWindowDeduped(seq::SeriesOf(record),
+                                           seq::OffsetOf(record), window,
+                                           &last_counted_page);
     if (!s.ok()) return s;
     std::optional<Match> match = VerifyCandidate(ctx, window, record, eps, cost);
     if (match.has_value()) matches.push_back(*match);
@@ -471,8 +477,13 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
     if (!es.ok()) return es;
     for (const index::RecordId record : expanded) {
       ++candidates_seen;
-      Status s = dataset_.store().ReadWindow(seq::SeriesOf(record),
-                                             seq::OffsetOf(record), window);
+      // The outer loop polls via it.Next() → LoadNode, but one trail hit
+      // can expand into many window reads; poll per data page so wide
+      // expansions stay responsive too (tsss_lint: deadline-poll).
+      Status s = PollExecControl();
+      if (!s.ok()) return s;
+      s = dataset_.store().ReadWindow(seq::SeriesOf(record),
+                                      seq::OffsetOf(record), window);
       if (!s.ok()) return s;
       const geom::Alignment alignment = ctx.Align(window);
       if (!cost.Allows(alignment.transform)) continue;

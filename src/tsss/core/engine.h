@@ -106,14 +106,22 @@ class KnnSharedBound {
  public:
   /// Lowers the bound to `distance` if it improves it (CAS min).
   void Tighten(double distance) {
+    // The bound is a self-contained monotone hint — readers act only on
+    // its value, never on data it would publish; a stale read just delays
+    // a prune and cannot change the merged answer.
+    // relaxed-ok: monotone hint, no payload (see above)
     double current = bound_.load(std::memory_order_relaxed);
     while (distance < current &&
            !bound_.compare_exchange_weak(current, distance,
+                                         // relaxed-ok: same hint as above
                                          std::memory_order_relaxed)) {
     }
   }
   /// Current bound; +infinity until any partition has k results.
-  double Get() const { return bound_.load(std::memory_order_relaxed); }
+  double Get() const {
+    // relaxed-ok: monotone pruning hint, no payload to acquire
+    return bound_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> bound_{std::numeric_limits<double>::infinity()};

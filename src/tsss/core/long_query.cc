@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "tsss/common/exec_control.h"
 #include "tsss/core/engine.h"
 #include "tsss/obs/metrics.h"
 #include "tsss/obs/trace.h"
@@ -98,7 +99,11 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   geom::Vec window(total);
   std::size_t last_counted_page = storage::SequenceStore::kNoPageCounted;
   for (index::RecordId record : ordered) {
-    Status s = dataset_.store().ReadWindowDeduped(
+    // Piece queries poll inside LineQuery; this verify loop reads data
+    // pages directly and must poll on its own (tsss_lint: deadline-poll).
+    Status s = PollExecControl();
+    if (!s.ok()) return s;
+    s = dataset_.store().ReadWindowDeduped(
         seq::SeriesOf(record), seq::OffsetOf(record), window, &last_counted_page);
     if (!s.ok()) return s;
     std::optional<Match> match = VerifyCandidate(ctx, window, record, eps, cost);

@@ -39,8 +39,10 @@ EventLog::EventLog(std::size_t capacity) {
   mask_ = cap - 1;
   slots_ = std::make_unique<Slot[]>(cap);
   for (std::size_t i = 0; i < cap; ++i) {
+    // Publication happens when the log pointer itself is handed out.
+    // relaxed-ok: single-threaded constructor
     slots_[i].stamp.store(0, std::memory_order_relaxed);
-    slots_[i].length.store(0, std::memory_order_relaxed);
+    slots_[i].length.store(0, std::memory_order_relaxed);  // relaxed-ok: ctor
   }
   epoch_ns_ = SteadyNowNs();
 }

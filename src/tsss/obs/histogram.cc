@@ -30,35 +30,41 @@ void LatencyHistogram::Record(std::chrono::microseconds latency) {
 }
 
 void LatencyHistogram::RecordUs(std::uint64_t us) {
+  // relaxed-ok: hot-path sample tally; observers tolerate torn bucket/sum
   buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
-  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);  // relaxed-ok: same tally
 }
 
 std::uint64_t LatencyHistogram::Count() const {
   std::uint64_t total = 0;
   for (const auto& bucket : buckets_) {
+    // relaxed-ok: advisory snapshot; exactness across buckets not promised
     total += bucket.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 std::uint64_t LatencyHistogram::SumUs() const {
+  // relaxed-ok: advisory statistic read
   return sum_us_.load(std::memory_order_relaxed);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    // relaxed-ok: merge of advisory tallies, both sides tolerate skew
     const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
-    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);  // relaxed-ok: tally
   }
+  // relaxed-ok: same advisory merge as the buckets above
   const std::uint64_t sum = other.sum_us_.load(std::memory_order_relaxed);
-  if (sum != 0) sum_us_.fetch_add(sum, std::memory_order_relaxed);
+  if (sum != 0) sum_us_.fetch_add(sum, std::memory_order_relaxed);  // relaxed-ok: tally
 }
 
 double LatencyHistogram::PercentileMs(double q) const {
   std::array<std::uint64_t, kNumBuckets> counts;
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    // relaxed-ok: percentile over an advisory snapshot
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
   }

@@ -19,9 +19,13 @@ namespace tsss::obs {
 class Counter {
  public:
   void Inc(std::uint64_t n = 1) {
+    // relaxed-ok: pure event count; no reader infers anything beyond the tally
     value_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t Value() const {
+    // relaxed-ok: scrape-time read of an advisory tally
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -31,9 +35,10 @@ class Counter {
 /// relaxed atomics, safe from any thread.
 class Gauge {
  public:
+  // relaxed-ok: advisory point-in-time value, no payload (all three)
   void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }  // relaxed-ok: gauge
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }  // relaxed-ok: gauge
 
  private:
   std::atomic<std::int64_t> value_{0};

@@ -114,6 +114,7 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
       return Status::FailedPrecondition("service is shut down");
     }
     if (queue_.size() >= config_.queue_capacity) {
+      // relaxed-ok: service stats counter; Stats() takes advisory reads
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
       RegistryMetrics().rejected->Inc();
       obs::EventLog::Global().Publish(
@@ -132,7 +133,7 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
     RegistryMetrics().queue_depth->Set(
         static_cast<std::int64_t>(queue_.size()));
   }
-  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat
   RegistryMetrics().submitted->Inc();
   cv_.NotifyOne();
   return future;
@@ -149,6 +150,7 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
     }
     if (queue_.size() + requests.size() > config_.queue_capacity) {
       counters_.rejected.fetch_add(requests.size(),
+                                   // relaxed-ok: service stats counter
                                    std::memory_order_relaxed);
       RegistryMetrics().rejected->Inc(requests.size());
       obs::EventLog::Global().Publish(
@@ -171,7 +173,7 @@ Result<std::vector<std::future<QueryResponse>>> QueryService::SubmitBatch(
         "service", "batch_admitted",
         {{"batch", futures.size()}, {"queue_depth", queue_.size()}});
   }
-  counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);
+  counters_.submitted.fetch_add(futures.size(), std::memory_order_relaxed);  // relaxed-ok: stat
   RegistryMetrics().submitted->Inc(futures.size());
   cv_.NotifyAll();
   return futures;
@@ -240,24 +242,26 @@ void QueryService::FinishTask(Task* task, QueryResponse response,
   worker_latency_[worker_index]->Record(response.latency);
   RegistryMetrics().latency->Record(response.latency);
   const char* outcome = "failed";
+  // Outcome counters are advisory service stats; Stats() reads them with the
+  // same relaxed ordering and promises no cross-counter consistency.
   switch (response.status.code()) {
     case StatusCode::kOk:
-      counters_.served.fetch_add(1, std::memory_order_relaxed);
+      counters_.served.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat
       RegistryMetrics().served->Inc();
       outcome = "served";
       break;
     case StatusCode::kDeadlineExceeded:
-      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat
       RegistryMetrics().timed_out->Inc();
       outcome = "timed_out";
       break;
     case StatusCode::kCancelled:
-      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat
       RegistryMetrics().cancelled->Inc();
       outcome = "cancelled";
       break;
     default:
-      counters_.failed.fetch_add(1, std::memory_order_relaxed);
+      counters_.failed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat
       RegistryMetrics().failed->Inc();
       break;
   }
@@ -271,12 +275,13 @@ void QueryService::FinishTask(Task* task, QueryResponse response,
 
 ServiceMetrics QueryService::Stats() const {
   ServiceMetrics out;
-  out.submitted = counters_.submitted.load(std::memory_order_relaxed);
-  out.served = counters_.served.load(std::memory_order_relaxed);
-  out.rejected = counters_.rejected.load(std::memory_order_relaxed);
-  out.timed_out = counters_.timed_out.load(std::memory_order_relaxed);
-  out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
-  out.failed = counters_.failed.load(std::memory_order_relaxed);
+  // relaxed-ok (block): advisory snapshot of independent stats counters
+  out.submitted = counters_.submitted.load(std::memory_order_relaxed);  // relaxed-ok: stat
+  out.served = counters_.served.load(std::memory_order_relaxed);        // relaxed-ok: stat
+  out.rejected = counters_.rejected.load(std::memory_order_relaxed);    // relaxed-ok: stat
+  out.timed_out = counters_.timed_out.load(std::memory_order_relaxed);  // relaxed-ok: stat
+  out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);  // relaxed-ok: stat
+  out.failed = counters_.failed.load(std::memory_order_relaxed);        // relaxed-ok: stat
   {
     MutexLock lock(mu_);
     out.queue_depth = queue_.size();

@@ -168,7 +168,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     ProfileAccess(shard, id, /*miss=*/false);
     Frame* frame = it->second.get();
     TouchLru(shard, frame);
-    frame->pin_count.fetch_add(1, std::memory_order_relaxed);
+    frame->pin_count.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: pin_count mutated under shard mutex
     return PageGuard(this, frame);
   }
   ++metrics_.misses;
@@ -189,7 +189,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   }
   shard.lru.push_front(id);
   frame->lru_pos = shard.lru.begin();
-  frame->pin_count.store(1, std::memory_order_relaxed);
+  frame->pin_count.store(1, std::memory_order_relaxed);  // relaxed-ok: pin_count mutated under shard mutex
   Frame* raw = frame.get();
   shard.table.emplace(id, std::move(frame));
   s = EvictIfNeeded(shard);
@@ -211,7 +211,7 @@ Result<PageGuard> BufferPool::New() {
   ++shard.dirty;
   shard.lru.push_front(id);
   frame->lru_pos = shard.lru.begin();
-  frame->pin_count.store(1, std::memory_order_relaxed);
+  frame->pin_count.store(1, std::memory_order_relaxed);  // relaxed-ok: pin_count mutated under shard mutex
   Frame* raw = frame.get();
   shard.table.emplace(id, std::move(frame));
   Status s = EvictIfNeeded(shard);
@@ -225,7 +225,7 @@ Status BufferPool::Delete(PageId id) {
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     Frame* frame = it->second.get();
-    if (frame->pin_count.load(std::memory_order_relaxed) > 0) {
+    if (frame->pin_count.load(std::memory_order_relaxed) > 0) {  // relaxed-ok: pin_count mutated under shard mutex
       return Status::FailedPrecondition("deleting pinned page " +
                                         std::to_string(id));
     }
@@ -273,7 +273,7 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
     Frame* victim = nullptr;
     for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
       Frame* frame = shard.table.at(*rit).get();
-      if (frame->pin_count.load(std::memory_order_relaxed) == 0) {
+      if (frame->pin_count.load(std::memory_order_relaxed) == 0) {  // relaxed-ok: pin_count mutated under shard mutex
         victim = frame;
         break;
       }
@@ -289,7 +289,7 @@ Status BufferPool::EvictIfNeeded(Shard& shard) {
     ++metrics_.evictions;
     PoolCounters().evictions->Inc();
     if (labeled_evictions_ != nullptr) labeled_evictions_->Inc();
-    if (profile_enabled_.load(std::memory_order_relaxed)) {
+    if (profile_enabled_.load(std::memory_order_relaxed)) {  // relaxed-ok: profiling on/off flag, advisory
       PageAccessStats& tally = shard.profile[victim->id];
       tally.page = victim->id;
       ++tally.evictions;
@@ -321,7 +321,7 @@ Status BufferPool::Clear() {
       if (!s.ok()) return s;
     }
     for (auto it = shard.table.begin(); it != shard.table.end();) {
-      if (it->second->pin_count.load(std::memory_order_relaxed) == 0) {
+      if (it->second->pin_count.load(std::memory_order_relaxed) == 0) {  // relaxed-ok: pin_count mutated under shard mutex
         shard.lru.erase(it->second->lru_pos);
         it = shard.table.erase(it);
       } else {
@@ -335,7 +335,7 @@ Status BufferPool::Clear() {
 void BufferPool::Unpin(Frame* frame) {
   Shard& shard = ShardFor(frame->id);
   MutexLock lock(shard.mu);
-  const int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  const int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);  // relaxed-ok: pin_count mutated under shard mutex
   TSSS_DCHECK(prev > 0);
   if (prev == 1 && verify_clean_crc_ && !frame->dirty && frame->crc_valid &&
       PageCrc(frame->page) != frame->clean_crc) {
@@ -353,7 +353,7 @@ std::size_t BufferPool::pinned_frames() const {
     Shard& shard = shards_[i];
     MutexLock lock(shard.mu);
     for (const auto& [id, frame] : shard.table) {
-      if (frame->pin_count.load(std::memory_order_relaxed) > 0) ++n;
+      if (frame->pin_count.load(std::memory_order_relaxed) > 0) ++n;  // relaxed-ok: pin_count mutated under shard mutex
     }
   }
   return n;
@@ -381,18 +381,18 @@ std::size_t BufferPool::size() const {
 
 BufferPoolMetrics BufferPool::metrics() const {
   BufferPoolMetrics out;
-  out.logical_reads = metrics_.logical_reads.load(std::memory_order_relaxed);
-  out.hits = metrics_.hits.load(std::memory_order_relaxed);
-  out.misses = metrics_.misses.load(std::memory_order_relaxed);
-  out.evictions = metrics_.evictions.load(std::memory_order_relaxed);
-  out.writebacks = metrics_.writebacks.load(std::memory_order_relaxed);
-  out.overflows = metrics_.overflows.load(std::memory_order_relaxed);
-  out.crc_failures = metrics_.crc_failures.load(std::memory_order_relaxed);
+  out.logical_reads = metrics_.logical_reads.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.hits = metrics_.hits.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.misses = metrics_.misses.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.evictions = metrics_.evictions.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.writebacks = metrics_.writebacks.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.overflows = metrics_.overflows.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  out.crc_failures = metrics_.crc_failures.load(std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
   return out;
 }
 
 void BufferPool::ProfileAccess(Shard& shard, PageId id, bool miss) {
-  if (!profile_enabled_.load(std::memory_order_relaxed)) return;
+  if (!profile_enabled_.load(std::memory_order_relaxed)) return;  // relaxed-ok: profiling on/off flag, advisory
   PageAccessStats& tally = shard.profile[id];
   tally.page = id;
   ++tally.accesses;
@@ -409,7 +409,7 @@ void BufferPool::EnableAccessProfile(bool enabled) {
       shard.profile.clear();
     }
   }
-  profile_enabled_.store(enabled, std::memory_order_relaxed);
+  profile_enabled_.store(enabled, std::memory_order_relaxed);  // relaxed-ok: profiling on/off flag, advisory
 }
 
 std::vector<PageAccessStats> BufferPool::AccessProfile() const {
@@ -429,13 +429,13 @@ std::vector<PageAccessStats> BufferPool::AccessProfile() const {
 }
 
 void BufferPool::ResetMetrics() {
-  metrics_.logical_reads.store(0, std::memory_order_relaxed);
-  metrics_.hits.store(0, std::memory_order_relaxed);
-  metrics_.misses.store(0, std::memory_order_relaxed);
-  metrics_.evictions.store(0, std::memory_order_relaxed);
-  metrics_.writebacks.store(0, std::memory_order_relaxed);
-  metrics_.overflows.store(0, std::memory_order_relaxed);
-  metrics_.crc_failures.store(0, std::memory_order_relaxed);
+  metrics_.logical_reads.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.hits.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.misses.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.evictions.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.writebacks.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.overflows.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
+  metrics_.crc_failures.store(0, std::memory_order_relaxed);  // relaxed-ok: stats counter, advisory snapshot
 }
 
 void BufferPool::SetMetricsLabel(const std::string& key,
@@ -451,10 +451,10 @@ void BufferPool::SetMetricsLabel(const std::string& key,
 }
 
 Status BufferPool::AuditPins() const {
-  if (metrics_.crc_failures.load(std::memory_order_relaxed) > 0) {
+  if (metrics_.crc_failures.load(std::memory_order_relaxed) > 0) {  // relaxed-ok: stats counter, advisory snapshot
     return Status::Corruption(
         "clean-frame CRC verification failed " +
-        std::to_string(metrics_.crc_failures.load(std::memory_order_relaxed)) +
+        std::to_string(metrics_.crc_failures.load(std::memory_order_relaxed)) +  // relaxed-ok: stats counter, advisory snapshot
         " time(s): a page was modified without MutablePage()");
   }
   std::size_t dirty_recount = 0;
@@ -486,7 +486,7 @@ Status BufferPool::AuditPins() const {
                                   " believes it is page " +
                                   std::to_string(frame->id));
       }
-      const int pins = frame->pin_count.load(std::memory_order_relaxed);
+      const int pins = frame->pin_count.load(std::memory_order_relaxed);  // relaxed-ok: pin_count mutated under shard mutex
       if (pins < 0) {
         return Status::Corruption("page " + std::to_string(id) +
                                   " has negative pin count " +

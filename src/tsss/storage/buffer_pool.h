@@ -186,6 +186,7 @@ class BufferPool {
   /// default) the cost on Fetch is one relaxed atomic load.
   void EnableAccessProfile(bool enabled);
   bool access_profile_enabled() const {
+    // relaxed-ok: advisory on/off flag; readers need no ordering
     return profile_enabled_.load(std::memory_order_relaxed);
   }
 

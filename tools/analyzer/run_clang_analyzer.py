@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Runs the Clang Static Analyzer over every src/ translation unit.
+
+Reads the compile command for each src/**/*.cc file from a CMake-generated
+compile_commands.json, re-invokes it as `clang++ --analyze` with text
+diagnostics, and collects every analyzer warning. Findings are matched
+against a committed suppression list; anything not suppressed fails the
+run, so the suppression file is the single reviewable record of accepted
+analyzer noise.
+
+Suppression file format (tools/analyzer/suppressions.txt):
+  - blank lines and lines starting with '#' are ignored
+  - every other line is `<path-suffix>: <message substring>`; a finding is
+    suppressed when its repo-relative path ends with the suffix AND the
+    substring occurs in the warning message
+Unused suppressions are reported (stale entries should be deleted) but do
+not fail the run.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 environment/usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+WARNING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): warning: (?P<msg>.*)$")
+
+# Driver args that must not be forwarded to the analyzer invocation: the
+# original output/object arguments, and dependency-file generation.
+STRIP_WITH_VALUE = {"-o", "-MF", "-MT", "-MQ"}
+STRIP_BARE = {"-c", "-MD", "-MMD"}
+
+
+def analyze_command(entry, clang):
+    """Rewrites one compile_commands entry into an analyzer invocation."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = [clang, "--analyze", "-Xclang", "-analyzer-output=text"]
+    it = iter(argv[1:])  # drop the original compiler
+    for arg in it:
+        if arg in STRIP_WITH_VALUE:
+            next(it, None)
+            continue
+        if arg in STRIP_BARE:
+            continue
+        out.append(arg)
+    return out
+
+
+def load_suppressions(path):
+    rules = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, raw in enumerate(f, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if ": " not in line:
+                    print(f"{path}:{lineno}: malformed suppression (want "
+                          f"'<path-suffix>: <message substring>')", file=sys.stderr)
+                    sys.exit(2)
+                suffix, _, substring = line.partition(": ")
+                rules.append({"suffix": suffix, "substring": substring,
+                              "line": lineno, "used": False})
+    except OSError as e:
+        print(f"cannot read suppression list: {e}", file=sys.stderr)
+        sys.exit(2)
+    return rules
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compile-commands", required=True,
+                        help="path to compile_commands.json")
+    parser.add_argument("--suppressions", required=True,
+                        help="path to the committed suppression list")
+    parser.add_argument("--source-prefix", default="src/",
+                        help="only analyze files under this repo-relative "
+                             "prefix (default: src/)")
+    args = parser.parse_args()
+
+    clang = os.environ.get("ANALYZER_CXX") or shutil.which("clang++")
+    if not clang:
+        print("clang++ not found (set ANALYZER_CXX to override)", file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.compile_commands, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot read compile commands: {e}", file=sys.stderr)
+        return 2
+
+    repo_root = os.getcwd()
+    rules = load_suppressions(args.suppressions)
+
+    units = []
+    for entry in entries:
+        path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, repo_root)
+        if rel.startswith(args.source_prefix) and rel.endswith(".cc"):
+            units.append((rel, entry))
+    if not units:
+        print(f"no translation units under {args.source_prefix} in "
+              f"{args.compile_commands}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for rel, entry in sorted(units):
+        cmd = analyze_command(entry, clang)
+        proc = subprocess.run(cmd, cwd=entry["directory"],
+                              capture_output=True, text=True)
+        for line in proc.stderr.splitlines():
+            m = WARNING_RE.match(line)
+            if not m:
+                continue
+            warn_rel = os.path.relpath(
+                os.path.normpath(os.path.join(entry["directory"], m["path"])),
+                repo_root)
+            # Only gate on warnings inside the analyzed tree; headers pulled
+            # in from the system or third parties are out of jurisdiction.
+            if not warn_rel.startswith(args.source_prefix):
+                continue
+            findings.append({"file": warn_rel, "line": int(m["line"]),
+                             "msg": m["msg"]})
+        if proc.returncode not in (0, 1):
+            print(f"analyzer invocation failed on {rel} "
+                  f"(exit {proc.returncode}):", file=sys.stderr)
+            sys.stderr.write(proc.stderr)
+            return 2
+
+    unsuppressed = []
+    for f in findings:
+        hit = False
+        for rule in rules:
+            if f["file"].endswith(rule["suffix"]) and rule["substring"] in f["msg"]:
+                rule["used"] = True
+                hit = True
+                break
+        if not hit:
+            unsuppressed.append(f)
+
+    for rule in rules:
+        if not rule["used"]:
+            print(f"note: unused suppression at {args.suppressions}:"
+                  f"{rule['line']} ({rule['suffix']}: {rule['substring']})")
+
+    print(f"clang-analyzer: {len(units)} translation unit(s), "
+          f"{len(findings)} finding(s), {len(unsuppressed)} unsuppressed")
+    if unsuppressed:
+        for f in unsuppressed:
+            print(f"{f['file']}:{f['line']}: {f['msg']}")
+        print("add a justified entry to the suppression list or fix the code",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+// Check 6 — atomic-order audit. Relaxed atomics are fine when the value
+// is advisory (stats counters, monotonic hint bounds) and silently wrong
+// when it carries a happens-before edge, and no compiler flag can tell
+// the difference. So the rule is social, and this check enforces it:
+// every `memory_order_relaxed` carries a `// relaxed-ok: <why>` waiver
+// stating the reasoning, and compare_exchange usage must match its
+// retry-loop context.
+
+#include <string>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+#include "tsss_lint/parser.h"
+
+namespace tsss_lint {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+std::size_t MatchParen(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (!IsPunct(toks[i], "(") && !IsPunct(toks[i], ")")) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// The function whose body range contains token index `pos`, or nullptr.
+const FunctionDef* EnclosingFunction(const std::vector<FunctionDef>& fns,
+                                     std::size_t pos) {
+  for (const FunctionDef& fn : fns) {
+    if (pos >= fn.body.begin && pos < fn.body.end) return &fn;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckAtomicOrder(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const std::set<int> waived = WaiverLines(file, "relaxed-ok");
+
+    std::vector<Token> code;
+    code.reserve(file.tokens.size());
+    for (const Token& t : file.tokens) {
+      if (!IsComment(t)) code.push_back(t);
+    }
+    const std::vector<FunctionDef> functions = ParseFunctions(code);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i].kind != TokKind::kIdent) continue;
+      const std::string& name = code[i].text;
+
+      if (name == "memory_order_relaxed" && !HasWaiver(waived, code[i].line)) {
+        findings.push_back(Finding{
+            Check::kAtomicOrder, file.path, code[i].line,
+            "memory_order_relaxed without a `// relaxed-ok: <why>` waiver; "
+            "state why no happens-before edge is needed here"});
+        continue;
+      }
+
+      const bool weak = name == "compare_exchange_weak";
+      const bool strong = name == "compare_exchange_strong";
+      if (!weak && !strong) continue;
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+
+      // Loop context via the statement tree. A CAS at class scope or in
+      // a function the parser could not find is left alone.
+      const FunctionDef* fn = EnclosingFunction(functions, i);
+      bool in_condition = false;
+      const Stmt* loop =
+          fn != nullptr ? InnermostLoop(fn->body, i, &in_condition) : nullptr;
+
+      if (weak && fn != nullptr && loop == nullptr) {
+        findings.push_back(Finding{
+            Check::kAtomicOrder, file.path, code[i].line,
+            "compare_exchange_weak outside a loop: spurious failure is not "
+            "retried; use compare_exchange_strong for one-shot CAS"});
+      }
+      if (strong && loop != nullptr && in_condition) {
+        findings.push_back(Finding{
+            Check::kAtomicOrder, file.path, code[i].line,
+            "compare_exchange_strong as a loop condition: the retry loop "
+            "already tolerates spurious failure, use compare_exchange_weak "
+            "(cheaper on LL/SC targets)"});
+      }
+
+      // Failure ordering: with the two-ordering overload the second
+      // memory_order argument is the failure side, which is a pure load —
+      // release/acq_rel there is ill-formed (UB before C++17, rejected
+      // after).
+      const std::size_t close = MatchParen(code, i + 1);
+      std::vector<std::size_t> orders;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (code[j].kind == TokKind::kIdent &&
+            code[j].text.rfind("memory_order_", 0) == 0) {
+          orders.push_back(j);
+        }
+      }
+      if (orders.size() >= 2) {
+        const std::string& failure = code[orders.back()].text;
+        if (failure == "memory_order_release" ||
+            failure == "memory_order_acq_rel") {
+          findings.push_back(Finding{
+              Check::kAtomicOrder, file.path, code[orders.back()].line,
+              "failure ordering '" + failure +
+                  "' on " + name + ": the failure path is a pure load and "
+                  "cannot release; use relaxed or acquire"});
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace tsss_lint

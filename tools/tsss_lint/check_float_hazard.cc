@@ -1,0 +1,200 @@
+// Check 8 — float hazards. An exact `==` between computed floats in a
+// prune predicate is a correctness landmine: the paper's envelope bounds
+// are conservative under <= / >=, but equality silently flips with
+// -ffast-math, FMA contraction, or x87 excess precision, and a prune
+// that drops a true match cannot be caught by the verifier. Scope is
+// where it matters: TSSS_HOT regions and the geometry layer's prune
+// predicates. Comparisons against literal zero are exempt — exact-zero
+// guards before division are well-defined and idiomatic.
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tsss_lint/checks.h"
+#include "tsss_lint/parser.h"
+
+namespace tsss_lint {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Hot-region line ranges, reusing the comment-marker convention from
+/// check_hot_path (which separately validates marker balance).
+std::vector<std::pair<int, int>> HotRegions(const SourceFile& file) {
+  std::vector<std::pair<int, int>> regions;
+  int open_line = 0;
+  bool open = false;
+  for (const Token& t : file.tokens) {
+    if (!IsComment(t)) continue;
+    std::size_t lead = 0;
+    while (lead < t.text.size() &&
+           (t.text[lead] == ' ' || t.text[lead] == '/' ||
+            t.text[lead] == '*' || t.text[lead] == '!')) {
+      ++lead;
+    }
+    if (t.text.compare(lead, 14, "TSSS_HOT_BEGIN") == 0) {
+      open = true;
+      open_line = t.line;
+    } else if (t.text.compare(lead, 12, "TSSS_HOT_END") == 0 && open) {
+      regions.emplace_back(open_line, t.line);
+      open = false;
+    }
+  }
+  return regions;
+}
+
+/// Floating-point literal with a nonzero value ("0.0", "0.f", "0e9" are
+/// all zero; "1.5", ".25f" are not).
+bool IsNonZeroFloatLiteral(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  const bool floaty = s.find('.') != std::string::npos ||
+                      s.find('e') != std::string::npos ||
+                      s.find('E') != std::string::npos ||
+                      s.back() == 'f' || s.back() == 'F';
+  if (!floaty) return false;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return true;  // hex float; assume nonzero
+  }
+  for (char c : s) {
+    if (c >= '1' && c <= '9') return true;
+  }
+  return false;
+}
+
+bool IsZeroFloatLiteral(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  const bool floaty = s.find('.') != std::string::npos ||
+                      s.back() == 'f' || s.back() == 'F';
+  if (!floaty) return false;
+  for (char c : s) {
+    if (c >= '1' && c <= '9') return false;
+  }
+  return true;
+}
+
+/// Identifiers declared `double x` / `float x` (incl. `double x, y`)
+/// within [begin, end) — parameters and locals alike.
+void CollectFloatVars(const std::vector<Token>& code, std::size_t begin,
+                      std::size_t end, std::set<std::string>* vars) {
+  for (std::size_t i = begin; i + 1 < end && i + 1 < code.size(); ++i) {
+    if (code[i].kind != TokKind::kIdent) continue;
+    if (code[i].text != "double" && code[i].text != "float") continue;
+    std::size_t j = i + 1;
+    while (j < end && j < code.size()) {
+      // Pointer comparisons are exact; only value declarations count.
+      if (IsPunct(code[j], "*")) break;
+      if (IsPunct(code[j], "&")) ++j;  // references compare by value
+      if (j < code.size() && code[j].kind == TokKind::kIdent) {
+        vars->insert(code[j].text);
+        ++j;
+        // `double a = ..., b = ...;` — hop to the next comma at depth 0.
+        int depth = 0;
+        while (j < end && j < code.size()) {
+          if (IsPunct(code[j], "(") || IsPunct(code[j], "[") ||
+              IsPunct(code[j], "{")) {
+            ++depth;
+          } else if (IsPunct(code[j], ")") || IsPunct(code[j], "]") ||
+                     IsPunct(code[j], "}")) {
+            --depth;
+            if (depth < 0) break;
+          } else if (depth == 0 &&
+                     (IsPunct(code[j], ";") || IsPunct(code[j], ")"))) {
+            break;
+          } else if (depth == 0 && IsPunct(code[j], ",")) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+        if (j >= end || j >= code.size() || code[j].kind != TokKind::kIdent) {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckFloatHazard(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  for (const SourceFile& file : files) {
+    const bool geom = file.path.rfind("src/tsss/geom/", 0) == 0;
+    const std::vector<std::pair<int, int>> regions = HotRegions(file);
+    if (!geom && regions.empty()) continue;
+    const std::set<int> waived = WaiverLines(file, "lint-ok");
+
+    auto in_scope = [&](int line) {
+      if (geom) return true;
+      for (const auto& [b, e] : regions) {
+        if (line > b && line < e) return true;
+      }
+      return false;
+    };
+
+    std::vector<Token> code;
+    code.reserve(file.tokens.size());
+    for (const Token& t : file.tokens) {
+      if (!IsComment(t)) code.push_back(t);
+    }
+    const std::vector<FunctionDef> functions = ParseFunctions(code);
+
+    for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+      // The lexer emits `==` as two `=` tokens and `!=` as `!` `=`.
+      const bool eq = IsPunct(code[i], "=") && IsPunct(code[i + 1], "=");
+      const bool ne = IsPunct(code[i], "!") && IsPunct(code[i + 1], "=");
+      if (!eq && !ne) continue;
+      if (code[i].line != code[i + 1].line) continue;
+      // `a === b` cannot occur; `operator==` definitions are not uses.
+      if (i > 0 && (IsPunct(code[i - 1], "=") ||
+                    (code[i - 1].kind == TokKind::kIdent &&
+                     code[i - 1].text == "operator"))) {
+        continue;
+      }
+      if (IsPunct(code[i + 2], "=")) continue;
+      if (!in_scope(code[i].line)) continue;
+      if (HasWaiver(waived, code[i].line)) continue;
+      if (i == 0) continue;
+
+      const Token& lhs = code[i - 1];
+      const Token& rhs = code[i + 2];
+      // Literal-zero guard on either side: exempt.
+      if (IsZeroFloatLiteral(lhs) || IsZeroFloatLiteral(rhs)) continue;
+
+      // Declared float variables of the enclosing function.
+      std::set<std::string> vars;
+      for (const FunctionDef& fn : functions) {
+        if (i >= fn.body.begin && i < fn.body.end) {
+          CollectFloatVars(code, fn.params_begin, fn.params_end, &vars);
+          CollectFloatVars(code, fn.body.begin, fn.body.end, &vars);
+          break;
+        }
+      }
+      auto is_float_operand = [&](const Token& t) {
+        if (IsNonZeroFloatLiteral(t)) return true;
+        return t.kind == TokKind::kIdent && vars.count(t.text) != 0;
+      };
+      if (!is_float_operand(lhs) && !is_float_operand(rhs)) continue;
+
+      findings.push_back(Finding{
+          Check::kFloatHazard, file.path, code[i].line,
+          std::string("exact floating-point ") + (eq ? "==" : "!=") +
+              " in a prune/hot context; use an epsilon or <=/>= bound "
+              "(exact-zero guards are exempt; waive with `// lint-ok: "
+              "float-eq <why>`)"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace tsss_lint

@@ -5,6 +5,7 @@
 // sources: no globals, no filesystem — the runner does the IO, the tests
 // feed fixtures straight in.
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,52 @@ std::vector<Finding> CheckStatusDiscard(const std::vector<SourceFile>& files);
 /// reserve, insert, ...), no bare assert, no throw, no std::mutex.
 /// Unbalanced or nested markers are findings too.
 std::vector<Finding> CheckHotPath(const std::vector<SourceFile>& files);
+
+// --- v2 flow-sensitive families (statement tree, parser.h) -----------------
+
+/// Check 5 — pin pairing. In src/tsss/{storage,index,core,shard}: a manual
+/// page acquisition (`Pin(...)` / `AcquirePage(...)`) whose result is not
+/// held by an RAII guard must reach its matching release (`Unpin` /
+/// `ReleasePage`) naming the same variable on *every* enumerated execution
+/// path — early returns included. A bare acquisition statement that binds
+/// nothing leaks immediately. Binding a reference or pointer to an
+/// expression that pins a page inline (`const Page& p =
+/// ...Fetch(id).value().page()`) dangles when the temporary guard dies and
+/// is flagged too. Waiver: `// pin-ok: <why>` on the acquisition line.
+std::vector<Finding> CheckPinPairing(const std::vector<SourceFile>& files);
+
+/// Check 6 — atomic-order audit, src/ only. Every `memory_order_relaxed`
+/// must carry a `// relaxed-ok: <why>` waiver on the same or previous
+/// line. compare_exchange misuse: `compare_exchange_weak` outside any loop
+/// (spurious failure unhandled), `compare_exchange_strong` as a loop
+/// condition (retry loops should use weak), and an explicit failure
+/// ordering of release/acq_rel (a failure is a pure load).
+std::vector<Finding> CheckAtomicOrder(const std::vector<SourceFile>& files);
+
+/// Check 7 — deadline-poll coverage. In src/tsss/{index,core,shard}: a
+/// loop whose body does page I/O (calls LoadNode / ReadWindow /
+/// ReadWindowDeduped, directly or transitively) must poll ExecControl —
+/// directly (CurrentExecControl in the loop) or via a callee in the
+/// transitive polling set (seeded by bodies that use CurrentExecControl).
+/// Waiver: `// poll-ok: <why>` on the loop's line or the line above.
+std::vector<Finding> CheckDeadlinePoll(const std::vector<SourceFile>& files);
+
+/// Check 8 — float hazards. `==`/`!=` between floating-point operands
+/// (declared double/float locals or parameters, or non-zero float
+/// literals) inside TSSS_HOT regions or the geom prune predicates
+/// (src/tsss/geom/). Comparisons against a literal zero are exempt:
+/// exact-zero guards before division are well-defined and idiomatic.
+std::vector<Finding> CheckFloatHazard(const std::vector<SourceFile>& files);
+
+/// Shared helper — lines of `file` carrying a `// <tag>: ...` waiver.
+/// A waiver on line L covers findings on L and L+1 (same or previous
+/// line convention, matching discard-ok).
+std::set<int> WaiverLines(const SourceFile& file, const std::string& tag);
+
+/// True when `line` is covered by a waiver set (same or previous line).
+inline bool HasWaiver(const std::set<int>& lines, int line) {
+  return lines.count(line) != 0 || lines.count(line - 1) != 0;
+}
 
 }  // namespace tsss_lint
 

@@ -16,11 +16,17 @@
 namespace tsss_lint {
 
 /// One check family. Names double as the --checks= CLI spellings.
+/// The last four are the v2 flow-sensitive families: they run on the
+/// statement tree built by parser.h rather than on raw token patterns.
 enum class Check {
   kLayering,       ///< include graph must respect the declared layer DAG
   kLockOrder,      ///< mutex acquisition graph must be acyclic + annotated
   kStatusDiscard,  ///< Status/Result returns must be consumed or justified
   kHotPath,        ///< TSSS_HOT regions: no allocation, assert, raw mutex
+  kPinPairing,     ///< manual page pins must be released on every path
+  kAtomicOrder,    ///< relaxed atomics waived; compare_exchange used right
+  kDeadlinePoll,   ///< query-path I/O loops must poll ExecControl
+  kFloatHazard,    ///< no ==/!= between floats in prune/hot code
 };
 
 std::string CheckName(Check check);
@@ -50,6 +56,23 @@ struct LintOptions {
   /// Verbose: print per-file progress to stderr.
   bool verbose = false;
 };
+
+/// One waiver comment in the tree: `// <tag>: <reason>`. The inventory
+/// behind `tsss_lint --list-waivers`, so waiver rot stays auditable.
+struct Waiver {
+  std::string file;
+  int line = 0;
+  std::string tag;     ///< lint-ok, discard-ok, pin-ok, relaxed-ok, poll-ok
+  std::string reason;  ///< text after the tag, trimmed
+};
+
+/// Scans the configured paths for waiver comments of every known tag.
+/// Uses `error` on the result for IO failures, like RunLint.
+struct WaiverResult {
+  std::vector<Waiver> waivers;
+  std::string error;
+};
+WaiverResult ListWaivers(const LintOptions& options);
 
 struct LintResult {
   std::vector<Finding> findings;

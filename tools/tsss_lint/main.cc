@@ -2,14 +2,17 @@
 //
 // Usage:
 //   tsss_lint [--root DIR] [--rules FILE] [--checks a,b,...] [-v] [PATH...]
+//   tsss_lint --list-waivers [--root DIR] [PATH...]
 //
-// Checks: layering, lock-order, status-discard, hot-path (default: all).
-// With no PATH arguments the default scope is src tools bench fuzz under
-// --root. Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+// Checks: layering, lock-order, status-discard, hot-path, pin-pairing,
+// atomic-order, deadline-poll, float-hazard (default: all). With no PATH
+// arguments the default scope is src tools bench fuzz under --root.
+// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
 //
 // See DESIGN.md §12 for the conventions the checks enforce.
 
 #include <iostream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,7 +29,12 @@ int Usage(const char* argv0) {
          "  --rules FILE   layer rule file (default: "
          "<root>/tools/tsss_lint/layers.toml)\n"
          "  --checks LIST  comma list of layering,lock-order,status-discard,"
-         "hot-path\n"
+         "hot-path,\n"
+         "                 pin-pairing,atomic-order,deadline-poll,"
+         "float-hazard\n"
+         "  --list-waivers inventory every waiver comment (lint-ok, "
+         "discard-ok,\n"
+         "                 pin-ok, relaxed-ok, poll-ok) instead of linting\n"
          "  -v             verbose per-file progress on stderr\n"
          "  PATH...        files or directories, relative to --root "
          "(default: src tools bench fuzz)\n";
@@ -47,6 +55,14 @@ bool ParseChecks(const std::string& list, std::set<tsss_lint::Check>* out) {
       out->insert(tsss_lint::Check::kStatusDiscard);
     } else if (name == "hot-path") {
       out->insert(tsss_lint::Check::kHotPath);
+    } else if (name == "pin-pairing") {
+      out->insert(tsss_lint::Check::kPinPairing);
+    } else if (name == "atomic-order") {
+      out->insert(tsss_lint::Check::kAtomicOrder);
+    } else if (name == "deadline-poll") {
+      out->insert(tsss_lint::Check::kDeadlinePoll);
+    } else if (name == "float-hazard") {
+      out->insert(tsss_lint::Check::kFloatHazard);
     } else if (!name.empty()) {
       std::cerr << "tsss_lint: unknown check '" << name << "'\n";
       return false;
@@ -61,6 +77,7 @@ bool ParseChecks(const std::string& list, std::set<tsss_lint::Check>* out) {
 
 int main(int argc, char** argv) {
   tsss_lint::LintOptions options;
+  bool list_waivers = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +87,8 @@ int main(int argc, char** argv) {
       options.rules_path = argv[++i];
     } else if (arg == "--checks" && i + 1 < argc) {
       if (!ParseChecks(argv[++i], &options.checks)) return 2;
+    } else if (arg == "--list-waivers") {
+      list_waivers = true;
     } else if (arg == "-v" || arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -88,6 +107,26 @@ int main(int argc, char** argv) {
   }
   if (options.paths.empty()) {
     options.paths = {"src", "tools", "bench", "fuzz"};
+  }
+
+  if (list_waivers) {
+    const tsss_lint::WaiverResult result = tsss_lint::ListWaivers(options);
+    if (!result.error.empty()) {
+      std::cerr << "tsss_lint: error: " << result.error << "\n";
+      return 2;
+    }
+    std::map<std::string, int> by_tag;
+    for (const tsss_lint::Waiver& w : result.waivers) {
+      std::cout << w.file << ":" << w.line << ": " << w.tag << ": "
+                << w.reason << "\n";
+      ++by_tag[w.tag];
+    }
+    std::cout << "tsss_lint: " << result.waivers.size() << " waiver(s)";
+    for (const auto& [tag, n] : by_tag) {
+      std::cout << " " << tag << "=" << n;
+    }
+    std::cout << "\n";
+    return 0;
   }
 
   const tsss_lint::LintResult result = tsss_lint::RunLint(options);

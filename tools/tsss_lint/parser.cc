@@ -1,0 +1,478 @@
+#include "tsss_lint/parser.h"
+
+#include <set>
+
+namespace tsss_lint {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Identifiers that introduce a parenthesized clause but never name a
+/// function being defined.
+bool IsControlKeyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",  "for",      "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "noexcept", "static_assert",
+      "new",    "delete", "case",     "throw",    "co_return",
+  };
+  return kKeywords.count(name) != 0;
+}
+
+/// Advances past a balanced (), {}, [] or <> group starting at `open`.
+/// Returns the index of the matching closer, or `n` when unterminated.
+std::size_t MatchGroup(const std::vector<Token>& toks, std::size_t open,
+                       const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], opener)) ++depth;
+    if (IsPunct(toks[i], closer) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+class StmtParser {
+ public:
+  explicit StmtParser(const std::vector<Token>& toks) : toks_(toks) {}
+
+  /// Parses `{ ... }` starting at `lbrace` into a kBlock. Returns the
+  /// index one past the closing brace.
+  std::size_t ParseBlock(std::size_t lbrace, Stmt* out) {
+    out->kind = StmtKind::kBlock;
+    out->line = toks_[lbrace].line;
+    out->begin = lbrace;
+    std::size_t i = lbrace + 1;
+    while (i < toks_.size() && !IsPunct(toks_[i], "}")) {
+      // Labels: `case X:` / `default:` / `public:` etc. are skipped, the
+      // statements they introduce parse as ordinary block children.
+      if (IsIdent(toks_[i], "case")) {
+        while (i < toks_.size() && !IsPunct(toks_[i], ":")) ++i;
+        if (i < toks_.size()) ++i;
+        continue;
+      }
+      if (IsIdent(toks_[i], "default") && i + 1 < toks_.size() &&
+          IsPunct(toks_[i + 1], ":")) {
+        i += 2;
+        continue;
+      }
+      Stmt child;
+      const std::size_t next = ParseStmt(i, &child);
+      if (next == i) {  // no progress: skip the offending token
+        ++i;
+        continue;
+      }
+      out->children.push_back(std::move(child));
+      i = next;
+    }
+    out->end = i < toks_.size() ? i + 1 : i;
+    return out->end;
+  }
+
+  /// Parses one statement starting at `i`; returns the index one past it.
+  std::size_t ParseStmt(std::size_t i, Stmt* out) {
+    const std::size_t n = toks_.size();
+    if (i >= n) return i;
+    out->line = toks_[i].line;
+    out->begin = i;
+
+    if (IsPunct(toks_[i], "{")) return ParseBlock(i, out);
+
+    if (IsIdent(toks_[i], "if")) {
+      out->kind = StmtKind::kIf;
+      std::size_t j = i + 1;
+      if (j < n && IsIdent(toks_[j], "constexpr")) ++j;
+      j = ParseCondition(j, out);
+      Stmt then_stmt;
+      j = ParseStmt(j, &then_stmt);
+      out->children.push_back(std::move(then_stmt));
+      if (j < n && IsIdent(toks_[j], "else")) {
+        out->has_else = true;
+        Stmt else_stmt;
+        j = ParseStmt(j + 1, &else_stmt);
+        out->children.push_back(std::move(else_stmt));
+      }
+      out->end = j;
+      return j;
+    }
+
+    if (IsIdent(toks_[i], "while") || IsIdent(toks_[i], "for")) {
+      out->kind = StmtKind::kLoop;
+      std::size_t j = ParseCondition(i + 1, out);
+      Stmt body;
+      j = ParseStmt(j, &body);
+      out->children.push_back(std::move(body));
+      out->end = j;
+      return j;
+    }
+
+    if (IsIdent(toks_[i], "do")) {
+      out->kind = StmtKind::kLoop;
+      out->may_skip_body = false;
+      Stmt body;
+      std::size_t j = ParseStmt(i + 1, &body);
+      out->children.push_back(std::move(body));
+      if (j < n && IsIdent(toks_[j], "while")) {
+        j = ParseCondition(j + 1, out);
+        if (j < n && IsPunct(toks_[j], ";")) ++j;
+      }
+      out->end = j;
+      return j;
+    }
+
+    if (IsIdent(toks_[i], "switch")) {
+      out->kind = StmtKind::kSwitch;
+      std::size_t j = ParseCondition(i + 1, out);
+      Stmt body;
+      j = ParseStmt(j, &body);
+      out->children.push_back(std::move(body));
+      out->end = j;
+      return j;
+    }
+
+    if (IsIdent(toks_[i], "return") || IsIdent(toks_[i], "co_return")) {
+      out->kind = StmtKind::kReturn;
+      out->end = SkipToSemicolon(i + 1);
+      return out->end;
+    }
+    if (IsIdent(toks_[i], "break")) {
+      out->kind = StmtKind::kBreak;
+      out->end = SkipToSemicolon(i + 1);
+      return out->end;
+    }
+    if (IsIdent(toks_[i], "continue")) {
+      out->kind = StmtKind::kContinue;
+      out->end = SkipToSemicolon(i + 1);
+      return out->end;
+    }
+
+    out->kind = StmtKind::kSimple;
+    out->end = SkipToSemicolon(i);
+    return out->end;
+  }
+
+ private:
+  /// Parses `( ... )` after a control keyword, recording the clause range.
+  /// Returns the index one past the closing paren (or the input position
+  /// when no parens follow — malformed input degrades gracefully).
+  std::size_t ParseCondition(std::size_t i, Stmt* out) {
+    if (i >= toks_.size() || !IsPunct(toks_[i], "(")) return i;
+    const std::size_t close = MatchGroup(toks_, i, "(", ")");
+    out->cond_begin = i + 1;
+    out->cond_end = close;
+    return close < toks_.size() ? close + 1 : close;
+  }
+
+  /// Advances to one past the `;` ending a simple statement, skipping
+  /// balanced (), {} and [] groups (lambda bodies, init-lists, captures).
+  /// A `}` at statement depth also terminates (missing semicolon, e.g. a
+  /// local class or an unparsed construct) — without consuming it.
+  std::size_t SkipToSemicolon(std::size_t i) {
+    const std::size_t n = toks_.size();
+    while (i < n) {
+      const Token& t = toks_[i];
+      if (IsPunct(t, ";")) return i + 1;
+      if (IsPunct(t, "}")) return i;
+      if (IsPunct(t, "(")) {
+        const std::size_t close = MatchGroup(toks_, i, "(", ")");
+        i = close < n ? close + 1 : n;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        const std::size_t close = MatchGroup(toks_, i, "{", "}");
+        i = close < n ? close + 1 : n;
+        continue;
+      }
+      if (IsPunct(t, "[")) {
+        const std::size_t close = MatchGroup(toks_, i, "[", "]");
+        i = close < n ? close + 1 : n;
+        continue;
+      }
+      ++i;
+    }
+    return n;
+  }
+
+  const std::vector<Token>& toks_;
+};
+
+/// After the `)` closing a parameter list at `close`, scans the trailer —
+/// cv-qualifiers, ref-qualifiers, noexcept(...), override/final, trailing
+/// return type, constructor initializer list — and returns the index of
+/// the body's `{` if this really is a function definition, or npos.
+std::size_t FindBodyBrace(const std::vector<Token>& toks, std::size_t close) {
+  const std::size_t n = toks.size();
+  std::size_t k = close + 1;
+  while (k < n) {
+    const Token& t = toks[k];
+    if (IsPunct(t, "{")) return k;
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "const" || t.text == "override" || t.text == "final" ||
+         t.text == "noexcept" || t.text == "mutable" || t.text == "volatile" ||
+         t.text == "try")) {
+      ++k;
+      continue;
+    }
+    if (IsPunct(t, "&")) {  // ref-qualifier (also covers &&: two tokens)
+      ++k;
+      continue;
+    }
+    if (IsPunct(t, "(")) {  // noexcept(...)
+      const std::size_t c = MatchGroup(toks, k, "(", ")");
+      k = c < n ? c + 1 : n;
+      continue;
+    }
+    if (IsPunct(t, "->")) {  // trailing return type: skip tokens up to { or ;
+      ++k;
+      while (k < n && !IsPunct(toks[k], "{") && !IsPunct(toks[k], ";") &&
+             !IsPunct(toks[k], "=")) {
+        if (IsPunct(toks[k], "<")) {
+          const std::size_t c = MatchGroup(toks, k, "<", ">");
+          k = c < n ? c + 1 : n;
+          continue;
+        }
+        ++k;
+      }
+      continue;
+    }
+    if (IsPunct(t, ":")) {  // constructor initializer list
+      ++k;
+      while (k < n && !IsPunct(toks[k], "{")) {
+        if (IsPunct(toks[k], "(")) {
+          const std::size_t c = MatchGroup(toks, k, "(", ")");
+          k = c < n ? c + 1 : n;
+          continue;
+        }
+        if (IsPunct(toks[k], ";")) return std::string::npos;
+        ++k;
+      }
+      continue;
+    }
+    return std::string::npos;  // `;` (declaration), `=` (= default/delete), ...
+  }
+  return std::string::npos;
+}
+
+void CollectPaths(const Stmt& stmt, std::vector<ExecPath>* paths,
+                  std::size_t cap, bool* truncated);
+
+/// Appends the segments of `stmt` onto every unterminated path in `paths`.
+void ExtendWith(const Stmt& stmt, std::vector<ExecPath>* paths,
+                std::size_t cap, bool* truncated) {
+  std::vector<ExecPath> segments;
+  segments.push_back(ExecPath{});
+  CollectPaths(stmt, &segments, cap, truncated);
+
+  std::vector<ExecPath> out;
+  for (const ExecPath& prefix : *paths) {
+    if (prefix.ends_in_return) {
+      if (out.size() < cap) out.push_back(prefix);
+      else *truncated = true;
+      continue;
+    }
+    for (const ExecPath& seg : segments) {
+      if (out.size() >= cap) {
+        *truncated = true;
+        break;
+      }
+      ExecPath joined = prefix;
+      joined.leaves.insert(joined.leaves.end(), seg.leaves.begin(),
+                           seg.leaves.end());
+      joined.ends_in_return = seg.ends_in_return;
+      joined.exit_line = seg.exit_line;
+      out.push_back(std::move(joined));
+    }
+  }
+  *paths = std::move(out);
+}
+
+/// Extends every unterminated path in `paths` with the ways through `stmt`.
+void CollectPaths(const Stmt& stmt, std::vector<ExecPath>* paths,
+                  std::size_t cap, bool* truncated) {
+  switch (stmt.kind) {
+    case StmtKind::kSimple:
+    case StmtKind::kBreak:
+    case StmtKind::kContinue: {
+      for (ExecPath& p : *paths) {
+        if (!p.ends_in_return) p.leaves.push_back(&stmt);
+      }
+      return;
+    }
+    case StmtKind::kReturn: {
+      for (ExecPath& p : *paths) {
+        if (!p.ends_in_return) {
+          p.leaves.push_back(&stmt);
+          p.ends_in_return = true;
+          p.exit_line = stmt.line;
+        }
+      }
+      return;
+    }
+    case StmtKind::kBlock: {
+      for (const Stmt& child : stmt.children) {
+        ExtendWith(child, paths, cap, truncated);
+        if (paths->size() >= cap) {
+          *truncated = true;
+          return;
+        }
+      }
+      return;
+    }
+    case StmtKind::kIf: {
+      // The condition always executes; then fork into the branches. Paths
+      // already terminated by a return pass through exactly once.
+      std::vector<ExecPath> done;
+      std::vector<ExecPath> live;
+      for (ExecPath& p : *paths) {
+        if (p.ends_in_return) {
+          done.push_back(std::move(p));
+        } else {
+          p.leaves.push_back(&stmt);
+          live.push_back(std::move(p));
+        }
+      }
+      std::vector<ExecPath> then_paths = live;
+      if (!stmt.children.empty()) {
+        ExtendWith(stmt.children[0], &then_paths, cap, truncated);
+      }
+      std::vector<ExecPath> else_paths = std::move(live);
+      if (stmt.has_else && stmt.children.size() > 1) {
+        ExtendWith(stmt.children[1], &else_paths, cap, truncated);
+      }
+      paths->clear();
+      for (auto* src : {&done, &then_paths, &else_paths}) {
+        for (ExecPath& p : *src) {
+          if (paths->size() >= cap) {
+            *truncated = true;
+            break;
+          }
+          paths->push_back(std::move(p));
+        }
+      }
+      return;
+    }
+    case StmtKind::kLoop:
+    case StmtKind::kSwitch: {
+      // Condition executes; body contributes zero iterations or one.
+      std::vector<ExecPath> done;
+      std::vector<ExecPath> live;
+      for (ExecPath& p : *paths) {
+        if (p.ends_in_return) {
+          done.push_back(std::move(p));
+        } else {
+          p.leaves.push_back(&stmt);
+          live.push_back(std::move(p));
+        }
+      }
+      std::vector<ExecPath> once = live;
+      if (!stmt.children.empty()) {
+        ExtendWith(stmt.children[0], &once, cap, truncated);
+      }
+      const bool skippable =
+          stmt.kind == StmtKind::kSwitch || stmt.may_skip_body;
+      std::vector<ExecPath> merged = std::move(done);
+      if (skippable) {
+        for (ExecPath& p : live) {
+          if (merged.size() >= cap) {
+            *truncated = true;
+            break;
+          }
+          merged.push_back(std::move(p));
+        }
+      }
+      for (ExecPath& p : once) {
+        if (merged.size() >= cap) {
+          *truncated = true;
+          break;
+        }
+        merged.push_back(std::move(p));
+      }
+      *paths = std::move(merged);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionDef> ParseFunctions(const std::vector<Token>& toks) {
+  std::vector<FunctionDef> out;
+  const std::size_t n = toks.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!IsPunct(toks[i], "(") || i == 0 ||
+        toks[i - 1].kind != TokKind::kIdent ||
+        IsControlKeyword(toks[i - 1].text)) {
+      ++i;
+      continue;
+    }
+    const std::size_t close = MatchGroup(toks, i, "(", ")");
+    if (close >= n) break;
+    const std::size_t lbrace = FindBodyBrace(toks, close);
+    if (lbrace == std::string::npos) {
+      ++i;
+      continue;
+    }
+    FunctionDef def;
+    def.name = toks[i - 1].text;
+    def.line = toks[i - 1].line;
+    def.params_begin = i + 1;
+    def.params_end = close;
+    StmtParser parser(toks);
+    const std::size_t past = parser.ParseBlock(lbrace, &def.body);
+    out.push_back(std::move(def));
+    i = past;  // lambdas inside the body stay opaque: never re-scanned
+  }
+  return out;
+}
+
+std::vector<ExecPath> EnumeratePaths(const Stmt& body, std::size_t cap,
+                                     bool* truncated) {
+  bool dropped = false;
+  std::vector<ExecPath> paths;
+  paths.push_back(ExecPath{});
+  CollectPaths(body, &paths, cap == 0 ? 1 : cap, &dropped);
+  if (truncated != nullptr) *truncated = dropped;
+  return paths;
+}
+
+void LeafTokenRange(const Stmt& stmt, std::size_t* begin, std::size_t* end) {
+  if (stmt.kind == StmtKind::kIf || stmt.kind == StmtKind::kLoop ||
+      stmt.kind == StmtKind::kSwitch) {
+    *begin = stmt.cond_begin;
+    *end = stmt.cond_end;
+    return;
+  }
+  *begin = stmt.begin;
+  *end = stmt.end;
+}
+
+const Stmt* InnermostLoop(const Stmt& body, std::size_t pos,
+                          bool* in_condition) {
+  const Stmt* found = nullptr;
+  bool cond = false;
+  const Stmt* cur = &body;
+  while (cur != nullptr) {
+    if (cur->kind == StmtKind::kLoop && pos >= cur->begin && pos < cur->end) {
+      found = cur;
+      cond = pos >= cur->cond_begin && pos < cur->cond_end;
+    }
+    const Stmt* next = nullptr;
+    for (const Stmt& child : cur->children) {
+      if (pos >= child.begin && pos < child.end) {
+        next = &child;
+        break;
+      }
+    }
+    cur = next;
+  }
+  if (in_condition != nullptr) *in_condition = cond;
+  return found;
+}
+
+}  // namespace tsss_lint

@@ -1,0 +1,98 @@
+#ifndef TSSS_TOOLS_TSSS_LINT_PARSER_H_
+#define TSSS_TOOLS_TSSS_LINT_PARSER_H_
+
+// Minimal per-function statement-tree parser for tsss_lint v2 (DESIGN.md
+// §12.6). Not a C++ parser: it recovers just enough structure from the
+// token stream — function bodies, brace-matched blocks, if/else forks,
+// loops, early returns — for the flow-sensitive checks (pin-pairing,
+// deadline-poll coverage, compare_exchange context) to reason about
+// execution paths. Everything it cannot classify degrades to an opaque
+// "simple statement" leaf, never to a parse failure.
+//
+// The token stream handed in must already have comment tokens filtered
+// out (comments carry waivers, which the checks resolve by line number
+// against the original stream).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tsss_lint/lexer.h"
+
+namespace tsss_lint {
+
+enum class StmtKind {
+  kSimple,    ///< expression/declaration statement, `;`-terminated
+  kBlock,     ///< `{ ... }`; children are the contained statements
+  kIf,        ///< children: [then] or [then, else]
+  kLoop,      ///< for / while / do-while / range-for; children: [body]
+  kSwitch,    ///< children: [body]; arms over-approximated as sequential
+  kReturn,    ///< terminates the current path
+  kBreak,     ///< kept as a leaf; loop abstraction makes it harmless
+  kContinue,  ///< kept as a leaf, like kBreak
+};
+
+/// One node of the statement tree. `begin`/`end` delimit the whole
+/// statement (keyword through closing brace/semicolon) as a half-open
+/// token-index range; `cond_begin`/`cond_end` delimit the controlling
+/// parenthesized clause of if/loop/switch nodes (excluding the parens).
+struct Stmt {
+  StmtKind kind = StmtKind::kSimple;
+  int line = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t cond_begin = 0;
+  std::size_t cond_end = 0;
+  bool has_else = false;
+  /// False only for do-while: the body always runs at least once.
+  bool may_skip_body = true;
+  std::vector<Stmt> children;
+};
+
+/// One function definition found in a file's code-token stream.
+struct FunctionDef {
+  std::string name;  ///< unqualified (last identifier before the parens)
+  int line = 0;
+  std::size_t params_begin = 0;  ///< token range of the parameter list
+  std::size_t params_end = 0;    ///< (excluding the parens themselves)
+  Stmt body;                     ///< kBlock over the function body
+};
+
+/// Extracts every function definition (free functions, member functions
+/// defined in-class or out-of-line, constructors) from a comment-free
+/// token stream. Lambda bodies are left inside their enclosing statement
+/// as opaque leaves. Never fails; unparseable regions are skipped.
+std::vector<FunctionDef> ParseFunctions(const std::vector<Token>& tokens);
+
+/// One enumerated execution path: the sequence of leaf statements
+/// traversed from function entry to an exit. For kIf/kLoop/kSwitch
+/// leaves appearing in a path, only the controlling clause was
+/// "executed" at that position (use LeafTokenRange).
+struct ExecPath {
+  std::vector<const Stmt*> leaves;
+  bool ends_in_return = false;
+  int exit_line = 0;  ///< the `return`'s line; 0 when falling off the end
+};
+
+/// Enumerates acyclic execution paths through `body`. Branch abstraction:
+/// if forks into then/else (an absent else contributes the empty branch),
+/// loops contribute zero iterations or exactly one, do-while exactly one.
+/// Enumeration stops once `cap` paths exist; `*truncated` (optional)
+/// reports whether anything was dropped. Paths beyond the cap are simply
+/// not analyzed — the checks stay free of false positives either way.
+std::vector<ExecPath> EnumeratePaths(const Stmt& body, std::size_t cap,
+                                     bool* truncated = nullptr);
+
+/// Token range a path leaf "executed": the controlling clause for
+/// if/loop/switch nodes, the whole statement otherwise.
+void LeafTokenRange(const Stmt& stmt, std::size_t* begin, std::size_t* end);
+
+/// The innermost kLoop statement whose range contains token index `pos`,
+/// or nullptr. `in_condition` (optional) reports whether `pos` sits in
+/// that loop's controlling clause rather than its body.
+const Stmt* InnermostLoop(const Stmt& body, std::size_t pos,
+                          bool* in_condition = nullptr);
+
+}  // namespace tsss_lint
+
+#endif  // TSSS_TOOLS_TSSS_LINT_PARSER_H_

@@ -22,6 +22,14 @@ std::string CheckName(Check check) {
       return "status-discard";
     case Check::kHotPath:
       return "hot-path";
+    case Check::kPinPairing:
+      return "pin-pairing";
+    case Check::kAtomicOrder:
+      return "atomic-order";
+    case Check::kDeadlinePoll:
+      return "deadline-poll";
+    case Check::kFloatHazard:
+      return "float-hazard";
   }
   return "unknown";
 }
@@ -54,32 +62,19 @@ std::string Relativize(const fs::path& path, const fs::path& root) {
   return use.generic_string();
 }
 
-}  // namespace
-
-LintResult RunLint(const LintOptions& options) {
-  LintResult result;
-
-  LayerRules rules;
-  if (!options.rules_path.empty()) {
-    std::string error;
-    if (!ParseRulesFile(options.rules_path, &rules, &error)) {
-      result.error = error;
-      return result;
-    }
-  }
-
+/// Collects + lexes the configured file set. Returns a non-empty error
+/// string on IO failure.
+std::string CollectFiles(const LintOptions& options,
+                         std::vector<SourceFile>* files) {
   const fs::path root =
       options.root.empty() ? fs::current_path() : fs::path(options.root);
 
-  // Collect + lex the file set.
-  std::vector<SourceFile> files;
   std::vector<fs::path> inputs;
   for (const std::string& raw : options.paths) {
     fs::path p(raw);
     if (p.is_relative()) p = root / p;
     if (!fs::exists(p)) {
-      result.error = "no such file or directory: " + raw;
-      return result;
+      return "no such file or directory: " + raw;
     }
     if (fs::is_directory(p)) {
       // Skip `testdata` trees during directory walks: fixture corpora (the
@@ -106,8 +101,7 @@ LintResult RunLint(const LintOptions& options) {
   for (const fs::path& path : inputs) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-      result.error = "cannot read " + path.string();
-      return result;
+      return "cannot read " + path.string();
     }
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -119,8 +113,80 @@ LintResult RunLint(const LintOptions& options) {
       std::cerr << "tsss_lint: " << file.path << " (" << file.tokens.size()
                 << " tokens)\n";
     }
-    files.push_back(std::move(file));
+    files->push_back(std::move(file));
   }
+  return "";
+}
+
+}  // namespace
+
+std::set<int> WaiverLines(const SourceFile& file, const std::string& tag) {
+  std::set<int> lines;
+  const std::string needle = tag + ":";
+  for (const Token& t : file.tokens) {
+    if (!IsComment(t)) continue;
+    if (t.text.find(needle) != std::string::npos) lines.insert(t.line);
+  }
+  return lines;
+}
+
+WaiverResult ListWaivers(const LintOptions& options) {
+  static const char* kTags[] = {"lint-ok", "discard-ok", "pin-ok",
+                                "relaxed-ok", "poll-ok"};
+  WaiverResult result;
+  std::vector<SourceFile> files;
+  result.error = CollectFiles(options, &files);
+  if (!result.error.empty()) return result;
+
+  for (const SourceFile& file : files) {
+    for (const Token& t : file.tokens) {
+      if (!IsComment(t)) continue;
+      for (const char* tag : kTags) {
+        const std::string needle = std::string(tag) + ":";
+        const std::size_t at = t.text.find(needle);
+        if (at == std::string::npos) continue;
+        // A tag inside an inline-code span (odd backtick count before it)
+        // is documentation *about* the convention — the doc comments in
+        // checks.h and status.h quote the waiver syntax — not a live
+        // waiver.
+        if (std::count(t.text.begin(), t.text.begin() + static_cast<std::ptrdiff_t>(at), '`') % 2 != 0) {
+          continue;
+        }
+        Waiver w;
+        w.file = file.path;
+        w.line = t.line;
+        w.tag = tag;
+        std::size_t begin = at + needle.size();
+        while (begin < t.text.size() && t.text[begin] == ' ') ++begin;
+        std::size_t end = t.text.size();
+        while (end > begin &&
+               (t.text[end - 1] == ' ' || t.text[end - 1] == '\n' ||
+                t.text[end - 1] == '\r' || t.text[end - 1] == '*')) {
+          --end;
+        }
+        w.reason = t.text.substr(begin, end - begin);
+        result.waivers.push_back(std::move(w));
+      }
+    }
+  }
+  return result;
+}
+
+LintResult RunLint(const LintOptions& options) {
+  LintResult result;
+
+  LayerRules rules;
+  if (!options.rules_path.empty()) {
+    std::string error;
+    if (!ParseRulesFile(options.rules_path, &rules, &error)) {
+      result.error = error;
+      return result;
+    }
+  }
+
+  std::vector<SourceFile> files;
+  result.error = CollectFiles(options, &files);
+  if (!result.error.empty()) return result;
 
   auto enabled = [&](Check check) {
     return options.checks.empty() || options.checks.count(check) != 0;
@@ -136,6 +202,10 @@ LintResult RunLint(const LintOptions& options) {
   if (enabled(Check::kLockOrder)) append(CheckLockOrder(files));
   if (enabled(Check::kStatusDiscard)) append(CheckStatusDiscard(files));
   if (enabled(Check::kHotPath)) append(CheckHotPath(files));
+  if (enabled(Check::kPinPairing)) append(CheckPinPairing(files));
+  if (enabled(Check::kAtomicOrder)) append(CheckAtomicOrder(files));
+  if (enabled(Check::kDeadlinePoll)) append(CheckDeadlinePoll(files));
+  if (enabled(Check::kFloatHazard)) append(CheckFloatHazard(files));
 
   // Stable output order for golden tests and humans alike.
   std::stable_sort(result.findings.begin(), result.findings.end(),

@@ -1,0 +1,47 @@
+// Fixture: exact floating-point equality in prune/hot contexts. Expected
+// float-hazard findings (golden counts in tsss_lint_test.cc):
+//   1. PruneEq — double == double in a geom prune predicate
+//   2. PruneNe — double != literal in geom
+//   3. HotEq — float == inside a TSSS_HOT region
+// ZeroGuard (== 0.0), WaivedEq, and IntEq must NOT be flagged.
+
+namespace tsss::geom {
+
+// Finding 1: two computed doubles compared exactly.
+bool PruneEq(double lhs, double rhs) {
+  return lhs == rhs;
+}
+
+// Finding 2: != against a non-zero literal.
+bool PruneNe(double distance) {
+  return distance != 1.5;
+}
+
+// Clean: exact-zero guard before division is well-defined.
+double ZeroGuard(double num, double den) {
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+// Clean: waived with a stated reason.
+bool WaivedEq(double a, double b) {
+  return a == b;  // lint-ok: float-eq comparing canonicalized sentinels
+}
+
+// Clean: integer comparison, out of the check's jurisdiction.
+bool IntEq(int a, int b) {
+  return a == b;
+}
+
+// Finding 3: hot-region float equality (this file is doubly in scope).
+double HotEq(float x, float target) {
+  double acc = 0.0;
+  // TSSS_HOT_BEGIN(float_eq_probe)
+  if (x == target) {
+    acc += 1.0;
+  }
+  // TSSS_HOT_END(float_eq_probe)
+  return acc;
+}
+
+}  // namespace tsss::geom

@@ -1,0 +1,54 @@
+// Fixture: atomic-order violations. Expected atomic-order findings
+// (golden counts in tsss_lint_test.cc):
+//   1. UnwaivedRelaxed — memory_order_relaxed without a relaxed-ok waiver
+//   2. OneShotWeak — compare_exchange_weak outside any loop
+//   3. StrongRetry — compare_exchange_strong as a loop condition
+//   4. BadFailureOrder — failure ordering memory_order_release
+// WaivedRelaxed and WeakRetry must NOT be flagged.
+
+#include <atomic>
+
+namespace tsss::core {
+
+// Finding 1: no justification for the relaxed ordering.
+void UnwaivedRelaxed(std::atomic<int>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Clean: the waiver states the reasoning.
+void WaivedRelaxed(std::atomic<int>& counter) {
+  // relaxed-ok: advisory tally, no payload published
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Finding 2: a spurious weak-CAS failure is silently dropped here.
+bool OneShotWeak(std::atomic<int>& value, int expected, int desired) {
+  return value.compare_exchange_weak(expected, desired);
+}
+
+// Finding 3: the retry loop should use the weak form.
+void StrongRetry(std::atomic<int>& value, int desired) {
+  int expected = value.load();
+  while (!value.compare_exchange_strong(expected, desired)) {
+  }
+}
+
+// Clean: weak CAS inside its retry loop.
+void WeakRetry(std::atomic<int>& value, int desired) {
+  int expected = value.load();
+  while (!value.compare_exchange_weak(expected, desired)) {
+  }
+}
+
+// Finding 4: the failure path of a CAS is a pure load and cannot release.
+bool BadFailureOrder(std::atomic<int>& value, int expected, int desired) {
+  bool won = false;
+  do {
+    won = value.compare_exchange_weak(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_release);
+  } while (!won && expected < desired);
+  return won;
+}
+
+}  // namespace tsss::core

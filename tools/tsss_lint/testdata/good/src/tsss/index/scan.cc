@@ -1,0 +1,66 @@
+// Clean deadline-poll, atomic-order, and float usage: I/O loops poll
+// (directly or transitively), relaxed atomics carry waivers, weak CAS
+// retries in a loop. The v2 checks must stay silent here.
+
+#include <atomic>
+
+namespace tsss::index {
+
+struct Status {
+  bool ok() const;
+  static Status OK();
+};
+
+struct Store {
+  Status ReadWindow(int series, int offset);
+  Status LoadNode(int id);
+};
+
+struct Control {
+  Status Check() const;
+};
+
+Control* CurrentExecControl();
+
+Status PollExecControl() {
+  Control* control = CurrentExecControl();
+  if (control == nullptr) return Status::OK();
+  return control->Check();
+}
+
+// Direct poll in the body.
+Status ScanDirect(Store* store, int n) {
+  for (int i = 0; i < n; ++i) {
+    Status poll = PollExecControl();
+    if (!poll.ok()) return poll;
+    Status s = store->ReadWindow(i, 0);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// The callee polls; the loop is covered transitively.
+Status VisitNode(Store* store, int id) {
+  Status poll = PollExecControl();
+  if (!poll.ok()) return poll;
+  return store->LoadNode(id);
+}
+
+Status ScanTransitive(Store* store, int n) {
+  for (int i = 0; i < n; ++i) {
+    Status s = VisitNode(store, i);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// Relaxed tally with a stated reason; weak CAS retried in its loop.
+void CountVisit(std::atomic<int>& visits, std::atomic<int>& high_water) {
+  // relaxed-ok: advisory visit tally, no payload published
+  const int seen = 1 + visits.fetch_add(1, std::memory_order_relaxed);
+  int cur = high_water.load();
+  while (seen > cur && !high_water.compare_exchange_weak(cur, seen)) {
+  }
+}
+
+}  // namespace tsss::index
