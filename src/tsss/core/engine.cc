@@ -72,6 +72,24 @@ void FillPruneTelemetry(const geom::PenetrationStats& pen,
   }
 }
 
+obs::QueryCost BuildQueryCost(std::uint64_t cpu_start_us,
+                              const storage::QueryCounters& counters,
+                              std::uint64_t candidates_verified) {
+  obs::QueryCost cost;
+  const std::uint64_t cpu_now = obs::ThreadCpuNowUs();
+  cost.cpu_us = cpu_now >= cpu_start_us ? cpu_now - cpu_start_us : 0;
+  cost.pages_miss = counters.pool_misses;
+  cost.pages_hit = counters.pool_logical_reads >= counters.pool_misses
+                       ? counters.pool_logical_reads - counters.pool_misses
+                       : 0;
+  cost.data_pages = counters.data_page_reads;
+  cost.bytes_touched =
+      (counters.pool_logical_reads + counters.data_page_reads) *
+      storage::kPageSize;
+  cost.candidates_verified = candidates_verified;
+  return cost;
+}
+
 SearchEngine::SearchEngine(const EngineConfig& config) : config_(config) {}
 
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Create(
@@ -332,9 +350,11 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
   std::chrono::steady_clock::time_point query_start;
+  std::uint64_t cpu_start_us = 0;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
     query_start = std::chrono::steady_clock::now();
+    cpu_start_us = obs::ThreadCpuNowUs();
   }
   obs::TraceSpan query_span("range_query");
 
@@ -381,10 +401,12 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
   verify_span.Annotate("matches", matches.size());
   verify_span.Close();
 
+  obs::QueryCost query_cost;
   if (scoped_telemetry.has_value()) {
     FillPruneTelemetry(pen, &telemetry);
     telemetry.candidates_postfiltered = expanded.size() - matches.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    query_cost = BuildQueryCost(cpu_start_us, counters, expanded.size());
     LastQuery last;
     last.kind = "range";
     last.eps = eps;
@@ -397,6 +419,7 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
     last.stats.matches = matches.size();
     last.stats.penetration = pen;
     last.stats.telemetry = telemetry;
+    last.stats.cost = query_cost;
     RecordLastQuery(last);
   }
   const QueryRegistryCounters& reg = QueryCountersRegistry();
@@ -412,6 +435,7 @@ Result<std::vector<Match>> SearchEngine::RangeQuery(std::span<const double> quer
     stats->matches = matches.size();
     stats->penetration = pen;
     stats->telemetry = telemetry;
+    stats->cost = query_cost;
   }
   return matches;
 }
@@ -433,9 +457,11 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
   std::chrono::steady_clock::time_point query_start;
+  std::uint64_t cpu_start_us = 0;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
     query_start = std::chrono::steady_clock::now();
+    cpu_start_us = obs::ThreadCpuNowUs();
   }
   obs::TraceSpan query_span("knn_query");
 
@@ -513,9 +539,11 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
   }
   std::reverse(out.begin(), out.end());
 
+  obs::QueryCost query_cost;
   if (scoped_telemetry.has_value()) {
     telemetry.candidates_postfiltered = candidates_seen - out.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    query_cost = BuildQueryCost(cpu_start_us, counters, candidates_seen);
     LastQuery last;
     last.kind = "knn";
     last.k = k;
@@ -527,6 +555,7 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
     last.stats.candidates = candidates_seen;
     last.stats.matches = out.size();
     last.stats.telemetry = telemetry;
+    last.stats.cost = query_cost;
     RecordLastQuery(last);
   }
   const QueryRegistryCounters& reg = QueryCountersRegistry();
@@ -541,6 +570,7 @@ Result<std::vector<Match>> SearchEngine::Knn(std::span<const double> query,
     stats->candidates = candidates_seen;
     stats->matches = out.size();
     stats->telemetry = telemetry;
+    stats->cost = query_cost;
   }
   return out;
 }

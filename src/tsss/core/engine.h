@@ -23,6 +23,7 @@
 #include "tsss/storage/buffer_pool.h"
 #include "tsss/storage/file_page_store.h"
 #include "tsss/storage/page_store.h"
+#include "tsss/storage/query_counters.h"
 
 namespace tsss::core {
 
@@ -86,6 +87,11 @@ struct QueryStats {
   /// evaluations, and the EP/BS/exact prune disposition derived from
   /// `penetration` (see FillPruneTelemetry).
   obs::QueryTelemetry telemetry;
+  /// What the query spent (thread CPU, hit/miss page split, bytes,
+  /// verifications). Filled on the telemetry-enabled path only, like
+  /// `telemetry`; service::QueryService aggregates it per kind and
+  /// shard::ShardedEngine per shard (see obs/cost.h).
+  obs::QueryCost cost;
 
   std::uint64_t total_page_reads() const {
     return index_page_reads + data_page_reads;
@@ -134,6 +140,15 @@ class KnnSharedBound {
 /// strategy ran). Strategies never mix within one walk. Defined in engine.cc.
 void FillPruneTelemetry(const geom::PenetrationStats& pen,
                         obs::QueryTelemetry* telemetry);
+
+/// Rolls one finished query's thread-local storage counters into a QueryCost:
+/// CPU time since `cpu_start_us` (a ThreadCpuNowUs() reading taken when the
+/// query started), the hit/miss split of the pool reads, and bytes touched at
+/// page granularity. Called on the telemetry-enabled path only, alongside
+/// FillPruneTelemetry. Defined in engine.cc.
+obs::QueryCost BuildQueryCost(std::uint64_t cpu_start_us,
+                              const storage::QueryCounters& counters,
+                              std::uint64_t candidates_verified);
 
 /// The paper's system: a dynamic index over all length-n windows of a set of
 /// time series supporting range and k-NN queries under scale-shift
@@ -253,6 +268,17 @@ class SearchEngine {
   /// structural profile and the sequential-scan baseline. Thread-safe;
   /// returns NotFound before the first eligible query. Defined in explain.cc.
   Result<obs::ExplainReport> ExplainLast() const;
+
+  /// Builds the plan report for ONE specific query from its identity and its
+  /// QueryStats — the same derivation ExplainLast() applies to the engine's
+  /// saved snapshot, but over stats the caller already holds. This is how
+  /// the service layer assembles a flight-recorder capture without racing
+  /// other workers for the engine-wide "last query" slot. Thread-safe (reads
+  /// the tree's structural profile). Defined in explain.cc.
+  Result<obs::ExplainReport> ExplainFromStats(const std::string& kind,
+                                              double eps, std::uint64_t k,
+                                              std::uint64_t elapsed_us,
+                                              const QueryStats& stats) const;
 
   /// SE-transform + reduction of one window: the point actually indexed.
   geom::Vec ReducedPoint(std::span<const double> window) const;

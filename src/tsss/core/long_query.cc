@@ -51,9 +51,11 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   obs::QueryTelemetry telemetry;
   std::optional<obs::ScopedQueryTelemetry> scoped_telemetry;
   std::chrono::steady_clock::time_point query_start;
+  std::uint64_t cpu_start_us = 0;
   if (stats != nullptr || obs::CurrentQueryTrace() != nullptr) {
     scoped_telemetry.emplace(&telemetry);
     query_start = std::chrono::steady_clock::now();
+    cpu_start_us = obs::ThreadCpuNowUs();
   }
   obs::TraceSpan query_span("long_range_query");
   query_span.Annotate("pieces", pieces);
@@ -113,10 +115,12 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
   verify_span.Annotate("matches", matches.size());
   verify_span.Close();
 
+  obs::QueryCost query_cost;
   if (scoped_telemetry.has_value()) {
     FillPruneTelemetry(pen, &telemetry);
     telemetry.candidates_postfiltered = ordered.size() - matches.size();
     obs::AnnotateSpan(&query_span, telemetry);
+    query_cost = BuildQueryCost(cpu_start_us, counters, ordered.size());
     LastQuery last;
     last.kind = "long_range";
     last.eps = eps;
@@ -132,6 +136,7 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     last.stats.matches = matches.size();
     last.stats.penetration = pen;
     last.stats.telemetry = telemetry;
+    last.stats.cost = query_cost;
     RecordLastQuery(last);
   }
   static obs::Counter* const long_queries =
@@ -148,6 +153,7 @@ Result<std::vector<Match>> SearchEngine::LongRangeQuery(
     stats->matches = matches.size();
     stats->penetration = pen;
     stats->telemetry = telemetry;
+    stats->cost = query_cost;
   }
   return matches;
 }

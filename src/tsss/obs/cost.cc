@@ -1,0 +1,45 @@
+#include "tsss/obs/cost.h"
+
+#include <ctime>
+
+#include "tsss/obs/histogram.h"
+#include "tsss/obs/metrics.h"
+
+namespace tsss::obs {
+
+std::uint64_t ThreadCpuNowUs() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
+}
+
+void RecordQueryCost(const std::string& label_key,
+                     const std::string& label_value, const QueryCost& cost) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram(WithLabel("tsss_query_cost_cpu", label_key, label_value),
+                   "Per-query thread-CPU time")
+      ->RecordUs(cost.cpu_us);
+  reg.GetCounter(
+         WithLabel("tsss_query_cost_pages_hit_total", label_key, label_value),
+         "Index-page reads served by the buffer pool, attributed per query")
+      ->Inc(cost.pages_hit);
+  reg.GetCounter(
+         WithLabel("tsss_query_cost_pages_miss_total", label_key, label_value),
+         "Index-page reads that missed the buffer pool, attributed per query")
+      ->Inc(cost.pages_miss);
+  reg.GetCounter(
+         WithLabel("tsss_query_cost_data_pages_total", label_key, label_value),
+         "Raw-data pages read for verification, attributed per query")
+      ->Inc(cost.data_pages);
+  reg.GetCounter(
+         WithLabel("tsss_query_cost_bytes_total", label_key, label_value),
+         "Bytes moved through the page interfaces, attributed per query")
+      ->Inc(cost.bytes_touched);
+  reg.GetCounter(WithLabel("tsss_query_cost_candidates_total", label_key,
+                           label_value),
+                 "Windows exactly verified, attributed per query")
+      ->Inc(cost.candidates_verified);
+}
+
+}  // namespace tsss::obs

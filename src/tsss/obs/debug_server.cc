@@ -1,0 +1,246 @@
+#include "tsss/obs/debug_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "tsss/obs/event_log.h"
+#include "tsss/obs/flight_recorder.h"
+#include "tsss/obs/metrics.h"
+
+namespace tsss::obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a debug response is best-effort
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, int status, const std::string& content_type,
+                  const std::string& body) {
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
+                         ReasonPhrase(status) + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DebugServer>> DebugServer::Start(
+    const Options& options) {
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  auto server = std::unique_ptr<DebugServer>(new DebugServer());
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::IoError(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " + options.bind_address);
+  }
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Status::IoError("bind(" + options.bind_address + ":" +
+                               std::to_string(options.port) +
+                               "): " + std::strerror(errno));
+  }
+  if (::listen(server->listen_fd_, 8) != 0) {
+    return Status::IoError(std::string("listen(): ") +
+                               std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Status::IoError(std::string("getsockname(): ") +
+                               std::strerror(errno));
+  }
+  server->port_ = ntohs(addr.sin_port);
+
+  // Built-in endpoints over the process-wide observability singletons. The
+  // snapshots are taken per request — a debug scrape always sees live state.
+  server->RegisterHandler("/metricsz", "text/plain; version=0.0.4", [] {
+    return ExportPrometheus(MetricsRegistry::Global().Snapshot());
+  });
+  server->RegisterHandler("/varz", "application/json", [] {
+    return ExportJson(MetricsRegistry::Global().Snapshot());
+  });
+  server->RegisterHandler("/eventz", "application/x-ndjson", [] {
+    std::string body;
+    for (const std::string& line : EventLog::Global().Snapshot()) {
+      body += line;
+      body += '\n';
+    }
+    return body;
+  });
+  server->RegisterHandler("/flightz", "application/json",
+                          [] { return FlightRecorder::Global().DumpJson(); });
+  server->RegisterHandler("/", "text/plain", [raw = server.get()] {
+    std::string body = "tsss debug server\n\nendpoints:\n";
+    MutexLock lock(raw->mu_);
+    for (const auto& [path, endpoint] : raw->endpoints_) {
+      body += "  " + path + "\n";
+    }
+    return body;
+  });
+
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+DebugServer::~DebugServer() { Shutdown(); }
+
+void DebugServer::RegisterHandler(const std::string& path,
+                                  const std::string& content_type,
+                                  Handler handler) {
+  MutexLock lock(mu_);
+  endpoints_[path] = Endpoint{content_type, std::move(handler)};
+}
+
+void DebugServer::Shutdown() {
+  // The shutdown() below unblocks accept(); the thread join provides all
+  // ordering the caller can observe.
+  // relaxed-ok: stop flag, join supplies the happens-before edge
+  if (stopping_.exchange(true, std::memory_order_relaxed)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void DebugServer::AcceptLoop() {
+  // relaxed-ok: stop flag, paired with the fd shutdown() that unblocks accept
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (or unrecoverable error)
+    }
+    // A stalled or hostile client must not wedge the accept thread forever.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void DebugServer::ServeConnection(int client_fd) {
+  // Bounded read of the request head; everything past kMaxRequestBytes is a
+  // 431, not a growing buffer.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes) {
+      SendResponse(client_fd, 431, "text/plain", "request too large\n");
+      return;
+    }
+    const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (request.empty()) return;  // peer closed without sending anything
+      break;  // timeout/EOF mid-request: judge what we have
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string method;
+  std::string path;
+  if (!ParseRequestLine(request, &method, &path)) {
+    SendResponse(client_fd, 400, "text/plain", "malformed request\n");
+    return;
+  }
+  if (method != "GET") {
+    SendResponse(client_fd, 405, "text/plain", "only GET is supported\n");
+    return;
+  }
+
+  Handler handler;
+  std::string content_type;
+  {
+    MutexLock lock(mu_);
+    auto it = endpoints_.find(path);
+    if (it != endpoints_.end()) {
+      handler = it->second.handler;
+      content_type = it->second.content_type;
+    }
+  }
+  if (!handler) {
+    SendResponse(client_fd, 404, "text/plain",
+                 "no such endpoint: " + path + "\n");
+    return;
+  }
+  SendResponse(client_fd, 200, content_type, handler());
+}
+
+bool DebugServer::ParseRequestLine(const std::string& request,
+                                   std::string* method, std::string* path) {
+  const std::size_t eol = request.find_first_of("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  // "HTTP/" version tag after the second space, per the request-line grammar.
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop any query string: endpoints are keyed by bare path.
+  const std::size_t query = path->find('?');
+  if (query != std::string::npos) path->resize(query);
+  if (path->empty() || (*path)[0] != '/') return false;
+  return true;
+}
+
+}  // namespace tsss::obs

@@ -1,0 +1,105 @@
+#ifndef TSSS_OBS_DEBUG_SERVER_H_
+#define TSSS_OBS_DEBUG_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "tsss/common/mutex.h"
+#include "tsss/common/status.h"
+#include "tsss/common/thread_annotations.h"
+
+namespace tsss::obs {
+
+/// Embedded diagnostics HTTP server: the live window into a running process.
+///
+/// Dependency-free (raw POSIX sockets, no HTTP library) and deliberately
+/// minimal: one blocking accept thread serves GET requests one at a time
+/// with `Connection: close`. That is the right shape for a debug surface —
+/// a handful of human or scrape requests per second, never production query
+/// traffic — and it keeps the attack/bug surface reviewable in one file.
+///
+/// Built-in endpoints (all process-wide observability state):
+///   /          index page listing every registered endpoint
+///   /metricsz  MetricsRegistry::Global() in Prometheus text format
+///   /varz      the same snapshot as JSON (ExportJson)
+///   /eventz    EventLog::Global() tail as NDJSON, oldest first
+///   /flightz   FlightRecorder::Global().DumpJson() (slow-query captures)
+/// Higher layers register what obs/ cannot see: `tsss_cli serve` registers
+/// /statusz (build info, uptime, engine/shard config, queue depth) via
+/// RegisterHandler, because obs/ is the bottom layer and must not reach up
+/// into core/service/shard. For the same reason, including this header from
+/// below the service layer is a tsss_lint layering violation
+/// ([restrict.debug_server] in tools/tsss_lint/layers.toml).
+///
+/// The request parser follows the repo's fuzz conventions for untrusted
+/// input: the read is bounded (kMaxRequestBytes), the request line is
+/// validated before use, and every malformed input maps to a clean 4xx
+/// response — never UB, never unbounded allocation.
+class DebugServer {
+ public:
+  /// Returns the response body for one GET of its path.
+  using Handler = std::function<std::string()>;
+
+  struct Options {
+    /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// Bind address. Diagnostics default to loopback: exposing internals on
+    /// all interfaces is an explicit operator decision ("0.0.0.0").
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// Hard ceiling on one request's header bytes; longer requests get 431.
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
+  /// Binds, listens, registers the built-in endpoints and starts the accept
+  /// thread. Fails with IoError when the port cannot be bound.
+  static Result<std::unique_ptr<DebugServer>> Start(const Options& options);
+
+  ~DebugServer();  ///< Shutdown()
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Registers (or replaces) the handler for `path` (must start with '/').
+  /// The handler runs on the accept thread; it must not block on the caller.
+  void RegisterHandler(const std::string& path, const std::string& content_type,
+                       Handler handler) TSSS_EXCLUDES(mu_);
+
+  /// The bound port (resolves port 0 to the ephemeral port actually bound).
+  int port() const { return port_; }
+
+  /// Stops accepting, unblocks the accept thread and joins it. Idempotent;
+  /// also run by the destructor. In-flight responses finish first.
+  void Shutdown();
+
+ private:
+  DebugServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+  /// Parses the request line out of a bounded raw request. Returns false
+  /// (with a status code for the error response) on malformed input.
+  static bool ParseRequestLine(const std::string& request, std::string* method,
+                               std::string* path);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  struct Endpoint {
+    std::string content_type;
+    Handler handler;
+  };
+  mutable Mutex mu_;
+  std::map<std::string, Endpoint> endpoints_ TSSS_GUARDED_BY(mu_);
+};
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_DEBUG_SERVER_H_

@@ -111,6 +111,10 @@ ExplainReport MergeExplainReports(const std::vector<ExplainReport>& parts) {
     merged.data_page_reads += part.data_page_reads;
 
     merged.seq_scan_pages += part.seq_scan_pages;
+
+    // Cost sums linearly too; cpu_us is the total CPU burned across all
+    // partitions, which can exceed elapsed_us (they ran concurrently).
+    merged.cost += part.cost;
   }
   return merged;
 }
@@ -206,6 +210,19 @@ std::string RenderExplainText(const ExplainReport& r) {
     Row(&out, "this query (pages)", total_pages);
   }
 
+  out += "\ncost\n";
+  Row(&out, "thread CPU (us)", r.cost.cpu_us);
+  std::snprintf(buf, sizeof(buf),
+                "  %-26s %10llu  (hit %llu, miss %llu)\n", "index pages",
+                static_cast<unsigned long long>(r.cost.pages_hit +
+                                                r.cost.pages_miss),
+                static_cast<unsigned long long>(r.cost.pages_hit),
+                static_cast<unsigned long long>(r.cost.pages_miss));
+  out += buf;
+  Row(&out, "data pages", r.cost.data_pages);
+  Row(&out, "bytes touched", r.cost.bytes_touched);
+  Row(&out, "candidates verified", r.cost.candidates_verified);
+
   if (!r.phases.empty()) {
     out += "\nphases";
     std::snprintf(buf, sizeof(buf), " %32s\n", "dur_us");
@@ -279,6 +296,16 @@ std::string RenderExplainJson(const ExplainReport& r) {
   AppendU64(&out, "seq_scan_pages", r.seq_scan_pages, &first);
   AppendU64(&out, "query_pages", r.index_page_reads + r.data_page_reads,
             &first);
+  out += "},";
+
+  out += "\"cost\":{";
+  first = true;
+  AppendU64(&out, "cpu_us", r.cost.cpu_us, &first);
+  AppendU64(&out, "pages_hit", r.cost.pages_hit, &first);
+  AppendU64(&out, "pages_miss", r.cost.pages_miss, &first);
+  AppendU64(&out, "data_pages", r.cost.data_pages, &first);
+  AppendU64(&out, "bytes_touched", r.cost.bytes_touched, &first);
+  AppendU64(&out, "candidates_verified", r.cost.candidates_verified, &first);
   out += "},";
 
   out += "\"phases\":[";

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "tsss/obs/cost.h"
+
 namespace tsss::obs {
 
 class QueryTrace;
@@ -77,6 +79,9 @@ struct ExplainReport {
   /// Pages a full sequential scan of the raw data would read.
   std::uint64_t seq_scan_pages = 0;
 
+  // --- cost attribution (what the query spent; see obs/cost.h) ---
+  QueryCost cost;
+
   // --- phases (from the query trace; may be empty) ---
   std::vector<ExplainPhaseRow> phases;
 };
@@ -105,7 +110,7 @@ std::string RenderExplainText(const ExplainReport& report);
 
 /// Machine-readable report:
 ///   {"schema_version":1,"report":"explain","query":{...},"totals":{...},
-///    "levels":[...],"io":{...},"baseline":{...},"phases":[...]}
+///    "levels":[...],"io":{...},"baseline":{...},"cost":{...},"phases":[...]}
 /// Validated by tools/bench_schema_check --schema explain.
 std::string RenderExplainJson(const ExplainReport& report);
 

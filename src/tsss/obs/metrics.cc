@@ -146,17 +146,29 @@ std::string ExportPrometheus(const std::vector<MetricSample>& samples) {
         out += s.name + " " + std::to_string(s.gauge_value) + "\n";
         break;
       case MetricSample::Kind::kHistogram: {
-        // Prometheus summaries report quantile values in seconds.
-        out += "# TYPE " + s.name + " summary\n";
-        out += s.name + "{quantile=\"0.5\"} " +
+        // Prometheus summaries report quantile values in seconds. A labelled
+        // name ("base{shard=\"0\"}") folds its labels into the quantile label
+        // set and moves them after the _sum/_count suffixes, so every series
+        // keeps the "one brace group at the end" exposition grammar.
+        const std::size_t brace = s.name.find('{');
+        const std::string labels =
+            brace == std::string::npos
+                ? ""
+                : s.name.substr(brace + 1, s.name.size() - brace - 2);
+        const std::string label_prefix = labels.empty() ? "" : labels + ",";
+        const std::string label_suffix =
+            labels.empty() ? "" : "{" + labels + "}";
+        if (new_base) out += "# TYPE " + base + " summary\n";
+        out += base + "{" + label_prefix + "quantile=\"0.5\"} " +
                FormatDouble(s.hist_p50_ms / 1000.0) + "\n";
-        out += s.name + "{quantile=\"0.9\"} " +
+        out += base + "{" + label_prefix + "quantile=\"0.9\"} " +
                FormatDouble(s.hist_p90_ms / 1000.0) + "\n";
-        out += s.name + "{quantile=\"0.99\"} " +
+        out += base + "{" + label_prefix + "quantile=\"0.99\"} " +
                FormatDouble(s.hist_p99_ms / 1000.0) + "\n";
-        out += s.name + "_sum " +
+        out += base + "_sum" + label_suffix + " " +
                FormatDouble(static_cast<double>(s.hist_sum_us) / 1e6) + "\n";
-        out += s.name + "_count " + std::to_string(s.hist_count) + "\n";
+        out += base + "_count" + label_suffix + " " +
+               std::to_string(s.hist_count) + "\n";
         break;
       }
     }

@@ -1,10 +1,14 @@
 #include "tsss/service/query_service.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "tsss/common/exec_control.h"
+#include "tsss/obs/cost.h"
 #include "tsss/obs/event_log.h"
+#include "tsss/obs/explain.h"
+#include "tsss/obs/flight_recorder.h"
 #include "tsss/obs/metrics.h"
 
 namespace tsss::service {
@@ -13,6 +17,19 @@ namespace {
 
 constexpr std::chrono::steady_clock::time_point kNoDeadline =
     std::chrono::steady_clock::time_point::max();
+
+/// Stable label value for cost attribution and flight records.
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kKnn:
+      return "knn";
+    case QueryKind::kLongRange:
+      return "long_range";
+  }
+  return "unknown";
+}
 
 /// Process-wide service metrics in the registry, shared by every
 /// QueryService instance. Resolved once.
@@ -218,6 +235,12 @@ Result<std::vector<core::Match>> QueryService::RunQuery(
 
 void QueryService::Execute(Task task, std::size_t worker_index) {
   QueryResponse response;
+  // When the flight recorder is armed, run the query under a local trace so
+  // a capture carries full span data. The traced scope (and the worker's
+  // ExecControl) ends before FinishTask: every span is closed and an expired
+  // deadline can no longer abort the explain assembly of the capture itself.
+  obs::QueryTrace trace;
+  bool traced = false;
   if (std::chrono::steady_clock::now() >= task.deadline) {
     // Expired while still queued: fail fast without touching the engine.
     obs::EventLog::Global().Publish("service", "deadline_expired_in_queue",
@@ -226,17 +249,27 @@ void QueryService::Execute(Task task, std::size_t worker_index) {
   } else {
     ExecControl control;
     if (task.deadline != kNoDeadline) control.set_deadline(task.deadline);
+    if (task.request.check_budget != 0) {
+      control.set_check_budget(task.request.check_budget);
+    }
     ScopedExecControl scoped(&control);
+    std::optional<obs::ScopedQueryTrace> scoped_trace;
+    if (obs::FlightRecorder::Global().armed()) {
+      scoped_trace.emplace(&trace);
+      traced = true;
+    }
     Result<std::vector<core::Match>> result =
         RunQuery(task.request, &response.stats);
     response.status = result.status();
     if (result.ok()) response.matches = std::move(result).value();
   }
-  FinishTask(&task, std::move(response), worker_index);
+  FinishTask(&task, std::move(response), worker_index,
+             traced ? &trace : nullptr);
 }
 
 void QueryService::FinishTask(Task* task, QueryResponse response,
-                              std::size_t worker_index) {
+                              std::size_t worker_index,
+                              const obs::QueryTrace* trace) {
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - task->submitted_at);
   worker_latency_[worker_index]->Record(response.latency);
@@ -270,6 +303,42 @@ void QueryService::FinishTask(Task* task, QueryResponse response,
       {{"worker", worker_index},
        {"latency_us", static_cast<std::uint64_t>(response.latency.count())},
        {"matches", response.matches.size()}});
+
+  const char* kind_name = KindName(task->request.kind);
+  if (response.status.ok()) {
+    // Cost attribution: the engine filled stats.cost for every query that
+    // ran to completion; fold it into the per-kind labelled metrics. Error
+    // paths unwind before the engine fills stats, so recording them would
+    // only pollute the histograms with zeros.
+    obs::RecordQueryCost("kind", kind_name, response.stats.cost);
+  }
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const std::uint64_t latency_us =
+      static_cast<std::uint64_t>(response.latency.count());
+  if (recorder.ShouldCapture(latency_us, response.status.ok())) {
+    obs::FlightRecord record;
+    record.kind = kind_name;
+    record.outcome = outcome;
+    record.latency_us = latency_us;
+    record.cost = response.stats.cost;
+    // Derive the explain report from this task's own stats — never from the
+    // engine-wide last-query slot, which a concurrent worker may have
+    // already overwritten.
+    const core::SearchEngine* engine =
+        task->request.target != nullptr ? task->request.target : engine_;
+    Result<obs::ExplainReport> explain = engine->ExplainFromStats(
+        kind_name, task->request.eps, task->request.k, latency_us,
+        response.stats);
+    if (explain.ok()) {
+      record.explain = std::move(*explain);
+      if (trace != nullptr) obs::FillExplainPhases(*trace, &record.explain);
+      record.has_explain = true;
+    }
+    if (trace != nullptr) record.trace_json = trace->ToChromeJson();
+    recorder.MaybeCapture(std::move(record));
+  }
+
   task->promise.set_value(std::move(response));
 }
 

@@ -17,6 +17,7 @@
 #include "tsss/core/similarity.h"
 #include "tsss/geom/vec.h"
 #include "tsss/obs/histogram.h"
+#include "tsss/obs/trace.h"
 
 namespace tsss::service {
 
@@ -51,6 +52,11 @@ struct QueryRequest {
   /// so concurrent sub-queries over disjoint partitions tighten each other
   /// mid-flight. Ignored for non-kNN kinds. Must outlive the future.
   core::KnnSharedBound* knn_bound = nullptr;
+  /// Test hook forwarded to ExecControl::set_check_budget: trips the query's
+  /// deadline after this many polls regardless of the wall clock, so "slow
+  /// query" outcomes (and their flight-recorder captures) are deterministic
+  /// in tests. 0 (the default) disables it.
+  std::uint64_t check_budget = 0;
 };
 
 /// The completed answer delivered through the future returned by Submit().
@@ -109,7 +115,10 @@ struct ServiceMetrics {
 /// obs::LatencyHistogram (no cross-worker cache-line sharing on the hot
 /// path); Stats() merges them on demand. Request outcomes and latency are
 /// also reported to the process-wide obs::MetricsRegistry under
-/// tsss_service_*.
+/// tsss_service_*. Completed queries feed per-kind cost attribution
+/// (obs::RecordQueryCost), and when obs::FlightRecorder::Global() is armed
+/// each request runs under a query trace so slow or failed completions are
+/// captured with their trace, explain report, and cost.
 ///
 /// Shutdown() (also run by the destructor) stops admission, drains every
 /// queued request, and joins the workers; futures obtained before shutdown
@@ -159,8 +168,12 @@ class QueryService {
   void Execute(Task task, std::size_t worker_index);
   Result<std::vector<core::Match>> RunQuery(const QueryRequest& request,
                                             core::QueryStats* stats) const;
-  void FinishTask(Task* task, QueryResponse response,
-                  std::size_t worker_index);
+  /// Records latency/outcome/cost metrics, feeds the flight recorder when it
+  /// wants this completion, and resolves the promise. `trace` is the query's
+  /// trace when one was installed (recorder armed), nullptr otherwise; it
+  /// must already be fully closed (Execute ends the traced scope first).
+  void FinishTask(Task* task, QueryResponse response, std::size_t worker_index,
+                  const obs::QueryTrace* trace);
 
   const core::SearchEngine* engine_;
   const ServiceConfig config_;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "tsss/common/check.h"
+#include "tsss/obs/cost.h"
 #include "tsss/seq/window.h"
 
 namespace tsss::shard {
@@ -43,6 +44,18 @@ void AccumulateStats(const core::QueryStats& in, core::QueryStats* out) {
   t.exact_prunes += s.exact_prunes;
   t.entries_tested += s.entries_tested;
   t.candidates_postfiltered += s.candidates_postfiltered;
+
+  out->cost += in.cost;
+}
+
+/// Per-shard cost rollup: every fan-out leg's spend lands in the
+/// shard-labelled cost metrics, whether or not the caller asked for stats
+/// and whether or not the overall query succeeds — the pages were read and
+/// the CPU was burned either way.
+void RecordShardCosts(const std::vector<service::QueryResponse>& responses) {
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    obs::RecordQueryCost("shard", std::to_string(i), responses[i].stats.cost);
+  }
 }
 
 /// The canonical result order shared with SearchEngine: range answers by
@@ -273,6 +286,7 @@ Result<std::vector<core::Match>> ShardedEngine::RangeQuery(
   }
   Result<std::vector<service::QueryResponse>> responses = FanOut(requests);
   if (!responses.ok()) return responses.status();
+  RecordShardCosts(*responses);
 
   std::vector<core::Match> merged;
   for (std::size_t i = 0; i < responses->size(); ++i) {
@@ -304,6 +318,7 @@ Result<std::vector<core::Match>> ShardedEngine::Knn(
   }
   Result<std::vector<service::QueryResponse>> responses = FanOut(requests);
   if (!responses.ok()) return responses.status();
+  RecordShardCosts(*responses);
 
   // Each shard returns its local top-k in canonical (distance, record)
   // order; any global top-k member is necessarily in its shard's local
@@ -356,6 +371,7 @@ Result<std::vector<core::Match>> ShardedEngine::LongRangeQuery(
   }
   Result<std::vector<service::QueryResponse>> responses = FanOut(requests);
   if (!responses.ok()) return responses.status();
+  RecordShardCosts(*responses);
 
   std::vector<core::Match> merged;
   for (std::size_t i = 0; i < responses->size(); ++i) {

@@ -1,0 +1,186 @@
+// Socket-level tests for the embedded debug HTTP server: real TCP on an
+// ephemeral loopback port, exercising the endpoint table, the bounded
+// fuzz-convention request parser (4xx mapping) and Shutdown semantics.
+
+#include "tsss/obs/debug_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tsss/obs/flight_recorder.h"
+#include "tsss/obs/metrics.h"
+
+namespace tsss::obs {
+namespace {
+
+/// Sends `raw_request` to the server and returns the full raw response
+/// (Connection: close — the server closes once the body is written).
+std::string RawRequest(int port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  std::size_t sent = 0;
+  while (sent < raw_request.size()) {
+    const ssize_t n = ::send(fd, raw_request.data() + sent,
+                             raw_request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port,
+                    "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::unique_ptr<DebugServer> StartOrDie() {
+  DebugServer::Options options;
+  options.port = 0;  // ephemeral
+  auto server = DebugServer::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+TEST(DebugServerTest, StartsOnEphemeralPortAndServesVarz) {
+  auto server = StartOrDie();
+  EXPECT_GT(server->port(), 0);
+  const std::string response = Get(server->port(), "/varz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("{\"counters\":{"), std::string::npos) << response;
+}
+
+TEST(DebugServerTest, ServesMetricszInPrometheusFormat) {
+  MetricsRegistry::Global().GetCounter("debug_server_test_counter")->Inc();
+  auto server = StartOrDie();
+  const std::string response = Get(server->port(), "/metricsz");
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("debug_server_test_counter"), std::string::npos)
+      << response;
+}
+
+TEST(DebugServerTest, ServesFlightzAndEventz) {
+  auto server = StartOrDie();
+  const std::string flight = Get(server->port(), "/flightz");
+  EXPECT_NE(flight.find("HTTP/1.1 200 OK"), std::string::npos) << flight;
+  EXPECT_NE(flight.find("\"report\":\"flight\""), std::string::npos) << flight;
+  const std::string events = Get(server->port(), "/eventz");
+  EXPECT_NE(events.find("HTTP/1.1 200 OK"), std::string::npos) << events;
+  EXPECT_NE(events.find("Content-Type: application/x-ndjson"),
+            std::string::npos)
+      << events;
+}
+
+TEST(DebugServerTest, RegisteredHandlerServesAndIndexListsIt) {
+  auto server = StartOrDie();
+  server->RegisterHandler("/hello", "text/plain", [] { return "hi\n"; });
+  const std::string response = Get(server->port(), "/hello");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\r\n\r\nhi\n"), std::string::npos) << response;
+  const std::string index = Get(server->port(), "/");
+  EXPECT_NE(index.find("  /hello\n"), std::string::npos) << index;
+  EXPECT_NE(index.find("  /metricsz\n"), std::string::npos) << index;
+}
+
+TEST(DebugServerTest, QueryStringIsStripped) {
+  auto server = StartOrDie();
+  const std::string response = Get(server->port(), "/varz?pretty=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+}
+
+TEST(DebugServerTest, UnknownPathIs404) {
+  auto server = StartOrDie();
+  const std::string response = Get(server->port(), "/no-such-endpoint");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos)
+      << response;
+}
+
+TEST(DebugServerTest, NonGetMethodIs405) {
+  auto server = StartOrDie();
+  const std::string response = RawRequest(
+      server->port(), "POST /varz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos)
+      << response;
+}
+
+TEST(DebugServerTest, MalformedRequestLineIs400) {
+  auto server = StartOrDie();
+  EXPECT_NE(RawRequest(server->port(), "garbage\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  // Missing the HTTP/ version tag.
+  EXPECT_NE(RawRequest(server->port(), "GET /varz\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  // Path not starting with '/'.
+  EXPECT_NE(RawRequest(server->port(), "GET varz HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+}
+
+TEST(DebugServerTest, OversizedRequestHeadIs431) {
+  auto server = StartOrDie();
+  // A request head that never terminates and exceeds the bound.
+  std::string huge = "GET /varz HTTP/1.1\r\nX-Pad: ";
+  huge.append(DebugServer::kMaxRequestBytes, 'a');
+  const std::string response = RawRequest(server->port(), huge);
+  EXPECT_NE(response.find("HTTP/1.1 431 "), std::string::npos) << response;
+}
+
+TEST(DebugServerTest, ShutdownIsIdempotentAndPortIsReusable) {
+  auto server = StartOrDie();
+  const int port = server->port();
+  server->Shutdown();
+  server->Shutdown();  // idempotent
+  server.reset();
+
+  // The listen socket is fully released: a new server can bind the port.
+  DebugServer::Options options;
+  options.port = port;
+  auto second = DebugServer::Start(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ((*second)->port(), port);
+  const std::string response = Get((*second)->port(), "/varz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+}
+
+TEST(DebugServerTest, RejectsBadOptions) {
+  DebugServer::Options options;
+  options.port = 65536;
+  EXPECT_FALSE(DebugServer::Start(options).ok());
+  options.port = -1;
+  EXPECT_FALSE(DebugServer::Start(options).ok());
+  options.port = 0;
+  options.bind_address = "not-an-address";
+  EXPECT_FALSE(DebugServer::Start(options).ok());
+}
+
+}  // namespace
+}  // namespace tsss::obs

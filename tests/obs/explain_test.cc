@@ -50,6 +50,13 @@ ExplainReport GoldenReport() {
   r.data_page_reads = 3;
   r.seq_scan_pages = 100;
 
+  r.cost.cpu_us = 700;
+  r.cost.pages_hit = 2;
+  r.cost.pages_miss = 4;
+  r.cost.data_pages = 3;
+  r.cost.bytes_touched = 36864;
+  r.cost.candidates_verified = 24;
+
   r.phases = {{"range_query", 0, 1200}, {"index_walk", 1, 800}};
   return r;
 }
@@ -81,6 +88,9 @@ TEST(ExplainRenderTest, JsonGolden) {
       "\"io\":{\"index_page_reads\":6,\"index_page_hits\":2,"
       "\"index_page_misses\":4,\"data_page_reads\":3},"
       "\"baseline\":{\"seq_scan_pages\":100,\"query_pages\":9},"
+      "\"cost\":{\"cpu_us\":700,\"pages_hit\":2,\"pages_miss\":4,"
+      "\"data_pages\":3,\"bytes_touched\":36864,"
+      "\"candidates_verified\":24},"
       "\"phases\":[{\"name\":\"range_query\",\"depth\":0,\"dur_us\":1200},"
       "{\"name\":\"index_walk\",\"depth\":1,\"dur_us\":800}]}\n";
   EXPECT_EQ(json, expected);
@@ -122,6 +132,17 @@ TEST(ExplainRenderTest, TextGolden) {
                 "index page reads", 6ull, 2ull, 4ull);
   EXPECT_NE(text.find(io_row), std::string::npos) << text;
   EXPECT_NE(text.find("(11.11x vs scan)"), std::string::npos) << text;
+  // Cost attribution section.
+  char cost_row[112];
+  std::snprintf(cost_row, sizeof(cost_row),
+                "  %-26s %10llu  (hit %llu, miss %llu)", "index pages", 6ull,
+                2ull, 4ull);
+  EXPECT_NE(text.find("\ncost\n"), std::string::npos) << text;
+  EXPECT_NE(text.find(cost_row), std::string::npos) << text;
+  char cpu_row[96];
+  std::snprintf(cpu_row, sizeof(cpu_row), "  %-26s %10llu\n",
+                "thread CPU (us)", 700ull);
+  EXPECT_NE(text.find(cpu_row), std::string::npos) << text;
   // Phases are indented by depth.
   EXPECT_NE(text.find("\n  range_query"), std::string::npos) << text;
   EXPECT_NE(text.find("\n    index_walk"), std::string::npos) << text;

@@ -108,6 +108,62 @@ TEST(ObsMetricsRegistryTest, JsonExportGolden) {
   EXPECT_EQ(ExportJson(registry.Snapshot()), expected);
 }
 
+/// The sharded-engine registry shape: one base name fanned out across
+/// shard="i" labels (counters since PR 7, cost histograms since this PR).
+/// Byte-exact coverage of how labels flow through both exporters.
+TEST(ObsMetricsRegistryTest, PrometheusExportShardLabelGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("pool_hits_total", "shard", "0"), "Pool hits")
+      ->Inc(120);
+  registry.GetCounter(WithLabel("pool_hits_total", "shard", "1"), "Pool hits")
+      ->Inc(80);
+  registry
+      .GetHistogram(WithLabel("query_cost_cpu", "shard", "0"), "Query CPU")
+      ->RecordUs(1000);
+  registry
+      .GetHistogram(WithLabel("query_cost_cpu", "shard", "1"), "Query CPU")
+      ->RecordUs(1000);
+
+  // One HELP/TYPE header per base name covers every labelled variant;
+  // histogram labels merge into the quantile label set and trail _sum/_count.
+  const std::string expected =
+      "# HELP pool_hits_total Pool hits\n"
+      "# TYPE pool_hits_total counter\n"
+      "pool_hits_total{shard=\"0\"} 120\n"
+      "pool_hits_total{shard=\"1\"} 80\n"
+      "# HELP query_cost_cpu Query CPU\n"
+      "# TYPE query_cost_cpu summary\n"
+      "query_cost_cpu{shard=\"0\",quantile=\"0.5\"} 0.000896\n"
+      "query_cost_cpu{shard=\"0\",quantile=\"0.9\"} 0.000896\n"
+      "query_cost_cpu{shard=\"0\",quantile=\"0.99\"} 0.000896\n"
+      "query_cost_cpu_sum{shard=\"0\"} 0.001000\n"
+      "query_cost_cpu_count{shard=\"0\"} 1\n"
+      "query_cost_cpu{shard=\"1\",quantile=\"0.5\"} 0.000896\n"
+      "query_cost_cpu{shard=\"1\",quantile=\"0.9\"} 0.000896\n"
+      "query_cost_cpu{shard=\"1\",quantile=\"0.99\"} 0.000896\n"
+      "query_cost_cpu_sum{shard=\"1\"} 0.001000\n"
+      "query_cost_cpu_count{shard=\"1\"} 1\n";
+  EXPECT_EQ(ExportPrometheus(registry.Snapshot()), expected);
+}
+
+TEST(ObsMetricsRegistryTest, JsonExportShardLabelGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("pool_hits_total", "shard", "0"))->Inc(120);
+  registry.GetCounter(WithLabel("pool_hits_total", "shard", "1"))->Inc(80);
+  registry.GetHistogram(WithLabel("query_cost_cpu", "shard", "0"))
+      ->RecordUs(1000);
+
+  // JSON keeps the full labelled name as the key (quotes escaped).
+  const std::string expected =
+      "{\"counters\":{\"pool_hits_total{shard=\\\"0\\\"}\":120,"
+      "\"pool_hits_total{shard=\\\"1\\\"}\":80},"
+      "\"gauges\":{},"
+      "\"histograms\":{\"query_cost_cpu{shard=\\\"0\\\"}\":{\"count\":1,"
+      "\"sum_us\":1000,\"p50_ms\":0.896000,\"p90_ms\":0.896000,"
+      "\"p99_ms\":0.896000}}}\n";
+  EXPECT_EQ(ExportJson(registry.Snapshot()), expected);
+}
+
 TEST(ObsMetricsRegistryTest, JsonExportEmptyRegistry) {
   MetricsRegistry registry;
   EXPECT_EQ(ExportJson(registry.Snapshot()),

@@ -53,6 +53,20 @@ TEST(TsssLintFixtures, BadShardLayeringReachUpIsCaught) {
   EXPECT_NE(result.findings.front().message.find("shard"), std::string::npos);
 }
 
+// obs is among core's declared deps, but debug_server.h carries a
+// [restrict.debug_server] rule: only the serving layers may include it.
+TEST(TsssLintFixtures, BadRestrictedIncludeIsCaughtBelowServiceLayer) {
+  const LintResult result = RunOnFixture("bad_restricted_include");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kLayering), 1);
+  EXPECT_NE(result.findings.front().message.find("restricted header"),
+            std::string::npos)
+      << FormatFinding(result.findings.front());
+  EXPECT_NE(result.findings.front().message.find("restrict.debug_server"),
+            std::string::npos);
+}
+
 TEST(TsssLintFixtures, BadIncludeCycleIsReportedOnce) {
   const LintResult result = RunOnFixture("bad_include_cycle");
   ASSERT_TRUE(result.error.empty()) << result.error;
@@ -371,6 +385,44 @@ TEST(TsssLintRules, ParsesLayersAndRejectsUnknownDeps) {
                               "deps = [\"ghost\"]\n",
                               &bad, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(TsssLintRules, ParsesRestrictTablesAndValidatesAllowedLayers) {
+  std::string error;
+  LayerRules rules;
+  ASSERT_TRUE(ParseRulesText("[layer.obs]\n"
+                             "path = \"src/tsss/obs\"\n"
+                             "deps = []\n"
+                             "[layer.service]\n"
+                             "path = \"src/tsss/service\"\n"
+                             "deps = [\"obs\"]\n"
+                             "[restrict.debug_server]\n"
+                             "header = \"src/tsss/obs/debug_server.h\"\n"
+                             "allowed = [\"service\"]\n",
+                             &rules, &error))
+      << error;
+  ASSERT_EQ(rules.restricts.size(), 1u);
+  EXPECT_EQ(rules.restricts[0].name, "debug_server");
+  EXPECT_EQ(rules.restricts[0].header, "src/tsss/obs/debug_server.h");
+  ASSERT_EQ(rules.restricts[0].allowed.size(), 1u);
+  EXPECT_EQ(rules.restricts[0].allowed[0], "service");
+
+  // A restrict naming an undeclared layer is a rule-file error.
+  LayerRules bad;
+  EXPECT_FALSE(ParseRulesText("[layer.obs]\n"
+                              "path = \"src/tsss/obs\"\n"
+                              "deps = []\n"
+                              "[restrict.x]\n"
+                              "header = \"src/tsss/obs/x.h\"\n"
+                              "allowed = [\"ghost\"]\n",
+                              &bad, &error));
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+  // So is a restrict with no header.
+  LayerRules headerless;
+  EXPECT_FALSE(ParseRulesText("[restrict.x]\n"
+                              "allowed = []\n",
+                              &headerless, &error));
+  EXPECT_NE(error.find("no header"), std::string::npos);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // Validates machine-written report files against their documented schemas:
 //
-//   bench_schema_check [--schema bench|explain|inspect|inspect_sharded]
-//                      report.json...
+//   bench_schema_check [--schema bench|explain|inspect|inspect_sharded|
+//                                flight|varz] report.json...
 //
 //   bench   — BENCH_<name>.json emitted by run_benches.sh (schema documented
 //             in bench/bench_common.h, schema_version 1). `tsss_cli
@@ -12,6 +12,10 @@
 //   inspect — `tsss_cli inspect --format json` structural reports.
 //   inspect_sharded — `tsss_cli inspect --format json` on a sharded index
 //             (shard map summary + one row per shard).
+//   flight  — /flightz flight-recorder dumps served by `tsss_cli serve`
+//             (schema in src/tsss/obs/flight_recorder.h). Embedded explain
+//             documents are validated with the full explain schema.
+//   varz    — /varz JSON snapshots (ExportJson in src/tsss/obs/metrics.h).
 //
 // Exits non-zero naming the first offending file/field. JSON parsing lives in
 // tools/json_mini.h (shared with bench_diff).
@@ -195,6 +199,15 @@ bool CheckExplain(const JsonValue& root, std::string* error) {
     return false;
   }
 
+  const JsonValue* cost = RequireObject(root, "cost", error);
+  if (cost == nullptr) return false;
+  if (!RequireNumbers(*cost, "cost",
+                      {"cpu_us", "pages_hit", "pages_miss", "data_pages",
+                       "bytes_touched", "candidates_verified"},
+                      error)) {
+    return false;
+  }
+
   const JsonValue* phases = RequireArray(root, "phases", error);
   if (phases == nullptr) return false;
   for (std::size_t i = 0; i < phases->array.size(); ++i) {
@@ -333,6 +346,103 @@ bool CheckInspectSharded(const JsonValue& root, std::string* error) {
   return true;
 }
 
+bool CheckFlight(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "flight", error)) return false;
+  if (!RequireNumbers(
+          root, "flight",
+          {"armed", "threshold_us", "capacity", "captured", "dropped"},
+          error)) {
+    return false;
+  }
+  const JsonValue* records = RequireArray(root, "records", error);
+  if (records == nullptr) return false;
+  for (std::size_t i = 0; i < records->array.size(); ++i) {
+    const JsonValue& row = records->array[i];
+    const std::string where = "records[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject) {
+      *error = where + " must be an object";
+      return false;
+    }
+    if (!IsString(row.Get("kind")) || !IsString(row.Get("outcome"))) {
+      *error = where + ".kind and .outcome must be strings";
+      return false;
+    }
+    if (!RequireNumbers(row, where.c_str(), {"id", "latency_us"}, error)) {
+      return false;
+    }
+    const JsonValue* cost = RequireObject(row, "cost", error);
+    if (cost == nullptr) {
+      *error = where + "." + *error;
+      return false;
+    }
+    if (!RequireNumbers(*cost, (where + ".cost").c_str(),
+                        {"cpu_us", "pages_hit", "pages_miss", "data_pages",
+                         "bytes_touched", "candidates_verified"},
+                        error)) {
+      return false;
+    }
+    // The embedded explain/trace documents are null when capture assembly
+    // could not produce them; anything else must be a well-formed document
+    // (the explain one down to the prune-waterfall identity).
+    const JsonValue* explain = row.Get("explain");
+    if (explain == nullptr) {
+      *error = where + ".explain is missing";
+      return false;
+    }
+    if (explain->kind != JsonValue::Kind::kNull) {
+      if (!CheckExplain(*explain, error)) {
+        *error = where + ".explain: " + *error;
+        return false;
+      }
+    }
+    const JsonValue* trace = row.Get("trace");
+    if (trace == nullptr ||
+        (trace->kind != JsonValue::Kind::kNull &&
+         trace->kind != JsonValue::Kind::kObject)) {
+      *error = where + ".trace must be null or an object";
+      return false;
+    }
+    if (trace->kind == JsonValue::Kind::kObject &&
+        trace->Get("traceEvents") == nullptr) {
+      *error = where + ".trace must carry traceEvents";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckVarz(const JsonValue& root, std::string* error) {
+  // /varz has no schema_version header: it is the raw registry snapshot
+  // with exactly three sections of scalar (or histogram-summary) values.
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "top level is not an object";
+    return false;
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* obj = RequireObject(root, section, error);
+    if (obj == nullptr) return false;
+    for (const auto& [key, value] : obj->object) {
+      if (!IsNumber(&value)) {
+        *error = std::string(section) + "." + key + " must be a number";
+        return false;
+      }
+    }
+  }
+  const JsonValue* histograms = RequireObject(root, "histograms", error);
+  if (histograms == nullptr) return false;
+  for (const auto& [key, value] : histograms->object) {
+    const std::string where = "histograms." + key;
+    if (value.kind != JsonValue::Kind::kObject ||
+        !RequireNumbers(value, where.c_str(),
+                        {"count", "sum_us", "p50_ms", "p90_ms", "p99_ms"},
+                        error)) {
+      if (error->empty()) *error = where + " must be an object";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool CheckFile(const char* path, const std::string& schema,
                std::string* error) {
   JsonValue root;
@@ -341,6 +451,8 @@ bool CheckFile(const char* path, const std::string& schema,
   if (schema == "explain") return CheckExplain(root, error);
   if (schema == "inspect") return CheckInspect(root, error);
   if (schema == "inspect_sharded") return CheckInspectSharded(root, error);
+  if (schema == "flight") return CheckFlight(root, error);
+  if (schema == "varz") return CheckVarz(root, error);
   *error = "unknown schema '" + schema + "'";
   return false;
 }
@@ -356,13 +468,13 @@ int main(int argc, char** argv) {
   }
   if (first >= argc) {
     std::fprintf(stderr,
-                 "usage: %s [--schema bench|explain|inspect|inspect_sharded] "
-                 "report.json...\n",
+                 "usage: %s [--schema bench|explain|inspect|inspect_sharded|"
+                 "flight|varz] report.json...\n",
                  argv[0]);
     return 2;
   }
   if (schema != "bench" && schema != "explain" && schema != "inspect" &&
-      schema != "inspect_sharded") {
+      schema != "inspect_sharded" && schema != "flight" && schema != "varz") {
     std::fprintf(stderr, "unknown --schema '%s'\n", schema.c_str());
     return 2;
   }

@@ -18,6 +18,10 @@
 //                     [--format text|json] [--out report]
 //   tsss_cli stats    --index dir [--queries 25] [--eps 0.5] [--workers 2]
 //                     [--format prometheus|json|both]
+//   tsss_cli stats    --no-workload [--format prometheus|json|both]
+//   tsss_cli serve    --index dir [--port 8080] [--bind 127.0.0.1]
+//                     [--slow-ms M] [--workers N] [--sample-queries Q]
+//                     [--eps 0.5] [--duration-s S]
 //   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
 //                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
 //                     [--shards N] [--json-out report.json]
@@ -40,10 +44,20 @@
 // `inspect` renders the tree's structural profile and a buffer-pool access
 // heatmap from a sample workload. `stats` drives a sample workload through a
 // QueryService so the registry (including the service latency histogram) has
-// data, then dumps it. --log-file writes the structured event-log ring as
-// NDJSON.
+// data, then dumps it (--no-workload skips the workload and exports whatever
+// the registry already holds). --log-file writes the structured event-log
+// ring as NDJSON.
+//
+// `serve` opens the index behind a QueryService and starts the embedded
+// debug HTTP server (obs::DebugServer) with the live diagnostics endpoints
+// /metricsz /varz /statusz /eventz /flightz. --slow-ms M arms the slow-query
+// flight recorder at threshold M (0 captures every completion, rate-limited);
+// --sample-queries Q drives a deterministic workload first so every endpoint
+// has data; --duration-s S exits after S seconds (for CI; default runs until
+// killed).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,8 +70,10 @@
 
 #include "tsss/core/engine.h"
 #include "tsss/core/postprocess.h"
+#include "tsss/obs/debug_server.h"
 #include "tsss/obs/event_log.h"
 #include "tsss/obs/explain.h"
+#include "tsss/obs/flight_recorder.h"
 #include "tsss/obs/metrics.h"
 #include "tsss/obs/trace.h"
 #include "tsss/seq/csv.h"
@@ -117,7 +133,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tsss_cli <generate|build|info|query|knn|explain|"
-               "inspect|stats|serve-bench> --flag value...\n"
+               "inspect|stats|serve|serve-bench> --flag value...\n"
                "see the header of tools/tsss_cli.cc for details\n");
   return 2;
 }
@@ -993,6 +1009,24 @@ int CmdInspect(const Flags& flags) {
 /// registry has live counters (including the service latency histogram and
 /// its p50/p90/p99 quantiles), then dumps it in Prometheus text and/or JSON.
 int CmdStats(const Flags& flags) {
+  const std::string format = flags.Get("format", "both");
+  if (format != "prometheus" && format != "json" && format != "both") {
+    std::fprintf(stderr, "stats: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (flags.Has("no-workload")) {
+    // Export whatever the process-wide registry already holds, without
+    // opening an index or running queries — e.g. after other commands in the
+    // same process, or to check the export formats against an empty registry.
+    const auto samples = tsss::obs::MetricsRegistry::Global().Snapshot();
+    if (format == "prometheus" || format == "both") {
+      std::fputs(tsss::obs::ExportPrometheus(samples).c_str(), stdout);
+    }
+    if (format == "json" || format == "both") {
+      std::fputs(tsss::obs::ExportJson(samples).c_str(), stdout);
+    }
+    return MaybeDumpEventLog(flags);
+  }
   const std::string index_dir = flags.Get("index", "");
   if (index_dir.empty()) {
     std::fprintf(stderr, "stats: --index dir is required\n");
@@ -1035,11 +1069,6 @@ int CmdStats(const Flags& flags) {
   (*service)->Shutdown();
 
   const auto samples = tsss::obs::MetricsRegistry::Global().Snapshot();
-  const std::string format = flags.Get("format", "both");
-  if (format != "prometheus" && format != "json" && format != "both") {
-    std::fprintf(stderr, "stats: unknown --format '%s'\n", format.c_str());
-    return 2;
-  }
   if (format == "prometheus" || format == "both") {
     std::fputs(tsss::obs::ExportPrometheus(samples).c_str(), stdout);
   }
@@ -1047,6 +1076,207 @@ int CmdStats(const Flags& flags) {
     std::fputs(tsss::obs::ExportJson(samples).c_str(), stdout);
   }
   return MaybeDumpEventLog(flags);
+}
+
+/// Renders the /statusz body: the one-page operator view of a live serve
+/// process — build info, uptime, index/engine configuration, service
+/// counters, per-shard pool hit ratios and the flight recorder's state.
+std::string RenderStatusz(const std::string& index_dir, const char* mode,
+                          const tsss::core::EngineConfig& config,
+                          std::size_t workers,
+                          std::chrono::steady_clock::time_point started,
+                          const tsss::service::ServiceMetrics& m,
+                          const std::vector<double>& shard_hit_rates) {
+  char buf[512];
+  std::string out = "tsss_cli serve\n\n";
+  std::snprintf(buf, sizeof(buf), "build            : %s (%s)\n", __VERSION__,
+#ifdef NDEBUG
+                "release"
+#else
+                "debug"
+#endif
+  );
+  out += buf;
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  std::snprintf(buf, sizeof(buf), "uptime_s         : %.1f\n", uptime);
+  out += buf;
+  out += "index            : " + index_dir + "\n";
+  out += "mode             : " + std::string(mode) + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "window / stride  : %zu / %zu\n"
+                "sub-trail length : %zu\n"
+                "workers          : %zu\n",
+                config.window, config.stride, config.subtrail_len, workers);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "queue depth      : %zu\n"
+                "submitted        : %llu\n"
+                "served           : %llu\n"
+                "rejected         : %llu\n"
+                "timed out        : %llu\n"
+                "cancelled        : %llu\n"
+                "failed           : %llu\n"
+                "p50 latency (ms) : %.3f\n"
+                "p99 latency (ms) : %.3f\n",
+                m.queue_depth, static_cast<unsigned long long>(m.submitted),
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.rejected),
+                static_cast<unsigned long long>(m.timed_out),
+                static_cast<unsigned long long>(m.cancelled),
+                static_cast<unsigned long long>(m.failed), m.p50_latency_ms,
+                m.p99_latency_ms);
+  out += buf;
+  for (std::size_t i = 0; i < shard_hit_rates.size(); ++i) {
+    if (shard_hit_rates.size() == 1) {
+      std::snprintf(buf, sizeof(buf), "pool hit rate    : %.4f\n",
+                    shard_hit_rates[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "pool hit rate s%-2zu: %.4f\n", i,
+                    shard_hit_rates[i]);
+    }
+    out += buf;
+  }
+  const tsss::obs::FlightRecorder& recorder =
+      tsss::obs::FlightRecorder::Global();
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder  : %s, threshold_us %llu, captured %llu, "
+                "dropped %llu\n",
+                recorder.armed() ? "armed" : "disarmed",
+                static_cast<unsigned long long>(recorder.threshold_us()),
+                static_cast<unsigned long long>(recorder.captured()),
+                static_cast<unsigned long long>(recorder.dropped()));
+  out += buf;
+  return out;
+}
+
+/// Announces the endpoints and blocks until --duration-s elapses (bounded
+/// run, for CI) or forever (operator kills the process).
+int ServeUntilDone(const Flags& flags, tsss::obs::DebugServer& server) {
+  std::printf("serving diagnostics on http://%s:%d/ "
+              "(/metricsz /varz /statusz /eventz /flightz)\n",
+              flags.Get("bind", "127.0.0.1").c_str(), server.port());
+  std::fflush(stdout);
+  const std::size_t duration_s = flags.GetSize("duration-s", 0);
+  if (duration_s > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+    server.Shutdown();
+    std::printf("serve: --duration-s elapsed, shutting down\n");
+    return 0;
+  }
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+/// Live diagnostics: open the index (sharded or single-engine), optionally
+/// arm the flight recorder and pre-drive a sample workload, then serve the
+/// debug endpoints until the duration elapses or the process is killed.
+int CmdServe(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "serve: --index dir is required\n");
+    return 2;
+  }
+  if (flags.Has("slow-ms")) {
+    // --slow-ms 0 captures every completion (still rate-limited), which is
+    // how CI exercises /flightz deterministically.
+    tsss::obs::FlightRecorder::Global().Arm(
+        1000 * static_cast<std::uint64_t>(flags.GetSize("slow-ms", 0)));
+  }
+  tsss::obs::DebugServer::Options options;
+  options.port = static_cast<int>(flags.GetSize("port", 8080));
+  options.bind_address = flags.Get("bind", "127.0.0.1");
+
+  const auto started = std::chrono::steady_clock::now();
+  const std::size_t sample = flags.GetSize("sample-queries", 0);
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  if (IsShardedIndex(index_dir)) {
+    auto engine = tsss::shard::ShardedEngine::Open(index_dir,
+                                                   flags.GetSize("workers", 0));
+    if (!engine.ok()) return Fail(engine.status());
+    // The server is created after the engine so its destructor (Shutdown)
+    // runs first: no handler can observe a dying engine.
+    auto server = tsss::obs::DebugServer::Start(options);
+    if (!server.ok()) return Fail(server.status());
+
+    tsss::shard::ShardedEngine* raw = engine->get();
+    const std::size_t workers = flags.GetSize("workers", 0) != 0
+                                    ? flags.GetSize("workers", 0)
+                                    : raw->num_shards();
+    (*server)->RegisterHandler(
+        "/statusz", "text/plain", [raw, index_dir, workers, started] {
+          std::vector<double> rates;
+          for (const tsss::shard::ShardInfo& info : raw->ShardInfos()) {
+            rates.push_back(info.pool_hit_rate);
+          }
+          return RenderStatusz(index_dir, "sharded", raw->engine_config(),
+                               workers, started, raw->FanoutStats(), rates);
+        });
+
+    // Sample workload: windows of the indexed data, fanned out through the
+    // engine's internal service so cost attribution and the flight recorder
+    // see real completions.
+    const std::size_t num_series =
+        static_cast<std::size_t>(raw->total_series());
+    const std::size_t n = raw->engine_config().window;
+    for (std::size_t i = 0; i < sample && num_series > 0; ++i) {
+      const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+      auto values = raw->SeriesValues(series);
+      if (!values.ok()) return Fail(values.status());
+      if (values->size() < n) continue;
+      const std::size_t offset = (i * 37) % (values->size() - n + 1);
+      const tsss::geom::Vec query(
+          values->begin() + static_cast<std::ptrdiff_t>(offset),
+          values->begin() + static_cast<std::ptrdiff_t>(offset + n));
+      if (auto matches = raw->RangeQuery(query, eps); !matches.ok()) {
+        return Fail(matches.status());
+      }
+    }
+    return ServeUntilDone(flags, **server);
+  }
+
+  auto engine = tsss::core::SearchEngine::Open(index_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  tsss::service::ServiceConfig service_config;
+  service_config.num_workers = flags.GetSize("workers", 2);
+  auto service =
+      tsss::service::QueryService::Create(engine->get(), service_config);
+  if (!service.ok()) return Fail(service.status());
+  auto server = tsss::obs::DebugServer::Start(options);
+  if (!server.ok()) return Fail(server.status());
+
+  tsss::core::SearchEngine* raw_engine = engine->get();
+  tsss::service::QueryService* raw_service = service->get();
+  (*server)->RegisterHandler(
+      "/statusz", "text/plain",
+      [raw_engine, raw_service, index_dir, started] {
+        const tsss::service::ServiceMetrics m = raw_service->Stats();
+        return RenderStatusz(index_dir, "single", raw_engine->config(),
+                             raw_service->config().num_workers, started, m,
+                             {m.pool_hit_rate});
+      });
+
+  const std::size_t num_series = raw_engine->dataset().size();
+  const std::size_t n = raw_engine->config().window;
+  for (std::size_t i = 0; i < sample && num_series > 0; ++i) {
+    const auto series = static_cast<tsss::storage::SeriesId>(i % num_series);
+    auto values = raw_engine->dataset().Values(series);
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < n) continue;
+    const std::size_t offset = (i * 37) % (values->size() - n + 1);
+    tsss::service::QueryRequest request;
+    request.kind = tsss::service::QueryKind::kRange;
+    request.query.assign(values->begin() + static_cast<std::ptrdiff_t>(offset),
+                         values->begin() +
+                             static_cast<std::ptrdiff_t>(offset + n));
+    request.eps = eps;
+    auto future = raw_service->Submit(std::move(request));
+    if (!future.ok()) return Fail(future.status());
+    const tsss::service::QueryResponse response = future->get();
+    if (!response.status.ok()) return Fail(response.status);
+  }
+  return ServeUntilDone(flags, **server);
 }
 
 /// q-quantile of the pooled client latencies, in ms (destructive).
@@ -1371,6 +1601,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(flags);
   if (command == "inspect") return CmdInspect(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }

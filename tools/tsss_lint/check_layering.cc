@@ -88,6 +88,40 @@ std::vector<Finding> CheckLayering(const std::vector<SourceFile>& files,
       const Layer* from = rules.LayerForPath(file.path);
       const Layer* to = rules.LayerForPath(resolved);
       if (from == nullptr || to == nullptr) continue;
+
+      // Per-header restrictions are checked before the DAG edge: a
+      // restricted header is off-limits even to layers whose deps would
+      // otherwise admit its whole layer.
+      bool restricted = false;
+      for (const Restrict& restrict : rules.restricts) {
+        if (resolved != restrict.header) continue;
+        // The header's own file pair implements it, so it is always allowed
+        // (the .cc shares the header's path up to the extension).
+        const std::string stem =
+            restrict.header.substr(0, restrict.header.rfind('.'));
+        if (file.path == restrict.header || file.path == stem + ".cc") {
+          continue;
+        }
+        bool allowed = false;
+        for (const std::string& name : restrict.allowed) {
+          allowed |= name == from->name;
+        }
+        if (!allowed) {
+          std::string who;
+          for (const std::string& name : restrict.allowed) {
+            if (!who.empty()) who += "/";
+            who += name;
+          }
+          findings.push_back(Finding{
+              Check::kLayering, file.path, inc.line,
+              "restricted header '" + inc.target + "' may only be included "
+              "from layer " + who + " (rule [restrict." + restrict.name +
+              "]), not from '" + from->name + "'"});
+          restricted = true;
+        }
+      }
+      if (restricted) continue;  // one finding per offending include
+
       const auto reach = closure.find(from->name);
       if (reach != closure.end() && reach->second.count(to->name) != 0) {
         continue;

@@ -145,6 +145,7 @@ bool ParseRulesText(const std::string& text, LayerRules* rules,
   std::string raw;
   int line_no = 0;
   Layer* current_layer = nullptr;
+  Restrict* current_restrict = nullptr;
   bool in_exempt = false;
 
   auto fail = [&](const std::string& message) {
@@ -161,6 +162,7 @@ bool ParseRulesText(const std::string& text, LayerRules* rules,
       if (stmt.back() != ']') return fail("unterminated table header");
       const std::string table = stmt.substr(1, stmt.size() - 2);
       current_layer = nullptr;
+      current_restrict = nullptr;
       in_exempt = false;
       if (table.rfind("layer.", 0) == 0) {
         Layer layer;
@@ -173,6 +175,17 @@ bool ParseRulesText(const std::string& text, LayerRules* rules,
         }
         rules->layers.push_back(layer);
         current_layer = &rules->layers.back();
+      } else if (table.rfind("restrict.", 0) == 0) {
+        Restrict restrict;
+        restrict.name = table.substr(9);
+        if (restrict.name.empty()) return fail("empty restrict name");
+        for (const Restrict& existing : rules->restricts) {
+          if (existing.name == restrict.name) {
+            return fail("duplicate restrict '" + restrict.name + "'");
+          }
+        }
+        rules->restricts.push_back(restrict);
+        current_restrict = &rules->restricts.back();
       } else if (table == "exempt") {
         in_exempt = true;
       } else {
@@ -198,6 +211,15 @@ bool ParseRulesText(const std::string& text, LayerRules* rules,
       } else {
         return fail("unknown layer key '" + key + "'");
       }
+    } else if (current_restrict != nullptr) {
+      if (key == "header") {
+        if (items.size() != 1) return fail("'header' wants one string");
+        current_restrict->header = items.front();
+      } else if (key == "allowed") {
+        current_restrict->allowed = items;
+      } else {
+        return fail("unknown restrict key '" + key + "'");
+      }
     } else if (in_exempt) {
       if (key == "paths") {
         rules->exempt_paths = items;
@@ -219,6 +241,21 @@ bool ParseRulesText(const std::string& text, LayerRules* rules,
       for (const Layer& other : rules->layers) known |= other.name == dep;
       if (!known) {
         *error = "layer '" + layer.name + "' depends on unknown '" + dep + "'";
+        return false;
+      }
+    }
+  }
+  for (const Restrict& restrict : rules->restricts) {
+    if (restrict.header.empty()) {
+      *error = "restrict '" + restrict.name + "' has no header";
+      return false;
+    }
+    for (const std::string& allowed : restrict.allowed) {
+      bool known = false;
+      for (const Layer& other : rules->layers) known |= other.name == allowed;
+      if (!known) {
+        *error = "restrict '" + restrict.name + "' allows unknown layer '" +
+                 allowed + "'";
         return false;
       }
     }

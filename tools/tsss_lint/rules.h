@@ -23,11 +23,29 @@ struct Layer {
   std::vector<std::string> deps;
 };
 
+/// A narrow-waist restriction: a single header that only the named layers
+/// may include, even when the owning layer is otherwise among their deps.
+/// `[restrict.<name>]` tables in layers.toml, e.g. the debug HTTP server
+/// lives in obs/ (so everything can see obs) but only the serving layers
+/// may pull a socket listener into their object files.
+struct Restrict {
+  std::string name;
+  /// Repo-relative path of the restricted header, e.g.
+  /// "src/tsss/obs/debug_server.h".
+  std::string header;
+  /// Layer names whose sources may include the header. The header itself
+  /// and its own implementation file are always allowed; exempt paths
+  /// (tests, bench, tools, ...) are exempt here too.
+  std::vector<std::string> allowed;
+};
+
 struct LayerRules {
   /// In declaration order (error messages follow the file).
   std::vector<Layer> layers;
   /// Repo-relative prefixes exempt from layering (tests, bench, ...).
   std::vector<std::string> exempt_paths;
+  /// Per-header include restrictions, tighter than the layer DAG.
+  std::vector<Restrict> restricts;
 
   const Layer* LayerForPath(const std::string& repo_relative_path) const;
   bool IsExempt(const std::string& repo_relative_path) const;

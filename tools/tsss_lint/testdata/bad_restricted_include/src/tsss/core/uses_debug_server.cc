@@ -1,0 +1,9 @@
+// Fixture: MUST FAIL layering — obs is among core's deps, but
+// obs/debug_server.h is restricted to the serving layers
+// ([restrict.debug_server]): the query engine must not embed an HTTP
+// listener.
+#include "tsss/obs/debug_server.h"
+
+namespace tsss::core {
+double Nothing() { return 0.0; }
+}  // namespace tsss::core
