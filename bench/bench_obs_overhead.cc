@@ -10,10 +10,13 @@
 //      roll-up, and the armed-but-idle flight-recorder completion test;
 //   3. end-to-end query latency in three modes: observability off (no stats,
 //      no trace), stats+telemetry on, stats+telemetry+trace on;
-//   4. two computed budgets as a percentage of the off-mode query time:
-//      the disabled-path budget and the cost-attribution + armed-idle
-//      recorder budget. The acceptance bar is < 2% each; the measured
-//      values are typically orders of magnitude below it.
+//   4. three computed budgets as a percentage of the off-mode query time:
+//      the disabled-path budget, the cost-attribution + armed-idle recorder
+//      budget, and the profiler-off + rolling-window budget (the phase
+//      mirror rides inside every TraceSpan and the serve path records one
+//      rolling-window completion per query even with no profiler running).
+//      The acceptance bar is < 2% each; the measured values are typically
+//      orders of magnitude below it.
 
 #include <optional>
 
@@ -21,6 +24,7 @@
 #include "tsss/obs/cost.h"
 #include "tsss/obs/flight_recorder.h"
 #include "tsss/obs/query_telemetry.h"
+#include "tsss/obs/rolling.h"
 #include "tsss/obs/trace.h"
 
 int main(int argc, char** argv) {
@@ -112,15 +116,30 @@ int main(int argc, char** argv) {
     }
     record_ns = 1e9 * timer.Seconds() / static_cast<double>(kRecordOps);
   }
+  double rolling_ns = 0.0;
+  {
+    // Steady-state rolling-window record: one clock read, one epoch check
+    // that passes, then the histogram's relaxed tallies. Rotation happens at
+    // most a handful of times across the loop and is amortized away.
+    obs::RollingWindow rolling;
+    const bench::Timer timer;
+    for (std::uint64_t i = 0; i < kRecordOps; ++i) {
+      rolling.Record(1234 + (i & 255u), true, false);
+    }
+    rolling_ns = 1e9 * timer.Seconds() / static_cast<double>(kRecordOps);
+    if (rolling.Window(60'000'000).count == 0) return 1;  // keep the loop live
+  }
   std::printf("# live-diagnostics primitives:\n"
               "#   thread-CPU clock read                   : %6.2f ns\n"
               "#   armed-idle recorder completion test     : %6.2f ns\n"
-              "#   RecordQueryCost registry roll-up        : %6.2f ns\n",
-              clock_ns, should_ns, record_ns);
+              "#   RecordQueryCost registry roll-up        : %6.2f ns\n"
+              "#   rolling-window completion record        : %6.2f ns\n",
+              clock_ns, should_ns, record_ns, rolling_ns);
   report.meta()
       .Set("cpu_clock_ns", clock_ns)
       .Set("armed_idle_should_ns", should_ns)
-      .Set("record_cost_ns", record_ns);
+      .Set("record_cost_ns", record_ns)
+      .Set("rolling_record_ns", rolling_ns);
 
   // 2. End-to-end query latency per mode. A warmup pass first so all three
   // modes see the same cache state.
@@ -203,6 +222,26 @@ int main(int argc, char** argv) {
           .Set("cost_budget_pct", cost_pct)
           .Set("cost_budget_pass", cost_pct < 2.0 ? 1 : 0);
       if (cost_pct >= 2.0) {
+        report.MaybeWrite(argc, argv);
+        return 1;
+      }
+
+      // Profiler-off + rolling-window budget: what this build's phase
+      // mirror and the serve path's SLO bookkeeping add to a query when no
+      // profiler is running — the mirror's push/pop already rides inside
+      // every span measured above, plus one rolling-window record per
+      // completion.
+      const double profiler_ns = 3.0 * span_ns + rolling_ns;
+      const double profiler_pct = 100.0 * (profiler_ns / 1e6) / off_ms;
+      std::printf("# profiler-off budget: 3 phase-mirror spans + 1 rolling "
+                  "record = %.0f ns/query = %.4f%% of the off-mode query\n",
+                  profiler_ns, profiler_pct);
+      std::printf("# acceptance: %s (< 2%% required)\n",
+                  profiler_pct < 2.0 ? "PASS" : "FAIL");
+      report.meta()
+          .Set("profiler_budget_pct", profiler_pct)
+          .Set("profiler_budget_pass", profiler_pct < 2.0 ? 1 : 0);
+      if (profiler_pct >= 2.0) {
         report.MaybeWrite(argc, argv);
         return 1;
       }

@@ -31,6 +31,10 @@ const char* ReasonPhrase(int status) {
       return "Method Not Allowed";
     case 431:
       return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Error";
   }
@@ -137,6 +141,16 @@ DebugServer::~DebugServer() { Shutdown(); }
 void DebugServer::RegisterHandler(const std::string& path,
                                   const std::string& content_type,
                                   Handler handler) {
+  RegisterHandler(path, content_type,
+                  QueryHandler([handler = std::move(handler)](
+                                   const std::string& /*query*/) {
+                    return HttpResponse{200, handler()};
+                  }));
+}
+
+void DebugServer::RegisterHandler(const std::string& path,
+                                  const std::string& content_type,
+                                  QueryHandler handler) {
   MutexLock lock(mu_);
   endpoints_[path] = Endpoint{content_type, std::move(handler)};
 }
@@ -196,7 +210,8 @@ void DebugServer::ServeConnection(int client_fd) {
 
   std::string method;
   std::string path;
-  if (!ParseRequestLine(request, &method, &path)) {
+  std::string query;
+  if (!ParseRequestLine(request, &method, &path, &query)) {
     SendResponse(client_fd, 400, "text/plain", "malformed request\n");
     return;
   }
@@ -205,7 +220,7 @@ void DebugServer::ServeConnection(int client_fd) {
     return;
   }
 
-  Handler handler;
+  QueryHandler handler;
   std::string content_type;
   {
     MutexLock lock(mu_);
@@ -220,11 +235,13 @@ void DebugServer::ServeConnection(int client_fd) {
                  "no such endpoint: " + path + "\n");
     return;
   }
-  SendResponse(client_fd, 200, content_type, handler());
+  const HttpResponse response = handler(query);
+  SendResponse(client_fd, response.status, content_type, response.body);
 }
 
 bool DebugServer::ParseRequestLine(const std::string& request,
-                                   std::string* method, std::string* path) {
+                                   std::string* method, std::string* path,
+                                   std::string* query) {
   const std::size_t eol = request.find_first_of("\r\n");
   if (eol == std::string::npos) return false;
   const std::string line = request.substr(0, eol);
@@ -236,9 +253,14 @@ bool DebugServer::ParseRequestLine(const std::string& request,
   if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
   *method = line.substr(0, sp1);
   *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Drop any query string: endpoints are keyed by bare path.
-  const std::size_t query = path->find('?');
-  if (query != std::string::npos) path->resize(query);
+  // Endpoints are keyed by bare path; the query string is handed to the
+  // handler as-is (an untrusted, bounded substring of the request line).
+  query->clear();
+  const std::size_t qmark = path->find('?');
+  if (qmark != std::string::npos) {
+    *query = path->substr(qmark + 1);
+    path->resize(qmark);
+  }
   if (path->empty() || (*path)[0] != '/') return false;
   return true;
 }

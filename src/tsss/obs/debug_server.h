@@ -40,10 +40,21 @@ namespace tsss::obs {
 /// input: the read is bounded (kMaxRequestBytes), the request line is
 /// validated before use, and every malformed input maps to a clean 4xx
 /// response — never UB, never unbounded allocation.
+/// Status + body of one debug response. Handlers that can fail (or that
+/// map state to a status code, like /healthz's 200/503) return this; the
+/// plain string Handler form is sugar for an always-200 response.
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+};
+
 class DebugServer {
  public:
-  /// Returns the response body for one GET of its path.
+  /// Returns the response body for one GET of its path (always status 200).
   using Handler = std::function<std::string()>;
+  /// Full form: receives the raw query string (text after '?', possibly
+  /// empty; parsing is the handler's business) and chooses the status code.
+  using QueryHandler = std::function<HttpResponse(const std::string& query)>;
 
   struct Options {
     /// TCP port to listen on; 0 picks an ephemeral port (see port()).
@@ -69,6 +80,9 @@ class DebugServer {
   /// The handler runs on the accept thread; it must not block on the caller.
   void RegisterHandler(const std::string& path, const std::string& content_type,
                        Handler handler) TSSS_EXCLUDES(mu_);
+  /// Same, for handlers that read the query string or set the status code.
+  void RegisterHandler(const std::string& path, const std::string& content_type,
+                       QueryHandler handler) TSSS_EXCLUDES(mu_);
 
   /// The bound port (resolves port 0 to the ephemeral port actually bound).
   int port() const { return port_; }
@@ -82,10 +96,11 @@ class DebugServer {
 
   void AcceptLoop();
   void ServeConnection(int client_fd);
-  /// Parses the request line out of a bounded raw request. Returns false
-  /// (with a status code for the error response) on malformed input.
+  /// Parses the request line out of a bounded raw request, splitting the
+  /// target into path and query string ("" when absent). Returns false on
+  /// malformed input.
   static bool ParseRequestLine(const std::string& request, std::string* method,
-                               std::string* path);
+                               std::string* path, std::string* query);
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -94,7 +109,7 @@ class DebugServer {
 
   struct Endpoint {
     std::string content_type;
-    Handler handler;
+    QueryHandler handler;  ///< plain Handlers are wrapped at registration
   };
   mutable Mutex mu_;
   std::map<std::string, Endpoint> endpoints_ TSSS_GUARDED_BY(mu_);

@@ -49,6 +49,14 @@ std::uint64_t LatencyHistogram::SumUs() const {
   return sum_us_.load(std::memory_order_relaxed);
 }
 
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) {
+    // relaxed-ok: rotation wipe; concurrent records on the edge are advisory
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_us_.store(0, std::memory_order_relaxed);  // relaxed-ok: same wipe
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     // relaxed-ok: merge of advisory tallies, both sides tolerate skew

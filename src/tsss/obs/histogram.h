@@ -35,6 +35,12 @@ class LatencyHistogram {
   /// Sum of all recorded values in microseconds (relaxed snapshot).
   std::uint64_t SumUs() const;
 
+  /// Zeroes every bucket and the sum (relaxed stores). Not atomic as a
+  /// whole: a concurrent Record() may land before or after the wipe of its
+  /// bucket — acceptable for the rolling-window rotation that uses it, where
+  /// a sample on the rotation edge is advisory either way.
+  void Reset();
+
   /// Adds every bucket (and the sum) of `other` into this histogram.
   /// Both sides may be concurrently recorded into; the merge is a relaxed
   /// snapshot, exact at any quiescent point. Used to aggregate per-worker

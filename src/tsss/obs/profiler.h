@@ -1,0 +1,135 @@
+#ifndef TSSS_OBS_PROFILER_H_
+#define TSSS_OBS_PROFILER_H_
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsss/common/status.h"
+
+namespace tsss::obs {
+
+/// CPU attributed to one query phase (a TraceSpan name, via the thread-local
+/// PhaseStack mirror). "(untagged)" collects samples taken outside any span.
+struct ProfilePhase {
+  std::string name;
+  std::uint64_t samples = 0;
+};
+
+/// One unique call stack, leaf-last ("outer;inner;leaf"), with its sample
+/// count — the flamegraph folded format.
+struct ProfileStack {
+  std::string stack;
+  std::uint64_t samples = 0;
+};
+
+/// Aggregated result of one profiling run.
+struct Profile {
+  int hz = 0;
+  double seconds = 0.0;
+  std::uint64_t samples = 0;  ///< committed samples (== sum over phases)
+  std::uint64_t dropped = 0;  ///< signals that found the ring full
+  /// Per-phase attribution, descending by samples. The counts sum exactly to
+  /// `samples`: every sample lands in exactly one phase (or "(untagged)").
+  std::vector<ProfilePhase> phases;
+  /// Unique folded stacks, descending by samples.
+  std::vector<ProfileStack> folded;
+
+  /// flamegraph.pl / speedscope input: one "a;b;c N" line per unique stack.
+  std::string ToFolded() const;
+  /// Schema-v1 JSON ({"schema_version":1,"report":"profile",...}); validated
+  /// by tools/bench_schema_check --schema profile, served as /pprofz.
+  std::string ToJson() const;
+};
+
+/// In-process sampling CPU profiler: setitimer(ITIMER_PROF) delivers SIGPROF
+/// to whichever thread is burning CPU; the handler claims a slot in a
+/// preallocated lock-free ring, records the thread's active phase (one
+/// thread-local read — zero symbolization) and its call stack, and commits
+/// the slot. Stop() aggregates the ring into a Profile, symbolizing with
+/// dladdr + __cxa_demangle outside signal context.
+///
+/// Signal safety: the handler touches only the ring (relaxed/release
+/// atomics, no allocation), the constant-initialized PhaseStack
+/// thread-local, and the stack walk. The walk follows the frame-pointer
+/// chain (the build keeps frame pointers precisely for this; see the root
+/// CMakeLists) and falls back to backtrace() — warmed up in Start() so its
+/// lazy libgcc initialization cannot run inside a handler — when the chain
+/// is too short (foreign code compiled without frame pointers).
+///
+/// One profiler may run per process (ITIMER_PROF is process-wide); Start()
+/// fails with FailedPrecondition when another instance is active. Start and
+/// Stop are idempotent. Instances are not thread-safe: Start/Stop/accessors
+/// are driven by one controlling thread (the CLI main thread or the debug
+/// server's accept thread), only the SIGPROF handler runs elsewhere.
+class SamplingProfiler {
+ public:
+  struct Options {
+    /// Sampling frequency. Prime by default so the sampler cannot phase-lock
+    /// with periodic work. Clamped to [1, 1000].
+    int hz = 97;
+    /// Preallocated sample capacity; once full, further samples are counted
+    /// as dropped. 8192 slots hold ~84 s at the default rate.
+    std::size_t ring_slots = 8192;
+  };
+  static constexpr int kMaxFrames = 32;
+
+  SamplingProfiler();  ///< default Options
+  explicit SamplingProfiler(Options options);
+  ~SamplingProfiler();  ///< Stop()
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Installs the SIGPROF handler and starts the profiling timer. Returns
+  /// OK when already running (idempotent); FailedPrecondition when a
+  /// different profiler instance is active in this process.
+  [[nodiscard]] Status Start();
+
+  /// Stops the timer, restores the previous handler, and aggregates the
+  /// ring. Idempotent: when not running, returns the last aggregated
+  /// profile (empty if Start() never ran).
+  Profile Stop();
+
+  bool running() const { return running_; }
+  /// Samples committed to the ring so far (live while running).
+  std::uint64_t captured() const;
+  /// Samples lost to ring saturation so far.
+  std::uint64_t dropped() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Sample {
+    std::atomic<std::uint32_t> committed{0};
+    std::uint32_t num_frames = 0;
+    const char* phase = nullptr;  ///< string literal from the phase mirror
+    void* frames[kMaxFrames];
+  };
+
+  static void SignalHandler(int signo, siginfo_t* info, void* ucontext);
+  void OnSignal(void* ucontext);
+  Profile Aggregate(double seconds) const;
+
+  const Options options_;
+  std::unique_ptr<Sample[]> ring_;
+  /// Next slot to claim; values >= ring_slots mean the ring is full and the
+  /// excess is the drop count.
+  std::atomic<std::uint64_t> head_{0};
+  bool running_ = false;
+  std::chrono::steady_clock::time_point started_at_;
+  Profile last_;
+  struct sigaction prev_action_ {};
+  struct itimerval prev_timer_ {};
+};
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_PROFILER_H_

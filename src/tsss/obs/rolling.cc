@@ -1,0 +1,156 @@
+#include "tsss/obs/rolling.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tsss::obs {
+
+namespace {
+
+RollingWindow::Options Sanitize(RollingWindow::Options options) {
+  if (options.num_buckets == 0) options.num_buckets = 1;
+  if (options.bucket_width_us == 0) options.bucket_width_us = 1'000'000;
+  return options;
+}
+
+}  // namespace
+
+RollingWindow::RollingWindow() : RollingWindow(Options()) {}
+
+RollingWindow::RollingWindow(Options options)
+    : options_(Sanitize(std::move(options))),
+      buckets_(std::make_unique<Bucket[]>(options_.num_buckets)) {}
+
+std::uint64_t RollingWindow::NowUs() const {
+  if (options_.now_us) return options_.now_us();
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void RollingWindow::Record(std::uint64_t latency_us, bool ok,
+                           bool deadline_exceeded) {
+  const std::uint64_t tick = NowUs() / options_.bucket_width_us;
+  Bucket& bucket = BucketForTick(tick);
+  // acquire pairs with the release in Rotate(): a matching epoch means the
+  // wipe that installed it is visible, so this record lands in clean state.
+  if (bucket.epoch.load(std::memory_order_acquire) != tick) {
+    Rotate(bucket, tick);
+  }
+  bucket.hist.RecordUs(latency_us);
+  // relaxed-ok: advisory outcome tallies, same contract as the histogram
+  bucket.count.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) bucket.errors.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally
+  if (deadline_exceeded) {
+    // relaxed-ok: tally
+    bucket.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RollingWindow::Rotate(Bucket& bucket, std::uint64_t tick) {
+  MutexLock lock(rotate_mu_);
+  // Another recorder may have rotated this bucket while we waited.
+  // relaxed-ok: re-check under the rotation lock; the release below publishes
+  if (bucket.epoch.load(std::memory_order_relaxed) == tick) return;
+  bucket.hist.Reset();
+  bucket.count.store(0, std::memory_order_relaxed);    // relaxed-ok: wipe
+  bucket.errors.store(0, std::memory_order_relaxed);   // relaxed-ok: wipe
+  // relaxed-ok: wipe published by the epoch release below
+  bucket.deadline_exceeded.store(0, std::memory_order_relaxed);
+  bucket.epoch.store(tick, std::memory_order_release);
+}
+
+RollingWindow::Snapshot RollingWindow::Window(std::uint64_t window_us) const {
+  Snapshot out;
+  const std::uint64_t clamped = std::min(
+      std::max<std::uint64_t>(window_us, options_.bucket_width_us), span_us());
+  out.window_us = clamped;
+  const std::uint64_t now_tick = NowUs() / options_.bucket_width_us;
+  const std::uint64_t ticks = clamped / options_.bucket_width_us;
+  const std::uint64_t oldest_tick =
+      now_tick >= ticks - 1 ? now_tick - (ticks - 1) : 0;
+
+  LatencyHistogram merged;
+  for (std::uint64_t tick = oldest_tick; tick <= now_tick; ++tick) {
+    const Bucket& bucket = BucketForTick(tick);
+    // acquire pairs with Rotate()'s release: an in-window epoch means the
+    // bucket's contents belong to that tick, not a previous lap of the ring.
+    const std::uint64_t epoch = bucket.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest_tick || epoch > now_tick) continue;  // stale or unused
+    merged.Merge(bucket.hist);
+    // relaxed-ok: advisory snapshot reads, same contract as Merge above
+    out.count += bucket.count.load(std::memory_order_relaxed);
+    out.errors += bucket.errors.load(std::memory_order_relaxed);  // relaxed-ok: stat
+    out.deadline_exceeded +=
+        bucket.deadline_exceeded.load(std::memory_order_relaxed);  // relaxed-ok: stat
+  }
+  out.p50_ms = merged.PercentileMs(0.50);
+  out.p99_ms = merged.PercentileMs(0.99);
+  return out;
+}
+
+namespace {
+
+/// Error-budget burn rate: observed failure fraction over the allowed one.
+/// 1.0 means the budget is burning exactly at the sustainable rate.
+double BurnRate(const RollingWindow::Snapshot& window, double target) {
+  const double allowed = 1.0 - target;
+  if (allowed <= 0.0) return window.availability() < 1.0 ? 1e9 : 0.0;
+  return (1.0 - window.availability()) / allowed;
+}
+
+void AppendWindowJson(std::string* out, const char* key,
+                      const RollingWindow::Snapshot& window) {
+  *out += std::string("\"") + key + "\":{";
+  *out += "\"window_s\":" +
+          std::to_string(window.window_us / 1'000'000) + ",";
+  *out += "\"count\":" + std::to_string(window.count) + ",";
+  *out += "\"errors\":" + std::to_string(window.errors) + ",";
+  *out += "\"deadline_exceeded\":" + std::to_string(window.deadline_exceeded) +
+          ",";
+  *out += "\"p50_ms\":" + std::to_string(window.p50_ms) + ",";
+  *out += "\"p99_ms\":" + std::to_string(window.p99_ms) + ",";
+  *out += "\"availability\":" + std::to_string(window.availability()) + "}";
+}
+
+}  // namespace
+
+SloState EvaluateSlo(const RollingWindow& window, const SloConfig& config) {
+  SloState state;
+  state.fast = window.Window(config.fast_window_us);
+  state.slow = window.Window(config.slow_window_us);
+  state.fast_burn_rate = BurnRate(state.fast, config.target_availability);
+  state.slow_burn_rate = BurnRate(state.slow, config.target_availability);
+
+  if (state.fast.count >= config.min_samples) {
+    state.latency_ok = state.fast.p99_ms <= config.target_p99_ms;
+    // Multi-window AND: the fast window must be burning hot AND the slow
+    // window must confirm, so one bad second cannot flip a healthy server.
+    state.availability_ok =
+        !(state.fast_burn_rate >= config.fast_burn_threshold &&
+          state.slow_burn_rate >= config.slow_burn_threshold);
+  }
+  state.healthy = state.latency_ok && state.availability_ok;
+  return state;
+}
+
+std::string RenderHealthzJson(const SloState& state, const SloConfig& config) {
+  std::string out = "{\"schema_version\":1,\"report\":\"healthz\",";
+  out += std::string("\"healthy\":") + (state.healthy ? "true" : "false") + ",";
+  out += std::string("\"latency_ok\":") +
+         (state.latency_ok ? "true" : "false") + ",";
+  out += std::string("\"availability_ok\":") +
+         (state.availability_ok ? "true" : "false") + ",";
+  out += "\"target_p99_ms\":" + std::to_string(config.target_p99_ms) + ",";
+  out += "\"target_availability\":" +
+         std::to_string(config.target_availability) + ",";
+  out += "\"fast_burn_rate\":" + std::to_string(state.fast_burn_rate) + ",";
+  out += "\"slow_burn_rate\":" + std::to_string(state.slow_burn_rate) + ",";
+  AppendWindowJson(&out, "fast", state.fast);
+  out += ",";
+  AppendWindowJson(&out, "slow", state.slow);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tsss::obs

@@ -1,0 +1,148 @@
+#ifndef TSSS_OBS_ROLLING_H_
+#define TSSS_OBS_ROLLING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tsss/common/mutex.h"
+#include "tsss/common/thread_annotations.h"
+#include "tsss/obs/histogram.h"
+
+namespace tsss::obs {
+
+/// Rolling time-window latency/outcome aggregator: a ring of per-second
+/// (configurable) buckets, each a LatencyHistogram plus outcome counters,
+/// indexed by wall-clock bucket number. Record() is lock-free on the hot
+/// path (one clock read, one epoch check, then the histogram's relaxed
+/// fetch_adds); the rare rotation when a bucket's epoch goes stale takes a
+/// mutex so exactly one thread wipes it. Window(w) merges the buckets that
+/// cover the last `w` microseconds into a point-in-time Snapshot.
+///
+/// Unlike the cumulative-since-start histograms in ServiceMetrics, a rolling
+/// window forgets: a burst of slow queries ages out after
+/// num_buckets x bucket_width, which is what makes windowed p99 and
+/// error-rate burn usable for SLO alerting on a long-lived server.
+///
+/// The clock is injectable (Options::now_us) so tests can drive rotation
+/// deterministically; the default reads the steady clock.
+class RollingWindow {
+ public:
+  struct Options {
+    /// Ring length. The default covers 6 minutes at 1-second buckets —
+    /// enough history for a 60 s fast and 300 s slow SLO window.
+    std::size_t num_buckets = 360;
+    std::uint64_t bucket_width_us = 1'000'000;
+    /// Monotonic microsecond clock; steady_clock when empty.
+    std::function<std::uint64_t()> now_us;
+  };
+
+  /// Merged view over the buckets covering one window, taken by Window().
+  struct Snapshot {
+    std::uint64_t window_us = 0;  ///< the window actually covered
+    std::uint64_t count = 0;      ///< completions in the window
+    std::uint64_t errors = 0;     ///< completions with a not-OK status
+    std::uint64_t deadline_exceeded = 0;  ///< subset of errors
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+
+    /// Fraction of completions that were OK; 1.0 on an empty window (a
+    /// fresh server must pass load-balancer health checks).
+    double availability() const {
+      return count == 0 ? 1.0
+                        : static_cast<double>(count - errors) /
+                              static_cast<double>(count);
+    }
+  };
+
+  RollingWindow();  ///< default Options
+  explicit RollingWindow(Options options);
+
+  RollingWindow(const RollingWindow&) = delete;
+  RollingWindow& operator=(const RollingWindow&) = delete;
+
+  /// Records one completed query into the current bucket. Lock-free except
+  /// when this call is the first to touch a stale bucket (once per bucket
+  /// width). `ok` is the completion status; `deadline_exceeded` marks the
+  /// subset of failures that were deadline expiries.
+  void Record(std::uint64_t latency_us, bool ok, bool deadline_exceeded)
+      TSSS_EXCLUDES(rotate_mu_);
+
+  /// Merges the buckets covering the trailing `window_us` (clamped to the
+  /// ring's span) into a snapshot. A concurrent Record() may or may not be
+  /// included — the snapshot is advisory, like every stats read in obs/.
+  Snapshot Window(std::uint64_t window_us) const;
+
+  std::size_t num_buckets() const { return options_.num_buckets; }
+  std::uint64_t bucket_width_us() const { return options_.bucket_width_us; }
+  /// The ring's full span: the longest window Window() can cover.
+  std::uint64_t span_us() const {
+    return options_.bucket_width_us * options_.num_buckets;
+  }
+
+ private:
+  struct Bucket {
+    LatencyHistogram hist;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    /// Wall-clock bucket number this slot currently holds; kNeverUsed until
+    /// the first record lands.
+    std::atomic<std::uint64_t> epoch{kNeverUsed};
+  };
+  static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
+
+  std::uint64_t NowUs() const;
+  Bucket& BucketForTick(std::uint64_t tick) const {
+    return buckets_[tick % options_.num_buckets];
+  }
+  void Rotate(Bucket& bucket, std::uint64_t tick) TSSS_EXCLUDES(rotate_mu_);
+
+  const Options options_;
+  std::unique_ptr<Bucket[]> buckets_;
+  /// Serializes bucket wipes only; Record()'s fast path never takes it.
+  mutable Mutex rotate_mu_;
+};
+
+/// SLO targets for EvaluateSlo. The burn thresholds follow the standard
+/// multi-window error-budget policy: page when the fast window burns budget
+/// at >= fast_burn_threshold x the sustainable rate AND the slow window
+/// confirms it (the AND suppresses one-bucket blips).
+struct SloConfig {
+  double target_p99_ms = 500.0;
+  double target_availability = 0.999;
+  std::uint64_t fast_window_us = 60'000'000;
+  std::uint64_t slow_window_us = 300'000'000;
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 6.0;
+  /// Below this many samples in the fast window the evaluation abstains
+  /// (healthy): an idle or freshly started server must pass LB checks.
+  std::uint64_t min_samples = 1;
+};
+
+/// Point-in-time SLO verdict over one rolling window.
+struct SloState {
+  bool healthy = true;
+  bool latency_ok = true;       ///< fast-window p99 within target
+  bool availability_ok = true;  ///< burn rate below both thresholds
+  double fast_burn_rate = 0.0;
+  double slow_burn_rate = 0.0;
+  RollingWindow::Snapshot fast;
+  RollingWindow::Snapshot slow;
+};
+
+/// Evaluates `config` against the window's fast/slow snapshots.
+/// healthy == latency_ok && availability_ok; see SloConfig for the rules.
+SloState EvaluateSlo(const RollingWindow& window, const SloConfig& config);
+
+/// Schema-v1 healthz JSON ({"schema_version":1,"report":"healthz",...}).
+/// Validated by tools/bench_schema_check --schema healthz; served as
+/// /healthz (status 200 when healthy, 503 otherwise) by tsss_cli serve.
+std::string RenderHealthzJson(const SloState& state, const SloConfig& config);
+
+}  // namespace tsss::obs
+
+#endif  // TSSS_OBS_ROLLING_H_

@@ -8,6 +8,11 @@ namespace {
 
 thread_local QueryTrace* g_current_query_trace = nullptr;
 
+/// Zero-initialized POD: constant-initialized, so reading it from a signal
+/// handler never runs a TLS guard or allocates (local-exec/initial-exec TLS;
+/// the library is linked statically into its binaries).
+thread_local PhaseStack g_phase_stack;
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -116,6 +121,21 @@ std::string QueryTrace::ToChromeJson() const {
 
 QueryTrace* CurrentQueryTrace() { return g_current_query_trace; }
 
+PhaseStack* CurrentPhaseStack() { return &g_phase_stack; }
+
+const char* CurrentPhaseName() {
+  PhaseStack& stack = g_phase_stack;
+  // The fence below pairs with the release fence in the TraceSpan push.
+  // relaxed-ok: same-thread signal ordering via the fences
+  const int depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth <= 0) return nullptr;
+  std::atomic_signal_fence(std::memory_order_acquire);
+  const int top = depth <= PhaseStack::kMaxDepth ? depth - 1
+                                                 : PhaseStack::kMaxDepth - 1;
+  // relaxed-ok: same-thread read ordered by the signal fence above
+  return stack.names[top].load(std::memory_order_relaxed);
+}
+
 ScopedQueryTrace::ScopedQueryTrace(QueryTrace* trace)
     : prev_(g_current_query_trace) {
   g_current_query_trace = trace;
@@ -124,10 +144,25 @@ ScopedQueryTrace::ScopedQueryTrace(QueryTrace* trace)
 ScopedQueryTrace::~ScopedQueryTrace() { g_current_query_trace = prev_; }
 
 TraceSpan::TraceSpan(const char* name) : trace_(g_current_query_trace) {
+  // Phase mirror push. A SIGPROF handler on this thread observes either the
+  // pre-push or post-push state: the name store is ordered before the depth
+  // store by the signal fence, so a depth it reads always covers valid names.
+  PhaseStack& stack = g_phase_stack;
+  // relaxed-ok: only this thread writes; handler reads are fence-ordered
+  phase_depth_ = stack.depth.load(std::memory_order_relaxed);
+  if (phase_depth_ < PhaseStack::kMaxDepth) {
+    // relaxed-ok: ordered before the depth store by the signal fence
+    stack.names[phase_depth_].store(name, std::memory_order_relaxed);
+  }
+  std::atomic_signal_fence(std::memory_order_release);
+  // relaxed-ok: same-thread publish, fence supplies the handler ordering
+  stack.depth.store(phase_depth_ + 1, std::memory_order_relaxed);
+
   if (trace_ != nullptr) index_ = trace_->OpenSpan(name);
 }
 
 TraceSpan::~TraceSpan() {
+  PopPhase();
   if (trace_ != nullptr) trace_->CloseSpan(index_);
 }
 
@@ -136,7 +171,22 @@ void TraceSpan::Annotate(const char* key, std::uint64_t value) {
 }
 
 void TraceSpan::Close() {
+  PopPhase();
   if (trace_ != nullptr) trace_->CloseSpan(index_);
+}
+
+void TraceSpan::PopPhase() {
+  if (phase_popped_) return;
+  phase_popped_ = true;
+  PhaseStack& stack = g_phase_stack;
+  // Restore to this span's remembered depth; only ever shrink, so an
+  // out-of-order Close() (inner span still open) self-heals instead of
+  // exposing a stale deeper name.
+  // A handler that still reads the old depth sees names the push made valid.
+  // relaxed-ok: same-thread pop
+  if (stack.depth.load(std::memory_order_relaxed) > phase_depth_) {
+    stack.depth.store(phase_depth_, std::memory_order_relaxed);  // relaxed-ok: same
+  }
 }
 
 }  // namespace tsss::obs

@@ -1,6 +1,7 @@
 #ifndef TSSS_OBS_TRACE_H_
 #define TSSS_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -9,6 +10,32 @@
 #include <vector>
 
 namespace tsss::obs {
+
+/// Async-signal-safe mirror of this thread's open TraceSpan phases, read by
+/// the sampling profiler's SIGPROF handler to attribute CPU samples to query
+/// phases without symbolization. Unlike QueryTrace (heap-backed, installed
+/// only while a recorder is armed), the mirror is maintained unconditionally
+/// by every TraceSpan: a fixed-depth array of string-literal pointers plus an
+/// atomic depth, all constant-initialized POD so the handler's thread-local
+/// access cannot allocate or run a TLS guard.
+///
+/// Only the owning thread writes; a signal handler running ON THAT THREAD
+/// reads. Ordering between the two is same-thread signal ordering, so the
+/// stores use relaxed atomics paired with std::atomic_signal_fence — no
+/// cross-thread synchronization is needed or implied.
+struct PhaseStack {
+  static constexpr int kMaxDepth = 16;
+  std::atomic<int> depth;
+  std::atomic<const char*> names[kMaxDepth];
+};
+
+/// This thread's phase mirror. Always valid; safe to call from a signal
+/// handler on the same thread (constant-initialized thread_local).
+PhaseStack* CurrentPhaseStack();
+
+/// The innermost open phase name on this thread, or nullptr when no
+/// TraceSpan is open. Async-signal-safe.
+const char* CurrentPhaseName();
 
 /// One completed (or still-open) span in a query trace.
 struct TraceEvent {
@@ -81,6 +108,11 @@ class ScopedQueryTrace {
 /// constructor opens a span and the destructor closes it; when tracing is
 /// off, construction is one thread-local read and a branch — cheap enough
 /// for per-phase use on the query hot path (never per-node).
+///
+/// Every TraceSpan also pushes its name onto this thread's PhaseStack
+/// (whether or not a trace is installed) so the sampling profiler can
+/// attribute SIGPROF samples to the active phase. `name` must be a string
+/// literal or otherwise outlive the span: the mirror stores the pointer.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -97,8 +129,15 @@ class TraceSpan {
   void Close();
 
  private:
+  void PopPhase();
+
   QueryTrace* trace_;
   std::size_t index_ = 0;
+  /// Phase-mirror depth to restore on close; pop-once even when Close() is
+  /// followed by the destructor, and self-healing under out-of-order closes
+  /// (the restore only ever shrinks the stack).
+  int phase_depth_ = 0;
+  bool phase_popped_ = false;
 };
 
 }  // namespace tsss::obs

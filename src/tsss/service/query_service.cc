@@ -74,7 +74,14 @@ const ServiceRegistryMetrics& RegistryMetrics() {
 
 QueryService::QueryService(core::SearchEngine* engine,
                            const ServiceConfig& config)
-    : engine_(engine), config_(config) {}
+    : engine_(engine), config_(config) {
+  if (config_.rolling_window != nullptr) {
+    rolling_ = config_.rolling_window;
+  } else {
+    owned_rolling_ = std::make_unique<obs::RollingWindow>();
+    rolling_ = owned_rolling_.get();
+  }
+}
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
     core::SearchEngine* engine, const ServiceConfig& config) {
@@ -274,6 +281,10 @@ void QueryService::FinishTask(Task* task, QueryResponse response,
       std::chrono::steady_clock::now() - task->submitted_at);
   worker_latency_[worker_index]->Record(response.latency);
   RegistryMetrics().latency->Record(response.latency);
+  rolling_->Record(
+      static_cast<std::uint64_t>(response.latency.count()),
+      response.status.ok(),
+      response.status.code() == StatusCode::kDeadlineExceeded);
   const char* outcome = "failed";
   // Outcome counters are advisory service stats; Stats() reads them with the
   // same relaxed ordering and promises no cross-counter consistency.
@@ -359,6 +370,7 @@ ServiceMetrics QueryService::Stats() const {
   for (const auto& hist : worker_latency_) merged.Merge(*hist);
   out.p50_latency_ms = merged.PercentileMs(0.50);
   out.p99_latency_ms = merged.PercentileMs(0.99);
+  out.last_minute = rolling_->Window(60'000'000);
   const storage::BufferPoolMetrics pool = engine_->pool().metrics();
   const std::uint64_t reads = pool.hits + pool.misses;
   out.pool_hit_rate =

@@ -17,6 +17,7 @@
 #include "tsss/core/similarity.h"
 #include "tsss/geom/vec.h"
 #include "tsss/obs/histogram.h"
+#include "tsss/obs/rolling.h"
 #include "tsss/obs/trace.h"
 
 namespace tsss::service {
@@ -77,6 +78,12 @@ struct ServiceConfig {
   /// Deadline applied to requests that leave timeout == 0. Zero disables
   /// the default deadline.
   std::chrono::milliseconds default_timeout{0};
+  /// Rolling window every completion is recorded into (latency + outcome),
+  /// behind the windowed quantiles in Stats() and the /healthz SLO state.
+  /// nullptr (the default) makes the service own a default-configured one;
+  /// inject to share a window across services or to drive a test clock.
+  /// Must outlive the service.
+  obs::RollingWindow* rolling_window = nullptr;
 };
 
 /// Point-in-time view of the service counters, returned by Stats().
@@ -88,10 +95,14 @@ struct ServiceMetrics {
   std::uint64_t cancelled = 0;  ///< unwound by RequestCancel
   std::uint64_t failed = 0;     ///< completed with any other error
   std::size_t queue_depth = 0;  ///< requests waiting right now
+  /// Cumulative since service start — they never forget a burst. For live
+  /// health use `last_minute` below (the /statusz "windowed" block).
   double p50_latency_ms = 0.0;  ///< median Submit()-to-completion latency
   double p99_latency_ms = 0.0;
   /// Buffer-pool hit rate over the engine's lifetime (0 when no reads yet).
   double pool_hit_rate = 0.0;
+  /// Trailing-minute view from the service's rolling window.
+  obs::RollingWindow::Snapshot last_minute;
 };
 
 /// Serves Chu-Wong scale-shift queries concurrently over one shared
@@ -147,6 +158,11 @@ class QueryService {
 
   ServiceMetrics Stats() const TSSS_EXCLUDES(mu_);
 
+  /// The rolling window completions are recorded into: the injected one
+  /// (ServiceConfig::rolling_window) or the service-owned default. Feed it
+  /// to obs::EvaluateSlo for /healthz.
+  obs::RollingWindow& rolling() const { return *rolling_; }
+
   /// Stops admission, drains the queue, and joins the workers. Idempotent.
   void Shutdown() TSSS_EXCLUDES(mu_);
 
@@ -198,6 +214,10 @@ class QueryService {
   /// One histogram per worker, sized by Create() before the threads start
   /// and merged by Stats(); indexing is wait-free and contention-free.
   std::vector<std::unique_ptr<obs::LatencyHistogram>> worker_latency_;
+  /// Set when ServiceConfig::rolling_window is null; rolling_ points at
+  /// this or at the injected window.
+  std::unique_ptr<obs::RollingWindow> owned_rolling_;
+  obs::RollingWindow* rolling_ = nullptr;
 };
 
 }  // namespace tsss::service

@@ -148,6 +148,11 @@ class ShardedEngine {
   /// queries: one logical query submits num_shards() requests).
   service::ServiceMetrics FanoutStats() const;
 
+  /// The fan-out pool's rolling window: every per-shard leg's latency and
+  /// outcome, for windowed quantiles and /healthz SLO evaluation on a
+  /// sharded server (same granularity caveat as FanoutStats()).
+  obs::RollingWindow& rolling() const { return service_->rolling(); }
+
  private:
   ShardedEngine() = default;
 

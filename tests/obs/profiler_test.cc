@@ -1,0 +1,170 @@
+// SamplingProfiler tests: SIGPROF samples land in the phase that is
+// burning CPU, the phase partition sums exactly to the sample count,
+// Start/Stop are idempotent, the single-instance guard holds, ring
+// saturation counts drops instead of losing the profile, and (for the TSan
+// job) start/stop stays clean while query threads run underneath.
+
+#include "tsss/obs/profiler.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "tsss/obs/trace.h"
+
+namespace tsss::obs {
+namespace {
+
+/// Burns CPU until the profiler has captured at least `min_samples` or the
+/// wall deadline passes (ITIMER_PROF ticks on CPU time, so a loaded CI
+/// machine only stretches the wall clock, never starves the samples).
+/// Returns a live value so the loop cannot fold away.
+std::uint64_t BurnUntil(const SamplingProfiler& profiler,
+                        std::uint64_t min_samples, double max_wall_s = 30.0) {
+  volatile std::uint64_t sink = 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(max_wall_s);
+  while (profiler.captured() < min_samples &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 50'000; ++i) sink = sink * 2862933555777941757ull + 3;
+  }
+  return sink;
+}
+
+TEST(ProfilerTest, StopWithoutStartReturnsEmptyProfile) {
+  SamplingProfiler profiler;
+  EXPECT_FALSE(profiler.running());
+  const Profile profile = profiler.Stop();
+  EXPECT_EQ(profile.samples, 0u);
+  EXPECT_TRUE(profile.phases.empty());
+  EXPECT_TRUE(profile.folded.empty());
+}
+
+TEST(ProfilerTest, SamplesLandInTheActivePhase) {
+  SamplingProfiler::Options options;
+  options.hz = 500;
+  SamplingProfiler profiler(options);
+  ASSERT_TRUE(profiler.Start().ok());
+  {
+    TraceSpan span("burn_phase");
+    BurnUntil(profiler, 25);
+  }
+  const Profile profile = profiler.Stop();
+  ASSERT_GE(profile.samples, 25u);
+
+  std::uint64_t phase_total = 0;
+  std::uint64_t burn_samples = 0;
+  for (const ProfilePhase& phase : profile.phases) {
+    phase_total += phase.samples;
+    if (phase.name == "burn_phase") burn_samples = phase.samples;
+  }
+  // The partition identity the schema checker also enforces.
+  EXPECT_EQ(phase_total, profile.samples);
+  // All CPU burned inside the span; a stray sample may land before/after.
+  EXPECT_GT(burn_samples, profile.samples / 2)
+      << "burn_phase got " << burn_samples << " of " << profile.samples;
+
+  std::uint64_t folded_total = 0;
+  for (const ProfileStack& stack : profile.folded) {
+    folded_total += stack.samples;
+  }
+  EXPECT_EQ(folded_total, profile.samples);
+}
+
+TEST(ProfilerTest, StartAndStopAreIdempotent) {
+  SamplingProfiler::Options options;
+  options.hz = 200;
+  SamplingProfiler profiler(options);
+  ASSERT_TRUE(profiler.Start().ok());
+  EXPECT_TRUE(profiler.Start().ok());  // already running: OK, not an error
+  EXPECT_TRUE(profiler.running());
+  BurnUntil(profiler, 3);
+  const Profile first = profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  const Profile second = profiler.Stop();  // returns the last aggregation
+  EXPECT_EQ(second.samples, first.samples);
+  EXPECT_EQ(second.phases.size(), first.phases.size());
+}
+
+TEST(ProfilerTest, SecondInstanceIsRejectedWhileFirstRuns) {
+  SamplingProfiler first;
+  SamplingProfiler second;
+  ASSERT_TRUE(first.Start().ok());
+  const Status status = second.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  first.Stop();
+  // The slot frees on Stop: a new run may claim it.
+  EXPECT_TRUE(second.Start().ok());
+  second.Stop();
+}
+
+TEST(ProfilerTest, RingSaturationCountsDropsNotCorruption) {
+  SamplingProfiler::Options options;
+  options.hz = 1000;
+  options.ring_slots = 8;
+  SamplingProfiler profiler(options);
+  ASSERT_TRUE(profiler.Start().ok());
+  // Burn well past 8 samples' worth of CPU; the ring fills and the rest
+  // must be counted as dropped, not written anywhere.
+  volatile std::uint64_t sink = 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (profiler.dropped() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 50'000; ++i) sink = sink * 2862933555777941757ull + 3;
+  }
+  const Profile profile = profiler.Stop();
+  EXPECT_EQ(profile.samples, 8u);
+  EXPECT_GT(profile.dropped, 0u);
+  std::uint64_t phase_total = 0;
+  for (const ProfilePhase& phase : profile.phases) {
+    phase_total += phase.samples;
+  }
+  EXPECT_EQ(phase_total, profile.samples);
+}
+
+// TSan-job suite: start/stop the profiler while worker threads churn
+// through phase-tagged CPU work. The assertions are deliberately loose —
+// the point is that the handler's ring writes, the phase mirror, and
+// Stop()'s aggregation hold up under the race detector.
+TEST(ProfilerTsanTest, StartStopUnderConcurrentPhaseWork) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop] {
+      volatile std::uint64_t sink = 1;
+      // relaxed-ok: test shutdown flag
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceSpan span("tsan_phase");
+        for (int i = 0; i < 10'000; ++i) {
+          sink = sink * 2862933555777941757ull + 3;
+        }
+      }
+    });
+  }
+
+  SamplingProfiler::Options options;
+  options.hz = 100;
+  for (int round = 0; round < 3; ++round) {
+    SamplingProfiler profiler(options);
+    ASSERT_TRUE(profiler.Start().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const Profile profile = profiler.Stop();
+    std::uint64_t phase_total = 0;
+    for (const ProfilePhase& phase : profile.phases) {
+      phase_total += phase.samples;
+    }
+    EXPECT_EQ(phase_total, profile.samples);
+  }
+
+  // relaxed-ok: test shutdown flag
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace
+}  // namespace tsss::obs

@@ -1,0 +1,355 @@
+// RollingWindow + SLO evaluator tests: bucket rotation driven by an
+// injected clock, windowed quantiles against a sorted-vector oracle,
+// cross-thread record merging, the multi-window burn-rate policy edges,
+// and the /healthz 503-and-back flip end to end (DebugServer +
+// QueryService feeding an injected window with check_budget-forced
+// failures).
+
+#include "tsss/obs/rolling.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tsss/obs/debug_server.h"
+#include "tsss/service/query_service.h"
+#include "tsss/seq/stock_generator.h"
+
+namespace tsss::obs {
+namespace {
+
+/// A window on a hand-cranked clock: tests advance `now_us` explicitly so
+/// bucket rotation is deterministic.
+struct FakeClockWindow {
+  std::shared_ptr<std::atomic<std::uint64_t>> now_us =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::unique_ptr<RollingWindow> window;
+
+  explicit FakeClockWindow(RollingWindow::Options options = {}) {
+    auto clock = now_us;
+    // relaxed-ok: the test advances the clock from the same thread that reads
+    options.now_us = [clock] { return clock->load(std::memory_order_relaxed); };
+    window = std::make_unique<RollingWindow>(std::move(options));
+  }
+  void AdvanceTo(std::uint64_t us) {
+    // relaxed-ok: single-threaded test driver
+    now_us->store(us, std::memory_order_relaxed);
+  }
+};
+
+TEST(RollingWindowTest, EmptyWindowIsHealthyShaped) {
+  RollingWindow window;
+  const auto snap = window.Window(60'000'000);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_DOUBLE_EQ(snap.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 0.0);
+}
+
+TEST(RollingWindowTest, WindowClampsToRingSpan) {
+  RollingWindow::Options options;
+  options.num_buckets = 4;
+  options.bucket_width_us = 1'000'000;
+  FakeClockWindow fake(std::move(options));
+  EXPECT_EQ(fake.window->span_us(), 4'000'000u);
+  EXPECT_EQ(fake.window->Window(~std::uint64_t{0}).window_us, 4'000'000u);
+  // And up to at least one bucket from below.
+  EXPECT_EQ(fake.window->Window(1).window_us, 1'000'000u);
+}
+
+TEST(RollingWindowTest, BucketRotationForgetsAgedOutRecords) {
+  RollingWindow::Options options;
+  options.num_buckets = 4;
+  options.bucket_width_us = 1'000'000;
+  FakeClockWindow fake(std::move(options));
+
+  fake.AdvanceTo(500'000);  // tick 0
+  fake.window->Record(100'000, /*ok=*/false, /*deadline_exceeded=*/true);
+  auto snap = fake.window->Window(4'000'000);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+
+  // Ten seconds later the whole ring has lapped: the old bucket's epoch is
+  // outside the window, so its contents no longer count even though the
+  // slot has not been physically wiped yet.
+  fake.AdvanceTo(10'500'000);  // tick 10
+  snap = fake.window->Window(4'000'000);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.availability(), 1.0);
+
+  // A new record rotates the slot and counts alone.
+  fake.window->Record(5'000, /*ok=*/true, /*deadline_exceeded=*/false);
+  snap = fake.window->Window(4'000'000);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.errors, 0u);
+}
+
+TEST(RollingWindowTest, NarrowWindowExcludesOlderBuckets) {
+  RollingWindow::Options options;
+  options.num_buckets = 60;
+  options.bucket_width_us = 1'000'000;
+  FakeClockWindow fake(std::move(options));
+
+  fake.AdvanceTo(1'500'000);  // tick 1
+  fake.window->Record(1'000, false, false);
+  fake.AdvanceTo(30'500'000);  // tick 30
+  fake.window->Record(1'000, true, false);
+
+  EXPECT_EQ(fake.window->Window(60'000'000).count, 2u);
+  const auto recent = fake.window->Window(10'000'000);
+  EXPECT_EQ(recent.count, 1u);
+  EXPECT_EQ(recent.errors, 0u);
+}
+
+TEST(RollingWindowTest, WindowedQuantilesMatchOracle) {
+  FakeClockWindow fake;
+  fake.AdvanceTo(500'000);
+  std::vector<double> oracle_ms;
+  for (int i = 1; i <= 1000; ++i) {
+    fake.window->Record(static_cast<std::uint64_t>(i) * 1000, true, false);
+    oracle_ms.push_back(static_cast<double>(i));
+  }
+  std::sort(oracle_ms.begin(), oracle_ms.end());
+  const auto snap = fake.window->Window(60'000'000);
+  ASSERT_EQ(snap.count, 1000u);
+  const double oracle_p50 = oracle_ms[499];
+  const double oracle_p99 = oracle_ms[989];
+  // The histogram is bucketed, so allow its documented resolution slack.
+  EXPECT_NEAR(snap.p50_ms, oracle_p50, 0.25 * oracle_p50);
+  EXPECT_NEAR(snap.p99_ms, oracle_p99, 0.25 * oracle_p99);
+}
+
+TEST(RollingWindowTest, MergesRecordsAcrossThreads) {
+  FakeClockWindow fake;
+  fake.AdvanceTo(500'000);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fake, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool error = (i % 10) == 0;
+        fake.window->Record(1000 + static_cast<std::uint64_t>(t), !error,
+                            false);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = fake.window->Window(60'000'000);
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.errors, static_cast<std::uint64_t>(kThreads * 250));
+}
+
+SloConfig TightSlo() {
+  SloConfig config;
+  config.target_p99_ms = 500.0;
+  config.target_availability = 0.9;  // allowed error budget: 10%
+  config.fast_window_us = 10'000'000;
+  config.slow_window_us = 60'000'000;
+  config.fast_burn_threshold = 5.0;
+  config.slow_burn_threshold = 2.0;
+  return config;
+}
+
+TEST(SloTest, IdleWindowAbstainsHealthy) {
+  RollingWindow window;
+  const SloState state = EvaluateSlo(window, SloConfig{});
+  EXPECT_TRUE(state.healthy);
+  EXPECT_TRUE(state.latency_ok);
+  EXPECT_TRUE(state.availability_ok);
+}
+
+TEST(SloTest, FastWindowLatencyBreachFlipsUnhealthy) {
+  RollingWindow::Options options;
+  options.num_buckets = 120;
+  FakeClockWindow fake(std::move(options));
+  fake.AdvanceTo(500'000);
+  for (int i = 0; i < 20; ++i) {
+    fake.window->Record(900'000, true, false);  // 900 ms, target p99 500 ms
+  }
+  const SloState state = EvaluateSlo(*fake.window, TightSlo());
+  EXPECT_FALSE(state.latency_ok);
+  EXPECT_TRUE(state.availability_ok);
+  EXPECT_FALSE(state.healthy);
+}
+
+TEST(SloTest, FastBurnAloneDoesNotPageWithoutSlowConfirmation) {
+  RollingWindow::Options options;
+  options.num_buckets = 120;
+  FakeClockWindow fake(std::move(options));
+  // 100 clean completions spread over the slow window...
+  for (int i = 0; i < 100; ++i) {
+    fake.AdvanceTo(10'000'000 + static_cast<std::uint64_t>(i) * 500'000);
+    fake.window->Record(1'000, true, false);
+  }
+  // ...then one bad second: 10 failures inside the fast window only.
+  fake.AdvanceTo(65'000'000);
+  for (int i = 0; i < 10; ++i) fake.window->Record(1'000, false, false);
+
+  const SloState state = EvaluateSlo(*fake.window, TightSlo());
+  EXPECT_GE(state.fast_burn_rate, 5.0);  // fast window is all failures
+  EXPECT_LT(state.slow_burn_rate, 2.0);  // 10 of 110 < 10% budget x 2
+  EXPECT_TRUE(state.availability_ok) << "one bad bucket must not page";
+  EXPECT_TRUE(state.healthy);
+}
+
+TEST(SloTest, SustainedBurnOverBothWindowsPages) {
+  RollingWindow::Options options;
+  options.num_buckets = 120;
+  FakeClockWindow fake(std::move(options));
+  // Failures sustained across the whole slow window: both burn rates hot.
+  for (int i = 0; i < 120; ++i) {
+    fake.AdvanceTo(10'000'000 + static_cast<std::uint64_t>(i) * 500'000);
+    fake.window->Record(1'000, (i % 2) == 0, false);  // 50% failures
+  }
+  const SloState state = EvaluateSlo(*fake.window, TightSlo());
+  EXPECT_GE(state.fast_burn_rate, 5.0);
+  EXPECT_GE(state.slow_burn_rate, 2.0);
+  EXPECT_FALSE(state.availability_ok);
+  EXPECT_FALSE(state.healthy);
+  EXPECT_TRUE(state.latency_ok);
+}
+
+TEST(SloTest, HealthzJsonCarriesSchemaAndWindows) {
+  RollingWindow window;
+  window.Record(2'000, true, false);
+  const SloConfig config;
+  const std::string json = RenderHealthzJson(EvaluateSlo(window, config),
+                                             config);
+  for (const char* key :
+       {"\"schema_version\":1", "\"report\":\"healthz\"", "\"healthy\":true",
+        "\"latency_ok\":true", "\"availability_ok\":true", "\"target_p99_ms\"",
+        "\"target_availability\"", "\"fast_burn_rate\"", "\"slow_burn_rate\"",
+        "\"fast\":{", "\"slow\":{", "\"deadline_exceeded\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+/// Minimal raw HTTP GET against the loopback debug server (the full-fidelity
+/// twin lives in debug_server_test.cc).
+std::string Get(int port, const std::string& path) {
+  const std::string raw =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n =
+        ::send(fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::unique_ptr<core::SearchEngine> SmallEngine() {
+  core::EngineConfig config;
+  config.window = 16;
+  config.reduced_dim = 4;
+  config.tree.max_entries = 8;
+  config.buffer_pool_pages = 256;
+  auto engine = core::SearchEngine::Create(config);
+  EXPECT_TRUE(engine.ok());
+  seq::StockMarketConfig market;
+  market.num_companies = 12;
+  market.values_per_company = 200;
+  market.seed = 7;
+  for (const seq::TimeSeries& series : seq::GenerateStockMarket(market)) {
+    EXPECT_TRUE((*engine)->AddSeries(series.name, series.values).ok());
+  }
+  return std::move(engine).value();
+}
+
+// End to end: QueryService completions feed an injected rolling window on a
+// fake clock; /healthz (same handler wiring as tsss_cli serve) answers 200,
+// flips to 503 once check_budget forces a run of deadline failures, and
+// recovers to 200 after the failures age out of both SLO windows.
+TEST(SloTest, HealthzEndpointFlips503AndBack) {
+  auto engine = SmallEngine();
+  FakeClockWindow fake;
+  fake.AdvanceTo(500'000);
+
+  service::ServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.rolling_window = fake.window.get();
+  auto service = service::QueryService::Create(engine.get(), service_config);
+  ASSERT_TRUE(service.ok());
+
+  SloConfig slo = TightSlo();
+  DebugServer::Options options;
+  options.port = 0;
+  auto server = DebugServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  RollingWindow* rolling = fake.window.get();
+  (*server)->RegisterHandler(
+      "/healthz", "application/json",
+      DebugServer::QueryHandler([rolling, slo](const std::string&) {
+        const SloState state = EvaluateSlo(*rolling, slo);
+        return HttpResponse{state.healthy ? 200 : 503,
+                            RenderHealthzJson(state, slo)};
+      }));
+  const int port = (*server)->port();
+
+  service::QueryRequest request;
+  request.kind = service::QueryKind::kRange;
+  auto window0 = engine->ReadWindow(0);
+  ASSERT_TRUE(window0.ok());
+  request.query = *window0;
+  request.eps = 5.0;
+
+  auto submit = [&](std::uint64_t check_budget) {
+    request.check_budget = check_budget;
+    auto future = (*service)->Submit(request);
+    ASSERT_TRUE(future.ok());
+    future->get();
+  };
+
+  submit(0);  // one healthy completion
+  EXPECT_NE(Get(port, "/healthz").find("HTTP/1.1 200"), std::string::npos);
+
+  // Forced-slow workload: a check budget of 1 trips DeadlineExceeded on the
+  // query's first poll, deterministically. Enough of them burn through the
+  // 10% budget in both windows.
+  for (int i = 0; i < 30; ++i) submit(1);
+  const std::string sick = Get(port, "/healthz");
+  EXPECT_NE(sick.find("HTTP/1.1 503"), std::string::npos) << sick;
+  EXPECT_NE(sick.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(sick.find("\"deadline_exceeded\":30"), std::string::npos);
+
+  // Two minutes later the failures have aged out of the 60 s slow window;
+  // the evaluation abstains on the empty fast window and reports healthy.
+  fake.AdvanceTo(120'500'000);
+  const std::string recovered = Get(port, "/healthz");
+  EXPECT_NE(recovered.find("HTTP/1.1 200"), std::string::npos) << recovered;
+
+  (*service)->Shutdown();
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace tsss::obs

@@ -100,6 +100,26 @@ TEST(QueryServiceTest, ServesRangeQueryMatchingDirectCall) {
   EXPECT_EQ(metrics.rejected, 0u);
 }
 
+TEST(QueryServiceTest, FeedsRollingWindowAndWindowedStats) {
+  auto engine = MakeEngine();
+  auto service = QueryService::Create(engine.get(), ServiceConfig{});
+  ASSERT_TRUE(service.ok());
+  QueryRequest request = RangeRequest(*engine);
+  for (int i = 0; i < 5; ++i) {
+    auto future = (*service)->Submit(request);
+    ASSERT_TRUE(future.ok());
+    EXPECT_TRUE(future->get().status.ok());
+  }
+  // Every completion lands in the service's rolling window; Stats() mirrors
+  // the trailing minute next to the cumulative counters.
+  const ServiceMetrics metrics = (*service)->Stats();
+  EXPECT_EQ(metrics.last_minute.count, 5u);
+  EXPECT_EQ(metrics.last_minute.errors, 0u);
+  EXPECT_DOUBLE_EQ(metrics.last_minute.availability(), 1.0);
+  EXPECT_GT(metrics.last_minute.p50_ms, 0.0);
+  EXPECT_EQ((*service)->rolling().Window(60'000'000).count, 5u);
+}
+
 TEST(QueryServiceTest, RejectsWhenQueueFull) {
   auto engine = MakeEngine();
   ServiceConfig config;

@@ -67,6 +67,21 @@ TEST(TsssLintFixtures, BadRestrictedIncludeIsCaughtBelowServiceLayer) {
             std::string::npos);
 }
 
+// Same narrow-waist mechanism for the sampling profiler: it owns the
+// process-wide SIGPROF timer, so [restrict.profiler] keeps it out of every
+// layer below the service boundary.
+TEST(TsssLintFixtures, BadRestrictedProfilerIsCaughtBelowServiceLayer) {
+  const LintResult result = RunOnFixture("bad_restricted_profiler");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.CountFor(Check::kLayering), 1);
+  EXPECT_NE(result.findings.front().message.find("restricted header"),
+            std::string::npos)
+      << FormatFinding(result.findings.front());
+  EXPECT_NE(result.findings.front().message.find("restrict.profiler"),
+            std::string::npos);
+}
+
 TEST(TsssLintFixtures, BadIncludeCycleIsReportedOnce) {
   const LintResult result = RunOnFixture("bad_include_cycle");
   ASSERT_TRUE(result.error.empty()) << result.error;

@@ -1,7 +1,7 @@
 // Validates machine-written report files against their documented schemas:
 //
 //   bench_schema_check [--schema bench|explain|inspect|inspect_sharded|
-//                                flight|varz] report.json...
+//                                flight|varz|profile|healthz] report.json...
 //
 //   bench   — BENCH_<name>.json emitted by run_benches.sh (schema documented
 //             in bench/bench_common.h, schema_version 1). `tsss_cli
@@ -16,6 +16,12 @@
 //             (schema in src/tsss/obs/flight_recorder.h). Embedded explain
 //             documents are validated with the full explain schema.
 //   varz    — /varz JSON snapshots (ExportJson in src/tsss/obs/metrics.h).
+//   profile — sampling-profiler reports (Profile::ToJson in
+//             src/tsss/obs/profiler.h): `tsss_cli profile --json-out` and
+//             /pprofz. Enforces the phase-partition identity (per-phase
+//             sample counts sum to the total).
+//   healthz — /healthz SLO verdicts (RenderHealthzJson in
+//             src/tsss/obs/rolling.h).
 //
 // Exits non-zero naming the first offending file/field. JSON parsing lives in
 // tools/json_mini.h (shared with bench_diff).
@@ -411,6 +417,73 @@ bool CheckFlight(const JsonValue& root, std::string* error) {
   return true;
 }
 
+bool CheckProfile(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "profile", error)) return false;
+  if (!RequireNumbers(root, "profile", {"hz", "seconds", "samples", "dropped"},
+                      error)) {
+    return false;
+  }
+  const JsonValue* phases = RequireArray(root, "phases", error);
+  if (phases == nullptr) return false;
+  double phase_total = 0.0;
+  for (std::size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& row = phases->array[i];
+    const std::string where = "phases[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject || !IsString(row.Get("name")) ||
+        !RequireNumbers(row, where.c_str(), {"samples"}, error)) {
+      if (error->empty()) *error = where + " must have name/samples";
+      return false;
+    }
+    phase_total += row.Get("samples")->number;
+  }
+  // Phase attribution is a partition: every sample lands in exactly one
+  // phase (or "(untagged)"), so the per-phase counts sum to the total. A
+  // report violating that lost or double-counted samples.
+  if (phase_total != root.Get("samples")->number) {
+    *error = "phase sample counts do not sum to samples";
+    return false;
+  }
+  const JsonValue* folded = RequireArray(root, "folded", error);
+  if (folded == nullptr) return false;
+  for (std::size_t i = 0; i < folded->array.size(); ++i) {
+    const JsonValue& row = folded->array[i];
+    const std::string where = "folded[" + std::to_string(i) + "]";
+    if (row.kind != JsonValue::Kind::kObject || !IsString(row.Get("stack")) ||
+        !RequireNumbers(row, where.c_str(), {"samples"}, error)) {
+      if (error->empty()) *error = where + " must have stack/samples";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckHealthz(const JsonValue& root, std::string* error) {
+  if (!CheckHeader(root, "healthz", error)) return false;
+  for (const char* key : {"healthy", "latency_ok", "availability_ok"}) {
+    if (!IsBool(root.Get(key))) {
+      *error = std::string(key) + " must be a boolean";
+      return false;
+    }
+  }
+  if (!RequireNumbers(root, "healthz",
+                      {"target_p99_ms", "target_availability",
+                       "fast_burn_rate", "slow_burn_rate"},
+                      error)) {
+    return false;
+  }
+  for (const char* key : {"fast", "slow"}) {
+    const JsonValue* window = RequireObject(root, key, error);
+    if (window == nullptr) return false;
+    if (!RequireNumbers(*window, key,
+                        {"window_s", "count", "errors", "deadline_exceeded",
+                         "p50_ms", "p99_ms", "availability"},
+                        error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool CheckVarz(const JsonValue& root, std::string* error) {
   // /varz has no schema_version header: it is the raw registry snapshot
   // with exactly three sections of scalar (or histogram-summary) values.
@@ -453,6 +526,8 @@ bool CheckFile(const char* path, const std::string& schema,
   if (schema == "inspect_sharded") return CheckInspectSharded(root, error);
   if (schema == "flight") return CheckFlight(root, error);
   if (schema == "varz") return CheckVarz(root, error);
+  if (schema == "profile") return CheckProfile(root, error);
+  if (schema == "healthz") return CheckHealthz(root, error);
   *error = "unknown schema '" + schema + "'";
   return false;
 }
@@ -469,12 +544,13 @@ int main(int argc, char** argv) {
   if (first >= argc) {
     std::fprintf(stderr,
                  "usage: %s [--schema bench|explain|inspect|inspect_sharded|"
-                 "flight|varz] report.json...\n",
+                 "flight|varz|profile|healthz] report.json...\n",
                  argv[0]);
     return 2;
   }
   if (schema != "bench" && schema != "explain" && schema != "inspect" &&
-      schema != "inspect_sharded" && schema != "flight" && schema != "varz") {
+      schema != "inspect_sharded" && schema != "flight" && schema != "varz" &&
+      schema != "profile" && schema != "healthz") {
     std::fprintf(stderr, "unknown --schema '%s'\n", schema.c_str());
     return 2;
   }

@@ -22,6 +22,9 @@
 //   tsss_cli serve    --index dir [--port 8080] [--bind 127.0.0.1]
 //                     [--slow-ms M] [--workers N] [--sample-queries Q]
 //                     [--eps 0.5] [--duration-s S]
+//                     [--slo-p99-ms 500] [--slo-availability 0.999]
+//   tsss_cli profile  --index dir [--seconds 5] [--hz 97] [--queries 0]
+//                     [--eps 0.5] [--out prof.folded] [--json-out prof.json]
 //   tsss_cli serve-bench --index dir [--workers 4] [--clients 8]
 //                     [--queries 200] [--eps 0.5] [--queue 64] [--timeout-ms 0]
 //                     [--shards N] [--json-out report.json]
@@ -50,11 +53,21 @@
 //
 // `serve` opens the index behind a QueryService and starts the embedded
 // debug HTTP server (obs::DebugServer) with the live diagnostics endpoints
-// /metricsz /varz /statusz /eventz /flightz. --slow-ms M arms the slow-query
-// flight recorder at threshold M (0 captures every completion, rate-limited);
-// --sample-queries Q drives a deterministic workload first so every endpoint
-// has data; --duration-s S exits after S seconds (for CI; default runs until
-// killed).
+// /metricsz /varz /statusz /eventz /flightz /pprofz /healthz. --slow-ms M
+// arms the slow-query flight recorder at threshold M (0 captures every
+// completion, rate-limited); --sample-queries Q drives a deterministic
+// workload first so every endpoint has data; --duration-s S exits after S
+// seconds (for CI; default runs until killed). /pprofz?seconds=S&hz=H runs
+// the in-process sampling profiler against live traffic and returns folded
+// stacks + phase attribution as JSON; /healthz evaluates the rolling-window
+// SLO (--slo-p99-ms, --slo-availability) and maps it to 200/503 for
+// load-balancer checks.
+//
+// `profile` opens the index, drives a deterministic range-query workload
+// for --seconds while the sampling profiler runs, and prints the per-phase
+// CPU attribution plus folded stacks (--out writes the flamegraph input,
+// --json-out the schema-v1 report). --queries bounds the workload (0 =
+// loop until the time is up).
 
 #include <algorithm>
 #include <chrono>
@@ -75,6 +88,8 @@
 #include "tsss/obs/explain.h"
 #include "tsss/obs/flight_recorder.h"
 #include "tsss/obs/metrics.h"
+#include "tsss/obs/profiler.h"
+#include "tsss/obs/rolling.h"
 #include "tsss/obs/trace.h"
 #include "tsss/seq/csv.h"
 #include "tsss/seq/patterns.h"
@@ -133,7 +148,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tsss_cli <generate|build|info|query|knn|explain|"
-               "inspect|stats|serve|serve-bench> --flag value...\n"
+               "inspect|stats|serve|profile|serve-bench> --flag value...\n"
                "see the header of tools/tsss_cli.cc for details\n");
   return 2;
 }
@@ -1117,16 +1132,29 @@ std::string RenderStatusz(const std::string& index_dir, const char* mode,
                 "rejected         : %llu\n"
                 "timed out        : %llu\n"
                 "cancelled        : %llu\n"
-                "failed           : %llu\n"
-                "p50 latency (ms) : %.3f\n"
-                "p99 latency (ms) : %.3f\n",
+                "failed           : %llu\n",
                 m.queue_depth, static_cast<unsigned long long>(m.submitted),
                 static_cast<unsigned long long>(m.served),
                 static_cast<unsigned long long>(m.rejected),
                 static_cast<unsigned long long>(m.timed_out),
                 static_cast<unsigned long long>(m.cancelled),
-                static_cast<unsigned long long>(m.failed), m.p50_latency_ms,
-                m.p99_latency_ms);
+                static_cast<unsigned long long>(m.failed));
+  out += buf;
+  // The headline quantiles are the trailing minute (what the server is
+  // doing NOW); the cumulative-since-start numbers are labelled as such so
+  // the two are never conflated — a since-start p99 can hide a live burst
+  // for hours.
+  const tsss::obs::RollingWindow::Snapshot& w = m.last_minute;
+  std::snprintf(buf, sizeof(buf),
+                "window (60s)     : count %llu, errors %llu, deadline %llu\n"
+                "p50 latency (ms) : %.3f (60s window)\n"
+                "p99 latency (ms) : %.3f (60s window)\n"
+                "since_start p50  : %.3f ms\n"
+                "since_start p99  : %.3f ms\n",
+                static_cast<unsigned long long>(w.count),
+                static_cast<unsigned long long>(w.errors),
+                static_cast<unsigned long long>(w.deadline_exceeded), w.p50_ms,
+                w.p99_ms, m.p50_latency_ms, m.p99_latency_ms);
   out += buf;
   for (std::size_t i = 0; i < shard_hit_rates.size(); ++i) {
     if (shard_hit_rates.size() == 1) {
@@ -1151,11 +1179,80 @@ std::string RenderStatusz(const std::string& index_dir, const char* mode,
   return out;
 }
 
+/// Extracts `key` from a "k=v&k2=v2" query string as a number; `fallback`
+/// when absent or non-numeric. The input is untrusted request text.
+std::uint64_t QueryParam(const std::string& query, const std::string& key,
+                         std::uint64_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const std::string value = query.substr(eq + 1, amp - eq - 1);
+      if (!value.empty() &&
+          value.find_first_not_of("0123456789") == std::string::npos) {
+        return static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      }
+      return fallback;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+/// SLO targets for /healthz from the serve flags.
+tsss::obs::SloConfig SloFromFlags(const Flags& flags) {
+  tsss::obs::SloConfig slo;
+  slo.target_p99_ms = flags.GetDouble("slo-p99-ms", 500.0);
+  slo.target_availability = flags.GetDouble("slo-availability", 0.999);
+  return slo;
+}
+
+/// Registers the profiler and SLO endpoints on a serve instance. `rolling`
+/// is the service's (or fan-out pool's) rolling window; both it and the
+/// engine behind it must outlive the server.
+///
+/// /pprofz runs inline on the accept thread: the request *is* the profiling
+/// session (start, sleep seconds, stop, render), which is the right model
+/// for a one-at-a-time debug surface — a second concurrent request gets a
+/// clean 500 from the Start() FailedPrecondition, never a torn profile.
+void RegisterServeEndpoints(tsss::obs::DebugServer* server,
+                            tsss::obs::RollingWindow* rolling,
+                            const tsss::obs::SloConfig& slo) {
+  server->RegisterHandler(
+      "/pprofz", "application/json",
+      tsss::obs::DebugServer::QueryHandler([](const std::string& query) {
+        const auto seconds = QueryParam(query, "seconds", 2);
+        const auto hz = QueryParam(query, "hz", 97);
+        tsss::obs::SamplingProfiler::Options options;
+        options.hz = static_cast<int>(std::min<std::uint64_t>(hz, 1000));
+        tsss::obs::SamplingProfiler profiler(options);
+        if (tsss::Status s = profiler.Start(); !s.ok()) {
+          return tsss::obs::HttpResponse{500, s.ToString() + "\n"};
+        }
+        std::this_thread::sleep_for(
+            std::chrono::seconds(std::clamp<std::uint64_t>(seconds, 1, 30)));
+        return tsss::obs::HttpResponse{200, profiler.Stop().ToJson()};
+      }));
+  server->RegisterHandler(
+      "/healthz", "application/json",
+      tsss::obs::DebugServer::QueryHandler(
+          [rolling, slo](const std::string& /*query*/) {
+            const tsss::obs::SloState state = tsss::obs::EvaluateSlo(*rolling,
+                                                                     slo);
+            return tsss::obs::HttpResponse{
+                state.healthy ? 200 : 503,
+                tsss::obs::RenderHealthzJson(state, slo)};
+          }));
+}
+
 /// Announces the endpoints and blocks until --duration-s elapses (bounded
 /// run, for CI) or forever (operator kills the process).
 int ServeUntilDone(const Flags& flags, tsss::obs::DebugServer& server) {
   std::printf("serving diagnostics on http://%s:%d/ "
-              "(/metricsz /varz /statusz /eventz /flightz)\n",
+              "(/metricsz /varz /statusz /eventz /flightz /pprofz /healthz)\n",
               flags.Get("bind", "127.0.0.1").c_str(), server.port());
   std::fflush(stdout);
   const std::size_t duration_s = flags.GetSize("duration-s", 0);
@@ -1213,6 +1310,7 @@ int CmdServe(const Flags& flags) {
           return RenderStatusz(index_dir, "sharded", raw->engine_config(),
                                workers, started, raw->FanoutStats(), rates);
         });
+    RegisterServeEndpoints(server->get(), &raw->rolling(), SloFromFlags(flags));
 
     // Sample workload: windows of the indexed data, fanned out through the
     // engine's internal service so cost attribution and the flight recorder
@@ -1256,6 +1354,8 @@ int CmdServe(const Flags& flags) {
                              raw_service->config().num_workers, started, m,
                              {m.pool_hit_rate});
       });
+  RegisterServeEndpoints(server->get(), &raw_service->rolling(),
+                         SloFromFlags(flags));
 
   const std::size_t num_series = raw_engine->dataset().size();
   const std::size_t n = raw_engine->config().window;
@@ -1277,6 +1377,126 @@ int CmdServe(const Flags& flags) {
     if (!response.status.ok()) return Fail(response.status);
   }
   return ServeUntilDone(flags, **server);
+}
+
+/// In-process CPU profile of a query workload: start the sampling profiler,
+/// drive deterministic range queries (windows of the indexed data) until
+/// --seconds elapses or --queries completes, stop, and report per-phase CPU
+/// attribution plus folded stacks. The phase totals sum exactly to the
+/// sample count — that identity is checked here and by
+/// bench_schema_check --schema profile.
+int CmdProfile(const Flags& flags) {
+  const std::string index_dir = flags.Get("index", "");
+  if (index_dir.empty()) {
+    std::fprintf(stderr, "profile: --index dir is required\n");
+    return 2;
+  }
+  const double seconds = flags.GetDouble("seconds", 5.0);
+  const std::size_t max_queries = flags.GetSize("queries", 0);
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  // One query runner over either engine flavor.
+  std::unique_ptr<tsss::core::SearchEngine> single;
+  std::unique_ptr<tsss::shard::ShardedEngine> sharded;
+  std::size_t num_series = 0;
+  std::size_t window = 0;
+  if (IsShardedIndex(index_dir)) {
+    auto engine = tsss::shard::ShardedEngine::Open(index_dir,
+                                                   flags.GetSize("workers", 0));
+    if (!engine.ok()) return Fail(engine.status());
+    sharded = std::move(engine).value();
+    num_series = static_cast<std::size_t>(sharded->total_series());
+    window = sharded->engine_config().window;
+  } else {
+    auto engine = tsss::core::SearchEngine::Open(index_dir);
+    if (!engine.ok()) return Fail(engine.status());
+    single = std::move(engine).value();
+    num_series = single->dataset().size();
+    window = single->config().window;
+  }
+  if (num_series == 0) return Fail(Status::FailedPrecondition("empty index"));
+
+  tsss::obs::SamplingProfiler::Options options;
+  options.hz = static_cast<int>(flags.GetSize("hz", 97));
+  tsss::obs::SamplingProfiler profiler(options);
+  if (Status s = profiler.Start(); !s.ok()) return Fail(s);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::size_t queries = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (max_queries == 0 || queries < max_queries)) {
+    const auto series =
+        static_cast<tsss::storage::SeriesId>(queries % num_series);
+    auto values = [&]() -> tsss::Result<std::span<const double>> {
+      if (sharded != nullptr) return sharded->SeriesValues(series);
+      return single->dataset().Values(series);
+    }();
+    if (!values.ok()) return Fail(values.status());
+    if (values->size() < window) {
+      ++queries;
+      continue;
+    }
+    const std::size_t offset = (queries * 37) % (values->size() - window + 1);
+    const tsss::geom::Vec query(
+        values->begin() + static_cast<std::ptrdiff_t>(offset),
+        values->begin() + static_cast<std::ptrdiff_t>(offset + window));
+    auto matches = [&]() -> tsss::Result<std::vector<tsss::core::Match>> {
+      if (sharded != nullptr) return sharded->RangeQuery(query, eps);
+      return single->RangeQuery(query, eps);
+    }();
+    if (!matches.ok()) return Fail(matches.status());
+    ++queries;
+  }
+  const tsss::obs::Profile profile = profiler.Stop();
+
+  std::printf("profiled %zu queries for %.2fs at %d Hz: %llu samples"
+              " (%llu dropped)\n\n",
+              queries, profile.seconds, profile.hz,
+              static_cast<unsigned long long>(profile.samples),
+              static_cast<unsigned long long>(profile.dropped));
+  std::printf("%-24s %10s %8s\n", "phase", "samples", "cpu%");
+  std::uint64_t phase_total = 0;
+  for (const tsss::obs::ProfilePhase& phase : profile.phases) {
+    phase_total += phase.samples;
+    std::printf("%-24s %10llu %7.1f%%\n", phase.name.c_str(),
+                static_cast<unsigned long long>(phase.samples),
+                profile.samples == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(phase.samples) /
+                          static_cast<double>(profile.samples));
+  }
+  if (phase_total != profile.samples) {
+    std::fprintf(stderr,
+                 "profile: phase attribution lost samples (%llu != %llu)\n",
+                 static_cast<unsigned long long>(phase_total),
+                 static_cast<unsigned long long>(profile.samples));
+    return 1;
+  }
+  std::printf("\n# top stacks (folded):\n");
+  const std::size_t top = std::min<std::size_t>(profile.folded.size(), 5);
+  for (std::size_t i = 0; i < top; ++i) {
+    std::printf("%s %llu\n", profile.folded[i].stack.c_str(),
+                static_cast<unsigned long long>(profile.folded[i].samples));
+  }
+
+  const std::string out_path = flags.Get("out", "");
+  if (!out_path.empty()) {
+    if (int rc = WriteFileOrFail(out_path, profile.ToFolded()); rc != 0) {
+      return rc;
+    }
+    std::printf("\nfolded stacks written to %s\n", out_path.c_str());
+  }
+  const std::string json_path = flags.Get("json-out", "");
+  if (!json_path.empty()) {
+    if (int rc = WriteFileOrFail(json_path, profile.ToJson()); rc != 0) {
+      return rc;
+    }
+    std::printf("profile JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 /// q-quantile of the pooled client latencies, in ms (destructive).
@@ -1602,6 +1822,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return CmdInspect(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "profile") return CmdProfile(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }

@@ -1,0 +1,9 @@
+// Fixture: MUST FAIL layering — obs is among core's deps, but
+// obs/profiler.h is restricted to the serving layers
+// ([restrict.profiler]): library code must not install the process-wide
+// SIGPROF handler behind its caller's back.
+#include "tsss/obs/profiler.h"
+
+namespace tsss::core {
+double Nothing() { return 0.0; }
+}  // namespace tsss::core
